@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all test race vet bench experiments fuzz clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table in EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/tradeoff -format markdown
+
+# Short fuzzing session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzMaxRegisterAgreement -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzMaxRegisterCheckerSoundness -fuzztime 30s ./internal/history
+	$(GO) test -fuzz FuzzCounterCheckerSoundness -fuzztime 30s ./internal/history
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,265 @@
+// Command simtrace runs a chosen object implementation under the
+// deterministic simulator and prints the execution: every shared-memory
+// event, each process's step count, and the final awareness and
+// familiarity sets of the paper's information-flow model (Definitions
+// 1-4). It is the debugging / teaching companion to the adversary
+// experiments: the same machinery, driven by a plain round-robin or seeded
+// random scheduler instead of a lower-bound construction.
+//
+// Usage:
+//
+//	simtrace [-object maxreg|counter|snapshot] [-impl NAME] [-n 4] \
+//	         [-ops 6] [-sched random|roundrobin] [-seed 1] [-quiet]
+//
+// Implementations: maxreg: algorithm-a, aac, unbounded, cas;
+// counter: farray, aac, cas; snapshot: farray, afek, doublecollect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"github.com/restricteduse/tradeoffs/internal/aware"
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+}
+
+type traceConfig struct {
+	object string
+	impl   string
+	n      int
+	ops    int
+	sched  string
+	seed   int64
+	quiet  bool
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
+	cfg := traceConfig{}
+	fs.StringVar(&cfg.object, "object", "maxreg", "object family: maxreg, counter, or snapshot")
+	fs.StringVar(&cfg.impl, "impl", "", "implementation (default: the family's constant-read one)")
+	fs.IntVar(&cfg.n, "n", 4, "number of processes")
+	fs.IntVar(&cfg.ops, "ops", 6, "operations per process")
+	fs.StringVar(&cfg.sched, "sched", "random", "scheduler: random or roundrobin")
+	fs.Int64Var(&cfg.seed, "seed", 1, "scheduler and workload seed")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-event log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.n < 1 || cfg.ops < 1 {
+		return fmt.Errorf("need -n >= 1 and -ops >= 1")
+	}
+
+	pool := primitive.NewPool()
+	programs, err := buildPrograms(cfg, pool)
+	if err != nil {
+		return err
+	}
+
+	s := sim.NewSystem()
+	defer s.Shutdown()
+	for id, p := range programs {
+		if err := s.Spawn(id, p); err != nil {
+			return err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for {
+		active := s.Active()
+		if len(active) == 0 {
+			break
+		}
+		id := active[0]
+		if cfg.sched == "random" {
+			id = active[rng.Intn(len(active))]
+		} else if cfg.sched != "roundrobin" {
+			return fmt.Errorf("unknown scheduler %q", cfg.sched)
+		}
+		if cfg.sched == "roundrobin" {
+			for _, pid := range active {
+				if _, err := s.Step(pid); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, err := s.Step(id); err != nil {
+			return err
+		}
+	}
+
+	tr := aware.NewTracker(cfg.n)
+	if !cfg.quiet {
+		fmt.Fprintf(out, "events (%d total):\n", len(s.Events()))
+	}
+	for _, ev := range s.Events() {
+		tr.Apply(ev)
+		if cfg.quiet {
+			continue
+		}
+		detail := ""
+		switch ev.Kind {
+		case sim.OpRead:
+			detail = fmt.Sprintf("-> %d", ev.Before)
+		case sim.OpWrite:
+			detail = fmt.Sprintf("val=%d", ev.Value)
+		case sim.OpCAS:
+			detail = fmt.Sprintf("%d->%d ok=%v", ev.Old, ev.New, ev.CASOK)
+		}
+		vis := " "
+		if ev.Changed {
+			vis = "*"
+		}
+		fmt.Fprintf(out, "  %4d p%-2d %-5s %-14s %s %s\n", ev.Seq, ev.Proc, ev.Kind, ev.Reg, vis, detail)
+	}
+
+	fmt.Fprintf(out, "\nsteps per process:\n")
+	for id := 0; id < cfg.n; id++ {
+		fmt.Fprintf(out, "  p%-2d %d\n", id, s.StepsOf(id))
+	}
+
+	fmt.Fprintf(out, "\nawareness sets AW(p, E):\n")
+	for id := 0; id < cfg.n; id++ {
+		fmt.Fprintf(out, "  p%-2d %v  hidden=%v\n", id, tr.Awareness(id).Members(), tr.Hidden(id))
+	}
+	fmt.Fprintf(out, "\nnon-empty familiarity sets F(o, E):\n")
+	for _, regID := range tr.ObjectIDs() {
+		if members := tr.Familiarity(regID).Members(); len(members) > 0 {
+			fmt.Fprintf(out, "  %-14s %v\n", pool.Get(regID), members)
+		}
+	}
+	fmt.Fprintf(out, "\nM(E) = %d (max awareness/familiarity set size)\n", tr.MaxSetSize())
+	return nil
+}
+
+// buildPrograms constructs the chosen object plus one random workload
+// program per process.
+func buildPrograms(cfg traceConfig, pool *primitive.Pool) ([]sim.Program, error) {
+	programs := make([]sim.Program, cfg.n)
+
+	switch cfg.object {
+	case "maxreg":
+		var (
+			m   maxreg.MaxRegister
+			err error
+		)
+		switch cfg.impl {
+		case "", "algorithm-a":
+			m, err = core.New(pool, cfg.n, 0)
+		case "aac":
+			m, err = maxreg.NewAAC(pool, 1<<10)
+		case "unbounded":
+			m = maxreg.NewUnboundedAAC(pool)
+		case "cas":
+			m = maxreg.NewCASRegister(pool, 0)
+		default:
+			return nil, fmt.Errorf("unknown maxreg impl %q", cfg.impl)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for id := range programs {
+			rng := rand.New(rand.NewSource(cfg.seed*7919 + int64(id)))
+			programs[id] = func(ctx primitive.Context) {
+				for i := 0; i < cfg.ops; i++ {
+					if rng.Intn(2) == 0 {
+						if err := m.WriteMax(ctx, rng.Int63n(1<<10)); err != nil {
+							panic(err)
+						}
+					} else {
+						m.ReadMax(ctx)
+					}
+				}
+			}
+		}
+
+	case "counter":
+		var (
+			c   counter.Counter
+			err error
+		)
+		switch cfg.impl {
+		case "", "farray":
+			c, err = counter.NewFArray(pool, cfg.n)
+		case "aac":
+			c, err = counter.NewAAC(pool, cfg.n, int64(cfg.n*cfg.ops)+1)
+		case "cas":
+			c = counter.NewCAS(pool)
+		default:
+			return nil, fmt.Errorf("unknown counter impl %q", cfg.impl)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for id := range programs {
+			rng := rand.New(rand.NewSource(cfg.seed*104729 + int64(id)))
+			programs[id] = func(ctx primitive.Context) {
+				for i := 0; i < cfg.ops; i++ {
+					if rng.Intn(2) == 0 {
+						if err := c.Increment(ctx); err != nil {
+							panic(err)
+						}
+					} else {
+						c.Read(ctx)
+					}
+				}
+			}
+		}
+
+	case "snapshot":
+		var (
+			s   snapshot.Snapshot
+			err error
+		)
+		limit := int64(cfg.n*cfg.ops) + 1
+		switch cfg.impl {
+		case "", "farray":
+			s, err = snapshot.NewFArray(pool, cfg.n, limit)
+		case "afek":
+			s, err = snapshot.NewAfek(pool, cfg.n, limit)
+		case "doublecollect":
+			s, err = snapshot.NewDoubleCollect(pool, cfg.n)
+		default:
+			return nil, fmt.Errorf("unknown snapshot impl %q", cfg.impl)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for id := range programs {
+			rng := rand.New(rand.NewSource(cfg.seed*15485863 + int64(id)))
+			programs[id] = func(ctx primitive.Context) {
+				seq := int64(0)
+				for i := 0; i < cfg.ops; i++ {
+					if rng.Intn(2) == 0 {
+						seq++
+						if err := s.Update(ctx, seq); err != nil {
+							panic(err)
+						}
+					} else {
+						s.Scan(ctx)
+					}
+				}
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("unknown object %q (want maxreg, counter, or snapshot)", cfg.object)
+	}
+	return programs, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceMaxRegDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", "-ops", "4", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"events (", "steps per process:", "awareness sets", "M(E) ="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	render := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-object", "counter", "-impl", "farray", "-n", "3", "-ops", "3", "-seed", "9"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestTraceAllObjectsAndImpls(t *testing.T) {
+	cases := [][2]string{
+		{"maxreg", "algorithm-a"}, {"maxreg", "aac"}, {"maxreg", "unbounded"}, {"maxreg", "cas"},
+		{"counter", "farray"}, {"counter", "aac"}, {"counter", "cas"},
+		{"snapshot", "farray"}, {"snapshot", "afek"}, {"snapshot", "doublecollect"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		args := []string{"-object", tc[0], "-impl", tc[1], "-n", "3", "-ops", "3", "-quiet"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		if !strings.Contains(out.String(), "M(E) =") {
+			t.Fatalf("%v: summary missing", tc)
+		}
+	}
+}
+
+func TestTraceRoundRobin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sched", "roundrobin", "-n", "2", "-ops", "2", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-object", "stack"},
+		{"-object", "maxreg", "-impl", "nope"},
+		{"-object", "counter", "-impl", "nope"},
+		{"-object", "snapshot", "-impl", "nope"},
+		{"-sched", "chaos"},
+		{"-n", "0"},
+		{"-ops", "0"},
+		{"-bogus-flag"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command tradeoff runs the repository's experiments — the executable
+// counterparts of every theorem in Hendler & Khait (PODC 2014) — and prints
+// their tables. See EXPERIMENTS.md for the recorded results and the mapping
+// to the paper's claims.
+//
+// Usage:
+//
+//	tradeoff [-run e1,e3] [-format text|markdown|csv] [-ns 8,16,32] [-ks 64,256]
+//
+// With no flags it runs everything with the default sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/restricteduse/tradeoffs/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10 or all")
+		format  = fs.String("format", "text", "output format: text, markdown, or csv")
+		nsFlag  = fs.String("ns", "", "override process-count sweep for e1/e2/e5 (comma-separated)")
+		ksFlag  = fs.String("ks", "", "override K sweep for e3 (comma-separated)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ns := bench.DefaultCounterNs
+	if *nsFlag != "" {
+		parsed, err := parseInts(*nsFlag)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		ns = parsed
+	}
+	ks := bench.DefaultMaxRegKs
+	if *ksFlag != "" {
+		parsed, err := parseInts(*ksFlag)
+		if err != nil {
+			return fmt.Errorf("-ks: %w", err)
+		}
+		ks = parsed
+	}
+
+	experiments := map[string]func() ([]*bench.Table, error){
+		"e1": func() ([]*bench.Table, error) { return bench.E1CounterTradeoff(ns) },
+		"e2": func() ([]*bench.Table, error) { return bench.E2SnapshotTradeoff(ns) },
+		"e3": func() ([]*bench.Table, error) { return bench.E3MaxRegAdversary(ks) },
+		"e4": func() ([]*bench.Table, error) {
+			return bench.E4AlgorithmASteps([]int{16, 64, 256, 1024, 4096}, 4096,
+				[]int64{0, 1, 2, 4, 8, 16, 64, 256, 1024, 4095, 4096, 8192, 1 << 20, 1 << 40})
+		},
+		"e5": func() ([]*bench.Table, error) { return bench.E5Compare(bench.DefaultCompareNs) },
+		"e7": func() ([]*bench.Table, error) { return bench.E7Lemma1Growth(64) },
+		"e9": func() ([]*bench.Table, error) {
+			return bench.E9Ablations(4096, []int64{1, 4, 16, 256, 4095, 4096, 1 << 20})
+		},
+		"e10": func() ([]*bench.Table, error) { return bench.E10AmortizedWrites(1 << 12) },
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e7", "e9", "e10"}
+
+	var selected []string
+	if *runList == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*runList, ",") {
+			name = strings.ToLower(strings.TrimSpace(name))
+			if _, ok := experiments[name]; !ok {
+				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10)", name)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	for _, name := range selected {
+		tables, err := experiments[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, t := range tables {
+			switch *format {
+			case "text":
+				fmt.Fprintln(out, t.Text())
+			case "markdown":
+				fmt.Fprintln(out, t.Markdown())
+			case "csv":
+				fmt.Fprintln(out, t.CSV())
+			default:
+				return fmt.Errorf("unknown format %q", *format)
+			}
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 2 {
+			return nil, fmt.Errorf("size %d too small", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

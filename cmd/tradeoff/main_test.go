@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("8, 16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 8 || got[2] != 32 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("8,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := parseInts("1"); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "e99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-run", "e1", "-ns", "zap"}, &out); err == nil {
+		t.Fatal("bad -ns accepted")
+	}
+	if err := run([]string{"-ks", "1"}, &out); err == nil {
+		t.Fatal("bad -ks accepted")
+	}
+	if err := run([]string{"-run", "e1", "-ns", "4,8", "-format", "yaml"}, &out); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunE1TextOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "e1", "-ns", "4,8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"E1:", "forced rounds", "farray", "aac", "cas"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMarkdownAndCSV(t *testing.T) {
+	var md bytes.Buffer
+	if err := run([]string{"-run", "e1", "-ns", "4", "-format", "markdown"}, &md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "### E1:") {
+		t.Fatalf("markdown output malformed:\n%s", md.String())
+	}
+	var csv bytes.Buffer
+	if err := run([]string{"-run", "e1", "-ns", "4", "-format", "csv"}, &csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "impl,N,") {
+		t.Fatalf("csv output malformed:\n%s", csv.String())
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "e1, e9", "-ns", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E1:") || !strings.Contains(out.String(), "E9:") {
+		t.Fatal("requested experiments missing from output")
+	}
+}

@@ -1,0 +1,77 @@
+package tradeoffs
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/consensus"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Consensus is an N-process, obstruction-free, restricted-use consensus
+// object built from read/write registers (rounds of commit-adopt), with an
+// Algorithm A max register publishing the contention level. Construct with
+// NewConsensus; access through per-process Handles.
+//
+// Proposals are positive int64s below 2^61. Every successful Propose
+// returns the same value (agreement), which is some caller's proposal
+// (validity). Under extreme contention a Propose can exhaust the
+// construction-time round budget (WithLimit) and return
+// ErrRoundsExhausted; retry with backoff.
+type Consensus struct {
+	impl      *consensus.Consensus
+	processes int
+	counting  bool
+}
+
+// ErrRoundsExhausted is returned by Propose when contention outlasts the
+// round budget.
+var ErrRoundsExhausted = consensus.ErrRoundsExhausted
+
+// NewConsensus builds a consensus object. WithLimit sets the round budget
+// (default 1024).
+func NewConsensus(opts ...Option) (*Consensus, error) {
+	c := buildConfig(opts)
+	if c.processes < 1 {
+		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	}
+	rounds := c.limit
+	if rounds == 0 {
+		rounds = 1024
+	}
+	impl, err := consensus.NewConsensus(primitive.NewPool(), c.processes, int(rounds))
+	if err != nil {
+		return nil, fmt.Errorf("tradeoffs: %w", err)
+	}
+	return &Consensus{impl: impl, processes: c.processes, counting: c.counting}, nil
+}
+
+// Processes returns the number of process slots.
+func (c *Consensus) Processes() int { return c.processes }
+
+// Handle returns process id's access handle.
+func (c *Consensus) Handle(id int) *ConsensusHandle {
+	return &ConsensusHandle{cons: c.impl, handle: newHandle(id, c.counting)}
+}
+
+// ConsensusHandle is a per-process capability to a Consensus.
+type ConsensusHandle struct {
+	handle
+
+	cons *consensus.Consensus
+}
+
+// Propose submits v and returns the agreed value.
+func (h *ConsensusHandle) Propose(v int64) (int64, error) {
+	return h.cons.Propose(h.ctx, v)
+}
+
+// Decided returns the agreed value, or 0 if none yet (one step).
+func (h *ConsensusHandle) Decided() int64 {
+	return h.cons.Decided(h.ctx)
+}
+
+// ContentionRounds reports the highest consensus round any process reached
+// without committing (one step, via the Algorithm A round tracker).
+func (h *ConsensusHandle) ContentionRounds() int64 {
+	return h.cons.HighRound(h.ctx)
+}

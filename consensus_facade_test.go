@@ -1,0 +1,94 @@
+package tradeoffs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConsensusFacade(t *testing.T) {
+	c, err := NewConsensus(WithProcesses(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Processes() != 4 {
+		t.Fatalf("Processes = %d", c.Processes())
+	}
+
+	h := c.Handle(0)
+	if got := h.Decided(); got != 0 {
+		t.Fatalf("premature decision %d", got)
+	}
+	got, err := h.Propose(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("solo proposal decided %d", got)
+	}
+	if h.Decided() != 99 {
+		t.Fatal("Decided not visible")
+	}
+	if h.ContentionRounds() != 0 {
+		t.Fatal("phantom contention")
+	}
+
+	// Late proposers adopt.
+	late, err := c.Handle(3).Propose(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late != 99 {
+		t.Fatalf("late proposer got %d", late)
+	}
+}
+
+func TestConsensusFacadeConcurrent(t *testing.T) {
+	const n = 6
+	c, err := NewConsensus(WithProcesses(n), WithLimit(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]int64, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			got, err := c.Handle(p).Propose(int64(p + 1))
+			if err != nil {
+				t.Errorf("p%d: %v", p, err)
+				return
+			}
+			results[p] = got
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for p := 1; p < n; p++ {
+		if results[p] != results[0] {
+			t.Fatalf("agreement violated: %v", results)
+		}
+	}
+}
+
+func TestConsensusFacadeValidation(t *testing.T) {
+	if _, err := NewConsensus(WithProcesses(0)); err == nil {
+		t.Fatal("0 processes accepted")
+	}
+	c, err := NewConsensus(WithProcesses(2), WithStepCounting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Handle(0)
+	if _, err := h.Propose(0); err == nil {
+		t.Fatal("zero proposal accepted")
+	}
+	if _, err := h.Propose(7); err != nil {
+		t.Fatal(err)
+	}
+	if h.Steps() == 0 {
+		t.Fatal("step counting inactive")
+	}
+}

@@ -1,0 +1,79 @@
+package tradeoffs_test
+
+import (
+	"fmt"
+
+	tradeoffs "github.com/restricteduse/tradeoffs"
+)
+
+func ExampleNewMaxRegister() {
+	reg, err := tradeoffs.NewMaxRegister(tradeoffs.WithProcesses(4))
+	if err != nil {
+		panic(err)
+	}
+	h := reg.Handle(0)
+	_ = h.Write(42)
+	_ = h.Write(7) // smaller values never lower the maximum
+	fmt.Println(h.Read())
+	// Output: 42
+}
+
+func ExampleNewMaxRegister_stepCounting() {
+	// Step counting exposes the unit the paper's bounds are stated in:
+	// shared-memory events. Algorithm A reads in exactly one.
+	reg, err := tradeoffs.NewMaxRegister(
+		tradeoffs.WithProcesses(4),
+		tradeoffs.WithStepCounting(),
+	)
+	if err != nil {
+		panic(err)
+	}
+	h := reg.Handle(0)
+	h.Read()
+	fmt.Println(h.Steps())
+	// Output: 1
+}
+
+func ExampleNewCounter() {
+	ctr, err := tradeoffs.NewCounter(tradeoffs.WithProcesses(2))
+	if err != nil {
+		panic(err)
+	}
+	h := ctr.Handle(0)
+	for i := 0; i < 3; i++ {
+		if err := h.Increment(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(h.Read())
+	// Output: 3
+}
+
+func ExampleNewSnapshot() {
+	snap, err := tradeoffs.NewSnapshot(
+		tradeoffs.WithProcesses(3),
+		tradeoffs.WithLimit(100), // restricted use: declare an update budget
+	)
+	if err != nil {
+		panic(err)
+	}
+	_ = snap.Handle(0).Update(10)
+	_ = snap.Handle(2).Update(30)
+	fmt.Println(snap.Handle(1).Scan())
+	// Output: [10 0 30]
+}
+
+func ExampleNewConsensus() {
+	cons, err := tradeoffs.NewConsensus(tradeoffs.WithProcesses(3))
+	if err != nil {
+		panic(err)
+	}
+	decided, err := cons.Handle(0).Propose(99)
+	if err != nil {
+		panic(err)
+	}
+	// Later proposers adopt the decision.
+	late, _ := cons.Handle(1).Propose(5)
+	fmt.Println(decided, late)
+	// Output: 99 99
+}

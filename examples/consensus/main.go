@@ -1,0 +1,141 @@
+// Consensus: epoch-based configuration agreement from shared registers,
+// with a max register on the hot path.
+//
+// N proposers repeatedly agree on "cluster configurations", one consensus
+// instance per epoch. Agreement itself uses the repository's
+// obstruction-free consensus (rounds of commit-adopt built from read/write
+// registers — the application domain the paper cites for restricted-use
+// objects). The *committed-epoch watermark* is the read-dominated side:
+// every client request must learn the latest committed epoch, so it lives
+// in a max register and Algorithm A serves it in one shared-memory step
+// per read.
+//
+// The example drives E epochs with P contending proposers, verifies
+// agreement and validity per epoch, and prints who won what.
+//
+//	go run ./examples/consensus [-proposers 4] [-epochs 12]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	tradeoffs "github.com/restricteduse/tradeoffs"
+	"github.com/restricteduse/tradeoffs/internal/consensus"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+func main() {
+	var (
+		proposers = flag.Int("proposers", 4, "contending proposers")
+		epochs    = flag.Int("epochs", 12, "epochs to commit")
+	)
+	flag.Parse()
+	if err := run(*proposers, *epochs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(proposers, epochs int) error {
+	committed, err := tradeoffs.NewMaxRegister(
+		tradeoffs.WithProcesses(proposers),
+		tradeoffs.WithStepCounting(),
+	)
+	if err != nil {
+		return err
+	}
+
+	// One consensus instance per epoch, all from one register pool.
+	pool := primitive.NewPool()
+	slots := make([]*consensus.Consensus, epochs+1)
+	for e := 1; e <= epochs; e++ {
+		c, err := consensus.NewConsensus(pool, proposers, 64)
+		if err != nil {
+			return err
+		}
+		slots[e] = c
+	}
+
+	// decided[e][p] = value proposer p observed for epoch e (0 = did not
+	// participate).
+	decided := make([][]int64, epochs+1)
+	for e := range decided {
+		decided[e] = make([]int64, proposers)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < proposers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			watermark := committed.Handle(p)
+			ctx := primitive.NewDirect(p)
+			rng := rand.New(rand.NewSource(int64(p + 1)))
+
+			for {
+				// Hot path: learn the latest committed epoch in O(1).
+				next := watermark.Read() + 1
+				if next > int64(epochs) {
+					return
+				}
+				// Propose a configuration (proposer id + config id, so
+				// winners are identifiable).
+				proposal := int64(p+1)*1_000_000 + rng.Int63n(1000) + 1
+				got, err := slots[next].Propose(ctx, proposal)
+				if errors.Is(err, consensus.ErrRoundsExhausted) {
+					// Extreme contention: back off and retry the epoch.
+					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+					continue
+				}
+				if err != nil {
+					log.Print(err)
+					return
+				}
+				decided[next][p] = got
+
+				// Advance the watermark; WriteMax keeps it monotone even
+				// when proposers race across epochs.
+				if err := watermark.Write(next); err != nil {
+					log.Print(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Agreement check: every proposer that participated in an epoch saw
+	// the same decision.
+	wins := make([]int, proposers+1)
+	readerCtx := primitive.NewDirect(0)
+	for e := 1; e <= epochs; e++ {
+		winner := slots[e].Decided(readerCtx)
+		if winner == 0 {
+			return fmt.Errorf("epoch %d never decided", e)
+		}
+		for p := 0; p < proposers; p++ {
+			if v := decided[e][p]; v != 0 && v != winner {
+				return fmt.Errorf("AGREEMENT VIOLATION at epoch %d: p%d saw %d, decided %d", e, p, v, winner)
+			}
+		}
+		wins[winner/1_000_000]++
+		fmt.Printf("epoch %2d: config %d committed (proposer %d, %d rounds of contention)\n",
+			e, winner%1_000_000, winner/1_000_000, slots[e].HighRound(readerCtx))
+	}
+
+	h := committed.Handle(0)
+	final := h.Read()
+	fmt.Printf("\ncommitted epoch watermark: %d (read in %d shared-memory step)\n", final, h.Steps())
+	for p := 1; p <= proposers; p++ {
+		fmt.Printf("proposer %d won %d epochs\n", p, wins[p])
+	}
+	if final != int64(epochs) {
+		return fmt.Errorf("watermark stalled at %d", final)
+	}
+	return nil
+}

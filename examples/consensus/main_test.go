@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestConsensusExampleRuns(t *testing.T) {
+	if err := run(3, 5); err != nil {
+		t.Fatal(err)
+	}
+}

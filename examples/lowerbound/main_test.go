@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestLowerboundExampleRuns(t *testing.T) {
+	if err := run(16, 128); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Metrics: high-frequency event counting with live readers — the intro
+// motivation for restricted-use counters.
+//
+// Worker goroutines count processed requests and errors; a reporter polls
+// the totals concurrently. The example runs the same workload over all
+// three counter implementations with step counting on, printing the exact
+// shared-memory cost per operation so the paper's tradeoff is visible in
+// the output: the f-array counter reads in 1 step but pays ~8 log N per
+// increment, the AAC counter pays log(limit) per read and log N * log(limit)
+// per increment, and the CAS counter is cheap until contended (its step
+// count is unbounded in theory; watch it move with -workers).
+//
+//	go run ./examples/metrics [-workers 8] [-requests 5000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	tradeoffs "github.com/restricteduse/tradeoffs"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 8, "worker goroutines")
+		requests = flag.Int("requests", 5000, "requests per worker")
+	)
+	flag.Parse()
+	if err := run(*workers, *requests); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(workers, requests int) error {
+	impls := []struct {
+		name string
+		opts []tradeoffs.Option
+	}{
+		{name: "farray (O(1) read)", opts: []tradeoffs.Option{
+			tradeoffs.WithCounterImpl(tradeoffs.CounterFArray),
+		}},
+		{name: "aac (read/write only)", opts: []tradeoffs.Option{
+			tradeoffs.WithCounterImpl(tradeoffs.CounterAAC),
+			tradeoffs.WithLimit(int64(workers*requests) + 1),
+		}},
+		{name: "cas (lock-free)", opts: []tradeoffs.Option{
+			tradeoffs.WithCounterImpl(tradeoffs.CounterCAS),
+		}},
+	}
+
+	for _, impl := range impls {
+		if err := runImpl(impl.name, impl.opts, workers, requests); err != nil {
+			return fmt.Errorf("%s: %w", impl.name, err)
+		}
+	}
+	return nil
+}
+
+func runImpl(name string, opts []tradeoffs.Option, workers, requests int) error {
+	base := append([]tradeoffs.Option{
+		tradeoffs.WithProcesses(workers + 1),
+		tradeoffs.WithStepCounting(),
+	}, opts...)
+
+	served, err := tradeoffs.NewCounter(base...)
+	if err != nil {
+		return err
+	}
+	failed, err := tradeoffs.NewCounter(base...)
+	if err != nil {
+		return err
+	}
+
+	var (
+		wg          sync.WaitGroup
+		incSteps    atomic.Int64
+		incs        atomic.Int64
+		wantErrors  atomic.Int64
+		stopReports = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			servedH := served.Handle(w)
+			failedH := failed.Handle(w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < requests; i++ {
+				// "Process" the request.
+				if err := servedH.Increment(); err != nil {
+					log.Print(err)
+					return
+				}
+				if rng.Intn(50) == 0 { // 2% error rate
+					wantErrors.Add(1)
+					if err := failedH.Increment(); err != nil {
+						log.Print(err)
+						return
+					}
+				}
+			}
+			incs.Add(int64(requests))
+			incSteps.Add(servedH.Steps())
+		}(w)
+	}
+
+	// Reporter: concurrent dashboard reads.
+	reporterDone := make(chan int64, 1)
+	go func() {
+		h := served.Handle(workers)
+		reads := int64(0)
+		for {
+			select {
+			case <-stopReports:
+				reporterDone <- reads
+				return
+			default:
+			}
+			h.Read()
+			reads++
+		}
+	}()
+
+	wg.Wait()
+	close(stopReports)
+	reporterReads := <-reporterDone
+
+	readerH := served.Handle(0)
+	total := readerH.Read()
+	readCost := readerH.Steps() // steps of that single read
+
+	fmt.Printf("%-24s served=%-7d errors=%-5d (expected %d/%d)\n",
+		name, total, failed.Handle(0).Read(), workers*requests, wantErrors.Load())
+	fmt.Printf("%-24s avg steps/increment=%.1f  steps/read=%d  dashboard reads=%d\n\n",
+		"", float64(incSteps.Load())/float64(incs.Load()), readCost, reporterReads)
+
+	if total != int64(workers*requests) {
+		return fmt.Errorf("lost increments: %d != %d", total, workers*requests)
+	}
+	if failed.Handle(0).Read() != wantErrors.Load() {
+		return fmt.Errorf("lost error increments")
+	}
+	return nil
+}

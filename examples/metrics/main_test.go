@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestMetricsRuns(t *testing.T) {
+	if err := run(3, 300); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: the three object families in one file — a max register, a
+// counter, and an atomic snapshot — each shared by a few goroutines through
+// per-process handles.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	tradeoffs "github.com/restricteduse/tradeoffs"
+)
+
+const processes = 4
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A max register: Read is one shared-memory step (Algorithm A of the
+	// paper), Write costs O(min(log N, log v)).
+	reg, err := tradeoffs.NewMaxRegister(tradeoffs.WithProcesses(processes))
+	if err != nil {
+		return err
+	}
+	// A counter with O(1) reads and O(log N) increments.
+	ctr, err := tradeoffs.NewCounter(tradeoffs.WithProcesses(processes))
+	if err != nil {
+		return err
+	}
+	// A snapshot with O(1) scans; restricted use, so declare a budget.
+	snap, err := tradeoffs.NewSnapshot(
+		tradeoffs.WithProcesses(processes),
+		tradeoffs.WithLimit(10_000),
+	)
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < processes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var (
+				regH  = reg.Handle(id)
+				ctrH  = ctr.Handle(id)
+				snapH = snap.Handle(id)
+			)
+			for i := 1; i <= 100; i++ {
+				if err := regH.Write(int64(id*1000 + i)); err != nil {
+					log.Print(err)
+					return
+				}
+				if err := ctrH.Increment(); err != nil {
+					log.Print(err)
+					return
+				}
+				if err := snapH.Update(int64(i)); err != nil {
+					log.Print(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	h := 0
+	fmt.Printf("max register: %d (expect 3100: the largest value written)\n", reg.Handle(h).Read())
+	fmt.Printf("counter:      %d (expect 400: total increments)\n", ctr.Handle(h).Read())
+	fmt.Printf("snapshot:     %v (expect [100 100 100 100])\n", snap.Handle(h).Scan())
+	return nil
+}

@@ -1,0 +1,154 @@
+// Watermark: commit-index tracking for a simulated replicated log.
+//
+// Each of R replica goroutines appends entries and publishes its durable
+// offset into an atomic snapshot (one segment per replica). A committer
+// repeatedly scans the snapshot, computes the quorum watermark — the offset
+// durable on a majority — and publishes it through a max register (the
+// watermark only advances, which is exactly the max-register abstraction).
+// Many reader goroutines poll the commit index on their hot path.
+//
+// This is the workload the paper's Algorithm A is shaped for: the commit
+// index is read by every request but advanced comparatively rarely, so the
+// O(1)-read / O(log)-write side of the tradeoff is the right one. Run with
+// -impl aac to feel the other side (reads pay O(log M)).
+//
+//	go run ./examples/watermark [-replicas 5] [-entries 2000] [-impl algorithm-a|aac|cas]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tradeoffs "github.com/restricteduse/tradeoffs"
+)
+
+func main() {
+	var (
+		replicas = flag.Int("replicas", 5, "number of replicas (odd)")
+		entries  = flag.Int("entries", 2000, "log entries appended per replica")
+		implName = flag.String("impl", "algorithm-a", "max register implementation: algorithm-a, aac, or cas")
+	)
+	flag.Parse()
+	if err := run(*replicas, *entries, *implName); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(replicas, entries int, implName string) error {
+	var impl tradeoffs.MaxRegisterImpl
+	opts := []tradeoffs.Option{
+		tradeoffs.WithProcesses(replicas + 2), // replicas + committer + reader pool share ids
+		tradeoffs.WithStepCounting(),
+	}
+	switch implName {
+	case "algorithm-a":
+		impl = tradeoffs.MaxRegisterAlgorithmA
+	case "aac":
+		impl = tradeoffs.MaxRegisterAAC
+		opts = append(opts, tradeoffs.WithBound(int64(entries)+1))
+	case "cas":
+		impl = tradeoffs.MaxRegisterCAS
+	default:
+		return fmt.Errorf("unknown -impl %q", implName)
+	}
+	opts = append(opts, tradeoffs.WithMaxRegisterImpl(impl))
+
+	commitIndex, err := tradeoffs.NewMaxRegister(opts...)
+	if err != nil {
+		return err
+	}
+	durable, err := tradeoffs.NewSnapshot(
+		tradeoffs.WithProcesses(replicas),
+		tradeoffs.WithLimit(int64(replicas*entries)+1),
+	)
+	if err != nil {
+		return err
+	}
+
+	var (
+		wg          sync.WaitGroup
+		done        atomic.Bool
+		readerReads atomic.Int64
+	)
+
+	// Replicas: append entries, publish durable offsets.
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := durable.Handle(r)
+			for off := 1; off <= entries; off++ {
+				if err := h.Update(int64(off)); err != nil {
+					log.Print(err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Committer: quorum watermark = median durable offset; publish via the
+	// max register (monotone by construction, so WriteMax is exactly right
+	// even when scans race).
+	committerH := commitIndex.Handle(replicas)
+	scannerH := durable.Handle(0) // scans don't write; any handle works
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			offsets := scannerH.Scan()
+			sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+			quorum := offsets[len(offsets)/2] // majority has at least this
+			if err := committerH.Write(quorum); err != nil {
+				log.Print(err)
+				return
+			}
+			if quorum >= int64(entries) {
+				return
+			}
+		}
+	}()
+
+	// Readers: hot-path commit-index reads until replication finishes.
+	const readers = 4
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			h := commitIndex.Handle(replicas + 1)
+			prev := int64(-1)
+			for !done.Load() {
+				idx := h.Read()
+				if idx < prev {
+					log.Printf("BUG: commit index regressed %d -> %d", prev, idx)
+					return
+				}
+				prev = idx
+				readerReads.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	wg.Wait()
+	done.Store(true)
+	readerWG.Wait()
+
+	finalH := commitIndex.Handle(0)
+	final := finalH.Read()
+	readSteps := finalH.Steps() // the read above: per-op step count
+
+	fmt.Printf("impl=%s replicas=%d entries=%d\n", implName, replicas, entries)
+	fmt.Printf("final commit index: %d (expect %d)\n", final, entries)
+	fmt.Printf("hot-path reads served while replicating: %d in %v\n", readerReads.Load(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("shared-memory steps for one commit-index read: %d\n", readSteps)
+	if final != int64(entries) {
+		return fmt.Errorf("commit index stalled at %d", final)
+	}
+	return nil
+}

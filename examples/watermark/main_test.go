@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestWatermarkAllImplementations(t *testing.T) {
+	for _, impl := range []string{"algorithm-a", "aac", "cas"} {
+		if err := run(3, 200, impl); err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+	}
+}
+
+func TestWatermarkRejectsUnknownImpl(t *testing.T) {
+	if err := run(3, 10, "nope"); err == nil {
+		t.Fatal("unknown impl accepted")
+	}
+}

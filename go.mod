@@ -1,0 +1,3 @@
+module github.com/restricteduse/tradeoffs
+
+go 1.22

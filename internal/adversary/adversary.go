@@ -1,0 +1,190 @@
+// Package adversary executes the lower-bound constructions of Hendler &
+// Khait (PODC 2014) against real implementations running under the
+// deterministic simulator:
+//
+//   - Lemma1Round schedules one enabled event per process in the lemma's
+//     three-phase order (invisible events, then writes, then CASes) and
+//     checks the information-flow bound M(E·sigma) <= 3*M(E).
+//   - RunCounterConstruction is the proof of Theorem 1: rounds of Lemma 1
+//     scheduling until every CounterIncrement completes, maintaining
+//     |F(o, E_j)| <= 3^j, then a CounterRead extension realizing Lemma 3
+//     (the reader must become aware of all N processes). The measured round
+//     count is the increment step complexity the adversary forces.
+//   - RunMaxRegConstruction is the proof of Theorem 3: the essential-set
+//     iteration (Lemma 4) with its low-contention (independent set) and
+//     high-contention (CAS/write/read sub-cases) branches, erasing and
+//     halting processes, verified hidden/supreme after every iteration.
+//
+// Because proofs only ever *assert* these properties, every invariant is
+// re-checked at runtime and reported as an InvariantError if violated —
+// the constructions double as an executable proof check against the actual
+// implementations.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/restricteduse/tradeoffs/internal/aware"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// InvariantError reports a violated proof invariant. Seeing one means
+// either the implementation under test is broken (not linearizable /
+// leaking more information than the model allows) or the construction
+// itself is misapplied.
+type InvariantError struct {
+	Construction string
+	Invariant    string
+	Detail       string
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("adversary: %s: invariant %q violated: %s",
+		e.Construction, e.Invariant, e.Detail)
+}
+
+// Lemma1Round applies one enabled event of each process in ids, in the
+// schedule order of Lemma 1:
+//
+//	sigma1 — reads, trivial writes and trivial CASes (invisible events);
+//	sigma2 — the remaining (value-changing) writes;
+//	sigma3 — the remaining CASes.
+//
+// Triviality is classified against the memory state at the start of the
+// round, exactly as in the lemma's proof. Events are fed to tr, and the
+// round is checked against the lemma's bound: M after <= 3 * max(M before, 1).
+func Lemma1Round(s *sim.System, tr *aware.Tracker, ids []int) error {
+	before := tr.MaxSetSize()
+	if before < 1 {
+		before = 1
+	}
+
+	var sigma1, sigma2, sigma3 []int
+	for _, id := range ids {
+		pd, ok := s.EnabledOf(id)
+		if !ok {
+			return fmt.Errorf("adversary: process %d has no enabled event", id)
+		}
+		switch {
+		case !sim.WouldChange(pd):
+			sigma1 = append(sigma1, id)
+		case pd.Kind == sim.OpWrite:
+			sigma2 = append(sigma2, id)
+		default:
+			sigma3 = append(sigma3, id)
+		}
+	}
+	sort.Ints(sigma1)
+	sort.Ints(sigma2)
+	sort.Ints(sigma3)
+
+	for _, phase := range [][]int{sigma1, sigma2, sigma3} {
+		for _, id := range phase {
+			ev, err := s.Step(id)
+			if err != nil {
+				return fmt.Errorf("adversary: lemma 1 round: %w", err)
+			}
+			tr.Apply(ev)
+		}
+	}
+
+	if after := tr.MaxSetSize(); after > 3*before {
+		return &InvariantError{
+			Construction: "lemma1",
+			Invariant:    "M(E sigma) <= 3 M(E)",
+			Detail:       fmt.Sprintf("M grew %d -> %d", before, after),
+		}
+	}
+	return nil
+}
+
+// filterSchedule returns schedule without steps of erased processes.
+func filterSchedule(schedule []int, erased map[int]bool) []int {
+	out := make([]int, 0, len(schedule))
+	for _, id := range schedule {
+		if !erased[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// projections groups an event log by process, reduced to the fields a
+// process can observe (its own requests and responses). Two executions are
+// indistinguishable to a process iff its projections agree.
+func projections(events []sim.Event) map[int][]projectedEvent {
+	out := make(map[int][]projectedEvent)
+	for _, ev := range events {
+		out[ev.Proc] = append(out[ev.Proc], projectedEvent{
+			Kind:  ev.Kind,
+			Reg:   ev.Reg.ID(),
+			Value: ev.Value,
+			Old:   ev.Old,
+			New:   ev.New,
+			Resp:  responseOf(ev),
+		})
+	}
+	return out
+}
+
+type projectedEvent struct {
+	Kind  sim.OpKind
+	Reg   int
+	Value int64
+	Old   int64
+	New   int64
+	Resp  int64
+}
+
+func responseOf(ev sim.Event) int64 {
+	switch ev.Kind {
+	case sim.OpRead:
+		return ev.Before
+	case sim.OpCAS:
+		if ev.CASOK {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// checkIndistinguishable verifies Lemma 2 / Claim 1 operationally: every
+// surviving process observes the same projection in the replayed execution
+// as in the original.
+func checkIndistinguishable(construction string, original, replayed []sim.Event, erased map[int]bool) error {
+	origProj := projections(original)
+	newProj := projections(replayed)
+	for proc, repl := range newProj {
+		if erased[proc] {
+			return &InvariantError{
+				Construction: construction,
+				Invariant:    "erased processes issue no events",
+				Detail:       fmt.Sprintf("process %d stepped after erasure", proc),
+			}
+		}
+		orig := origProj[proc]
+		if len(repl) != len(orig) {
+			return &InvariantError{
+				Construction: construction,
+				Invariant:    "indistinguishability (Lemma 2)",
+				Detail: fmt.Sprintf("process %d issued %d events after erasure, %d before",
+					proc, len(repl), len(orig)),
+			}
+		}
+		for i := range repl {
+			if repl[i] != orig[i] {
+				return &InvariantError{
+					Construction: construction,
+					Invariant:    "indistinguishability (Lemma 2)",
+					Detail: fmt.Sprintf("process %d event %d differs: %+v vs %+v",
+						proc, i, orig[i], repl[i]),
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/restricteduse/tradeoffs/internal/aware"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// CounterFactory builds a fresh counter instance for n processes over the
+// given pool. It is called once per construction (and once more per replay
+// in other constructions), so it must be deterministic.
+type CounterFactory func(pool *primitive.Pool, n int) (counter.Counter, error)
+
+// CounterResult reports the outcome of the Theorem 1 construction.
+type CounterResult struct {
+	N int
+
+	// Rounds is the number of Lemma 1 rounds until every increment
+	// completed: the increment step complexity the adversary forced (each
+	// unfinished process takes exactly one step per round).
+	Rounds int
+
+	// MaxFamiliarityPerRound[j] is max_o |F(o, E_{j+1})| after round j+1;
+	// the proof's invariant is MaxFamiliarityPerRound[j] <= 3^(j+1).
+	MaxFamiliarityPerRound []int
+
+	// ReadSteps is the number of steps of the fresh reader's CounterRead
+	// after the construction: the measured f(N).
+	ReadSteps int
+
+	// ReaderAwareness is |AW(p_N)| after the read; Lemma 3 proves it must
+	// be N.
+	ReaderAwareness int
+
+	// ReadValue is what the reader returned (must be N-1).
+	ReadValue int64
+
+	// TheoremBound is ceil(log3((N-1)/ReadSteps)), the paper's lower bound
+	// on Rounds implied by Theorem 1's proof: f(N) * 3^Rounds >= N-1.
+	TheoremBound int
+}
+
+// RunCounterConstruction executes the Theorem 1 adversary against a counter
+// implementation: processes p_0..p_{N-2} each perform one CounterIncrement,
+// scheduled in Lemma 1 rounds; then p_{N-1} performs one CounterRead.
+//
+// It verifies, per round, the familiarity-growth invariant |F(o, E_j)| <=
+// 3^j, and at the end Lemma 3 (reader awareness = N), the exactness of the
+// read (N-1), and the Theorem 1 inequality f(N) * 3^rounds >= N-1.
+// maxRounds bounds the construction against non-wait-free implementations
+// that the adversary can starve (e.g. a CAS retry loop); if the bound is
+// hit, Rounds == maxRounds and the remaining fields describe the state at
+// that point with ReadValue == -1.
+func RunCounterConstruction(factory CounterFactory, n, maxRounds int) (*CounterResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("adversary: counter construction needs n >= 2, got %d", n)
+	}
+	pool := primitive.NewPool()
+	c, err := factory(pool, n)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: build counter: %w", err)
+	}
+
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	incErr := make([]error, n)
+	for id := 0; id < n-1; id++ {
+		id := id
+		if err := s.Spawn(id, func(ctx primitive.Context) {
+			incErr[id] = c.Increment(ctx)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	tr := aware.NewTracker(n)
+	res := &CounterResult{N: n}
+
+	for round := 0; ; round++ {
+		active := s.Active()
+		if len(active) == 0 {
+			break
+		}
+		if round >= maxRounds {
+			res.Rounds = maxRounds
+			res.ReadValue = -1
+			return res, nil
+		}
+		if err := Lemma1Round(s, tr, active); err != nil {
+			return nil, err
+		}
+		res.Rounds++
+
+		maxFam := tr.MaxFamiliarity()
+		res.MaxFamiliarityPerRound = append(res.MaxFamiliarityPerRound, maxFam)
+		if bound := pow3(res.Rounds); maxFam > bound {
+			return nil, &InvariantError{
+				Construction: "theorem1",
+				Invariant:    "|F(o, E_j)| <= 3^j",
+				Detail:       fmt.Sprintf("round %d: max familiarity %d > %d", res.Rounds, maxFam, bound),
+			}
+		}
+	}
+
+	for id := 0; id < n-1; id++ {
+		if incErr[id] != nil {
+			return nil, fmt.Errorf("adversary: increment by p%d failed: %w", id, incErr[id])
+		}
+	}
+
+	// Extension E1: the fresh reader performs a CounterRead to completion.
+	reader := n - 1
+	var readValue int64
+	if err := s.Spawn(reader, func(ctx primitive.Context) {
+		readValue = c.Read(ctx)
+	}); err != nil {
+		return nil, err
+	}
+	for !s.Done(reader) {
+		ev, err := s.Step(reader)
+		if err != nil {
+			return nil, err
+		}
+		tr.Apply(ev)
+	}
+	res.ReadSteps = s.StepsOf(reader)
+	res.ReaderAwareness = tr.AwarenessCount(reader)
+	res.ReadValue = readValue
+
+	if res.ReadValue != int64(n-1) {
+		return nil, &InvariantError{
+			Construction: "theorem1",
+			Invariant:    "linearizable read after quiescence",
+			Detail:       fmt.Sprintf("read %d, want %d", res.ReadValue, n-1),
+		}
+	}
+	if res.ReaderAwareness != n {
+		return nil, &InvariantError{
+			Construction: "theorem1",
+			Invariant:    "Lemma 3: |AW(p_N, E E1)| = N",
+			Detail:       fmt.Sprintf("reader aware of %d of %d processes", res.ReaderAwareness, n),
+		}
+	}
+
+	// Theorem 1's arithmetic: the reader touches ReadSteps objects, each
+	// familiar with at most 3^Rounds processes, and must learn all N-1
+	// incrementers. Hence ReadSteps * 3^Rounds >= N-1.
+	res.TheoremBound = log3Ceil(float64(n-1) / float64(res.ReadSteps))
+	if res.Rounds < res.TheoremBound {
+		return nil, &InvariantError{
+			Construction: "theorem1",
+			Invariant:    "rounds >= log3((N-1)/f(N))",
+			Detail:       fmt.Sprintf("rounds %d < bound %d", res.Rounds, res.TheoremBound),
+		}
+	}
+	return res, nil
+}
+
+func pow3(j int) int {
+	out := 1
+	for i := 0; i < j; i++ {
+		if out > 1<<40 {
+			return out // saturate: comparisons only
+		}
+		out *= 3
+	}
+	return out
+}
+
+// log3Ceil returns ceil(log3(x)) for x >= 1 (0 for x <= 1).
+func log3Ceil(x float64) int {
+	if x <= 1 {
+		return 0
+	}
+	exact := math.Log(x) / math.Log(3)
+	out := int(math.Ceil(exact - 1e-9))
+	if out < 0 {
+		return 0
+	}
+	return out
+}

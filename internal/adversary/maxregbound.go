@@ -1,0 +1,678 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/restricteduse/tradeoffs/internal/aware"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// MaxRegFactory builds a fresh max register shared by k processes over the
+// given pool. It is called once per replay, so it must be deterministic.
+type MaxRegFactory func(pool *primitive.Pool, k int) (maxreg.MaxRegister, error)
+
+// IterationCase names the Lemma 4 branch an iteration took.
+type IterationCase string
+
+// The Lemma 4 branches (paper Figures 1 and 2).
+const (
+	CaseLowContention IterationCase = "low-contention"
+	CaseHighCAS       IterationCase = "high-contention/cas"
+	CaseHighWrite     IterationCase = "high-contention/write"
+	CaseHighRead      IterationCase = "high-contention/read"
+)
+
+// MaxRegIteration describes one essential-set iteration.
+type MaxRegIteration struct {
+	Index         int           // 1-based iteration number
+	Case          IterationCase // which Lemma 4 branch ran
+	EssentialSize int           // |E_i| after the iteration
+	Erased        int           // processes erased this iteration
+	Halted        bool          // whether a process was halted (pl)
+	Terminated    int           // essential processes found complete at iteration start
+}
+
+// MaxRegResult reports the outcome of the Theorem 3 construction.
+type MaxRegResult struct {
+	K  int // min(M, N): number of writers + 1
+	FK int // the f(K) threshold used for termination
+
+	// Iterations records each completed essential-set iteration; IStar is
+	// len(Iterations): every process in the final essential set has taken
+	// exactly IStar steps inside its single WriteMax without completing it
+	// (unless the run stopped for half-termination).
+	Iterations []MaxRegIteration
+	IStar      int
+
+	// FinalEssential is E_{i*}.
+	FinalEssential []int
+
+	// StopReason is one of "half-terminated", "next-below-fk",
+	// "lemma4-floor" (|Ee| < 81, the lemma's minimum), or
+	// "max-iterations".
+	StopReason string
+
+	// HaltedCount is the number of processes the construction halted.
+	HaltedCount int
+
+	// TheoremBound is the paper's asymptotic floor
+	// log3(log2(K) / (2*log2(f)+2)) for reference alongside IStar.
+	TheoremBound int
+
+	// ReadAfter is the value a fresh process's ReadMax returned when run
+	// to completion after the construction, and ReadAfterSteps its step
+	// count. Lemmas 5-6 constrain it: it must be at least the largest
+	// value whose hidden WriteMax completed, and no more than the largest
+	// value any surviving process started writing (verified before
+	// returning).
+	ReadAfter      int64
+	ReadAfterSteps int
+}
+
+// theorem3 orchestrates the construction; the exported entry point is
+// RunMaxRegConstruction.
+type theorem3 struct {
+	factory MaxRegFactory
+	k       int
+
+	erased map[int]bool
+	halted map[int]bool
+
+	sys    *sim.System
+	tr     *aware.Tracker
+	reg    maxreg.MaxRegister
+	regErr []error
+}
+
+// RunMaxRegConstruction executes the Theorem 3 adversary: K-1 processes,
+// where process i is about to perform WriteMax(i+1) on a K-bounded max
+// register, are scheduled through Lemma 4's essential-set iterations until
+// one of the proof's stop conditions fires.
+//
+// fK is the termination threshold f(K) (the implementation's ReadMax step
+// complexity); pass 0 to measure it automatically on a fresh instance.
+// Every iteration re-verifies the proof's invariants: the essential set is
+// hidden (Definition 5) and supreme (Definition 6), each member has issued
+// exactly i events, the erased-process surgery is indistinguishable to
+// survivors (Lemma 2), and the size recurrence |E_{i+1}| >= sqrt(m)/3 - 2
+// holds.
+func RunMaxRegConstruction(factory MaxRegFactory, k, fK, maxIter int) (*MaxRegResult, error) {
+	if k < 4 {
+		return nil, fmt.Errorf("adversary: max register construction needs k >= 4, got %d", k)
+	}
+	if fK <= 0 {
+		measured, err := measureReadSteps(factory, k)
+		if err != nil {
+			return nil, err
+		}
+		fK = measured
+	}
+
+	c := &theorem3{
+		factory: factory,
+		k:       k,
+		erased:  make(map[int]bool),
+		halted:  make(map[int]bool),
+	}
+	defer func() {
+		if c.sys != nil {
+			c.sys.Shutdown()
+		}
+	}()
+	if err := c.rebuild(nil); err != nil {
+		return nil, err
+	}
+
+	res := &MaxRegResult{K: k, FK: fK}
+	essential := make([]int, 0, k-1)
+	for id := 0; id < k-1; id++ {
+		essential = append(essential, id)
+	}
+
+	for iter := 1; ; iter++ {
+		// Active essential processes (E_i^e in the paper).
+		var ee []int
+		for _, id := range essential {
+			if !c.sys.Done(id) {
+				ee = append(ee, id)
+			}
+		}
+		terminated := len(essential) - len(ee)
+
+		switch {
+		case 2*terminated >= len(essential):
+			res.StopReason = "half-terminated"
+		case len(ee) < 81:
+			res.StopReason = "lemma4-floor"
+		case iter > maxIter:
+			res.StopReason = "max-iterations"
+		}
+		if res.StopReason != "" {
+			res.FinalEssential = essential
+			break
+		}
+
+		next, caseName, haltedOne, erasedNow, err := c.iterate(ee, essential)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.checkInvariants(iter, next); err != nil {
+			return nil, err
+		}
+		// Lemma 4's size guarantee.
+		if min := int(math.Sqrt(float64(len(ee)))/3) - 2; len(next) < min {
+			return nil, &InvariantError{
+				Construction: "theorem3",
+				Invariant:    "|E_{i+1}| >= sqrt(m)/3 - 2",
+				Detail:       fmt.Sprintf("iteration %d: %d < %d (m=%d)", iter, len(next), min, len(ee)),
+			}
+		}
+
+		res.Iterations = append(res.Iterations, MaxRegIteration{
+			Index:         iter,
+			Case:          caseName,
+			EssentialSize: len(next),
+			Erased:        erasedNow,
+			Halted:        haltedOne,
+			Terminated:    terminated,
+		})
+		if haltedOne {
+			res.HaltedCount++
+		}
+		essential = next
+
+		if len(essential) < fK {
+			res.StopReason = "next-below-fk"
+			res.FinalEssential = essential
+			break
+		}
+	}
+
+	res.IStar = len(res.Iterations)
+	res.TheoremBound = theorem3Bound(k, fK)
+	sort.Ints(res.FinalEssential)
+
+	if err := c.readExtension(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// readExtension runs a fresh process's ReadMax after the constructed
+// execution and verifies the Lemma 5/6 sandwich: the returned value is
+// bounded below by the largest completed WriteMax and above by the largest
+// started one.
+func (c *theorem3) readExtension(res *MaxRegResult) error {
+	var completedMax, startedMax int64
+	for _, id := range c.sys.Schedule() {
+		if v := int64(id + 1); v > startedMax {
+			startedMax = v
+		}
+	}
+	for id := 0; id < c.k-1; id++ {
+		if c.sys.Done(id) {
+			if v := int64(id + 1); v > completedMax {
+				completedMax = v
+			}
+		}
+	}
+
+	reader := c.k - 1
+	var got int64
+	if err := c.sys.Spawn(reader, func(ctx primitive.Context) {
+		got = c.reg.ReadMax(ctx)
+	}); err != nil {
+		return err
+	}
+	for !c.sys.Done(reader) {
+		if _, err := c.sys.Step(reader); err != nil {
+			return err
+		}
+	}
+	res.ReadAfter = got
+	res.ReadAfterSteps = c.sys.StepsOf(reader)
+
+	if got < completedMax || got > startedMax {
+		return &InvariantError{
+			Construction: "theorem3",
+			Invariant:    "Lemma 5/6: read after E is sandwiched by completed and started writes",
+			Detail: fmt.Sprintf("read %d, completed max %d, started max %d",
+				got, completedMax, startedMax),
+		}
+	}
+	return nil
+}
+
+// iterate performs one Lemma 4 iteration given the active essential set ee
+// (within the full essential set). It returns the next essential set.
+func (c *theorem3) iterate(ee, essential []int) (next []int, caseName IterationCase, haltedOne bool, erasedCount int, err error) {
+	// Group the active essential processes by the object their enabled
+	// event accesses. (Pendings are a function of each process's past
+	// responses, so erasures of OTHER processes never change them — the
+	// indistinguishability check enforces this.)
+	groups := make(map[int][]int)
+	for _, id := range ee {
+		pd, ok := c.sys.EnabledOf(id)
+		if !ok {
+			return nil, "", false, 0, fmt.Errorf("adversary: essential process %d has no enabled event", id)
+		}
+		groups[pd.Reg.ID()] = append(groups[pd.Reg.ID()], id)
+	}
+	objIDs := make([]int, 0, len(groups))
+	for rid := range groups {
+		objIDs = append(objIDs, rid)
+	}
+	sort.Ints(objIDs)
+
+	m := len(ee)
+	sqrtM := int(math.Sqrt(float64(m)))
+	hotObj, hotSize := -1, 0
+	for _, rid := range objIDs {
+		if len(groups[rid]) > hotSize {
+			hotObj, hotSize = rid, len(groups[rid])
+		}
+	}
+
+	erase := func(ids []int) error {
+		var fresh []int
+		for _, id := range ids {
+			if !c.erased[id] {
+				fresh = append(fresh, id)
+			}
+		}
+		if len(fresh) == 0 {
+			return nil
+		}
+		erasedCount += len(fresh)
+		return c.erase(fresh)
+	}
+	eraseAllExcept := func(keep map[int]bool) error {
+		var gone []int
+		for _, id := range essential {
+			if !keep[id] {
+				gone = append(gone, id)
+			}
+		}
+		return erase(gone)
+	}
+
+	if hotSize <= sqrtM {
+		// Case 1, low contention (paper Figure 1): one process per
+		// object, thinned to an independent set of the familiarity graph.
+		// Erasure can make previously-invisible events visible (the
+		// overwriter disappears), growing familiarity sets; so after
+		// erasing we recompute the graph and re-thin until edge-free.
+		caseName = CaseLowContention
+		type entry struct{ obj, proc int }
+		chosen := make([]entry, 0, len(objIDs))
+		for _, rid := range objIDs {
+			ids := groups[rid]
+			best := ids[0]
+			for _, id := range ids[1:] {
+				if id > best {
+					best = id
+				}
+			}
+			chosen = append(chosen, entry{obj: rid, proc: best})
+		}
+
+		for {
+			// Edge i-j iff chosen[j].proc is in F(chosen[i].obj).
+			adj := make([][]int, len(chosen))
+			for i, e := range chosen {
+				fam := c.tr.Familiarity(e.obj)
+				for j, e2 := range chosen {
+					if i != j && fam.Has(e2.proc) {
+						adj[i] = append(adj[i], j)
+						adj[j] = append(adj[j], i)
+					}
+				}
+			}
+			selected := independentSet(adj)
+
+			keep := make(map[int]bool, len(selected))
+			thinned := make([]entry, 0, len(selected))
+			for _, i := range selected {
+				keep[chosen[i].proc] = true
+				thinned = append(thinned, chosen[i])
+			}
+			if err := eraseAllExcept(keep); err != nil {
+				return nil, "", false, 0, err
+			}
+			done := len(thinned) == len(chosen)
+			chosen = thinned
+			if done {
+				break
+			}
+		}
+
+		next = make([]int, 0, len(chosen))
+		for _, e := range chosen {
+			next = append(next, e.proc)
+		}
+		if err := c.stepAll(next); err != nil {
+			return nil, "", false, 0, err
+		}
+		sort.Ints(next)
+		return next, caseName, false, erasedCount, nil
+	}
+
+	// Case 2, high contention (paper Figure 2) on object hotObj.
+	po := append([]int(nil), groups[hotObj]...)
+	sort.Ints(po)
+
+	// Keep only P^o; everything else in E_i is erased. Additionally erase
+	// any essential process the object is already familiar with — the
+	// paper does this (the set S, |S| <= 1) in the CAS and read sub-cases;
+	// doing it unconditionally also covers the write sub-case and keeps
+	// the classification below stable. Because erasure can unhide events
+	// and grow F(o), repeat until o is familiar with no remaining
+	// candidate.
+	keep := make(map[int]bool, len(po))
+	for _, id := range po {
+		keep[id] = true
+	}
+	if err := eraseAllExcept(keep); err != nil {
+		return nil, "", false, 0, err
+	}
+	for {
+		fam := c.tr.Familiarity(hotObj)
+		shrunk := false
+		for id := range keep {
+			if fam.Has(id) {
+				delete(keep, id)
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+		if err := eraseAllExcept(keep); err != nil {
+			return nil, "", false, 0, err
+		}
+	}
+	po = po[:0]
+	for id := range keep {
+		po = append(po, id)
+	}
+	sort.Ints(po)
+
+	// Classify the survivors' enabled events against the object's value
+	// after the erasure.
+	var pc, pw, pt []int
+	for _, id := range po {
+		pd, ok := c.sys.EnabledOf(id)
+		if !ok {
+			return nil, "", false, 0, fmt.Errorf("adversary: process %d lost its enabled event", id)
+		}
+		switch {
+		case pd.Kind == sim.OpWrite:
+			pw = append(pw, id)
+		case pd.Kind == sim.OpCAS && sim.WouldChange(pd):
+			pc = append(pc, id)
+		default:
+			pt = append(pt, id)
+		}
+	}
+
+	switch {
+	case len(pc) >= len(pw) && len(pc) >= len(pt):
+		// Sub-case 1: value-changing CASes. The smallest process CASes
+		// first (and becomes visible + halted); the rest fail trivially.
+		caseName = CaseHighCAS
+		pl := pc[0]
+		next = pc[1:]
+		if err := erase(diff(po, pc)); err != nil {
+			return nil, "", false, 0, err
+		}
+		if err := c.stepAll([]int{pl}); err != nil {
+			return nil, "", false, 0, err
+		}
+		if err := c.stepAll(next); err != nil {
+			return nil, "", false, 0, err
+		}
+		c.halted[pl] = true
+		haltedOne = true
+
+	case len(pw) >= len(pt):
+		// Sub-case 2: writes. All of E_{i+1} write first; the smallest
+		// process overwrites them all (its write is the only visible one)
+		// and halts.
+		caseName = CaseHighWrite
+		pl := pw[0]
+		next = pw[1:]
+		if err := erase(diff(po, pw)); err != nil {
+			return nil, "", false, 0, err
+		}
+		if err := c.stepAll(next); err != nil {
+			return nil, "", false, 0, err
+		}
+		if err := c.stepAll([]int{pl}); err != nil {
+			return nil, "", false, 0, err
+		}
+		c.halted[pl] = true
+		haltedOne = true
+
+	default:
+		// Sub-case 3: reads and trivial CASes — all invisible.
+		caseName = CaseHighRead
+		next = pt
+		if err := erase(diff(po, pt)); err != nil {
+			return nil, "", false, 0, err
+		}
+		if err := c.stepAll(next); err != nil {
+			return nil, "", false, 0, err
+		}
+	}
+	sort.Ints(next)
+	return next, caseName, haltedOne, erasedCount, nil
+}
+
+// stepAll applies one event for each id in ascending order, feeding the
+// tracker.
+func (c *theorem3) stepAll(ids []int) error {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	for _, id := range sorted {
+		ev, err := c.sys.Step(id)
+		if err != nil {
+			return fmt.Errorf("adversary: theorem 3 step p%d: %w", id, err)
+		}
+		c.tr.Apply(ev)
+	}
+	return nil
+}
+
+// erase removes the given processes from the execution: it replays the
+// filtered schedule on a fresh system and verifies the survivors cannot
+// distinguish the replay from the original (Lemma 2 / Claim 1).
+func (c *theorem3) erase(ids []int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	for _, id := range ids {
+		if c.halted[id] {
+			return &InvariantError{
+				Construction: "theorem3",
+				Invariant:    "halted processes are never erased",
+				Detail:       fmt.Sprintf("attempted to erase halted process %d", id),
+			}
+		}
+		c.erased[id] = true
+	}
+	oldEvents := append([]sim.Event(nil), c.sys.Events()...)
+	schedule := filterSchedule(c.sys.Schedule(), c.erased)
+	if err := c.rebuild(schedule); err != nil {
+		return err
+	}
+	return checkIndistinguishable("theorem3", oldEvents, c.sys.Events(), c.erased)
+}
+
+// rebuild constructs a fresh system with all non-erased writers and replays
+// the schedule.
+func (c *theorem3) rebuild(schedule []int) error {
+	if c.sys != nil {
+		c.sys.Shutdown()
+	}
+	pool := primitive.NewPool()
+	reg, err := c.factory(pool, c.k)
+	if err != nil {
+		return fmt.Errorf("adversary: build max register: %w", err)
+	}
+	c.reg = reg
+	c.sys = sim.NewSystem()
+	c.regErr = make([]error, c.k)
+
+	for id := 0; id < c.k-1; id++ {
+		if c.erased[id] {
+			continue
+		}
+		id := id
+		v := int64(id + 1) // process i writes i+1: higher id, higher value
+		if err := c.sys.Spawn(id, func(ctx primitive.Context) {
+			c.regErr[id] = reg.WriteMax(ctx, v)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := c.sys.Run(schedule); err != nil {
+		return fmt.Errorf("adversary: replay: %w", err)
+	}
+	c.tr = aware.NewTracker(c.k)
+	c.tr.ApplyAll(c.sys.Events())
+	return nil
+}
+
+// checkInvariants verifies Definition 7 for the new essential set: hidden,
+// supreme, and exactly iter events issued by each member.
+func (c *theorem3) checkInvariants(iter int, essential []int) error {
+	if !c.tr.HiddenSet(essential) {
+		return &InvariantError{
+			Construction: "theorem3",
+			Invariant:    "essential set is hidden (Definition 5)",
+			Detail:       fmt.Sprintf("iteration %d", iter),
+		}
+	}
+	minEssential := c.k
+	for _, id := range essential {
+		if id < minEssential {
+			minEssential = id
+		}
+		if got := c.sys.StepsOf(id); got != iter {
+			return &InvariantError{
+				Construction: "theorem3",
+				Invariant:    "essential processes issue exactly i events",
+				Detail:       fmt.Sprintf("iteration %d: p%d issued %d", iter, id, got),
+			}
+		}
+	}
+	inEssential := make(map[int]bool, len(essential))
+	for _, id := range essential {
+		inEssential[id] = true
+	}
+	for _, id := range c.sys.Schedule() {
+		if !inEssential[id] && id >= minEssential {
+			return &InvariantError{
+				Construction: "theorem3",
+				Invariant:    "essential set is supreme (Definition 6)",
+				Detail:       fmt.Sprintf("iteration %d: non-essential p%d >= min essential %d", iter, id, minEssential),
+			}
+		}
+	}
+	return nil
+}
+
+// independentSet returns a large independent set of the graph given by
+// adjacency lists, using min-degree greedy selection (at least n/(d+1)
+// vertices for average degree d, matching the proof's Turán bound).
+func independentSet(adj [][]int) []int {
+	n := len(adj)
+	removed := make([]bool, n)
+	degree := make([]int, n)
+	for i := range adj {
+		degree[i] = len(adj[i])
+	}
+
+	var selected []int
+	for {
+		best, bestDeg := -1, 0
+		for i := 0; i < n; i++ {
+			if removed[i] {
+				continue
+			}
+			if best == -1 || degree[i] < bestDeg {
+				best, bestDeg = i, degree[i]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		selected = append(selected, best)
+		removed[best] = true
+		for _, j := range adj[best] {
+			if removed[j] {
+				continue
+			}
+			removed[j] = true
+			for _, l := range adj[j] {
+				if !removed[l] {
+					degree[l]--
+				}
+			}
+		}
+	}
+	return selected
+}
+
+// diff returns the elements of a not present in b.
+func diff(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// measureReadSteps measures ReadMax's step count on a fresh instance after
+// a write (the implementation's f(K)).
+func measureReadSteps(factory MaxRegFactory, k int) (int, error) {
+	pool := primitive.NewPool()
+	reg, err := factory(pool, k)
+	if err != nil {
+		return 0, err
+	}
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+	if err := reg.WriteMax(ctx, 1); err != nil {
+		return 0, err
+	}
+	steps := ctx.Measure(func() { reg.ReadMax(ctx) })
+	if steps < 1 {
+		steps = 1
+	}
+	return int(steps), nil
+}
+
+// theorem3Bound computes the paper's asymptotic floor on i*:
+// log3(log2(K) / (2*log2(f)+2)).
+func theorem3Bound(k, fK int) int {
+	logK := math.Log2(float64(k))
+	denom := 2*math.Log2(float64(fK)) + 2
+	if denom <= 0 {
+		return 0
+	}
+	x := logK / denom
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Log(x) / math.Log(3))
+}

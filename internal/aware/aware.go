@@ -1,0 +1,273 @@
+// Package aware computes the information-flow structures of Hendler &
+// Khait (PODC 2014, Section 3) over simulated executions:
+//
+//   - visibility of events (Definition 1): an event is invisible iff it
+//     does not change its object's value, or the next access to the object
+//     is a write and the event's issuer takes no step in between;
+//   - awareness sets AW(p, E) (Definitions 2-3): the processes p has
+//     (transitively) observed through visible writes/CASes;
+//   - familiarity sets F(o, E) (Definition 4): the processes whose
+//     existence is recorded on object o by events visible in E.
+//
+// The Tracker consumes a sim.System's event log incrementally and exposes
+// the sets after any prefix. The paper's adversary (internal/adversary)
+// uses them to schedule rounds (Lemma 1), prove forced step counts
+// (Theorem 1) and maintain hidden essential sets (Theorem 3).
+//
+// Incremental computation: per object the tracker holds the accumulated
+// familiarity set plus at most one "pending" contribution — the most recent
+// value-changing event, whose visibility is still undecided (it becomes
+// invisible only if the very next access to the object is a write issued
+// while the event's issuer has taken no further step; anything else
+// confirms it). Reads and CASes fold the object's familiarity set into the
+// issuer's awareness set; value-changing events snapshot the issuer's
+// awareness set as their contribution.
+package aware
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// Set is a bitset over process ids.
+type Set []uint64
+
+// NewSet returns an empty set sized for ids in [0, n).
+func NewSet(n int) Set { return make(Set, (n+63)/64) }
+
+// Has reports membership.
+func (s Set) Has(id int) bool {
+	w := id / 64
+	if w >= len(s) {
+		return false
+	}
+	return s[w]&(1<<(id%64)) != 0
+}
+
+// Add inserts id.
+func (s Set) Add(id int) { s[id/64] |= 1 << (id % 64) }
+
+// Union folds other into s (same length required).
+func (s Set) Union(other Set) {
+	for i, w := range other {
+		s[i] |= w
+	}
+}
+
+// Count returns the cardinality.
+func (s Set) Count() int {
+	total := 0
+	for _, w := range s {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Members lists the ids in ascending order.
+func (s Set) Members() []int {
+	var out []int
+	for w, word := range s {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Intersects reports whether s and other share an element.
+func (s Set) Intersects(other Set) bool {
+	for i := range s {
+		if i < len(other) && s[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingInfo is a value-changing event whose visibility is undecided.
+type pendingInfo struct {
+	proc    int
+	procSeq int   // issuer's event Seq at the time (to detect later steps)
+	contrib Set   // AW(issuer) snapshot, including the issuer
+	value   int64 // the visible value this event establishes if confirmed
+}
+
+// objState is the per-object familiarity bookkeeping.
+type objState struct {
+	fam     Set
+	pending *pendingInfo
+
+	// visValue is the object's value with all invisible events erased:
+	// the value established by the last *confirmed-visible* event (or the
+	// initial value). A write that re-asserts a value only an invisible
+	// event left in place is raw-trivial but vis-changing: in the erased
+	// execution the proofs reason about (Lemma 2) it changes the value,
+	// so it must be treated as visible or information would flow through
+	// it without awareness accounting, breaking Lemma 3. (Raw-changing
+	// writes are visible regardless, per Definition 1 — see Apply.)
+	visValue int64
+}
+
+// Tracker incrementally maintains awareness and familiarity sets.
+type Tracker struct {
+	n       int
+	aw      []Set             // per process
+	objects map[int]*objState // keyed by register id
+	lastSeq map[int]int       // per process: Seq of its latest event
+}
+
+// NewTracker returns a tracker for process ids in [0, n).
+func NewTracker(n int) *Tracker {
+	t := &Tracker{
+		n:       n,
+		aw:      make([]Set, n),
+		objects: make(map[int]*objState),
+		lastSeq: make(map[int]int),
+	}
+	for p := range t.aw {
+		t.aw[p] = NewSet(n)
+		t.aw[p].Add(p) // every process is aware of itself
+	}
+	return t
+}
+
+// Apply folds one applied event into the sets. Events must be fed in
+// execution order.
+func (t *Tracker) Apply(ev sim.Event) {
+	obj := t.objects[ev.Reg.ID()]
+	if obj == nil {
+		obj = &objState{fam: NewSet(t.n), visValue: ev.Before}
+		t.objects[ev.Reg.ID()] = obj
+	}
+
+	// Resolve the object's pending event (Definition 1): the arriving
+	// event hides it only if it is a write and the pending issuer took no
+	// step since; otherwise the pending event is confirmed visible.
+	if p := obj.pending; p != nil {
+		if ev.Kind == sim.OpWrite && t.lastSeq[p.proc] == p.procSeq {
+			// Overwritten while the issuer slept: invisible forever, and
+			// the visible value it would have established is discarded.
+		} else {
+			obj.fam.Union(p.contrib)
+			obj.visValue = p.value
+		}
+		obj.pending = nil
+	}
+
+	// Reads and CASes observe the object (Definition 2 case 1 plus
+	// transitivity): the issuer learns everything the object is familiar
+	// with.
+	if ev.Kind == sim.OpRead || ev.Kind == sim.OpCAS {
+		t.aw[ev.Proc].Union(obj.fam)
+	}
+
+	t.lastSeq[ev.Proc] = ev.Seq
+
+	// Value-changing events contribute AW(issuer) — evaluated after the
+	// event itself (Definition 4 uses AW(r, E1·e)) — once they are
+	// confirmed visible. A write counts as changing if it changes the RAW
+	// value (the paper's Definition 1) or the VISIBLE value (see
+	// objState.visValue): the union is what keeps both directions sound —
+	// raw-changing writes are observable through CAS outcomes even when
+	// they restore the visible value, and vis-changing writes carry
+	// information even when the raw value already matched.
+	changed := ev.Changed
+	if ev.Kind == sim.OpWrite && ev.Value != obj.visValue {
+		changed = true
+	}
+	if changed {
+		obj.pending = &pendingInfo{
+			proc:    ev.Proc,
+			procSeq: ev.Seq,
+			contrib: t.aw[ev.Proc].Clone(),
+			value:   ev.After,
+		}
+	}
+}
+
+// ApplyAll feeds a slice of events in order.
+func (t *Tracker) ApplyAll(events []sim.Event) {
+	for _, ev := range events {
+		t.Apply(ev)
+	}
+}
+
+// Awareness returns AW(p, E) for the execution prefix consumed so far.
+// A pending event on some object never affects awareness (only familiarity),
+// so no finalization is needed.
+func (t *Tracker) Awareness(p int) Set { return t.aw[p].Clone() }
+
+// AwarenessCount returns |AW(p, E)|.
+func (t *Tracker) AwarenessCount(p int) int { return t.aw[p].Count() }
+
+// Familiarity returns F(o, E) for the register with the given id, treating
+// the prefix consumed so far as the whole execution (a pending last event
+// on the object is visible, since nothing follows it).
+func (t *Tracker) Familiarity(regID int) Set {
+	obj := t.objects[regID]
+	if obj == nil {
+		return NewSet(t.n)
+	}
+	out := obj.fam.Clone()
+	if obj.pending != nil {
+		out.Union(obj.pending.contrib)
+	}
+	return out
+}
+
+// FamiliarityCount returns |F(o, E)|.
+func (t *Tracker) FamiliarityCount(regID int) int {
+	return t.Familiarity(regID).Count()
+}
+
+// MaxSetSize returns M(E): the maximum cardinality over all awareness and
+// familiarity sets (Lemma 1's growth measure).
+func (t *Tracker) MaxSetSize() int {
+	m := 0
+	for p := range t.aw {
+		if c := t.aw[p].Count(); c > m {
+			m = c
+		}
+	}
+	for id := range t.objects {
+		if c := t.FamiliarityCount(id); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MaxFamiliarity returns max over objects of |F(o, E)|.
+func (t *Tracker) MaxFamiliarity() int {
+	m := 0
+	for id := range t.objects {
+		if c := t.FamiliarityCount(id); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ObjectIDs lists the ids of objects touched so far, in ascending order.
+func (t *Tracker) ObjectIDs() []int {
+	out := make([]int, 0, len(t.objects))
+	for id := range t.objects {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Processes returns the tracker's process-universe size.
+func (t *Tracker) Processes() int { return t.n }

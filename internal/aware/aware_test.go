@@ -1,0 +1,391 @@
+package aware
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// scenario drives programs under a fixed schedule and returns the tracker.
+func scenario(t *testing.T, n int, build func(pool *primitive.Pool) []sim.Program, schedule []int) *Tracker {
+	t.Helper()
+	pool := primitive.NewPool()
+	programs := build(pool)
+	s := sim.NewSystem()
+	defer s.Shutdown()
+	for id, p := range programs {
+		if err := s.Spawn(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(schedule); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(n)
+	tr.ApplyAll(s.Events())
+	return tr
+}
+
+func writeOnce(reg *primitive.Register, v int64) sim.Program {
+	return func(ctx primitive.Context) { ctx.Write(reg, v) }
+}
+
+func readOnce(reg *primitive.Register) sim.Program {
+	return func(ctx primitive.Context) { ctx.Read(reg) }
+}
+
+func TestInitialAwareness(t *testing.T) {
+	tr := NewTracker(4)
+	for p := 0; p < 4; p++ {
+		if got := tr.AwarenessCount(p); got != 1 {
+			t.Fatalf("initial |AW(p%d)| = %d", p, got)
+		}
+		if !tr.Awareness(p).Has(p) {
+			t.Fatalf("p%d not aware of itself", p)
+		}
+		if !tr.Hidden(p) {
+			t.Fatalf("p%d not hidden initially", p)
+		}
+	}
+	if tr.MaxSetSize() != 1 {
+		t.Fatalf("initial M(E) = %d", tr.MaxSetSize())
+	}
+}
+
+func TestReaderLearnsVisibleWriter(t *testing.T) {
+	var o *primitive.Register
+	tr := scenario(t, 2, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{writeOnce(o, 1), readOnce(o)}
+	}, []int{0, 1})
+
+	if !tr.Awareness(1).Has(0) {
+		t.Fatal("reader unaware of writer")
+	}
+	if tr.Awareness(0).Has(1) {
+		t.Fatal("writer aware of reader")
+	}
+	if !tr.Familiarity(o.ID()).Has(0) {
+		t.Fatal("object unfamiliar with writer")
+	}
+	if tr.Hidden(0) {
+		t.Fatal("observed writer still hidden")
+	}
+	if !tr.Hidden(1) {
+		t.Fatal("reader should be hidden")
+	}
+}
+
+func TestOverwrittenWriteIsInvisible(t *testing.T) {
+	// p0 writes, p1 overwrites while p0 sleeps, p2 reads: only p1 leaks.
+	var o *primitive.Register
+	tr := scenario(t, 3, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{writeOnce(o, 1), writeOnce(o, 2), readOnce(o)}
+	}, []int{0, 1, 2})
+
+	aw := tr.Awareness(2)
+	if aw.Has(0) {
+		t.Fatal("reader learned the invisible writer")
+	}
+	if !aw.Has(1) {
+		t.Fatal("reader missed the visible writer")
+	}
+	if tr.Familiarity(o.ID()).Has(0) {
+		t.Fatal("object familiar with invisible writer")
+	}
+	if !tr.Hidden(0) {
+		t.Fatal("invisible writer must stay hidden")
+	}
+}
+
+func TestWriterStepElsewhereConfirmsVisibility(t *testing.T) {
+	// p0 writes o then steps on another object before p1 overwrites o:
+	// Definition 1 makes p0's write visible.
+	var o *primitive.Register
+	tr := scenario(t, 3, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		other := pool.New("other", 0)
+		return []sim.Program{
+			func(ctx primitive.Context) {
+				ctx.Write(o, 1)
+				ctx.Read(other)
+			},
+			writeOnce(o, 2),
+			readOnce(o),
+		}
+	}, []int{0, 0, 1, 2})
+
+	if !tr.Awareness(2).Has(0) {
+		t.Fatal("reader missed the visible (stepped-after) writer")
+	}
+	if !tr.Awareness(2).Has(1) {
+		t.Fatal("reader missed the last writer")
+	}
+}
+
+func TestInterveningReadConfirmsVisibility(t *testing.T) {
+	// p2 reads o between p0's write and p1's overwrite: p0's write is
+	// visible in that prefix, so p2 learns p0 (and a later reader learns
+	// only p1).
+	var o *primitive.Register
+	tr := scenario(t, 4, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{writeOnce(o, 1), writeOnce(o, 2), readOnce(o), readOnce(o)}
+	}, []int{0, 2, 1, 3})
+
+	if !tr.Awareness(2).Has(0) {
+		t.Fatal("early reader missed p0")
+	}
+	if !tr.Awareness(3).Has(1) {
+		t.Fatal("late reader missed p1")
+	}
+	// p0's write was confirmed visible by the intervening read, so the
+	// object stays familiar with p0 even after the overwrite.
+	if !tr.Familiarity(o.ID()).Has(0) {
+		t.Fatal("confirmed-visible writer dropped from familiarity")
+	}
+}
+
+func TestRepeatedWriteHidesPredecessorButStaysVisible(t *testing.T) {
+	// p0 writes 1; p1 writes 1 while p0 sleeps. p0's write becomes
+	// invisible — and with it the value it established, so p1's
+	// raw-trivial write is, in the erased execution the proofs reason
+	// about, a value-changing (hence visible) write. A reader must learn
+	// p1 and only p1 (this is the visValue rule; judging triviality
+	// against the raw value would leak the value with no awareness at
+	// all, contradicting Lemma 3).
+	var o *primitive.Register
+	tr := scenario(t, 3, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{writeOnce(o, 1), writeOnce(o, 1), readOnce(o)}
+	}, []int{0, 1, 2})
+
+	aw := tr.Awareness(2)
+	if aw.Has(0) {
+		t.Fatalf("reader learned the invisible writer: %v", aw.Members())
+	}
+	if !aw.Has(1) {
+		t.Fatalf("reader missed the effective writer: %v", aw.Members())
+	}
+	if got := tr.FamiliarityCount(o.ID()); got != 1 {
+		t.Fatalf("|F(o)| = %d, want 1", got)
+	}
+}
+
+func TestRestoringWriteIsInvisible(t *testing.T) {
+	// p0 writes 5 but p0's write stays pending; p1 overwrites with 5's
+	// opposite... scenario: p0 writes 5 (visible after p2 reads), p1
+	// writes 5 again: p1's write re-asserts the VISIBLE value, so it is
+	// trivial and contributes nothing.
+	var o *primitive.Register
+	tr := scenario(t, 4, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{writeOnce(o, 5), writeOnce(o, 5), readOnce(o), readOnce(o)}
+	}, []int{0, 2, 1, 3})
+
+	// p2's read confirmed p0's write visible; p1's identical write is
+	// then genuinely trivial. The late reader p3 learns p0 only.
+	aw := tr.Awareness(3)
+	if !aw.Has(0) {
+		t.Fatalf("late reader missed the visible writer: %v", aw.Members())
+	}
+	if aw.Has(1) {
+		t.Fatalf("late reader learned a trivial writer: %v", aw.Members())
+	}
+}
+
+func TestFailedCASStillObserves(t *testing.T) {
+	// p0's CAS changes o; p1's CAS fails (trivial) but, being a CAS,
+	// observes the object and learns p0.
+	var o *primitive.Register
+	tr := scenario(t, 2, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{
+			func(ctx primitive.Context) { ctx.CAS(o, 0, 1) },
+			func(ctx primitive.Context) { ctx.CAS(o, 0, 2) },
+		}
+	}, []int{0, 1})
+
+	if !tr.Awareness(1).Has(0) {
+		t.Fatal("failed CAS did not observe prior writer")
+	}
+	if tr.Awareness(0).Has(1) {
+		t.Fatal("first CASer learned the later one")
+	}
+}
+
+func TestTransitiveAwareness(t *testing.T) {
+	// p0 -> a -> p1 -> b -> p2: p2 must know p0 without touching a.
+	var a, b *primitive.Register
+	tr := scenario(t, 3, func(pool *primitive.Pool) []sim.Program {
+		a = pool.New("a", 0)
+		b = pool.New("b", 0)
+		return []sim.Program{
+			writeOnce(a, 1),
+			func(ctx primitive.Context) {
+				ctx.Read(a)
+				ctx.Write(b, 1)
+			},
+			readOnce(b),
+		}
+	}, []int{0, 1, 1, 2})
+
+	aw := tr.Awareness(2)
+	if !aw.Has(0) || !aw.Has(1) {
+		t.Fatalf("transitive flow broken: AW(p2) = %v", aw.Members())
+	}
+	if !tr.Familiarity(b.ID()).Has(0) {
+		t.Fatal("b not familiar with p0 through p1's write")
+	}
+}
+
+func TestCASContributionIncludesOwnObservation(t *testing.T) {
+	// Definition 4 uses AW(r, E1·e): a CAS's contribution includes the
+	// awareness it gains from the object it CASes.
+	var a, b *primitive.Register
+	tr := scenario(t, 3, func(pool *primitive.Pool) []sim.Program {
+		a = pool.New("a", 0)
+		b = pool.New("b", 0)
+		return []sim.Program{
+			writeOnce(a, 1), // p0 makes a familiar with p0
+			func(ctx primitive.Context) {
+				ctx.Read(a)      // p1 learns p0
+				ctx.CAS(b, 0, 5) // contributes {p0, p1} to b
+			},
+			readOnce(b),
+		}
+	}, []int{0, 1, 1, 2})
+
+	aw := tr.Awareness(2)
+	if !aw.Has(0) {
+		t.Fatal("CAS contribution lost transitive awareness")
+	}
+}
+
+func TestHiddenSet(t *testing.T) {
+	// Two writers to distinct objects, unread: both hidden, and the pair
+	// is a hidden set.
+	tr := scenario(t, 2, func(pool *primitive.Pool) []sim.Program {
+		a := pool.New("a", 0)
+		b := pool.New("b", 0)
+		return []sim.Program{writeOnce(a, 1), writeOnce(b, 1)}
+	}, []int{0, 1})
+
+	if !tr.HiddenSet([]int{0, 1}) {
+		t.Fatal("disjoint silent writers should form a hidden set")
+	}
+}
+
+func TestHiddenSetRejectsSharedFamiliarity(t *testing.T) {
+	// Both writers stay hidden (nobody reads), but both writes to o are
+	// visible (p0 steps elsewhere before p1 overwrites), so o is familiar
+	// with both: {p0,p1} is hidden individually yet NOT a hidden set.
+	var o *primitive.Register
+	tr := scenario(t, 2, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		other := pool.New("other", 0)
+		return []sim.Program{
+			func(ctx primitive.Context) {
+				ctx.Write(o, 1)
+				ctx.Read(other)
+			},
+			writeOnce(o, 2),
+		}
+	}, []int{0, 0, 1})
+
+	fam := tr.Familiarity(o.ID())
+	if !fam.Has(0) || !fam.Has(1) {
+		t.Fatalf("setup broken: F(o) = %v", fam.Members())
+	}
+	if !tr.Hidden(0) || !tr.Hidden(1) {
+		t.Fatal("setup broken: writers should be individually hidden")
+	}
+	if tr.HiddenSet([]int{0, 1}) {
+		t.Fatal("shared familiarity not detected")
+	}
+	if objs := tr.FamiliarObjects(0); len(objs) != 1 || objs[0] != o.ID() {
+		t.Fatalf("FamiliarObjects(0) = %v", objs)
+	}
+}
+
+func TestMaxSetSizeTracksGrowth(t *testing.T) {
+	var o *primitive.Register
+	tr := scenario(t, 4, func(pool *primitive.Pool) []sim.Program {
+		o = pool.New("o", 0)
+		return []sim.Program{
+			writeOnce(o, 1),
+			func(ctx primitive.Context) {
+				ctx.Read(o)
+				ctx.Write(o, 2)
+			},
+			func(ctx primitive.Context) {
+				ctx.Read(o)
+				ctx.Write(o, 3)
+			},
+			readOnce(o),
+		}
+	}, []int{0, 1, 1, 2, 2, 3})
+
+	// p3 read o after p2's write, whose contribution includes p0, p1, p2.
+	if got := tr.AwarenessCount(3); got != 4 {
+		t.Fatalf("|AW(p3)| = %d, want 4", got)
+	}
+	if got := tr.MaxSetSize(); got != 4 {
+		t.Fatalf("M(E) = %d, want 4", got)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) || s.Has(200) {
+		t.Fatal("Has broken")
+	}
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	members := s.Members()
+	if len(members) != 3 || members[0] != 0 || members[1] != 64 || members[2] != 129 {
+		t.Fatalf("Members = %v", members)
+	}
+
+	other := NewSet(130)
+	other.Add(5)
+	if s.Intersects(other) {
+		t.Fatal("phantom intersection")
+	}
+	other.Add(64)
+	if !s.Intersects(other) {
+		t.Fatal("missed intersection")
+	}
+
+	clone := s.Clone()
+	clone.Add(7)
+	if s.Has(7) {
+		t.Fatal("Clone aliases storage")
+	}
+	s.Union(other)
+	if !s.Has(5) {
+		t.Fatal("Union broken")
+	}
+}
+
+func TestSetQuickUnionCount(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := NewSet(1 << 16)
+		seen := make(map[int]bool)
+		for _, r := range raw {
+			s.Add(int(r))
+			seen[int(r)] = true
+		}
+		return s.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

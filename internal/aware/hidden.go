@@ -1,0 +1,47 @@
+package aware
+
+// Hidden reports whether process p is hidden after the consumed prefix
+// (Definition 5): no process other than p is aware of p.
+func (t *Tracker) Hidden(p int) bool {
+	for q := range t.aw {
+		if q != p && t.aw[q].Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// HiddenSet reports whether the given processes form a hidden set
+// (Definition 5): each is hidden, and no object is familiar with more than
+// one of them.
+func (t *Tracker) HiddenSet(ids []int) bool {
+	for _, id := range ids {
+		if !t.Hidden(id) {
+			return false
+		}
+	}
+	for regID := range t.objects {
+		fam := t.Familiarity(regID)
+		inSet := 0
+		for _, id := range ids {
+			if fam.Has(id) {
+				inSet++
+				if inSet > 1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FamiliarObjects returns the register ids whose familiarity set contains p.
+func (t *Tracker) FamiliarObjects(p int) []int {
+	var out []int
+	for regID := range t.objects {
+		if t.Familiarity(regID).Has(p) {
+			out = append(out, regID)
+		}
+	}
+	return out
+}

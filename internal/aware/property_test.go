@@ -1,0 +1,255 @@
+package aware
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// Property tests over random executions: structural laws the paper's
+// definitions imply, checked on arbitrary programs and schedules.
+
+// randomExecution builds n processes running random register programs and
+// drives them with a seeded random scheduler, returning the event log.
+func randomExecution(t *testing.T, seed int64, n, regs, opsPer int) []sim.Event {
+	t.Helper()
+	pool := primitive.NewPool()
+	file := pool.NewSlice("r", regs, 0)
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	for id := 0; id < n; id++ {
+		rng := rand.New(rand.NewSource(seed*10007 + int64(id)))
+		ops := make([]func(ctx primitive.Context), opsPer)
+		for i := range ops {
+			reg := file[rng.Intn(regs)]
+			switch rng.Intn(3) {
+			case 0:
+				ops[i] = func(ctx primitive.Context) { ctx.Read(reg) }
+			case 1:
+				v := rng.Int63n(4)
+				ops[i] = func(ctx primitive.Context) { ctx.Write(reg, v) }
+			default:
+				old, newV := rng.Int63n(4), rng.Int63n(4)
+				ops[i] = func(ctx primitive.Context) { ctx.CAS(reg, old, newV) }
+			}
+		}
+		if err := s.Spawn(id, func(ctx primitive.Context) {
+			for _, op := range ops {
+				op(ctx)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		active := s.Active()
+		if len(active) == 0 {
+			return append([]sim.Event(nil), s.Events()...)
+		}
+		if _, err := s.Step(active[rng.Intn(len(active))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAwarenessSetsOnlyGrow(t *testing.T) {
+	const n = 8
+	for seed := int64(0); seed < 15; seed++ {
+		events := randomExecution(t, seed, n, 4, 10)
+		tr := NewTracker(n)
+
+		prev := make([]Set, n)
+		for p := range prev {
+			prev[p] = tr.Awareness(p)
+		}
+		for _, ev := range events {
+			tr.Apply(ev)
+			for p := 0; p < n; p++ {
+				cur := tr.Awareness(p)
+				for _, member := range prev[p].Members() {
+					if !cur.Has(member) {
+						t.Fatalf("seed %d: AW(p%d) lost member %d after event %d", seed, p, member, ev.Seq)
+					}
+				}
+				prev[p] = cur
+			}
+		}
+	}
+}
+
+func TestAwarenessAlwaysIncludesSelf(t *testing.T) {
+	const n = 6
+	for seed := int64(20); seed < 30; seed++ {
+		events := randomExecution(t, seed, n, 3, 8)
+		tr := NewTracker(n)
+		tr.ApplyAll(events)
+		for p := 0; p < n; p++ {
+			if !tr.Awareness(p).Has(p) {
+				t.Fatalf("seed %d: p%d lost self-awareness", seed, p)
+			}
+		}
+	}
+}
+
+func TestFamiliarityMembersAreAwareOfThemselves(t *testing.T) {
+	// F(o) contains only processes that some contributor was aware of;
+	// in particular every member q of F(o) must have issued an event or be
+	// the contributor itself — structurally, every member of F(o) must be
+	// a member of SOME awareness set (its own at minimum).
+	const n = 6
+	for seed := int64(40); seed < 50; seed++ {
+		events := randomExecution(t, seed, n, 3, 8)
+		tr := NewTracker(n)
+		tr.ApplyAll(events)
+		for _, regID := range tr.ObjectIDs() {
+			for _, q := range tr.Familiarity(regID).Members() {
+				if q < 0 || q >= n {
+					t.Fatalf("seed %d: familiarity member %d out of range", seed, q)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxSetSizeIsMaxOfSets(t *testing.T) {
+	const n = 8
+	for seed := int64(60); seed < 70; seed++ {
+		events := randomExecution(t, seed, n, 4, 10)
+		tr := NewTracker(n)
+		tr.ApplyAll(events)
+
+		want := 0
+		for p := 0; p < n; p++ {
+			if c := tr.AwarenessCount(p); c > want {
+				want = c
+			}
+		}
+		for _, regID := range tr.ObjectIDs() {
+			if c := tr.FamiliarityCount(regID); c > want {
+				want = c
+			}
+		}
+		if got := tr.MaxSetSize(); got != want {
+			t.Fatalf("seed %d: MaxSetSize = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestHiddenProcessErasureIsInvisible(t *testing.T) {
+	// The operational meaning of "hidden" (Claim 1): remove a hidden
+	// process's steps from the schedule, re-run, and every other process
+	// observes identical responses. This is the soundness property all of
+	// Theorem 3's surgery rests on, tested here on random executions.
+	const n = 6
+	for seed := int64(80); seed < 95; seed++ {
+		seed := seed
+
+		// Build and run the original.
+		runIt := func(schedule []int, skip int) ([]sim.Event, []int, []int) {
+			pool := primitive.NewPool()
+			file := pool.NewSlice("r", 3, 0)
+			s := sim.NewSystem()
+			defer s.Shutdown()
+			for id := 0; id < n; id++ {
+				rng := rand.New(rand.NewSource(seed*999 + int64(id)))
+				ops := make([]func(ctx primitive.Context), 6)
+				for i := range ops {
+					reg := file[rng.Intn(3)]
+					switch rng.Intn(3) {
+					case 0:
+						ops[i] = func(ctx primitive.Context) { ctx.Read(reg) }
+					case 1:
+						v := rng.Int63n(3)
+						ops[i] = func(ctx primitive.Context) { ctx.Write(reg, v) }
+					default:
+						old, newV := rng.Int63n(3), rng.Int63n(3)
+						ops[i] = func(ctx primitive.Context) { ctx.CAS(reg, old, newV) }
+					}
+				}
+				if id == skip {
+					continue
+				}
+				if err := s.Spawn(id, func(ctx primitive.Context) {
+					for _, op := range ops {
+						op(ctx)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if schedule == nil {
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					active := s.Active()
+					if len(active) == 0 {
+						break
+					}
+					if _, err := s.Step(active[rng.Intn(len(active))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if err := s.Run(schedule); err != nil {
+				t.Fatal(err)
+			}
+			return append([]sim.Event(nil), s.Events()...), append([]int(nil), s.Schedule()...), s.Active()
+		}
+
+		events, schedule, _ := runIt(nil, -1)
+		tr := NewTracker(n)
+		tr.ApplyAll(events)
+
+		for victim := 0; victim < n; victim++ {
+			if !tr.Hidden(victim) {
+				continue
+			}
+			var filtered []int
+			for _, id := range schedule {
+				if id != victim {
+					filtered = append(filtered, id)
+				}
+			}
+			replayed, _, _ := runIt(filtered, victim)
+
+			// Compare survivors' responses.
+			type key struct{ proc, idx int }
+			responses := func(evs []sim.Event) map[key]sim.Event {
+				count := make(map[int]int)
+				out := make(map[key]sim.Event)
+				for _, ev := range evs {
+					k := key{proc: ev.Proc, idx: count[ev.Proc]}
+					count[ev.Proc]++
+					out[k] = ev
+				}
+				return out
+			}
+			orig := responses(events)
+			repl := responses(replayed)
+			for k, rv := range repl {
+				ov, ok := orig[k]
+				if !ok {
+					t.Fatalf("seed %d victim %d: extra event %+v", seed, victim, rv)
+				}
+				// Only what the issuing process can observe must match:
+				// its own request (kind, register, operands) and the
+				// response (read value; CAS success). A write returns
+				// nothing, so its Before may legitimately differ.
+				same := ov.Kind == rv.Kind && ov.Reg.ID() == rv.Reg.ID() &&
+					ov.Value == rv.Value && ov.Old == rv.Old && ov.New == rv.New
+				switch ov.Kind {
+				case sim.OpRead:
+					same = same && ov.Before == rv.Before
+				case sim.OpCAS:
+					same = same && ov.CASOK == rv.CASOK
+				}
+				if !same {
+					t.Fatalf("seed %d: erasing hidden p%d changed p%d's event %d:\n%+v\n%+v",
+						seed, victim, k.proc, k.idx, ov, rv)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package b1tree builds the binary tree shapes used by Algorithm A of
+// Hendler & Khait (PODC 2014, Section 5):
+//
+//   - B1 trees (Bentley & Yao, "An almost optimal algorithm for unbounded
+//     searching", 1975): an unbalanced binary tree over leaves 0..n-1 in
+//     which leaf i sits at depth O(log i). Algorithm A uses a B1 tree as its
+//     left subtree so that WriteMax(v) with v < N costs O(log v) steps.
+//   - Complete (balanced) binary trees, used as Algorithm A's right subtree
+//     so that WriteMax(v) with v >= N costs O(log N) steps.
+//
+// The package deals only in tree *shape*: nodes carry parent/child links and
+// stable indices, and callers attach whatever per-node payload they need
+// (internal/core attaches one shared register per node).
+package b1tree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node is one vertex of a tree. Leaf nodes have Leaf >= 0 and nil children;
+// internal nodes have Leaf == -1 and both children set (all trees built by
+// this package are full binary trees).
+type Node struct {
+	Parent *Node
+	Left   *Node
+	Right  *Node
+
+	// Leaf is the leaf's index in [0, n), or -1 for internal nodes.
+	Leaf int
+
+	// Index is the node's position in Tree.Nodes: a dense identifier
+	// callers use to attach payloads (e.g. one register per node).
+	Index int
+
+	// Depth is the number of edges from the root (root has Depth 0).
+	Depth int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Leaf >= 0 }
+
+// Tree is a full binary tree with parent links.
+type Tree struct {
+	Root *Node
+
+	// Leaves[i] is the leaf with Leaf == i.
+	Leaves []*Node
+
+	// Nodes lists every node; Nodes[k].Index == k.
+	Nodes []*Node
+}
+
+// NewComplete builds a balanced binary tree with n >= 1 leaves. Every leaf
+// is at depth ceil(log2 n) or ceil(log2 n) - 1.
+func NewComplete(n int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("b1tree: complete tree needs n >= 1 leaves, got %d", n)
+	}
+
+	t := &Tree{Leaves: make([]*Node, n)}
+	t.Root = t.buildComplete(0, n)
+	t.finish()
+	return t, nil
+}
+
+// NewB1 builds a Bentley-Yao B1 tree with n >= 1 leaves: leaf i is at depth
+// O(log i) (leaf 0 and leaf 1 at O(1) depth). Concretely, leaves are grouped
+// into blocks {0}, {1}, [2,4), [4,8), ... and hung off a right-leaning
+// spine, each block as a balanced subtree; leaf i in block b(i) = O(log i)
+// sits at spine depth b(i) plus balanced-subtree depth O(log i), for a total
+// of at most 2*floor(log2 i) + 2 edges (verified by TestB1DepthBound).
+func NewB1(n int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("b1tree: B1 tree needs n >= 1 leaves, got %d", n)
+	}
+
+	t := &Tree{Leaves: make([]*Node, n)}
+
+	// Block k covers leaves [start_k, end_k):
+	//   block 0 = {0}, block 1 = {1}, block k = [2^(k-1), 2^k) for k >= 2,
+	// truncated at n.
+	type span struct{ start, end int }
+	var blocks []span
+	for start := 0; start < n; {
+		var end int
+		switch start {
+		case 0:
+			end = 1
+		case 1:
+			end = 2
+		default:
+			end = start * 2
+		}
+		if end > n {
+			end = n
+		}
+		blocks = append(blocks, span{start: start, end: end})
+		start = end
+	}
+
+	if len(blocks) == 1 {
+		t.Root = t.buildComplete(blocks[0].start, blocks[0].end)
+		t.finish()
+		return t, nil
+	}
+
+	// Right-leaning spine: spine node k has the balanced tree over block k
+	// as its left child; the last spine node takes the final block as its
+	// right child.
+	last := len(blocks) - 1
+	spine := make([]*Node, last)
+	for k := range spine {
+		spine[k] = &Node{Leaf: -1}
+	}
+	for k := 0; k < last; k++ {
+		left := t.buildComplete(blocks[k].start, blocks[k].end)
+		spine[k].Left = left
+		left.Parent = spine[k]
+
+		var right *Node
+		if k+1 < last {
+			right = spine[k+1]
+		} else {
+			right = t.buildComplete(blocks[last].start, blocks[last].end)
+		}
+		spine[k].Right = right
+		right.Parent = spine[k]
+	}
+	t.Root = spine[0]
+	t.finish()
+	return t, nil
+}
+
+// Join combines two trees under a fresh root (left becomes the root's left
+// child). The input trees are absorbed: their nodes are re-indexed into the
+// combined tree, and the combined tree's leaf i is left's leaf i for
+// i < len(left.Leaves), then right's leaves.
+func Join(left, right *Tree) *Tree {
+	root := &Node{Leaf: -1, Left: left.Root, Right: right.Root}
+	left.Root.Parent = root
+	right.Root.Parent = root
+
+	t := &Tree{
+		Root:   root,
+		Leaves: make([]*Node, 0, len(left.Leaves)+len(right.Leaves)),
+	}
+	t.Leaves = append(t.Leaves, left.Leaves...)
+	t.Leaves = append(t.Leaves, right.Leaves...)
+	t.finish()
+
+	// Leaf indices were assigned within each subtree; rewrite them to be
+	// dense in the combined tree.
+	for i, leaf := range t.Leaves {
+		leaf.Leaf = i
+	}
+	return t
+}
+
+// LeafDepth returns the depth (edges from root) of leaf i.
+func (t *Tree) LeafDepth(i int) int { return t.Leaves[i].Depth }
+
+// PathToRoot returns the nodes from leaf i to the root, inclusive.
+func (t *Tree) PathToRoot(i int) []*Node {
+	var path []*Node
+	for n := t.Leaves[i]; n != nil; n = n.Parent {
+		path = append(path, n)
+	}
+	return path
+}
+
+// buildComplete builds a balanced subtree over leaves [start, end) and
+// registers them in t.Leaves.
+func (t *Tree) buildComplete(start, end int) *Node {
+	if end-start == 1 {
+		leaf := &Node{Leaf: start}
+		t.Leaves[start] = leaf
+		return leaf
+	}
+	mid := start + (end-start+1)/2
+	n := &Node{Leaf: -1}
+	n.Left = t.buildComplete(start, mid)
+	n.Right = t.buildComplete(mid, end)
+	n.Left.Parent = n
+	n.Right.Parent = n
+	return n
+}
+
+// finish assigns Index and Depth to every node via a preorder walk.
+func (t *Tree) finish() {
+	t.Nodes = t.Nodes[:0]
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		n.Index = len(t.Nodes)
+		n.Depth = depth
+		t.Nodes = append(t.Nodes, n)
+		if n.Left != nil {
+			walk(n.Left, depth+1)
+		}
+		if n.Right != nil {
+			walk(n.Right, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+}
+
+// B1DepthBound returns the proven upper bound on the depth of leaf i in a
+// B1 tree: 2*floor(log2 i) + 2 for i >= 1, and 1 for i == 0. Tests assert
+// NewB1 respects it for every leaf.
+func B1DepthBound(i int) int {
+	if i == 0 {
+		return 1
+	}
+	return 2 * bits.Len(uint(i)) // == 2*(floor(log2 i)+1) = 2*floor(log2 i)+2
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow(1, "x")
+	tb.AddRow(22, "yy")
+
+	text := tb.Text()
+	for _, want := range []string{"T1: demo", "a", "bb", "22", "yy", "note: a note"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text missing %q:\n%s", want, text)
+		}
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### T1: demo", "| a | bb |", "| 22 | yy |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "22,yy") {
+		t.Fatalf("CSV malformed:\n%s", csv)
+	}
+}
+
+func TestE1SmallSweep(t *testing.T) {
+	tables, err := E1CounterTradeoff([]int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if got := len(tables[0].Rows); got != 6 {
+		t.Fatalf("%d rows, want 6 (3 impls x 2 sizes)", got)
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("tradeoff floor violated in row %v", row)
+		}
+	}
+}
+
+func TestE2SmallSweep(t *testing.T) {
+	tables, err := E2SnapshotTradeoff([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// The f-array snapshot must show constant Scan.
+	found := false
+	for _, row := range tables[0].Rows {
+		if strings.HasPrefix(row[0], "farray") && row[2] == "1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("f-array constant scan missing:\n%s", tables[0].Text())
+	}
+}
+
+func TestE3SmallSweep(t *testing.T) {
+	tables, err := E3MaxRegAdversary([]int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tables[0].Rows); got != 6 {
+		t.Fatalf("%d rows", got)
+	}
+}
+
+func TestE4Sweep(t *testing.T) {
+	tables, err := E4AlgorithmASteps([]int{16, 64}, 256, []int64{1, 8, 255, 256, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Algorithm A reads exactly 1 step at every N.
+	for _, row := range tables[0].Rows {
+		if row[1] != "1" {
+			t.Fatalf("non-constant ReadMax: %v", row)
+		}
+	}
+	// Plateau: v=256 and v=2^20 rows have the same step count at N=256.
+	rows := tables[1].Rows
+	if rows[len(rows)-1][2] != rows[len(rows)-2][2] {
+		t.Fatalf("no plateau beyond N: %v vs %v", rows[len(rows)-2], rows[len(rows)-1])
+	}
+}
+
+func TestE5Compare(t *testing.T) {
+	tables, err := E5Compare([]int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 11 {
+		t.Fatalf("%d rows, want 11 (4 maxregs + 4 counters + 3 snapshots)", len(rows))
+	}
+}
+
+func TestE7Growth(t *testing.T) {
+	tables, err := E7Lemma1Growth(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "true" {
+			t.Fatalf("3^j ceiling violated: %v", row)
+		}
+	}
+}
+
+func TestE9Ablations(t *testing.T) {
+	tables, err := E9Ablations(256, []int64{1, 16, 255, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Balanced TL must not vary with v (columns: v, paper, balanced, single).
+	if rows[0][2] != rows[1][2] {
+		t.Fatalf("balanced TL varies with v: %v vs %v", rows[0], rows[1])
+	}
+}
+
+func TestE10Amortized(t *testing.T) {
+	tables, err := E10AmortizedWrites(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 (3 impls x 2 workloads)", len(rows))
+	}
+	for _, row := range rows {
+		if row[2] == "0" {
+			t.Fatalf("zero total steps in %v", row)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 7 {
+		t.Fatalf("only %d tables", len(tables))
+	}
+	ids := make(map[string]bool)
+	for _, tb := range tables {
+		if ids[tb.ID] {
+			t.Fatalf("duplicate table id %s", tb.ID)
+		}
+		ids[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %s is empty", tb.ID)
+		}
+	}
+}

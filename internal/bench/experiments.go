@@ -1,0 +1,571 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/adversary"
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// Default sweep parameters, kept moderate so `tradeoff all` finishes in
+// seconds; the CLI can override them.
+var (
+	DefaultCounterNs = []int{8, 16, 32, 64, 128}
+	// Theorem 3's Lemma 4 needs |E^e| >= 81 to make progress, so the K
+	// sweep starts above it.
+	DefaultMaxRegKs  = []int{128, 256, 512, 1024}
+	DefaultCompareNs = []int{16, 64, 256}
+)
+
+const maxAdversaryRounds = 100000
+
+// --- step-measurement helpers (single process, exact event counts) ---
+
+func counterSteps(build func(pool *primitive.Pool) (counter.Counter, error), n, incs int) (readSteps, incMax int64, err error) {
+	pool := primitive.NewPool()
+	c, err := build(pool)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctxs := make([]*primitive.Counting, n)
+	for i := range ctxs {
+		ctxs[i] = primitive.NewCounting(primitive.NewDirect(i))
+	}
+	for i := 0; i < incs; i++ {
+		ctx := ctxs[i%n]
+		var incErr error
+		steps := ctx.Measure(func() { incErr = c.Increment(ctx) })
+		if incErr != nil {
+			return 0, 0, incErr
+		}
+		if steps > incMax {
+			incMax = steps
+		}
+	}
+	readSteps = ctxs[0].Measure(func() { c.Read(ctxs[0]) })
+	return readSteps, incMax, nil
+}
+
+func snapshotSteps(build func(pool *primitive.Pool) (snapshot.Snapshot, error), n, updates int) (scanSteps, updMax int64, err error) {
+	pool := primitive.NewPool()
+	s, err := build(pool)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctxs := make([]*primitive.Counting, n)
+	for i := range ctxs {
+		ctxs[i] = primitive.NewCounting(primitive.NewDirect(i))
+	}
+	for i := 0; i < updates; i++ {
+		ctx := ctxs[i%n]
+		var updErr error
+		steps := ctx.Measure(func() { updErr = s.Update(ctx, int64(i+1)) })
+		if updErr != nil {
+			return 0, 0, updErr
+		}
+		if steps > updMax {
+			updMax = steps
+		}
+	}
+	scanSteps = ctxs[0].Measure(func() { s.Scan(ctxs[0]) })
+	return scanSteps, updMax, nil
+}
+
+func maxRegSteps(build func(pool *primitive.Pool) (maxreg.MaxRegister, error), writes []int64) (readSteps, writeMax int64, err error) {
+	pool := primitive.NewPool()
+	m, err := build(pool)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+	for _, v := range writes {
+		var wErr error
+		steps := ctx.Measure(func() { wErr = m.WriteMax(ctx, v) })
+		if wErr != nil {
+			return 0, 0, wErr
+		}
+		if steps > writeMax {
+			writeMax = steps
+		}
+	}
+	readSteps = ctx.Measure(func() { m.ReadMax(ctx) })
+	return readSteps, writeMax, nil
+}
+
+// --- E1: counter tradeoff (Theorems 1-2) ---
+
+// E1CounterTradeoff runs the Theorem 1 adversary against every counter
+// implementation and tabulates the forced increment rounds against the
+// paper's log3((N-1)/f(N)) floor.
+func E1CounterTradeoff(ns []int) ([]*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Counter read/increment tradeoff under the Theorem 1 adversary",
+		Columns: []string{"impl", "N", "f(N)=read steps", "forced rounds r", "floor log3((N-1)/f)", "r>=floor"},
+		Notes: []string{
+			"rounds = Lemma 1 rounds until all N-1 increments completed; each unfinished process takes 1 step per round",
+			"cas is lock-free, not wait-free: the adversary serializes it to ~2(N-1) rounds",
+		},
+	}
+	impls := []struct {
+		name    string
+		factory adversary.CounterFactory
+	}{
+		{name: "aac (read/write)", factory: func(pool *primitive.Pool, n int) (counter.Counter, error) {
+			return counter.NewAAC(pool, n, int64(n))
+		}},
+		{name: "farray (O(1) read)", factory: func(pool *primitive.Pool, n int) (counter.Counter, error) {
+			return counter.NewFArray(pool, n)
+		}},
+		{name: "cas (single word)", factory: func(pool *primitive.Pool, n int) (counter.Counter, error) {
+			return counter.NewCAS(pool), nil
+		}},
+	}
+	for _, impl := range impls {
+		for _, n := range ns {
+			res, err := adversary.RunCounterConstruction(impl.factory, n, maxAdversaryRounds)
+			if err != nil {
+				return nil, fmt.Errorf("E1 %s n=%d: %w", impl.name, n, err)
+			}
+			t.AddRow(impl.name, n, res.ReadSteps, res.Rounds, res.TheoremBound, res.Rounds >= res.TheoremBound)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// --- E2: snapshot tradeoff (Corollary 1) ---
+
+// E2SnapshotTradeoff measures Scan/Update step complexity for every
+// snapshot implementation and runs the Theorem 1 adversary through the
+// counter-from-snapshot reduction.
+func E2SnapshotTradeoff(ns []int) ([]*Table, error) {
+	steps := &Table{
+		ID:      "E2a",
+		Title:   "Snapshot Scan/Update step complexity (sequential, exact)",
+		Columns: []string{"impl", "N", "Scan steps", "max Update steps"},
+		Notes:   []string{"doublecollect Scan shown uncontended (2N); it is unbounded under contention"},
+	}
+	adv := &Table{
+		ID:      "E2b",
+		Title:   "Corollary 1: forced rounds for counters built from snapshots",
+		Columns: []string{"impl", "N", "f(N)=read steps", "forced rounds r", "floor log3((N-1)/f)", "r>=floor"},
+	}
+
+	impls := []struct {
+		name  string
+		build func(pool *primitive.Pool, n int) (snapshot.Snapshot, error)
+	}{
+		{name: "doublecollect", build: func(pool *primitive.Pool, n int) (snapshot.Snapshot, error) {
+			return snapshot.NewDoubleCollect(pool, n)
+		}},
+		{name: "afek", build: func(pool *primitive.Pool, n int) (snapshot.Snapshot, error) {
+			return snapshot.NewAfek(pool, n, 1<<20)
+		}},
+		{name: "farray (O(1) scan)", build: func(pool *primitive.Pool, n int) (snapshot.Snapshot, error) {
+			return snapshot.NewFArray(pool, n, 1<<20)
+		}},
+	}
+	for _, impl := range impls {
+		impl := impl
+		for _, n := range ns {
+			scan, upd, err := snapshotSteps(func(pool *primitive.Pool) (snapshot.Snapshot, error) {
+				return impl.build(pool, n)
+			}, n, 4*n)
+			if err != nil {
+				return nil, fmt.Errorf("E2 %s n=%d: %w", impl.name, n, err)
+			}
+			steps.AddRow(impl.name, n, scan, upd)
+
+			res, err := adversary.RunCounterConstruction(func(pool *primitive.Pool, n int) (counter.Counter, error) {
+				s, err := impl.build(pool, n)
+				if err != nil {
+					return nil, err
+				}
+				return counter.NewFromSnapshot(s), nil
+			}, n, maxAdversaryRounds)
+			if err != nil {
+				return nil, fmt.Errorf("E2 adversary %s n=%d: %w", impl.name, n, err)
+			}
+			adv.AddRow(impl.name, n, res.ReadSteps, res.Rounds, res.TheoremBound, res.Rounds >= res.TheoremBound)
+		}
+	}
+	return []*Table{steps, adv}, nil
+}
+
+// --- E3: max register adversary (Theorems 3-4, Figures 1-3) ---
+
+// E3MaxRegAdversary runs the Theorem 3 essential-set construction against
+// the max register implementations.
+func E3MaxRegAdversary(ks []int) ([]*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Max register adversary (Theorem 3): forced WriteMax steps i*",
+		Columns: []string{"impl", "K", "f(K)", "i*", "|E_i*|", "halted", "stop", "floor log3(log2 K/(2 log2 f+2))"},
+		Notes: []string{
+			"i* = steps each essential process was forced to spend inside one WriteMax",
+			"cas register is not wait-free: iterations capped (the adversary can continue forever)",
+		},
+	}
+	impls := []struct {
+		name    string
+		factory adversary.MaxRegFactory
+		maxIter int
+	}{
+		{name: "algorithm-a (O(1) read)", factory: func(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
+			return core.New(pool, k, int64(k))
+		}, maxIter: 200},
+		{name: "aac (O(log K) read)", factory: func(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
+			return maxreg.NewAAC(pool, int64(k))
+		}, maxIter: 200},
+		{name: "cas (single word)", factory: func(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
+			return maxreg.NewCASRegister(pool, int64(k)), nil
+		}, maxIter: 40},
+	}
+	for _, impl := range impls {
+		for _, k := range ks {
+			res, err := adversary.RunMaxRegConstruction(impl.factory, k, 0, impl.maxIter)
+			if err != nil {
+				return nil, fmt.Errorf("E3 %s k=%d: %w", impl.name, k, err)
+			}
+			t.AddRow(impl.name, k, res.FK, res.IStar, len(res.FinalEssential),
+				res.HaltedCount, res.StopReason, res.TheoremBound)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// --- E4: Algorithm A step complexity (Theorems 5-6, Figure 4) ---
+
+// E4AlgorithmASteps measures Algorithm A's defining step complexities: a
+// constant ReadMax across N, and a WriteMax(v) that grows with log v until
+// it plateaus at log N (the crossover the B1/complete tree split creates).
+func E4AlgorithmASteps(ns []int, writeN int, vs []int64) ([]*Table, error) {
+	readTable := &Table{
+		ID:    "E4a",
+		Title: "Algorithm A vs AAC vs unbounded-AAC: ReadMax / WriteMax(N-1) steps across N (M = N)",
+		Columns: []string{
+			"N",
+			"algorithm-a Read", "aac Read", "unbounded Read",
+			"algorithm-a Write(N-1)", "aac Write(N-1)", "unbounded Write(N-1)",
+		},
+	}
+	for _, n := range ns {
+		n := n
+		values := []int64{1, int64(n) / 2, int64(n) - 1}
+		aRead, aWrite, err := maxRegSteps(func(pool *primitive.Pool) (maxreg.MaxRegister, error) {
+			return core.New(pool, n, int64(n))
+		}, values)
+		if err != nil {
+			return nil, fmt.Errorf("E4 algorithm-a n=%d: %w", n, err)
+		}
+		bRead, bWrite, err := maxRegSteps(func(pool *primitive.Pool) (maxreg.MaxRegister, error) {
+			return maxreg.NewAAC(pool, int64(n))
+		}, values)
+		if err != nil {
+			return nil, fmt.Errorf("E4 aac n=%d: %w", n, err)
+		}
+		uRead, uWrite, err := maxRegSteps(func(pool *primitive.Pool) (maxreg.MaxRegister, error) {
+			return maxreg.NewUnboundedAAC(pool), nil
+		}, values)
+		if err != nil {
+			return nil, fmt.Errorf("E4 unbounded n=%d: %w", n, err)
+		}
+		readTable.AddRow(n, aRead, bRead, uRead, aWrite, bWrite, uWrite)
+	}
+
+	writeTable := &Table{
+		ID:      "E4b",
+		Title:   fmt.Sprintf("Algorithm A: WriteMax(v) steps at N = %d (log v growth, plateau at log N)", writeN),
+		Columns: []string{"v", "leaf depth", "WriteMax steps", "budget 2+8*depth"},
+		Notes:   []string{"values v >= N use the writer's complete-tree leaf: the plateau"},
+	}
+	pool := primitive.NewPool()
+	m, err := core.New(pool, writeN, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vs {
+		ctx := primitive.NewCounting(primitive.NewDirect(0))
+		var wErr error
+		steps := ctx.Measure(func() { wErr = m.WriteMax(ctx, v) })
+		if wErr != nil {
+			return nil, fmt.Errorf("E4 WriteMax(%d): %w", v, wErr)
+		}
+		depth := m.WriteDepth(0, v)
+		writeTable.AddRow(v, depth, steps, 2+8*depth)
+	}
+	return []*Table{readTable, writeTable}, nil
+}
+
+// --- E5: cross-implementation comparison ---
+
+// E5Compare tabulates read and update step complexity for every object
+// implementation in the repository: the paper's implicit "who pays what"
+// table.
+func E5Compare(ns []int) ([]*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "All implementations: exact read/update steps (worst over a sequential fill)",
+		Columns: []string{"object", "impl", "N", "read steps", "max update steps"},
+		Notes: []string{
+			"max registers: bound M = N^2, writes sweep [0, M); counters: limit N^2",
+			"cas rows are best-case (no contention); they are not wait-free",
+		},
+	}
+	for _, n := range ns {
+		n := n
+		bound := int64(n) * int64(n)
+		writes := make([]int64, 0, 2*n)
+		for v := int64(0); v < bound; v += bound/int64(2*n) + 1 {
+			writes = append(writes, v)
+		}
+		writes = append(writes, bound-1)
+
+		type mr struct {
+			name  string
+			build func(pool *primitive.Pool) (maxreg.MaxRegister, error)
+		}
+		for _, impl := range []mr{
+			{name: "algorithm-a", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return core.New(pool, n, bound) }},
+			{name: "aac", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewAAC(pool, bound) }},
+			{name: "unbounded-aac", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewUnboundedAAC(pool), nil }},
+			{name: "cas", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewCASRegister(pool, bound), nil }},
+		} {
+			read, write, err := maxRegSteps(impl.build, writes)
+			if err != nil {
+				return nil, fmt.Errorf("E5 maxreg %s n=%d: %w", impl.name, n, err)
+			}
+			t.AddRow("max-register", impl.name, n, read, write)
+		}
+
+		// The AAC counter keeps one (limit+1)-bounded max register per
+		// internal node; 8N increments is plenty for the 4N-op sweep and
+		// keeps construction linear.
+		ctrLimit := int64(8 * n)
+		type ctr struct {
+			name  string
+			build func(pool *primitive.Pool) (counter.Counter, error)
+		}
+		for _, impl := range []ctr{
+			{name: "aac", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewAAC(pool, n, ctrLimit) }},
+			{name: "farray", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewFArray(pool, n) }},
+			{name: "cas", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewCAS(pool), nil }},
+			{name: "snapshot-reduction", build: func(pool *primitive.Pool) (counter.Counter, error) {
+				s, err := snapshot.NewFArray(pool, n, bound)
+				if err != nil {
+					return nil, err
+				}
+				return counter.NewFromSnapshot(s), nil
+			}},
+		} {
+			read, inc, err := counterSteps(impl.build, n, 4*n)
+			if err != nil {
+				return nil, fmt.Errorf("E5 counter %s n=%d: %w", impl.name, n, err)
+			}
+			t.AddRow("counter", impl.name, n, read, inc)
+		}
+
+		type snap struct {
+			name  string
+			build func(pool *primitive.Pool) (snapshot.Snapshot, error)
+		}
+		for _, impl := range []snap{
+			{name: "doublecollect", build: func(pool *primitive.Pool) (snapshot.Snapshot, error) { return snapshot.NewDoubleCollect(pool, n) }},
+			{name: "afek", build: func(pool *primitive.Pool) (snapshot.Snapshot, error) { return snapshot.NewAfek(pool, n, bound) }},
+			{name: "farray", build: func(pool *primitive.Pool) (snapshot.Snapshot, error) { return snapshot.NewFArray(pool, n, bound) }},
+		} {
+			scan, upd, err := snapshotSteps(impl.build, n, 4*n)
+			if err != nil {
+				return nil, fmt.Errorf("E5 snapshot %s n=%d: %w", impl.name, n, err)
+			}
+			t.AddRow("snapshot", impl.name, n, scan, upd)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// --- E7: Lemma 1 information-flow growth ---
+
+// E7Lemma1Growth tabulates max familiarity-set size per Lemma 1 round
+// during the counter construction, against the 3^j ceiling.
+func E7Lemma1Growth(n int) ([]*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   fmt.Sprintf("Lemma 1: information-flow growth per round (f-array counter, N = %d)", n),
+		Columns: []string{"round j", "max |F(o,E_j)|", "ceiling 3^j", "within"},
+		Notes:   []string{"the ceiling is why log-many rounds are unavoidable: awareness grows at most 3x per round"},
+	}
+	res, err := adversary.RunCounterConstruction(func(pool *primitive.Pool, n int) (counter.Counter, error) {
+		return counter.NewFArray(pool, n)
+	}, n, maxAdversaryRounds)
+	if err != nil {
+		return nil, err
+	}
+	ceiling := 1
+	for j, fam := range res.MaxFamiliarityPerRound {
+		if ceiling < 1<<40 {
+			ceiling *= 3
+		}
+		cell := fmt.Sprint(ceiling)
+		if ceiling >= 1<<40 {
+			cell = ">10^12"
+		}
+		t.AddRow(j+1, fam, cell, fam <= ceiling)
+	}
+	return []*Table{t}, nil
+}
+
+// --- E9: ablations of Algorithm A's design choices ---
+
+// E9Ablations quantifies the two load-bearing choices in Algorithm A: the
+// B1-shaped left subtree (vs. a balanced one) and the double refresh (whose
+// necessity is demonstrated by construction in internal/core's ablation
+// tests — here we tabulate its step cost, which is what the second refresh
+// buys linearizability for).
+func E9Ablations(n int, vs []int64) ([]*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: fmt.Sprintf("Ablations of Algorithm A at N = %d: WriteMax(v) steps", n),
+		Columns: []string{
+			"v", "paper (B1 + 2 refreshes)", "balanced TL (2 refreshes)", "B1 + 1 refresh (NOT linearizable)",
+		},
+		Notes: []string{
+			"balanced TL: small values lose their O(log v) discount and pay O(log N) like everything else",
+			"single refresh: ~half the write steps, but loses completed updates under contention (see TestAblationSingleRefreshLosesUpdate)",
+		},
+	}
+
+	variants := []func(pool *primitive.Pool) (*core.MaxRegister, error){
+		func(pool *primitive.Pool) (*core.MaxRegister, error) { return core.New(pool, n, 0) },
+		func(pool *primitive.Pool) (*core.MaxRegister, error) { return core.NewBalancedTL(pool, n, 0) },
+		func(pool *primitive.Pool) (*core.MaxRegister, error) { return core.NewSingleRefresh(pool, n, 0) },
+	}
+	regs := make([]*core.MaxRegister, len(variants))
+	for i, build := range variants {
+		reg, err := build(primitive.NewPool())
+		if err != nil {
+			return nil, fmt.Errorf("E9 variant %d: %w", i, err)
+		}
+		regs[i] = reg
+	}
+	for _, v := range vs {
+		row := make([]any, 0, 4)
+		row = append(row, v)
+		for _, reg := range regs {
+			ctx := primitive.NewCounting(primitive.NewDirect(0))
+			var wErr error
+			steps := ctx.Measure(func() { wErr = reg.WriteMax(ctx, v) })
+			if wErr != nil {
+				return nil, fmt.Errorf("E9 WriteMax(%d): %w", v, wErr)
+			}
+			row = append(row, steps)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// --- E10: amortized write cost over whole workloads ---
+
+// E10AmortizedWrites measures total steps for writing an entire ascending
+// sequence 0..M-1 (the worst case for per-op bounds: every write is a new
+// maximum) and a seeded random sequence, reporting the amortized per-write
+// cost. This complements E4's worst-case single-op numbers: in real
+// workloads most random writes are obsolete after one leaf read, so the
+// amortized costs sit far below the worst case.
+func E10AmortizedWrites(m int64) ([]*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   fmt.Sprintf("Amortized WriteMax cost over %d-value workloads", m),
+		Columns: []string{"impl", "workload", "total steps", "amortized steps/write"},
+		Notes: []string{
+			"ascending = every write is a fresh maximum (worst case); random = uniform values",
+			"AAC's descent aborts at the first raised switch, so obsolete random writes cost ~2 steps amortized;",
+			"Algorithm A only short-circuits on its leaf (the paper's line 16), so fresh-but-small values still propagate — the price of the O(1) read",
+		},
+	}
+	n := int(m)
+	impls := []struct {
+		name  string
+		build func(pool *primitive.Pool) (maxreg.MaxRegister, error)
+	}{
+		{name: "algorithm-a", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return core.New(pool, n, m) }},
+		{name: "aac", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewAAC(pool, m) }},
+		{name: "unbounded-aac", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewUnboundedAAC(pool), nil }},
+	}
+	workloads := []struct {
+		name   string
+		values func() []int64
+	}{
+		{name: "ascending", values: func() []int64 {
+			out := make([]int64, m)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			return out
+		}},
+		{name: "random", values: func() []int64 {
+			out := make([]int64, m)
+			state := uint64(0x9E3779B97F4A7C15)
+			for i := range out {
+				// SplitMix64: deterministic without package-level rand.
+				state += 0x9E3779B97F4A7C15
+				z := state
+				z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+				z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+				out[i] = int64((z ^ (z >> 31)) % uint64(m))
+			}
+			return out
+		}},
+	}
+	for _, impl := range impls {
+		for _, wl := range workloads {
+			pool := primitive.NewPool()
+			reg, err := impl.build(pool)
+			if err != nil {
+				return nil, fmt.Errorf("E10 %s: %w", impl.name, err)
+			}
+			ctx := primitive.NewCounting(primitive.NewDirect(0))
+			for _, v := range wl.values() {
+				if err := reg.WriteMax(ctx, v); err != nil {
+					return nil, fmt.Errorf("E10 %s WriteMax(%d): %w", impl.name, v, err)
+				}
+			}
+			total := ctx.Steps()
+			t.AddRow(impl.name, wl.name, total, fmt.Sprintf("%.2f", float64(total)/float64(m)))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// All runs every experiment with default parameters.
+func All() ([]*Table, error) {
+	var out []*Table
+	runs := []func() ([]*Table, error){
+		func() ([]*Table, error) { return E1CounterTradeoff(DefaultCounterNs) },
+		func() ([]*Table, error) { return E2SnapshotTradeoff(DefaultCounterNs) },
+		func() ([]*Table, error) { return E3MaxRegAdversary(DefaultMaxRegKs) },
+		func() ([]*Table, error) {
+			return E4AlgorithmASteps([]int{16, 64, 256, 1024, 4096}, 4096,
+				[]int64{0, 1, 2, 4, 8, 16, 64, 256, 1024, 4095, 4096, 8192, 1 << 20, 1 << 40})
+		},
+		func() ([]*Table, error) { return E5Compare(DefaultCompareNs) },
+		func() ([]*Table, error) { return E7Lemma1Growth(64) },
+		func() ([]*Table, error) {
+			return E9Ablations(4096, []int64{1, 4, 16, 256, 4095, 4096, 1 << 20})
+		},
+		func() ([]*Table, error) { return E10AmortizedWrites(1 << 12) },
+	}
+	for _, run := range runs {
+		tables, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}

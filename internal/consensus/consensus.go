@@ -1,0 +1,240 @@
+// Package consensus builds obstruction-free consensus from read/write
+// registers, the application domain the paper cites for restricted-use
+// objects (randomized consensus [5] and mutual exclusion [7] both consume
+// max registers and counters).
+//
+// Two layers:
+//
+//   - CommitAdopt: the classic wait-free graded-agreement object from two
+//     rounds of announce-and-collect (Gafni's commit-adopt). It guarantees
+//     validity (outputs are inputs), coherence (if anyone commits v,
+//     everyone outputs v), and convergence (identical inputs commit).
+//     O(N) steps per Propose.
+//   - Consensus: the round-based obstruction-free construction — a fresh
+//     CommitAdopt per round, each process carrying its adopted value
+//     forward until some round commits. A decided register short-circuits
+//     late arrivals, and a max register (Algorithm A) publishes the
+//     highest active round for observability. Like the paper's objects it
+//     is restricted-use: a construction-time round budget bounds memory,
+//     and contention beyond it surfaces as ErrRoundsExhausted rather than
+//     unbounded spinning.
+//
+// Correctness is model-checked in the test suite: exhaustive interleaving
+// enumeration for CommitAdopt and seeded random schedules for Consensus,
+// checking agreement, validity, and coherence on every execution.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Grade is a CommitAdopt outcome.
+type Grade int
+
+// CommitAdopt outcomes.
+const (
+	// GradeCommit: the value is decided; every other process is
+	// guaranteed to output the same value (with either grade).
+	GradeCommit Grade = iota + 1
+
+	// GradeAdopt: the value must be carried into the next round; some
+	// process may have committed it.
+	GradeAdopt
+)
+
+// String implements fmt.Stringer.
+func (g Grade) String() string {
+	switch g {
+	case GradeCommit:
+		return "commit"
+	case GradeAdopt:
+		return "adopt"
+	default:
+		return fmt.Sprintf("Grade(%d)", int(g))
+	}
+}
+
+// CommitAdopt is a single-use N-process graded agreement object. Values
+// are positive int64s below 2^61 (0 is the internal "no value" mark).
+type CommitAdopt struct {
+	n int
+	// round1[i] holds process i's announced input (0 = not yet).
+	round1 []*primitive.Register
+	// round2[i] holds process i's graded report: value<<1 | cleanBit.
+	round2 []*primitive.Register
+}
+
+// maxValue is the largest proposable value (one bit is used for the grade).
+const maxValue = int64(1)<<61 - 1
+
+// NewCommitAdopt builds a commit-adopt object for n >= 1 processes.
+func NewCommitAdopt(pool *primitive.Pool, n int) (*CommitAdopt, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("consensus: need n >= 1 processes, got %d", n)
+	}
+	return &CommitAdopt{
+		n:      n,
+		round1: pool.NewSlice("ca.r1", n, 0),
+		round2: pool.NewSlice("ca.r2", n, 0),
+	}, nil
+}
+
+// Propose runs the two announce-and-collect rounds. Each process may call
+// it at most once per object. 2 + 2N steps.
+func (ca *CommitAdopt) Propose(ctx primitive.Context, v int64) (Grade, int64, error) {
+	id := ctx.ID()
+	if id < 0 || id >= ca.n {
+		return 0, 0, fmt.Errorf("consensus: process id %d out of range [0,%d)", id, ca.n)
+	}
+	if v <= 0 || v > maxValue {
+		return 0, 0, fmt.Errorf("consensus: value %d outside (0, 2^61)", v)
+	}
+
+	// Round 1: announce, then collect. Clean iff every announcement seen
+	// matches ours — at most one value can be clean across all processes
+	// (two writers with different values: the later round-1 writer sees
+	// the earlier one's announcement).
+	ctx.Write(ca.round1[id], v)
+	clean := int64(1)
+	for _, reg := range ca.round1 {
+		if got := ctx.Read(reg); got != 0 && got != v {
+			clean = 0
+			break
+		}
+	}
+
+	// Round 2: report the graded value, then collect reports.
+	ctx.Write(ca.round2[id], v<<1|clean)
+
+	var (
+		sawDirty  bool
+		cleanVal  int64
+		sawClean  bool
+		dirtyOnly = true
+	)
+	for _, reg := range ca.round2 {
+		got := ctx.Read(reg)
+		if got == 0 {
+			continue
+		}
+		val, isClean := got>>1, got&1 == 1
+		if isClean {
+			sawClean = true
+			cleanVal = val
+			dirtyOnly = false
+		} else {
+			sawDirty = true
+		}
+	}
+
+	switch {
+	case sawClean && !sawDirty:
+		// Every report seen is clean; clean reports all carry the same
+		// value, and every process that hasn't reported yet will see ours
+		// and output it too.
+		return GradeCommit, cleanVal, nil
+	case sawClean:
+		return GradeAdopt, cleanVal, nil
+	default:
+		_ = dirtyOnly
+		// No clean report: nobody can have committed; keep our own value.
+		return GradeAdopt, v, nil
+	}
+}
+
+// ErrRoundsExhausted reports that contention outlasted the consensus
+// object's declared round budget.
+var ErrRoundsExhausted = errors.New("consensus: round budget exhausted")
+
+// Consensus is an N-process, obstruction-free, restricted-use consensus
+// object from read/write registers (plus the CAS inside the round-tracking
+// max register, which is observability only).
+type Consensus struct {
+	n         int
+	maxRounds int
+	rounds    []*CommitAdopt
+	decided   *primitive.Register
+	highRound *core.MaxRegister
+}
+
+// NewConsensus builds a consensus object for n processes that tolerates up
+// to maxRounds rounds of contention.
+func NewConsensus(pool *primitive.Pool, n, maxRounds int) (*Consensus, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("consensus: need n >= 1 processes, got %d", n)
+	}
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("consensus: need maxRounds >= 1, got %d", maxRounds)
+	}
+	c := &Consensus{
+		n:         n,
+		maxRounds: maxRounds,
+		rounds:    make([]*CommitAdopt, maxRounds),
+		decided:   pool.New("consensus.decided", 0),
+	}
+	for r := range c.rounds {
+		ca, err := NewCommitAdopt(pool, n)
+		if err != nil {
+			return nil, err
+		}
+		c.rounds[r] = ca
+	}
+	hr, err := core.New(pool, n, int64(maxRounds)+1)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: round tracker: %w", err)
+	}
+	c.highRound = hr
+	return c, nil
+}
+
+// Propose drives rounds of commit-adopt until one commits, and returns the
+// decided value. Every caller that returns nil gets the same value
+// (agreement), and that value is some caller's input (validity). All
+// processes pass through every round in order — round skipping would break
+// agreement — so a caller may return ErrRoundsExhausted under extreme
+// contention; retrying with backoff is the standard obstruction-free
+// remedy.
+func (c *Consensus) Propose(ctx primitive.Context, v int64) (int64, error) {
+	if d := ctx.Read(c.decided); d != 0 {
+		return d, nil
+	}
+	prefer := v
+	for r := 0; r < c.maxRounds; r++ {
+		grade, val, err := c.rounds[r].Propose(ctx, prefer)
+		if err != nil {
+			return 0, err
+		}
+		prefer = val
+		if grade == GradeCommit {
+			// All other processes are bound to val by coherence; the
+			// plain write is safe because every writer writes val.
+			ctx.Write(c.decided, val)
+			return val, nil
+		}
+		// Observability: publish the highest round in play (monotone, so
+		// a max register is exactly right).
+		if err := c.highRound.WriteMax(ctx, int64(r)+1); err != nil {
+			return 0, err
+		}
+	}
+	return 0, ErrRoundsExhausted
+}
+
+// Decided returns the decided value, or 0 if undecided so far. One step.
+func (c *Consensus) Decided(ctx primitive.Context) int64 {
+	return ctx.Read(c.decided)
+}
+
+// HighRound returns the highest round any process has finished without a
+// commit: a contention gauge. One step (Algorithm A read).
+func (c *Consensus) HighRound(ctx primitive.Context) int64 {
+	return c.highRound.ReadMax(ctx)
+}
+
+// compile-time interface sanity: the round tracker is a max register.
+var _ maxreg.MaxRegister = (*core.MaxRegister)(nil)

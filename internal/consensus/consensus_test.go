@@ -1,0 +1,367 @@
+package consensus_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/consensus"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+type caOutcome struct {
+	grade consensus.Grade
+	value int64
+	err   error
+}
+
+// checkCAOutcomes asserts commit-adopt's three properties for a complete
+// set of outcomes.
+func checkCAOutcomes(t *testing.T, inputs []int64, outs []caOutcome) {
+	t.Helper()
+	inputSet := make(map[int64]bool, len(inputs))
+	allEqual := true
+	for _, v := range inputs {
+		inputSet[v] = true
+		if v != inputs[0] {
+			allEqual = false
+		}
+	}
+
+	var committed int64
+	for _, o := range outs {
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if !inputSet[o.value] {
+			t.Fatalf("validity violated: output %d not an input %v", o.value, inputs)
+		}
+		if o.grade == consensus.GradeCommit {
+			if committed != 0 && committed != o.value {
+				t.Fatalf("two different commits: %d and %d", committed, o.value)
+			}
+			committed = o.value
+		}
+	}
+	if committed != 0 {
+		for _, o := range outs {
+			if o.value != committed {
+				t.Fatalf("coherence violated: commit %d but output (%v, %d)", committed, o.grade, o.value)
+			}
+		}
+	}
+	if allEqual {
+		for _, o := range outs {
+			if o.grade != consensus.GradeCommit || o.value != inputs[0] {
+				t.Fatalf("convergence violated: inputs all %d but output (%v, %d)", inputs[0], o.grade, o.value)
+			}
+		}
+	}
+}
+
+// runCA runs one CommitAdopt instance under the given scheduling function.
+func runCA(t *testing.T, inputs []int64, schedule func(s *sim.System) error) []caOutcome {
+	t.Helper()
+	pool := primitive.NewPool()
+	ca, err := consensus.NewCommitAdopt(pool, len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	outs := make([]caOutcome, len(inputs))
+	for p, v := range inputs {
+		p, v := p, v
+		if err := s.Spawn(p, func(ctx primitive.Context) {
+			g, u, err := ca.Propose(ctx, v)
+			outs[p] = caOutcome{grade: g, value: u, err: err}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := schedule(s); err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+func TestCommitAdoptExhaustiveTwoProcs(t *testing.T) {
+	// Enumerate EVERY interleaving of two conflicting proposals.
+	inputs := []int64{1, 2}
+	var outs []caOutcome
+	build := func() (*sim.System, error) {
+		pool := primitive.NewPool()
+		ca, err := consensus.NewCommitAdopt(pool, 2)
+		if err != nil {
+			return nil, err
+		}
+		s := sim.NewSystem()
+		outs = make([]caOutcome, 2)
+		captured := outs
+		for p, v := range inputs {
+			p, v := p, v
+			if err := s.Spawn(p, func(ctx primitive.Context) {
+				g, u, err := ca.Propose(ctx, v)
+				captured[p] = caOutcome{grade: g, value: u, err: err}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	executions, err := sim.Explore(build, func(*sim.System) error {
+		checkCAOutcomes(t, inputs, outs)
+		return nil
+	}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d executions", executions)
+	if executions < 100 {
+		t.Fatalf("exploration degenerate: %d executions", executions)
+	}
+}
+
+func TestCommitAdoptRandomSchedulesThreeProcs(t *testing.T) {
+	for trial := 0; trial < 800; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		inputs := []int64{
+			rng.Int63n(3) + 1,
+			rng.Int63n(3) + 1,
+			rng.Int63n(3) + 1,
+		}
+		outs := runCA(t, inputs, func(s *sim.System) error {
+			for {
+				active := s.Active()
+				if len(active) == 0 {
+					return nil
+				}
+				if _, err := s.Step(active[rng.Intn(len(active))]); err != nil {
+					return err
+				}
+			}
+		})
+		checkCAOutcomes(t, inputs, outs)
+	}
+}
+
+func TestCommitAdoptSoloCommits(t *testing.T) {
+	outs := runCA(t, []int64{7}, func(s *sim.System) error {
+		for len(s.Active()) > 0 {
+			if _, err := s.Step(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if outs[0].grade != consensus.GradeCommit || outs[0].value != 7 {
+		t.Fatalf("solo outcome = %+v", outs[0])
+	}
+}
+
+func TestCommitAdoptValidation(t *testing.T) {
+	pool := primitive.NewPool()
+	ca, err := consensus.NewCommitAdopt(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	if _, _, err := ca.Propose(ctx, 0); err == nil {
+		t.Fatal("zero value accepted")
+	}
+	if _, _, err := ca.Propose(ctx, -3); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, _, err := ca.Propose(primitive.NewDirect(5), 1); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := consensus.NewCommitAdopt(pool, 0); err == nil {
+		t.Fatal("0 processes accepted")
+	}
+	if g := consensus.GradeCommit.String(); g != "commit" {
+		t.Fatalf("Grade.String = %q", g)
+	}
+	if consensus.Grade(9).String() == "" {
+		t.Fatal("unknown grade String empty")
+	}
+}
+
+func TestConsensusRandomSchedules(t *testing.T) {
+	for trial := 0; trial < 400; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 5000)))
+		const n = 3
+		pool := primitive.NewPool()
+		c, err := consensus.NewConsensus(pool, n, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.NewSystem()
+
+		values := make([]int64, n)
+		errs := make([]error, n)
+		for p := 0; p < n; p++ {
+			p := p
+			input := int64(p + 1)
+			if err := s.Spawn(p, func(ctx primitive.Context) {
+				values[p], errs[p] = c.Propose(ctx, input)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			active := s.Active()
+			if len(active) == 0 {
+				break
+			}
+			if _, err := s.Step(active[rng.Intn(len(active))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var decided int64
+		for p := 0; p < n; p++ {
+			if errs[p] != nil {
+				if errors.Is(errs[p], consensus.ErrRoundsExhausted) {
+					continue // legal under adversarial scheduling
+				}
+				t.Fatalf("trial %d: %v", trial, errs[p])
+			}
+			if values[p] < 1 || values[p] > n {
+				t.Fatalf("trial %d: validity violated: %d", trial, values[p])
+			}
+			if decided != 0 && values[p] != decided {
+				t.Fatalf("trial %d: agreement violated: %d vs %d", trial, values[p], decided)
+			}
+			decided = values[p]
+		}
+		if decided != 0 {
+			if got := c.Decided(primitive.NewDirect(0)); got != decided {
+				t.Fatalf("trial %d: Decided() = %d, want %d", trial, got, decided)
+			}
+		}
+		s.Shutdown()
+	}
+}
+
+func TestConsensusSoloDecidesInRoundZero(t *testing.T) {
+	pool := primitive.NewPool()
+	c, err := consensus.NewConsensus(pool, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewCounting(primitive.NewDirect(2))
+	got, err := c.Propose(ctx, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("solo decision = %d", got)
+	}
+	// Budget: decided read + one CA propose (2 + 2N) + decided write.
+	if steps := ctx.Steps(); steps > int64(4+2*4) {
+		t.Fatalf("solo propose took %d steps", steps)
+	}
+	if c.Decided(primitive.NewDirect(0)) != 42 {
+		t.Fatal("Decided not set")
+	}
+	if c.HighRound(primitive.NewDirect(0)) != 0 {
+		t.Fatal("HighRound moved without contention")
+	}
+	// A late proposer adopts the decision via the fast path.
+	late, err := c.Propose(primitive.NewDirect(3), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late != 42 {
+		t.Fatalf("late proposer got %d", late)
+	}
+}
+
+func TestConsensusLockstepExhaustsRounds(t *testing.T) {
+	// Two processes in perfect lockstep never break symmetry: with a
+	// 1-round budget they must surface ErrRoundsExhausted — the
+	// restricted-use analogue of FLP-style livelock.
+	pool := primitive.NewPool()
+	c, err := consensus.NewConsensus(pool, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	errs := make([]error, 2)
+	for p := 0; p < 2; p++ {
+		p := p
+		if err := s.Spawn(p, func(ctx primitive.Context) {
+			_, errs[p] = c.Propose(ctx, int64(p+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for len(s.Active()) > 0 {
+		for _, id := range s.Active() {
+			if _, err := s.Step(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for p, err := range errs {
+		if !errors.Is(err, consensus.ErrRoundsExhausted) {
+			t.Fatalf("p%d: err = %v, want ErrRoundsExhausted", p, err)
+		}
+	}
+	if got := c.HighRound(primitive.NewDirect(0)); got != 1 {
+		t.Fatalf("HighRound = %d, want 1", got)
+	}
+}
+
+func TestConsensusConcurrentGoroutines(t *testing.T) {
+	// Native parallel run with retry-on-exhaustion: all goroutines agree.
+	const n = 8
+	pool := primitive.NewPool()
+	c, err := consensus.NewConsensus(pool, n, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]int64, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ctx := primitive.NewDirect(p)
+			got, err := c.Propose(ctx, int64(p+100))
+			if err != nil {
+				t.Errorf("p%d: %v", p, err)
+				return
+			}
+			results[p] = got
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for p := 1; p < n; p++ {
+		if results[p] != results[0] {
+			t.Fatalf("agreement violated: %v", results)
+		}
+	}
+	if results[0] < 100 || results[0] >= 100+n {
+		t.Fatalf("validity violated: %d", results[0])
+	}
+}
+
+func TestConsensusConstructorValidation(t *testing.T) {
+	pool := primitive.NewPool()
+	if _, err := consensus.NewConsensus(pool, 0, 4); err == nil {
+		t.Fatal("0 processes accepted")
+	}
+	if _, err := consensus.NewConsensus(pool, 2, 0); err == nil {
+		t.Fatal("0 rounds accepted")
+	}
+}

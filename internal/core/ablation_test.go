@@ -1,0 +1,217 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// TestAblationSingleRefreshLosesUpdate constructs, step by step, the
+// interleaving that breaks Algorithm A when Propagate refreshes each level
+// only once — demonstrating that the paper's double refresh is what makes
+// the algorithm linearizable.
+//
+// Configuration: 3 processes, bound 3, so the tree is the pure B1 shape
+//
+//	     s0 (root)
+//	    /  \
+//	leaf0    s1
+//	        /  \
+//	    leaf1  leaf2
+//
+// The schedule below makes p1's CAS on s1 (computed before p0's leaf write)
+// land between p0's read of s1 and p0's only CAS on s1. p0's CAS fails, the
+// single-refresh ablation moves on, and p0 re-reads s1 *before* anyone
+// re-propagates — so p0 finishes its WriteMax(2) having installed only 1 at
+// the root. A subsequent read returns 1 < 2: a lost update.
+func TestAblationSingleRefreshLosesUpdate(t *testing.T) {
+	pool := primitive.NewPool()
+	m, err := core.NewSingleRefresh(pool, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	writeErr := make([]error, 2)
+	if err := s.Spawn(0, func(ctx primitive.Context) { writeErr[0] = m.WriteMax(ctx, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spawn(1, func(ctx primitive.Context) { writeErr[1] = m.WriteMax(ctx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// p1: read leaf1, write leaf1=1, read s1, read leaf1, read leaf2(=0,
+	//     before p0 writes it) -> its s1 CAS will install 1.
+	// p0: read leaf2, write leaf2=2, read s1(=0), read leaf1, read leaf2
+	//     -> its s1 CAS wants 0->2.
+	// p1: CAS s1 0->1 succeeds.
+	// p0: CAS s1 0->2 FAILS; single refresh gives up on s1;
+	//     read root(0), read leaf0(0), read s1(=1!), CAS root 0->1; done.
+	schedule := []int{
+		1, 1, 1, 1, 1,
+		0, 0, 0, 0, 0,
+		1,
+		0, 0, 0, 0, 0,
+	}
+	if err := s.Run(schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done(0) {
+		t.Fatalf("p0 should have finished its WriteMax(2) after %d steps, has %d pending", len(schedule), s.StepsOf(0))
+	}
+	if writeErr[0] != nil {
+		t.Fatal(writeErr[0])
+	}
+
+	// p0's WriteMax(2) has COMPLETED. A fresh reader must see 2 — and with
+	// the single-refresh ablation it sees 1 instead.
+	var got int64
+	if err := s.Spawn(2, func(ctx primitive.Context) { got = m.ReadMax(ctx) }); err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done(2) {
+		if _, err := s.Step(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != 1 {
+		t.Fatalf("expected the ablation to lose the update (read 1); read %d — "+
+			"did the schedule or the algorithm change?", got)
+	}
+
+	// Let p1 finish: even full quiescence never repairs the loss.
+	for !s.Done(1) {
+		if _, err := s.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if writeErr[1] != nil {
+		t.Fatal(writeErr[1])
+	}
+	final := readOnce(t, s, 3, m)
+	if final != 1 {
+		t.Fatalf("after quiescence root = %d", final)
+	}
+}
+
+// TestDoubleRefreshSurvivesSameAttack replays the same adversarial idea
+// against the real algorithm: p0's first CAS on s1 fails identically, but
+// the second refresh re-reads the children and repairs the node, so the
+// completed write is never lost.
+func TestDoubleRefreshSurvivesSameAttack(t *testing.T) {
+	pool := primitive.NewPool()
+	m, err := core.New(pool, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := sim.NewSystem()
+	defer s.Shutdown()
+	writeErr := make([]error, 2)
+	if err := s.Spawn(0, func(ctx primitive.Context) { writeErr[0] = m.WriteMax(ctx, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spawn(1, func(ctx primitive.Context) { writeErr[1] = m.WriteMax(ctx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same prefix as the ablation attack (p0's first s1 CAS fails), then
+	// run p0 to completion.
+	prefix := []int{
+		1, 1, 1, 1, 1,
+		0, 0, 0, 0, 0,
+		1,
+		0, // p0's first CAS on s1: fails exactly as before
+	}
+	if err := s.Run(prefix); err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done(0) {
+		if _, err := s.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if writeErr[0] != nil {
+		t.Fatal(writeErr[0])
+	}
+
+	if got := readOnce(t, s, 2, m); got != 2 {
+		t.Fatalf("double refresh lost the update: read %d, want 2", got)
+	}
+}
+
+// readOnce runs a fresh simulated process that performs a single ReadMax.
+func readOnce(t *testing.T, s *sim.System, id int, m *core.MaxRegister) int64 {
+	t.Helper()
+	var got int64
+	if err := s.Spawn(id, func(ctx primitive.Context) { got = m.ReadMax(ctx) }); err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done(id) {
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return got
+}
+
+// TestAblationBalancedTLCostsLogN verifies the other ablation: with a
+// balanced left subtree, small values cost Theta(log N) instead of
+// Theta(log v) — the B1 tree is what makes Algorithm A's write cost value-
+// sensitive.
+func TestAblationBalancedTLCostsLogN(t *testing.T) {
+	const n = 1 << 12
+	b1Reg, err := core.New(primitive.NewPool(), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := core.NewBalancedTL(primitive.NewPool(), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := func(m *core.MaxRegister, v int64) int64 {
+		ctx := primitive.NewCounting(primitive.NewDirect(0))
+		if err := m.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Steps()
+	}
+	// Writing a tiny value: B1 pays O(log v), balanced pays O(log N).
+	if b1, bal := steps(b1Reg, 2), steps(balanced, 2); b1*2 >= bal {
+		t.Fatalf("B1 write of 2 (%d steps) not clearly cheaper than balanced (%d steps)", b1, bal)
+	}
+	// Both stay correct.
+	ctx := primitive.NewDirect(0)
+	if got := balanced.ReadMax(ctx); got != 2 {
+		t.Fatalf("balanced ablation broken: %d", got)
+	}
+}
+
+// TestAblationVariantsStillValidate runs the balanced-TL variant through
+// the same sequential model check as the real algorithm (it should be
+// correct, just slower).
+func TestAblationVariantsStillValidate(t *testing.T) {
+	m, err := core.NewBalancedTL(primitive.NewPool(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	var model int64
+	for i := 0; i < 3000; i++ {
+		v := int64((i * 7919) % 50000)
+		if err := m.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		if v > model {
+			model = v
+		}
+		if got := m.ReadMax(ctx); got != model {
+			t.Fatalf("op %d: %d != %d", i, got, model)
+		}
+	}
+}

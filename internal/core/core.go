@@ -1,0 +1,224 @@
+// Package core implements Algorithm A of Hendler & Khait (PODC 2014,
+// Section 5): a wait-free, linearizable max register from read, write and
+// CAS with
+//
+//   - ReadMax in exactly 1 step, and
+//   - WriteMax(v) in O(min(log N, log v)) steps,
+//
+// matching the paper's Theorem 6 and sitting on the other side of the
+// tradeoff from the read-optimal AAC construction (O(log M) reads).
+//
+// # Structure (paper Figure 4)
+//
+// The register is a binary tree T of word-sized value registers, all
+// initialized to 0 (the paper initializes to -inf; since values are
+// non-negative and ReadMax of an untouched register is defined to be 0,
+// initializing to 0 is equivalent). The left subtree TL is a Bentley-Yao B1
+// tree whose v-th leaf sits at depth O(log v); the right subtree TR is a
+// complete binary tree with one leaf per process.
+//
+// WriteMax(v) by process i writes v to a leaf L — TL.leaves[v] if v < N,
+// else TR.leaves[i] — and propagates it rootward: at each ancestor it reads
+// the node, computes the max of the two children, and CASes the node,
+// twice per level (the Jayanti-style double refresh: if both of a process's
+// CASes fail, some other process's successful CAS must have observed the
+// new child value, so the value still reaches the node). ReadMax returns
+// the root register's value in one read.
+//
+// Linearizability follows the paper's Lemmas 7-12; the test suite checks it
+// both by exhaustive interleaving enumeration in the simulator and by
+// checker-validated stress runs.
+package core
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/b1tree"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// MaxRegister is Algorithm A. Construct it with New; the zero value is not
+// usable.
+type MaxRegister struct {
+	n     int
+	bound int64
+	// refreshes is the number of read-compute-CAS rounds per level in
+	// Propagate: 2 for the real algorithm, 1 for the ablation variant.
+	refreshes int
+
+	tree *b1tree.Tree
+	// values[k] is the register of tree.Nodes[k].
+	values []*primitive.Register
+
+	// tlLeaves is the number of leaves in the left (B1) subtree; values
+	// below it are written to their own leaf, values at or above it to the
+	// writing process's leaf in TR.
+	tlLeaves int64
+	// trStart is the leaf index in tree.Leaves where TR's leaves begin, or
+	// -1 if the register is bounded so tightly that TR was not built.
+	trStart int
+}
+
+var _ maxreg.MaxRegister = (*MaxRegister)(nil)
+
+// New builds Algorithm A for n >= 1 processes, allocating one register per
+// tree node from pool. bound > 0 caps storable values to [0, bound) (and
+// lets the structure drop TR when bound <= n, since every legal value then
+// has its own B1 leaf); bound == 0 builds the unbounded register.
+func New(pool *primitive.Pool, n int, bound int64) (*MaxRegister, error) {
+	return build(pool, n, bound, false /* balancedTL */, 2 /* refreshes */)
+}
+
+// NewBalancedTL is an ABLATION of Algorithm A that replaces the B1 left
+// subtree with a balanced tree over the same values: still linearizable and
+// wait-free, but WriteMax(v) costs Theta(log N) even for tiny v, which is
+// exactly the cost the B1 shape exists to avoid (experiment E4c).
+func NewBalancedTL(pool *primitive.Pool, n int, bound int64) (*MaxRegister, error) {
+	return build(pool, n, bound, true /* balancedTL */, 2 /* refreshes */)
+}
+
+// NewSingleRefresh is an ABLATION of Algorithm A whose Propagate performs
+// only one read-compute-CAS round per level. It is NOT linearizable: a
+// writer whose only CAS at some level fails can terminate with its value
+// stranded below the root (TestAblationSingleRefreshLosesUpdate constructs
+// the exact interleaving). It exists to demonstrate that the paper's
+// "performed twice at each level" is load-bearing.
+func NewSingleRefresh(pool *primitive.Pool, n int, bound int64) (*MaxRegister, error) {
+	return build(pool, n, bound, false /* balancedTL */, 1 /* refreshes */)
+}
+
+func build(pool *primitive.Pool, n int, bound int64, balancedTL bool, refreshes int) (*MaxRegister, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need n >= 1 processes, got %d", n)
+	}
+	if bound < 0 {
+		return nil, fmt.Errorf("core: negative bound %d", bound)
+	}
+
+	tlLeaves := int64(n)
+	needTR := true
+	if bound > 0 && bound <= int64(n) {
+		// Every value in [0, bound) gets its own B1 leaf; TR is dead
+		// weight and the paper's K = min(M, N) bound shows up here.
+		tlLeaves = bound
+		needTR = false
+	}
+
+	newTL := b1tree.NewB1
+	if balancedTL {
+		newTL = b1tree.NewComplete
+	}
+	tl, err := newTL(int(tlLeaves))
+	if err != nil {
+		return nil, fmt.Errorf("core: build TL: %w", err)
+	}
+
+	m := &MaxRegister{n: n, bound: bound, refreshes: refreshes, tlLeaves: tlLeaves, trStart: -1}
+	if needTR {
+		tr, err := b1tree.NewComplete(n)
+		if err != nil {
+			return nil, fmt.Errorf("core: build TR: %w", err)
+		}
+		m.tree = b1tree.Join(tl, tr)
+		m.trStart = int(tlLeaves)
+	} else {
+		m.tree = tl
+	}
+
+	m.values = make([]*primitive.Register, len(m.tree.Nodes))
+	for k, node := range m.tree.Nodes {
+		name := "T.node"
+		switch {
+		case node == m.tree.Root:
+			name = "T.root"
+		case node.IsLeaf():
+			name = "T.leaf"
+		}
+		m.values[k] = pool.New(name, 0)
+	}
+	return m, nil
+}
+
+// Bound implements maxreg.MaxRegister.
+func (m *MaxRegister) Bound() int64 { return m.bound }
+
+// Processes returns the number of processes the register was built for.
+func (m *MaxRegister) Processes() int { return m.n }
+
+// ReadMax implements maxreg.MaxRegister in exactly one shared-memory step
+// (paper Algorithm A, line 2).
+func (m *MaxRegister) ReadMax(ctx primitive.Context) int64 {
+	return ctx.Read(m.values[m.tree.Root.Index])
+}
+
+// WriteMax implements maxreg.MaxRegister (paper Algorithm A, lines 10-18).
+// It issues O(min(log N, log v)) steps: at most 2 at the leaf plus 8 per
+// tree level on the leaf-to-root path.
+func (m *MaxRegister) WriteMax(ctx primitive.Context, v int64) error {
+	if v < 0 || (m.bound > 0 && v >= m.bound) {
+		return &maxreg.RangeError{Value: v, Bound: m.bound}
+	}
+
+	var leaf *b1tree.Node
+	if v < m.tlLeaves {
+		leaf = m.tree.Leaves[v]
+	} else {
+		id := ctx.ID()
+		if id < 0 || id >= m.n {
+			return fmt.Errorf("core: WriteMax(%d) needs a process id in [0,%d), got %d", v, m.n, id)
+		}
+		leaf = m.tree.Leaves[m.trStart+id]
+	}
+
+	// Lines 15-17: write the leaf unless the value is already obsolete.
+	cell := m.values[leaf.Index]
+	if old := ctx.Read(cell); v <= old {
+		return nil
+	}
+	ctx.Write(cell, v)
+
+	m.propagate(ctx, leaf)
+	return nil
+}
+
+// propagate is the paper's Propagate procedure (lines 3-9): walk to the
+// root, and at each node read-compute-CAS twice. The double refresh makes
+// the write's effect reach the node even when both CASes fail: a failure
+// means a concurrent successful CAS, and the second failure's winner must
+// have read the children after our child value was in place.
+func (m *MaxRegister) propagate(ctx primitive.Context, n *b1tree.Node) {
+	for node := n.Parent; node != nil; node = node.Parent {
+		cell := m.values[node.Index]
+		left := m.values[node.Left.Index]
+		right := m.values[node.Right.Index]
+		for i := 0; i < m.refreshes; i++ {
+			old := ctx.Read(cell)
+			newValue := ctx.Read(left)
+			if r := ctx.Read(right); r > newValue {
+				newValue = r
+			}
+			ctx.CAS(cell, old, newValue)
+		}
+	}
+}
+
+// WriteDepth returns the tree depth of the leaf WriteMax(v) by process id
+// would use: the step cost of that write is 2 + 8*WriteDepth. Exposed for
+// the step-complexity experiments (E4).
+func (m *MaxRegister) WriteDepth(id int, v int64) int {
+	if v < m.tlLeaves {
+		return m.tree.Leaves[v].Depth
+	}
+	return m.tree.Leaves[m.trStart+id].Depth
+}
+
+// NodeCount returns the number of base registers the structure uses.
+func (m *MaxRegister) NodeCount() int { return len(m.values) }
+
+// RootRegister exposes the root register for white-box tests and the
+// awareness experiments (the Lemma 5 check needs to know which object a
+// reader touches).
+func (m *MaxRegister) RootRegister() *primitive.Register {
+	return m.values[m.tree.Root.Index]
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// FuzzMaxRegisterAgreement decodes the fuzz input into an operation
+// sequence and checks that every max register implementation returns
+// identical results, all matching the trivial reference model.
+//
+// Run with `go test -fuzz FuzzMaxRegisterAgreement ./internal/core` to
+// explore; the seed corpus runs under plain `go test`.
+func FuzzMaxRegisterAgreement(f *testing.F) {
+	f.Add([]byte{0x01, 0x80, 0x42, 0x03, 0xFF})
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFE, 0xFD, 0x01, 0x02, 0x03, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const bound = 1 << 14
+		algA, err := core.New(primitive.NewPool(), 4, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balanced, err := core.NewBalancedTL(primitive.NewPool(), 4, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aac, err := maxreg.NewAAC(primitive.NewPool(), bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impls := []maxreg.MaxRegister{
+			algA,
+			balanced,
+			aac,
+			maxreg.NewUnboundedAAC(primitive.NewPool()),
+			maxreg.NewCASRegister(primitive.NewPool(), 0),
+		}
+		ctx := primitive.NewDirect(0)
+
+		var model int64
+		for i := 0; i+1 < len(data); i += 2 {
+			// High bit of the first byte selects the op; the rest is the
+			// value.
+			isWrite := data[i]&0x80 != 0
+			v := (int64(data[i]&0x7F)<<8 | int64(data[i+1])) % bound
+			if isWrite {
+				for k, m := range impls {
+					if err := m.WriteMax(ctx, v); err != nil {
+						t.Fatalf("impl %d WriteMax(%d): %v", k, v, err)
+					}
+				}
+				if v > model {
+					model = v
+				}
+				continue
+			}
+			for k, m := range impls {
+				if got := m.ReadMax(ctx); got != model {
+					t.Fatalf("impl %d: ReadMax = %d, want %d (after %d ops)", k, got, model, i/2)
+				}
+			}
+		}
+	})
+}

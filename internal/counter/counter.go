@@ -1,0 +1,50 @@
+// Package counter provides shared counters: objects supporting
+// CounterIncrement and CounterRead, where CounterRead returns the number of
+// increments that linearized before it (Hendler & Khait, PODC 2014,
+// Section 2).
+//
+// The implementations bracket the paper's Theorem 1 tradeoff
+// (read O(f(N)) implies increment Omega(log(N/f(N)))):
+//
+//   - AAC: the Aspnes-Attiya-Censor counter from read/write only — a
+//     balanced tree over per-process counts whose internal nodes are
+//     M-bounded max registers. Read is O(log M) (read-optimal for
+//     polynomially many increments); Increment is O(log N * log M).
+//   - FArray: the Jayanti-style counter — O(1) Read, O(log N) Increment
+//     using CAS. Theorem 1 with f(N) = O(1) proves the log N update cost
+//     optimal.
+//   - CAS: a single fetch-and-add-style CAS loop — O(1) Read, lock-free
+//     (not wait-free) Increment.
+//   - FromSnapshot: Corollary 1's reduction — one Update per Increment,
+//     one Scan (plus a local sum) per Read, over any snapshot object.
+package counter
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Counter is the shared counter interface. All implementations are
+// linearizable; increments are restricted-use when Limit() > 0.
+type Counter interface {
+	// Increment adds one to the counter.
+	Increment(ctx primitive.Context) error
+
+	// Read returns the number of increments linearized before it.
+	Read(ctx primitive.Context) int64
+
+	// Limit returns the declared maximum number of increments (the
+	// "restricted use" bound), or 0 if unbounded.
+	Limit() int64
+}
+
+// LimitError reports an Increment beyond a counter's restricted-use bound.
+type LimitError struct {
+	Limit int64
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("counter: exceeded restricted-use limit of %d increments", e.Limit)
+}

@@ -1,0 +1,364 @@
+package counter
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// implementations builds every counter in the package (including the
+// Corollary 1 reductions over each snapshot type) for n processes with the
+// given restricted-use limit where one is required.
+func implementations(t *testing.T, n int, limit int64) map[string]Counter {
+	t.Helper()
+	aac, err := NewAAC(primitive.NewPool(), n, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := NewFArray(primitive.NewPool(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := snapshot.NewDoubleCollect(primitive.NewPool(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := snapshot.NewAfek(primitive.NewPool(), n, limit+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := snapshot.NewFArray(primitive.NewPool(), n, limit+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Counter{
+		"aac":          aac,
+		"farray":       fa,
+		"cas":          NewCAS(primitive.NewPool()),
+		"snap/collect": NewFromSnapshot(dc),
+		"snap/afek":    NewFromSnapshot(af),
+		"snap/farray":  NewFromSnapshot(fs),
+	}
+}
+
+func TestSequentialExactness(t *testing.T) {
+	const n, limit = 4, 4096
+	for name, c := range implementations(t, n, limit) {
+		t.Run(name, func(t *testing.T) {
+			ctxs := make([]primitive.Context, n)
+			for i := range ctxs {
+				ctxs[i] = primitive.NewDirect(i)
+			}
+			if got := c.Read(ctxs[0]); got != 0 {
+				t.Fatalf("initial Read = %d", got)
+			}
+			var model int64
+			for i := 0; i < 1000; i++ {
+				id := i % n
+				if err := c.Increment(ctxs[id]); err != nil {
+					t.Fatalf("increment %d: %v", i, err)
+				}
+				model++
+				if i%5 == 0 {
+					if got := c.Read(ctxs[(id+1)%n]); got != model {
+						t.Fatalf("after %d increments: Read = %d", model, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestIDValidation(t *testing.T) {
+	for name, c := range implementations(t, 2, 64) {
+		if name == "cas" {
+			continue // the CAS counter is id-agnostic by design
+		}
+		t.Run(name, func(t *testing.T) {
+			if err := c.Increment(primitive.NewDirect(5)); err == nil {
+				t.Fatal("out-of-range id accepted")
+			}
+			if err := c.Increment(primitive.NewDirect(-1)); err == nil {
+				t.Fatal("negative id accepted")
+			}
+		})
+	}
+}
+
+func TestAACLimitEnforced(t *testing.T) {
+	// Per-process counts share one global limit; driving one process past
+	// it must fail with LimitError.
+	c, err := NewAAC(primitive.NewPool(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	for i := 0; i < 5; i++ {
+		if err := c.Increment(ctx); err != nil {
+			t.Fatalf("increment %d: %v", i, err)
+		}
+	}
+	var limitErr *LimitError
+	if err := c.Increment(ctx); !errors.As(err, &limitErr) {
+		t.Fatalf("over-limit increment err = %v", err)
+	}
+	if limitErr.Limit != 5 || limitErr.Error() == "" {
+		t.Fatalf("LimitError = %+v", limitErr)
+	}
+	if got := c.Read(ctx); got != 5 {
+		t.Fatalf("Read after rejection = %d", got)
+	}
+	if c.Limit() != 5 {
+		t.Fatalf("Limit = %d", c.Limit())
+	}
+}
+
+func TestAACTotalLimitAcrossProcesses(t *testing.T) {
+	// The max registers bound the TOTAL count: pushing the global sum past
+	// the limit from different processes must also fail.
+	c, err := NewAAC(primitive.NewPool(), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for i := 0; i < 8; i++ {
+		if err := c.Increment(primitive.NewDirect(i % 4)); err != nil {
+			var limitErr *LimitError
+			if !errors.As(err, &limitErr) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("8 increments against limit 6 all succeeded")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewAAC(primitive.NewPool(), 0, 10); err == nil {
+		t.Fatal("NewAAC(0 procs) succeeded")
+	}
+	if _, err := NewAAC(primitive.NewPool(), 2, 0); err == nil {
+		t.Fatal("NewAAC(limit 0) succeeded")
+	}
+	if _, err := NewFArray(primitive.NewPool(), 0); err == nil {
+		t.Fatal("NewFArray(0) succeeded")
+	}
+}
+
+func TestSingleProcess(t *testing.T) {
+	for name, c := range implementations(t, 1, 100) {
+		t.Run(name, func(t *testing.T) {
+			ctx := primitive.NewDirect(0)
+			for i := 0; i < 10; i++ {
+				if err := c.Increment(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := c.Read(ctx); got != 10 {
+				t.Fatalf("Read = %d", got)
+			}
+		})
+	}
+}
+
+func TestReadStepComplexity(t *testing.T) {
+	for _, n := range []int{2, 8, 32} {
+		impls := implementations(t, n, 1<<12)
+		steps := func(c Counter) int64 {
+			ctx := primitive.NewCounting(primitive.NewDirect(0))
+			return ctx.Measure(func() { c.Read(ctx) })
+		}
+		// Constant-read implementations: exactly 1 step.
+		if got := steps(impls["farray"]); got != 1 {
+			t.Fatalf("n=%d: farray Read = %d steps", n, got)
+		}
+		if got := steps(impls["cas"]); got != 1 {
+			t.Fatalf("n=%d: cas Read = %d steps", n, got)
+		}
+		if got := steps(impls["snap/farray"]); got != 1 {
+			t.Fatalf("n=%d: snap/farray Read = %d steps", n, got)
+		}
+		// AAC read = one root ReadMax = ceil(log2(limit+1)) steps, N-free.
+		logM := int64(bits.Len64(uint64(1 << 12)))
+		if got := steps(impls["aac"]); got > logM {
+			t.Fatalf("n=%d: aac Read = %d steps > %d", n, got, logM)
+		}
+		// Snapshot-reduction reads cost one Scan: 2N for the collects.
+		if got := steps(impls["snap/collect"]); got != int64(2*n) {
+			t.Fatalf("n=%d: snap/collect Read = %d steps, want %d", n, got, 2*n)
+		}
+	}
+}
+
+func TestIncrementStepComplexity(t *testing.T) {
+	for _, n := range []int{2, 8, 32} {
+		impls := implementations(t, n, 1<<12)
+		depth := int64(bits.Len(uint(n - 1)))
+		logM := int64(bits.Len64(uint64(1 << 12)))
+
+		steps := func(c Counter) int64 {
+			ctx := primitive.NewCounting(primitive.NewDirect(0))
+			var err error
+			got := ctx.Measure(func() { err = c.Increment(ctx) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			return got
+		}
+		// AAC: 2 leaf steps + per level two child readings (each <= logM)
+		// and one WriteMax (<= logM).
+		if got, budget := steps(impls["aac"]), 2+depth*3*logM; got > budget {
+			t.Fatalf("n=%d: aac Increment = %d steps > %d", n, got, budget)
+		}
+		// f-array: 2 leaf steps + 8 per level.
+		if got, budget := steps(impls["farray"]), 2+8*depth; got > budget {
+			t.Fatalf("n=%d: farray Increment = %d steps > %d", n, got, budget)
+		}
+		// CAS uncontended: read + CAS.
+		if got := steps(impls["cas"]); got != 2 {
+			t.Fatalf("n=%d: cas Increment = %d steps, want 2", n, got)
+		}
+		// Corollary 1: increment = exactly one Update.
+		if got := steps(impls["snap/collect"]); got != 2 {
+			t.Fatalf("n=%d: snap/collect Increment = %d steps, want 2", n, got)
+		}
+		if got, budget := steps(impls["snap/farray"]), 1+8*depth; got > budget {
+			t.Fatalf("n=%d: snap/farray Increment = %d steps > %d", n, got, budget)
+		}
+	}
+}
+
+func TestAACReadIsNFree(t *testing.T) {
+	// The defining read-optimality property: AAC's read cost depends on the
+	// increment limit, not on N.
+	limit := int64(1 << 10)
+	stepsAt := func(n int) int64 {
+		c, err := NewAAC(primitive.NewPool(), n, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := primitive.NewCounting(primitive.NewDirect(0))
+		return ctx.Measure(func() { c.Read(ctx) })
+	}
+	if a, b := stepsAt(2), stepsAt(256); a != b {
+		t.Fatalf("AAC read costs %d steps at N=2 but %d at N=256", a, b)
+	}
+}
+
+func TestConcurrentExactTotal(t *testing.T) {
+	const (
+		n    = 8
+		perG = 1000
+	)
+	for name, c := range implementations(t, n, n*perG+1) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for id := 0; id < n; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					ctx := primitive.NewDirect(id)
+					for i := 0; i < perG; i++ {
+						if err := c.Increment(ctx); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if got := c.Read(primitive.NewDirect(0)); got != n*perG {
+				t.Fatalf("final Read = %d, want %d", got, n*perG)
+			}
+		})
+	}
+}
+
+func TestConcurrentMonotoneBoundedReads(t *testing.T) {
+	const (
+		writers = 4
+		perG    = 800
+	)
+	for name, c := range implementations(t, writers+1, writers*perG+1) {
+		t.Run(name, func(t *testing.T) {
+			var writerWG sync.WaitGroup
+			for id := 0; id < writers; id++ {
+				writerWG.Add(1)
+				go func(id int) {
+					defer writerWG.Done()
+					ctx := primitive.NewDirect(id)
+					for i := 0; i < perG; i++ {
+						if err := c.Increment(ctx); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(id)
+			}
+
+			stop := make(chan struct{})
+			readerDone := make(chan struct{})
+			go func() {
+				defer close(readerDone)
+				ctx := primitive.NewDirect(writers)
+				var prev int64
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					got := c.Read(ctx)
+					if got < prev {
+						t.Errorf("count regressed %d -> %d", prev, got)
+						return
+					}
+					if got > writers*perG {
+						t.Errorf("count overshot: %d", got)
+						return
+					}
+					prev = got
+				}
+			}()
+			writerWG.Wait()
+			close(stop)
+			<-readerDone
+		})
+	}
+}
+
+func TestQuickExactness(t *testing.T) {
+	f := func(ops []bool) bool {
+		c, err := NewFArray(primitive.NewPool(), 3)
+		if err != nil {
+			return false
+		}
+		var model int64
+		for k, inc := range ops {
+			ctx := primitive.NewDirect(k % 3)
+			if inc {
+				if err := c.Increment(ctx); err != nil {
+					return false
+				}
+				model++
+			} else if c.Read(ctx) != model {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

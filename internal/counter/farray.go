@@ -1,0 +1,90 @@
+package counter
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/farray"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// FArray is the constant-read counter: a sum f-array over per-process
+// counts (Jayanti, PODC 2002, ported to CAS — see internal/farray).
+//
+//	CounterRead:      1 step.
+//	CounterIncrement: O(log N) steps.
+//
+// Theorem 1 of the paper (with f(N) = O(1)) proves the O(log N) increment
+// is asymptotically optimal for any constant-read counter from
+// read/write/CAS, so this implementation sits exactly on the tradeoff
+// curve's other extreme from AAC.
+type FArray struct {
+	fa *farray.FArray
+}
+
+var _ Counter = (*FArray)(nil)
+
+// NewFArray builds a constant-read counter for n >= 1 processes.
+func NewFArray(pool *primitive.Pool, n int) (*FArray, error) {
+	fa, err := farray.New(pool, n, farray.Sum)
+	if err != nil {
+		return nil, fmt.Errorf("counter: %w", err)
+	}
+	return &FArray{fa: fa}, nil
+}
+
+// Limit implements Counter (unbounded).
+func (c *FArray) Limit() int64 { return 0 }
+
+// Read implements Counter in exactly one step.
+func (c *FArray) Read(ctx primitive.Context) int64 {
+	return c.fa.Read(ctx)
+}
+
+// Increment implements Counter in O(log N) steps.
+func (c *FArray) Increment(ctx primitive.Context) error {
+	if _, err := c.fa.Add(ctx, 1); err != nil {
+		return fmt.Errorf("counter: %w", err)
+	}
+	return nil
+}
+
+// CAS is the single-word counter: one register incremented with a CAS
+// retry loop.
+//
+//	CounterRead:      1 step.
+//	CounterIncrement: lock-free, 2 steps uncontended, unbounded under
+//	                  contention (NOT wait-free).
+//
+// It seemingly beats Theorem 1's tradeoff (constant read, constant
+// uncontended increment) — but Theorem 1 speaks about worst-case
+// obstruction-free step complexity, and the CAS loop's worst case is
+// unbounded. The E1 experiment shows the adversary driving its increments
+// past any wait-free implementation's cost.
+type CAS struct {
+	cell *primitive.Register
+}
+
+var _ Counter = (*CAS)(nil)
+
+// NewCAS builds a single-word CAS-loop counter.
+func NewCAS(pool *primitive.Pool) *CAS {
+	return &CAS{cell: pool.New("casctr.cell", 0)}
+}
+
+// Limit implements Counter (unbounded).
+func (c *CAS) Limit() int64 { return 0 }
+
+// Read implements Counter in exactly one step.
+func (c *CAS) Read(ctx primitive.Context) int64 {
+	return ctx.Read(c.cell)
+}
+
+// Increment implements Counter with a CAS retry loop.
+func (c *CAS) Increment(ctx primitive.Context) error {
+	for {
+		cur := ctx.Read(c.cell)
+		if ctx.CAS(c.cell, cur, cur+1) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package counter
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// FromSnapshot is Corollary 1's reduction: a counter built from any
+// single-writer snapshot object. Process i increments by Updating segment i
+// with its private increment count; readers Scan and sum the segments.
+//
+// The reduction transfers the snapshot tradeoff to counters: if Scan is
+// O(f(N)) then CounterRead is O(f(N)), and CounterIncrement is exactly one
+// Update (plus one local addition), so the counter lower bound of Theorem 1
+// forces Update to be Omega(log(N/f(N))) — which is how the paper proves
+// Corollary 1.
+type FromSnapshot struct {
+	snap snapshot.Snapshot
+
+	// local[i] is process i's private increment count. Single-writer:
+	// only the goroutine driving process i touches local[i].pad, and the
+	// padding keeps writers off each other's cache lines.
+	local []paddedCount
+}
+
+type paddedCount struct {
+	count int64
+	_     [7]int64 // pad to a 64-byte cache line
+}
+
+var _ Counter = (*FromSnapshot)(nil)
+
+// NewFromSnapshot wraps snap as a counter. Each of snap's segments belongs
+// to the same-index process.
+func NewFromSnapshot(snap snapshot.Snapshot) *FromSnapshot {
+	return &FromSnapshot{
+		snap:  snap,
+		local: make([]paddedCount, snap.Components()),
+	}
+}
+
+// Limit implements Counter: the underlying snapshot's restrictions apply
+// but are not statically known here, so FromSnapshot reports unbounded and
+// surfaces the snapshot's CapacityError from Increment when it hits.
+func (c *FromSnapshot) Limit() int64 { return 0 }
+
+// Read implements Counter: one Scan plus a local sum.
+func (c *FromSnapshot) Read(ctx primitive.Context) int64 {
+	var total int64
+	for _, v := range c.snap.Scan(ctx) {
+		total += v
+	}
+	return total
+}
+
+// Increment implements Counter: exactly one Update.
+func (c *FromSnapshot) Increment(ctx primitive.Context) error {
+	id := ctx.ID()
+	if id < 0 || id >= len(c.local) {
+		return fmt.Errorf("counter: process id %d out of range [0,%d)", id, len(c.local))
+	}
+	next := c.local[id].count + 1
+	if err := c.snap.Update(ctx, next); err != nil {
+		return fmt.Errorf("counter: %w", err)
+	}
+	c.local[id].count = next
+	return nil
+}

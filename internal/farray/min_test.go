@@ -1,0 +1,111 @@
+package farray
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+func TestMinSequential(t *testing.T) {
+	const high = 1 << 20
+	f, err := NewWithInitial(primitive.NewPool(), 4, Min, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx0 := primitive.NewDirect(0)
+	ctx3 := primitive.NewDirect(3)
+
+	if got := f.Read(ctx0); got != high {
+		t.Fatalf("initial Read = %d, want %d", got, high)
+	}
+	if err := f.Update(ctx0, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Read(ctx3); got != 500 {
+		t.Fatalf("Read = %d, want 500", got)
+	}
+	if err := f.Update(ctx3, 200); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Read(ctx0); got != 200 {
+		t.Fatalf("Read = %d, want 200", got)
+	}
+	// Raising a Min slot is a monotonicity violation.
+	var mono *MonotonicityError
+	if err := f.Update(ctx0, 900); !errors.As(err, &mono) {
+		t.Fatalf("increasing Min slot: %v", err)
+	}
+	// Add is undefined for Min.
+	if _, err := f.Add(ctx0, 1); err == nil {
+		t.Fatal("Add accepted on Min aggregate")
+	}
+	if f.AggregateKind() != Min {
+		t.Fatal("AggregateKind broken")
+	}
+}
+
+func TestMinConcurrentLowWatermark(t *testing.T) {
+	// Each process lowers its slot toward a per-process floor; the root
+	// must end at the global minimum and never increase mid-flight.
+	const n, high = 6, 1 << 20
+	f, err := NewWithInitial(primitive.NewPool(), n, Min, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := primitive.NewDirect(id)
+			cur := int64(high)
+			for cur > int64(id+1)*100 {
+				cur -= int64(id*37 + 1001)
+				if cur < int64(id+1)*100 {
+					cur = int64(id+1) * 100
+				}
+				if err := f.Update(ctx, cur); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := f.Read(primitive.NewDirect(0)); got != 100 {
+		t.Fatalf("final Read = %d, want 100 (p0's floor)", got)
+	}
+}
+
+func TestSumRejectsNonZeroInitial(t *testing.T) {
+	if _, err := NewWithInitial(primitive.NewPool(), 4, Sum, 5); err == nil {
+		t.Fatal("Sum with non-zero initial accepted")
+	}
+	// n = 1 has no internal nodes, but the restriction should still hold
+	// uniformly... single leaf IS the root, so a non-zero initial is
+	// exact; accept it.
+	f, err := NewWithInitial(primitive.NewPool(), 1, Sum, 5)
+	if err == nil {
+		ctx := primitive.NewDirect(0)
+		if got := f.Read(ctx); got != 5 {
+			t.Fatalf("single-slot Sum initial = %d", got)
+		}
+	}
+}
+
+func TestMinReadIsOneStep(t *testing.T) {
+	f, err := NewWithInitial(primitive.NewPool(), 16, Min, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+	if got := ctx.Measure(func() { f.Read(ctx) }); got != 1 {
+		t.Fatalf("Min Read took %d steps", got)
+	}
+}

@@ -1,0 +1,321 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckMaxRegister verifies the interval conditions every linearizable max
+// register history must satisfy:
+//
+//  1. A ReadMax returning v > 0 requires some WriteMax(v) invoked before
+//     the read responded.
+//  2. A ReadMax must return at least the largest value whose write
+//     completed before the read was invoked.
+//  3. ReadMax results are monotone along real-time order: a read that
+//     finished before another started cannot have returned more.
+//
+// The conditions are necessary for linearizability, so a non-nil result is
+// always a genuine violation.
+func CheckMaxRegister(ops []Op) error {
+	var writes, reads []Op
+	for _, op := range ops {
+		switch op.Kind {
+		case KindWriteMax:
+			writes = append(writes, op)
+		case KindReadMax:
+			reads = append(reads, op)
+		}
+	}
+
+	// minInvByValue[v] = earliest invocation of a WriteMax(v).
+	minInvByValue := make(map[int64]int64, len(writes))
+	for _, w := range writes {
+		if inv, ok := minInvByValue[w.Arg]; !ok || w.Inv < inv {
+			minInvByValue[w.Arg] = w.Inv
+		}
+	}
+
+	// Prefix maxima of write values ordered by response time, for
+	// condition 2 via binary search.
+	byRes := make([]Op, len(writes))
+	copy(byRes, writes)
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].Res < byRes[j].Res })
+	resTimes := make([]int64, len(byRes))
+	prefixMax := make([]int64, len(byRes))
+	runningMax := int64(0)
+	for i, w := range byRes {
+		resTimes[i] = w.Res
+		if w.Arg > runningMax {
+			runningMax = w.Arg
+		}
+		prefixMax[i] = runningMax
+	}
+	maxCompletedBefore := func(t int64) int64 {
+		// Largest write value whose Res < t.
+		k := sort.Search(len(resTimes), func(i int) bool { return resTimes[i] >= t })
+		if k == 0 {
+			return 0
+		}
+		return prefixMax[k-1]
+	}
+
+	for _, r := range reads {
+		if r.Ret != 0 {
+			inv, ok := minInvByValue[r.Ret]
+			if !ok {
+				return &ViolationError{Checker: "maxreg", Detail: "read returned a never-written value", Op: r}
+			}
+			if inv >= r.Res {
+				return &ViolationError{Checker: "maxreg", Detail: "read returned a value written only after the read responded", Op: r}
+			}
+		}
+		if floor := maxCompletedBefore(r.Inv); r.Ret < floor {
+			return &ViolationError{
+				Checker: "maxreg",
+				Detail:  fmt.Sprintf("read missed completed write of %d", floor),
+				Op:      r,
+			}
+		}
+	}
+	return checkMonotoneReads("maxreg", reads)
+}
+
+// CheckCounter verifies the interval conditions for counter histories:
+// every read is sandwiched between the number of increments completed
+// before it began and the number started before it ended, and
+// non-overlapping reads are monotone.
+func CheckCounter(ops []Op) error {
+	var invTimes, resTimes []int64
+	var reads []Op
+	for _, op := range ops {
+		switch op.Kind {
+		case KindIncrement:
+			invTimes = append(invTimes, op.Inv)
+			resTimes = append(resTimes, op.Res)
+		case KindCounterRead:
+			reads = append(reads, op)
+		}
+	}
+	sort.Slice(invTimes, func(i, j int) bool { return invTimes[i] < invTimes[j] })
+	sort.Slice(resTimes, func(i, j int) bool { return resTimes[i] < resTimes[j] })
+
+	countBefore := func(times []int64, t int64) int64 {
+		return int64(sort.Search(len(times), func(i int) bool { return times[i] >= t }))
+	}
+	for _, r := range reads {
+		completed := countBefore(resTimes, r.Inv)
+		started := countBefore(invTimes, r.Res)
+		if r.Ret < completed {
+			return &ViolationError{
+				Checker: "counter",
+				Detail:  fmt.Sprintf("read %d but %d increments had completed", r.Ret, completed),
+				Op:      r,
+			}
+		}
+		if r.Ret > started {
+			return &ViolationError{
+				Checker: "counter",
+				Detail:  fmt.Sprintf("read %d but only %d increments had started", r.Ret, started),
+				Op:      r,
+			}
+		}
+	}
+	return checkMonotoneReads("counter", reads)
+}
+
+// checkMonotoneReads verifies that reads are monotone along real-time
+// precedence: r1.Res < r2.Inv implies r1.Ret <= r2.Ret.
+func checkMonotoneReads(checker string, reads []Op) error {
+	byInv := make([]Op, len(reads))
+	copy(byInv, reads)
+	sort.Slice(byInv, func(i, j int) bool { return byInv[i].Inv < byInv[j].Inv })
+	byRes := make([]Op, len(reads))
+	copy(byRes, reads)
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].Res < byRes[j].Res })
+
+	var (
+		maxEnded int64 // max Ret among reads with Res < current Inv
+		k        int
+	)
+	for _, r := range byInv {
+		for k < len(byRes) && byRes[k].Res < r.Inv {
+			if byRes[k].Ret > maxEnded {
+				maxEnded = byRes[k].Ret
+			}
+			k++
+		}
+		if r.Ret < maxEnded {
+			return &ViolationError{
+				Checker: checker,
+				Detail:  fmt.Sprintf("read %d after an earlier read already returned %d", r.Ret, maxEnded),
+				Op:      r,
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSnapshot verifies the interval conditions for single-writer snapshot
+// histories. It requires the test-friendly discipline that per-segment
+// update values are distinct and nonzero (so a scanned value identifies a
+// unique update); it rejects histories violating that precondition.
+//
+// Conditions:
+//
+//  1. Per process, updates must be sequential (single-writer discipline).
+//  2. Every scanned segment value resolves to an update index within the
+//     [completed-before-scan, started-before-scan] window.
+//  3. Scan index vectors form a chain under pointwise order (overlapping
+//     scans must still be mutually orderable).
+//  4. The chain respects real time: a scan that finished before another
+//     started cannot have a pointwise-larger vector.
+func CheckSnapshot(ops []Op) error {
+	perSeg := make(map[int][]Op)
+	var scans []Op
+	for _, op := range ops {
+		switch op.Kind {
+		case KindUpdate:
+			perSeg[op.Proc] = append(perSeg[op.Proc], op)
+		case KindScan:
+			scans = append(scans, op)
+		}
+	}
+
+	type segInfo struct {
+		invs, ress []int64
+		indexOf    map[int64]int // value -> 1-based update index
+	}
+	segs := make(map[int]*segInfo, len(perSeg))
+	for seg, updates := range perSeg {
+		sort.Slice(updates, func(i, j int) bool { return updates[i].Inv < updates[j].Inv })
+		info := &segInfo{indexOf: make(map[int64]int, len(updates))}
+		for i, u := range updates {
+			if i > 0 && updates[i-1].Res > u.Inv {
+				return &ViolationError{Checker: "snapshot", Detail: "single-writer updates overlap", Op: u}
+			}
+			if u.Arg == 0 {
+				return &ViolationError{Checker: "snapshot", Detail: "checker precondition: zero update value", Op: u}
+			}
+			if _, dup := info.indexOf[u.Arg]; dup {
+				return &ViolationError{Checker: "snapshot", Detail: "checker precondition: duplicate update value in segment", Op: u}
+			}
+			info.indexOf[u.Arg] = i + 1
+			info.invs = append(info.invs, u.Inv)
+			info.ress = append(info.ress, u.Res)
+		}
+		segs[seg] = info
+	}
+
+	countBefore := func(times []int64, t int64) int {
+		return sort.Search(len(times), func(i int) bool { return times[i] >= t })
+	}
+
+	// Resolve each scan to an index vector and check windows.
+	type scanVec struct {
+		op  Op
+		vec []int
+		sum int
+	}
+	vecs := make([]scanVec, 0, len(scans))
+	for _, s := range scans {
+		vec := make([]int, len(s.RetVec))
+		sum := 0
+		for seg, v := range s.RetVec {
+			info := segs[seg]
+			idx := 0
+			if v != 0 {
+				if info == nil {
+					return &ViolationError{Checker: "snapshot", Detail: "scan returned value for never-updated segment", Op: s}
+				}
+				var ok bool
+				idx, ok = info.indexOf[v]
+				if !ok {
+					return &ViolationError{Checker: "snapshot", Detail: "scan returned a never-written segment value", Op: s}
+				}
+			}
+			var completed, started int
+			if info != nil {
+				completed = countBefore(info.ress, s.Inv)
+				started = countBefore(info.invs, s.Res)
+			}
+			if idx < completed {
+				return &ViolationError{
+					Checker: "snapshot",
+					Detail:  fmt.Sprintf("segment %d: scan saw update #%d but #%d had completed", seg, idx, completed),
+					Op:      s,
+				}
+			}
+			if idx > started {
+				return &ViolationError{
+					Checker: "snapshot",
+					Detail:  fmt.Sprintf("segment %d: scan saw update #%d but only %d had started", seg, idx, started),
+					Op:      s,
+				}
+			}
+			vec[seg] = idx
+			sum += idx
+		}
+		vecs = append(vecs, scanVec{op: s, vec: vec, sum: sum})
+	}
+
+	// Chain condition: sum-sort, then consecutive vectors must be
+	// pointwise ordered.
+	bySum := make([]scanVec, len(vecs))
+	copy(bySum, vecs)
+	sort.Slice(bySum, func(i, j int) bool { return bySum[i].sum < bySum[j].sum })
+	for i := 1; i < len(bySum); i++ {
+		if !pointwiseLE(bySum[i-1].vec, bySum[i].vec) {
+			return &ViolationError{
+				Checker: "snapshot",
+				Detail:  fmt.Sprintf("incomparable scan views %v and %v", bySum[i-1].vec, bySum[i].vec),
+				Op:      bySum[i].op,
+			}
+		}
+	}
+
+	// Real-time condition: sweep scans by Inv, tracking the pointwise max
+	// vector among scans that already responded.
+	byInv := make([]scanVec, len(vecs))
+	copy(byInv, vecs)
+	sort.Slice(byInv, func(i, j int) bool { return byInv[i].op.Inv < byInv[j].op.Inv })
+	byRes := make([]scanVec, len(vecs))
+	copy(byRes, vecs)
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].op.Res < byRes[j].op.Res })
+
+	var runningMax []int
+	k := 0
+	for _, sv := range byInv {
+		for k < len(byRes) && byRes[k].op.Res < sv.op.Inv {
+			if runningMax == nil {
+				runningMax = make([]int, len(byRes[k].vec))
+			}
+			for i, v := range byRes[k].vec {
+				if v > runningMax[i] {
+					runningMax[i] = v
+				}
+			}
+			k++
+		}
+		if runningMax != nil && !pointwiseLE(runningMax, sv.vec) {
+			return &ViolationError{
+				Checker: "snapshot",
+				Detail:  fmt.Sprintf("scan view %v older than a preceding scan's %v", sv.vec, runningMax),
+				Op:      sv.op,
+			}
+		}
+	}
+	return nil
+}
+
+func pointwiseLE(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package history
+
+import (
+	"testing"
+)
+
+// decodeHistory turns fuzz bytes into a small history with distinct,
+// well-formed timestamps (the recorder invariant).
+func decodeHistory(data []byte, kinds []Kind) []Op {
+	var ops []Op
+	clock := int64(1)
+	for i := 0; i+2 < len(data) && len(ops) < 10; i += 3 {
+		kind := kinds[int(data[i])%len(kinds)]
+		val := int64(data[i+1] % 4)
+		span := int64(data[i+2]%6) + 1
+
+		// Invocations land on even stamps and responses on odd stamps, so
+		// endpoints never collide; when the drafts tie, the pair overlaps,
+		// which is how both checkers treat ambiguity.
+		op := Op{Kind: kind, Inv: 2 * clock, Res: 2*(clock+span) + 1}
+		clock += 2
+		switch kind {
+		case KindWriteMax:
+			op.Arg = val
+		case KindReadMax, KindCounterRead:
+			op.Ret = val
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// FuzzMaxRegisterCheckerSoundness cross-validates the interval max register
+// checker against the exact one on fuzz-generated histories: whenever the
+// exact checker accepts, the interval checker must.
+func FuzzMaxRegisterCheckerSoundness(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 1, 2, 0, 2, 1})
+	f.Add([]byte{1, 3, 1, 0, 3, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeHistory(data, []Kind{KindWriteMax, KindReadMax})
+		exactErr := CheckLinearizable(ops, MaxRegisterSpec{})
+		fastErr := CheckMaxRegister(ops)
+		if exactErr == nil && fastErr != nil {
+			t.Fatalf("exact accepts but interval rejects: %v\nops: %+v", fastErr, ops)
+		}
+	})
+}
+
+// FuzzCounterCheckerSoundness does the same for the counter checker.
+func FuzzCounterCheckerSoundness(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 1, 2, 1, 2, 3})
+	f.Add([]byte{1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeHistory(data, []Kind{KindIncrement, KindCounterRead})
+		exactErr := CheckLinearizable(ops, CounterSpec{})
+		fastErr := CheckCounter(ops)
+		if exactErr == nil && fastErr != nil {
+			t.Fatalf("exact accepts but interval rejects: %v\nops: %+v", fastErr, ops)
+		}
+	})
+}

@@ -1,0 +1,443 @@
+package history
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderTimestamps(t *testing.T) {
+	r := NewRecorder()
+	inv1 := r.Invoke()
+	r.Record(Op{Proc: 0, Kind: KindWriteMax, Arg: 5}, inv1)
+	inv2 := r.Invoke()
+	r.Record(Op{Proc: 1, Kind: KindReadMax, Ret: 5}, inv2)
+
+	ops := r.Ops()
+	if len(ops) != 2 || r.Len() != 2 {
+		t.Fatalf("recorded %d ops", len(ops))
+	}
+	if ops[0].Inv >= ops[0].Res {
+		t.Fatal("Inv >= Res")
+	}
+	if ops[0].Res >= ops[1].Inv {
+		t.Fatal("sequential ops overlap")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				inv := r.Invoke()
+				r.Record(Op{Proc: p, Kind: KindIncrement}, inv)
+			}
+		}(p)
+	}
+	wg.Wait()
+	ops := r.Ops()
+	if len(ops) != 8*500 {
+		t.Fatalf("recorded %d ops", len(ops))
+	}
+	for i, op := range ops {
+		if op.Inv >= op.Res {
+			t.Fatalf("op %d: Inv %d >= Res %d", i, op.Inv, op.Res)
+		}
+		if i > 0 && ops[i-1].Inv > op.Inv {
+			t.Fatal("Ops() not sorted by Inv")
+		}
+	}
+}
+
+// --- max register checker ---
+
+func TestMaxRegisterCheckerAcceptsValid(t *testing.T) {
+	histories := map[string][]Op{
+		"empty": nil,
+		"sequential": {
+			{Kind: KindWriteMax, Arg: 3, Inv: 1, Res: 2},
+			{Kind: KindReadMax, Ret: 3, Inv: 3, Res: 4},
+			{Kind: KindWriteMax, Arg: 1, Inv: 5, Res: 6},
+			{Kind: KindReadMax, Ret: 3, Inv: 7, Res: 8},
+		},
+		"overlapping write observed early": {
+			{Kind: KindWriteMax, Arg: 9, Inv: 1, Res: 10},
+			{Kind: KindReadMax, Ret: 9, Inv: 2, Res: 3},
+		},
+		"overlapping write not yet observed": {
+			{Kind: KindWriteMax, Arg: 9, Inv: 1, Res: 10},
+			{Kind: KindReadMax, Ret: 0, Inv: 2, Res: 3},
+		},
+		"initial zero": {
+			{Kind: KindReadMax, Ret: 0, Inv: 1, Res: 2},
+		},
+	}
+	for name, h := range histories {
+		if err := CheckMaxRegister(h); err != nil {
+			t.Errorf("%s: unexpected violation: %v", name, err)
+		}
+	}
+}
+
+func TestMaxRegisterCheckerRejectsViolations(t *testing.T) {
+	histories := map[string][]Op{
+		"never written value": {
+			{Kind: KindWriteMax, Arg: 3, Inv: 1, Res: 2},
+			{Kind: KindReadMax, Ret: 4, Inv: 3, Res: 4},
+		},
+		"value from the future": {
+			{Kind: KindReadMax, Ret: 7, Inv: 1, Res: 2},
+			{Kind: KindWriteMax, Arg: 7, Inv: 3, Res: 4},
+		},
+		"missed completed write": {
+			{Kind: KindWriteMax, Arg: 5, Inv: 1, Res: 2},
+			{Kind: KindReadMax, Ret: 0, Inv: 3, Res: 4},
+		},
+		"non-monotone reads": {
+			{Kind: KindWriteMax, Arg: 5, Inv: 1, Res: 2},
+			{Kind: KindWriteMax, Arg: 8, Inv: 3, Res: 4},
+			{Kind: KindReadMax, Ret: 8, Inv: 5, Res: 6},
+			{Kind: KindReadMax, Ret: 5, Inv: 7, Res: 8},
+		},
+	}
+	for name, h := range histories {
+		err := CheckMaxRegister(h)
+		if err == nil {
+			t.Errorf("%s: violation not detected", name)
+			continue
+		}
+		var v *ViolationError
+		if !errors.As(err, &v) {
+			t.Errorf("%s: wrong error type %T", name, err)
+		}
+		if v.Error() == "" {
+			t.Errorf("%s: empty violation message", name)
+		}
+	}
+}
+
+// --- counter checker ---
+
+func TestCounterCheckerAcceptsValid(t *testing.T) {
+	histories := map[string][]Op{
+		"sequential": {
+			{Kind: KindIncrement, Inv: 1, Res: 2},
+			{Kind: KindCounterRead, Ret: 1, Inv: 3, Res: 4},
+			{Kind: KindIncrement, Inv: 5, Res: 6},
+			{Kind: KindCounterRead, Ret: 2, Inv: 7, Res: 8},
+		},
+		"in-flight increment may or may not be counted (counted)": {
+			{Kind: KindIncrement, Inv: 1, Res: 10},
+			{Kind: KindCounterRead, Ret: 1, Inv: 2, Res: 3},
+		},
+		"in-flight increment may or may not be counted (not counted)": {
+			{Kind: KindIncrement, Inv: 1, Res: 10},
+			{Kind: KindCounterRead, Ret: 0, Inv: 2, Res: 3},
+		},
+	}
+	for name, h := range histories {
+		if err := CheckCounter(h); err != nil {
+			t.Errorf("%s: unexpected violation: %v", name, err)
+		}
+	}
+}
+
+func TestCounterCheckerRejectsViolations(t *testing.T) {
+	histories := map[string][]Op{
+		"overcount": {
+			{Kind: KindIncrement, Inv: 1, Res: 2},
+			{Kind: KindCounterRead, Ret: 2, Inv: 3, Res: 4},
+		},
+		"undercount": {
+			{Kind: KindIncrement, Inv: 1, Res: 2},
+			{Kind: KindIncrement, Inv: 3, Res: 4},
+			{Kind: KindCounterRead, Ret: 1, Inv: 5, Res: 6},
+		},
+		"non-monotone reads": {
+			{Kind: KindIncrement, Inv: 1, Res: 2},
+			{Kind: KindCounterRead, Ret: 1, Inv: 3, Res: 4},
+			{Kind: KindCounterRead, Ret: 0, Inv: 5, Res: 6},
+		},
+	}
+	for name, h := range histories {
+		if CheckCounter(h) == nil {
+			t.Errorf("%s: violation not detected", name)
+		}
+	}
+}
+
+// --- snapshot checker ---
+
+func TestSnapshotCheckerAcceptsValid(t *testing.T) {
+	h := []Op{
+		{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 1, Res: 2},
+		{Kind: KindUpdate, Proc: 1, Arg: 7, Inv: 3, Res: 4},
+		{Kind: KindScan, RetVec: []int64{1, 7}, Inv: 5, Res: 6},
+		{Kind: KindUpdate, Proc: 0, Arg: 2, Inv: 7, Res: 12},
+		// Scan overlapping the second update on segment 0: either view ok.
+		{Kind: KindScan, RetVec: []int64{2, 7}, Inv: 8, Res: 9},
+	}
+	if err := CheckSnapshot(h); err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestSnapshotCheckerRejectsViolations(t *testing.T) {
+	histories := map[string][]Op{
+		"stale segment": {
+			{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 1, Res: 2},
+			{Kind: KindScan, RetVec: []int64{0}, Inv: 3, Res: 4},
+		},
+		"future segment": {
+			{Kind: KindScan, RetVec: []int64{5}, Inv: 1, Res: 2},
+			{Kind: KindUpdate, Proc: 0, Arg: 5, Inv: 3, Res: 4},
+		},
+		"never written": {
+			{Kind: KindUpdate, Proc: 0, Arg: 5, Inv: 1, Res: 2},
+			{Kind: KindScan, RetVec: []int64{6}, Inv: 3, Res: 4},
+		},
+		"incomparable overlapping scans": {
+			{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 1, Res: 20},
+			{Kind: KindUpdate, Proc: 1, Arg: 2, Inv: 2, Res: 19},
+			{Kind: KindScan, RetVec: []int64{1, 0}, Inv: 3, Res: 4},
+			{Kind: KindScan, RetVec: []int64{0, 2}, Inv: 5, Res: 6},
+		},
+		"regressing sequential scans": {
+			{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 1, Res: 10},
+			{Kind: KindScan, RetVec: []int64{1}, Inv: 2, Res: 3},
+			{Kind: KindScan, RetVec: []int64{0}, Inv: 4, Res: 5},
+		},
+		"overlapping same-writer updates": {
+			{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 1, Res: 5},
+			{Kind: KindUpdate, Proc: 0, Arg: 2, Inv: 2, Res: 6},
+		},
+		"duplicate value precondition": {
+			{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 1, Res: 2},
+			{Kind: KindUpdate, Proc: 0, Arg: 1, Inv: 3, Res: 4},
+		},
+		"zero value precondition": {
+			{Kind: KindUpdate, Proc: 0, Arg: 0, Inv: 1, Res: 2},
+		},
+	}
+	for name, h := range histories {
+		if CheckSnapshot(h) == nil {
+			t.Errorf("%s: violation not detected", name)
+		}
+	}
+}
+
+// --- exact checker ---
+
+func TestExactCheckerMaxRegister(t *testing.T) {
+	good := []Op{
+		{Kind: KindWriteMax, Arg: 9, Inv: 1, Res: 10},
+		{Kind: KindReadMax, Ret: 9, Inv: 2, Res: 3},
+		{Kind: KindReadMax, Ret: 9, Inv: 4, Res: 5},
+	}
+	if err := CheckLinearizable(good, MaxRegisterSpec{}); err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	bad := []Op{
+		{Kind: KindWriteMax, Arg: 9, Inv: 1, Res: 10},
+		{Kind: KindReadMax, Ret: 9, Inv: 2, Res: 3},
+		{Kind: KindReadMax, Ret: 0, Inv: 4, Res: 5}, // regression
+	}
+	if err := CheckLinearizable(bad, MaxRegisterSpec{}); err == nil {
+		t.Fatal("bad history accepted")
+	}
+}
+
+func TestExactCheckerCounter(t *testing.T) {
+	good := []Op{
+		{Kind: KindIncrement, Inv: 1, Res: 6},
+		{Kind: KindIncrement, Inv: 2, Res: 5},
+		{Kind: KindCounterRead, Ret: 2, Inv: 3, Res: 4},
+	}
+	if err := CheckLinearizable(good, CounterSpec{}); err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	bad := []Op{
+		{Kind: KindIncrement, Inv: 1, Res: 2},
+		{Kind: KindCounterRead, Ret: 0, Inv: 3, Res: 4},
+	}
+	if err := CheckLinearizable(bad, CounterSpec{}); err == nil {
+		t.Fatal("bad history accepted")
+	}
+}
+
+func TestExactCheckerSnapshot(t *testing.T) {
+	good := []Op{
+		{Kind: KindUpdate, Proc: 0, Arg: 5, Inv: 1, Res: 4},
+		{Kind: KindScan, RetVec: []int64{5, 0}, Inv: 2, Res: 3},
+	}
+	if err := CheckLinearizable(good, SnapshotSpec{N: 2}); err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	bad := []Op{
+		{Kind: KindUpdate, Proc: 0, Arg: 5, Inv: 1, Res: 2},
+		{Kind: KindScan, RetVec: []int64{0, 0}, Inv: 3, Res: 4},
+	}
+	if err := CheckLinearizable(bad, SnapshotSpec{N: 2}); err == nil {
+		t.Fatal("bad history accepted")
+	}
+}
+
+func TestExactCheckerTooLarge(t *testing.T) {
+	ops := make([]Op, maxExactOps+1)
+	for i := range ops {
+		ops[i] = Op{Kind: KindIncrement, Inv: int64(2*i + 1), Res: int64(2*i + 2)}
+	}
+	if err := CheckLinearizable(ops, CounterSpec{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactCheckerEmpty(t *testing.T) {
+	if err := CheckLinearizable(nil, CounterSpec{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalCheckerSoundness cross-validates the fast max register
+// checker against the exact one on random small histories: whenever the
+// exact checker finds a linearization, the interval checker must accept.
+func TestIntervalCheckerSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	agree, exactOK := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		ops := randomMaxRegHistory(rng)
+		exactErr := CheckLinearizable(ops, MaxRegisterSpec{})
+		fastErr := CheckMaxRegister(ops)
+		if exactErr == nil {
+			exactOK++
+			if fastErr != nil {
+				t.Fatalf("trial %d: exact accepts but interval checker rejects: %v\nops: %+v", trial, fastErr, ops)
+			}
+		}
+		if (exactErr == nil) == (fastErr == nil) {
+			agree++
+		}
+	}
+	if exactOK == 0 {
+		t.Fatal("random generator produced no linearizable histories; test is vacuous")
+	}
+	t.Logf("exact-OK=%d/400, checkers agree on %d/400", exactOK, agree)
+}
+
+// TestCounterCheckerSoundness does the same for counters.
+func TestCounterCheckerSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	exactOK := 0
+	for trial := 0; trial < 400; trial++ {
+		ops := randomCounterHistory(rng)
+		exactErr := CheckLinearizable(ops, CounterSpec{})
+		fastErr := CheckCounter(ops)
+		if exactErr == nil {
+			exactOK++
+			if fastErr != nil {
+				t.Fatalf("trial %d: exact accepts but interval checker rejects: %v\nops: %+v", trial, fastErr, ops)
+			}
+		}
+	}
+	if exactOK == 0 {
+		t.Fatal("random generator produced no linearizable histories; test is vacuous")
+	}
+}
+
+// randomIntervals returns count intervals with globally distinct endpoints
+// (matching what a real Recorder produces — its logical clock never ties).
+func randomIntervals(rng *rand.Rand, count int) [][2]int64 {
+	times := rng.Perm(4 * count)
+	points := times[:2*count]
+	out := make([][2]int64, count)
+	for i := range out {
+		a, b := int64(points[2*i]+1), int64(points[2*i+1]+1)
+		if a > b {
+			a, b = b, a
+		}
+		out[i] = [2]int64{a, b}
+	}
+	return out
+}
+
+func randomMaxRegHistory(rng *rand.Rand) []Op {
+	count := 2 + rng.Intn(6)
+	ops := make([]Op, 0, count)
+	for _, iv := range randomIntervals(rng, count) {
+		if rng.Intn(2) == 0 {
+			ops = append(ops, Op{Kind: KindWriteMax, Arg: int64(rng.Intn(4)), Inv: iv[0], Res: iv[1]})
+		} else {
+			ops = append(ops, Op{Kind: KindReadMax, Ret: int64(rng.Intn(4)), Inv: iv[0], Res: iv[1]})
+		}
+	}
+	return ops
+}
+
+func randomCounterHistory(rng *rand.Rand) []Op {
+	count := 2 + rng.Intn(6)
+	ops := make([]Op, 0, count)
+	for _, iv := range randomIntervals(rng, count) {
+		if rng.Intn(2) == 0 {
+			ops = append(ops, Op{Kind: KindIncrement, Inv: iv[0], Res: iv[1]})
+		} else {
+			ops = append(ops, Op{Kind: KindCounterRead, Ret: int64(rng.Intn(4)), Inv: iv[0], Res: iv[1]})
+		}
+	}
+	return ops
+}
+
+func TestRecordPending(t *testing.T) {
+	r := NewRecorder()
+
+	// A completed small write, then a pending large write (crashed), then
+	// two reads that disagree about whether the pending write took effect
+	// — both must be accepted.
+	inv := r.Invoke()
+	r.Record(Op{Proc: 0, Kind: KindWriteMax, Arg: 2}, inv)
+	r.RecordPending(Op{Proc: 1, Kind: KindWriteMax, Arg: 9}, r.Invoke())
+
+	inv = r.Invoke()
+	r.Record(Op{Proc: 2, Kind: KindReadMax, Ret: 2}, inv)
+	if err := CheckMaxRegister(r.Ops()); err != nil {
+		t.Fatalf("pending write treated as owed: %v", err)
+	}
+
+	inv = r.Invoke()
+	r.Record(Op{Proc: 2, Kind: KindReadMax, Ret: 9}, inv)
+	if err := CheckMaxRegister(r.Ops()); err != nil {
+		t.Fatalf("pending write's value rejected: %v", err)
+	}
+
+	// But the monotone-read rule still applies: having observed 9, a later
+	// read cannot fall back to 2.
+	inv = r.Invoke()
+	r.Record(Op{Proc: 2, Kind: KindReadMax, Ret: 2}, inv)
+	if err := CheckMaxRegister(r.Ops()); err == nil {
+		t.Fatal("regressing read accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindReadMax, KindWriteMax, KindCounterRead, KindIncrement, KindScan, KindUpdate, Kind(0)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty String for %d", int(k))
+		}
+	}
+}
+
+func TestSnapshotSpecInitial(t *testing.T) {
+	s := SnapshotSpec{N: 3}
+	if got := s.Initial(); got != "0,0,0" {
+		t.Fatalf("Initial = %q", got)
+	}
+	if !strings.Contains(SnapshotSpec{N: 1}.Initial(), "0") {
+		t.Fatal("single-segment initial broken")
+	}
+}

@@ -1,0 +1,207 @@
+package history_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/history"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// These tests record real concurrent executions of every implementation and
+// validate them with the interval checkers: the repository's end-to-end
+// linearizability evidence under true parallelism. (The simulator-based
+// exhaustive interleaving tests in internal/sim complement these with
+// determinism.)
+
+const (
+	integProcs  = 6
+	integOpsPer = 400
+)
+
+func maxRegisters(t *testing.T) map[string]maxreg.MaxRegister {
+	t.Helper()
+	algA, err := core.New(primitive.NewPool(), integProcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aac, err := maxreg.NewAAC(primitive.NewPool(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]maxreg.MaxRegister{
+		"core/algorithm-a": algA,
+		"maxreg/aac":       aac,
+		"maxreg/cas":       maxreg.NewCASRegister(primitive.NewPool(), 1<<16),
+		"maxreg/unbounded": maxreg.NewUnboundedAAC(primitive.NewPool()),
+	}
+}
+
+func TestMaxRegisterLinearizability(t *testing.T) {
+	for name, m := range maxRegisters(t) {
+		t.Run(name, func(t *testing.T) {
+			rec := history.NewRecorder()
+			var wg sync.WaitGroup
+			for p := 0; p < integProcs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					ctx := primitive.NewDirect(p)
+					rng := rand.New(rand.NewSource(int64(p + 100)))
+					for i := 0; i < integOpsPer; i++ {
+						if rng.Intn(2) == 0 {
+							v := rng.Int63n(1 << 16)
+							inv := rec.Invoke()
+							if err := m.WriteMax(ctx, v); err != nil {
+								t.Error(err)
+								return
+							}
+							rec.Record(history.Op{Proc: p, Kind: history.KindWriteMax, Arg: v}, inv)
+						} else {
+							inv := rec.Invoke()
+							got := m.ReadMax(ctx)
+							rec.Record(history.Op{Proc: p, Kind: history.KindReadMax, Ret: got}, inv)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if err := history.CheckMaxRegister(rec.Ops()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func counters(t *testing.T) map[string]counter.Counter {
+	t.Helper()
+	limit := int64(integProcs*integOpsPer + 1)
+	aac, err := counter.NewAAC(primitive.NewPool(), integProcs, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := counter.NewFArray(primitive.NewPool(), integProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := snapshot.NewFArray(primitive.NewPool(), integProcs, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]counter.Counter{
+		"counter/aac":    aac,
+		"counter/farray": fa,
+		"counter/cas":    counter.NewCAS(primitive.NewPool()),
+		"counter/snap":   counter.NewFromSnapshot(fs),
+	}
+}
+
+func TestCounterLinearizability(t *testing.T) {
+	for name, c := range counters(t) {
+		t.Run(name, func(t *testing.T) {
+			rec := history.NewRecorder()
+			var wg sync.WaitGroup
+			for p := 0; p < integProcs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					ctx := primitive.NewDirect(p)
+					rng := rand.New(rand.NewSource(int64(p + 17)))
+					for i := 0; i < integOpsPer; i++ {
+						if rng.Intn(2) == 0 {
+							inv := rec.Invoke()
+							if err := c.Increment(ctx); err != nil {
+								t.Error(err)
+								return
+							}
+							rec.Record(history.Op{Proc: p, Kind: history.KindIncrement}, inv)
+						} else {
+							inv := rec.Invoke()
+							got := c.Read(ctx)
+							rec.Record(history.Op{Proc: p, Kind: history.KindCounterRead, Ret: got}, inv)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if err := history.CheckCounter(rec.Ops()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func snapshots(t *testing.T) map[string]snapshot.Snapshot {
+	t.Helper()
+	limit := int64(integProcs*integOpsPer + 1)
+	dc, err := snapshot.NewDoubleCollect(primitive.NewPool(), integProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := snapshot.NewAfek(primitive.NewPool(), integProcs, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := snapshot.NewFArray(primitive.NewPool(), integProcs, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]snapshot.Snapshot{
+		"snapshot/doublecollect": dc,
+		"snapshot/afek":          af,
+		"snapshot/farray":        fa,
+	}
+}
+
+func TestSnapshotLinearizability(t *testing.T) {
+	for name, s := range snapshots(t) {
+		t.Run(name, func(t *testing.T) {
+			rec := history.NewRecorder()
+			var wg sync.WaitGroup
+			for p := 0; p < integProcs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					ctx := primitive.NewDirect(p)
+					rng := rand.New(rand.NewSource(int64(p + 55)))
+					// Distinct nonzero per-segment values: p's k-th update
+					// writes k (strictly increasing per segment).
+					seq := int64(0)
+					for i := 0; i < integOpsPer; i++ {
+						if rng.Intn(2) == 0 {
+							seq++
+							inv := rec.Invoke()
+							if err := s.Update(ctx, seq); err != nil {
+								t.Error(err)
+								return
+							}
+							rec.Record(history.Op{Proc: p, Kind: history.KindUpdate, Arg: seq}, inv)
+						} else {
+							inv := rec.Invoke()
+							got := s.Scan(ctx)
+							rec.Record(history.Op{Proc: p, Kind: history.KindScan, RetVec: got}, inv)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if err := history.CheckSnapshot(rec.Ops()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

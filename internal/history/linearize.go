@@ -1,0 +1,175 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is a sequential object specification for the exact checker. States
+// are encoded as strings so they can key the memoization table.
+type Spec interface {
+	// Initial returns the encoded initial state.
+	Initial() string
+
+	// Apply runs op against state, returning the successor state and
+	// whether the op's recorded result is legal in that state.
+	Apply(state string, op Op) (next string, ok bool)
+}
+
+// ErrTooLarge is returned by CheckLinearizable for histories beyond its
+// exponential-search budget.
+var ErrTooLarge = fmt.Errorf("history: exact checker supports at most %d operations", maxExactOps)
+
+const maxExactOps = 24
+
+// CheckLinearizable searches for an explicit linearization of ops under
+// spec (Wing & Gong's algorithm with memoization on (completed-set,
+// state)). nil means a linearization exists. Exponential worst case: use
+// only on small histories.
+func CheckLinearizable(ops []Op, spec Spec) error {
+	n := len(ops)
+	if n > maxExactOps {
+		return ErrTooLarge
+	}
+	if n == 0 {
+		return nil
+	}
+
+	type memoKey struct {
+		mask  uint32
+		state string
+	}
+	visited := make(map[memoKey]bool)
+
+	var dfs func(mask uint32, state string) bool
+	dfs = func(mask uint32, state string) bool {
+		if mask == uint32(1)<<n-1 {
+			return true
+		}
+		key := memoKey{mask: mask, state: state}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+
+		// minRes over pending ops: an op may linearize next only if no
+		// pending op completed before it was invoked.
+		minRes := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && ops[i].Res < minRes {
+				minRes = ops[i].Res
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 || ops[i].Inv > minRes {
+				continue
+			}
+			next, ok := spec.Apply(state, ops[i])
+			if !ok {
+				continue
+			}
+			if dfs(mask|1<<i, next) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if !dfs(0, spec.Initial()) {
+		return fmt.Errorf("history: no linearization exists for %d-op history", n)
+	}
+	return nil
+}
+
+// MaxRegisterSpec is the sequential max register: state is the running
+// maximum, WriteMax raises it, ReadMax must return it.
+type MaxRegisterSpec struct{}
+
+var _ Spec = MaxRegisterSpec{}
+
+// Initial implements Spec.
+func (MaxRegisterSpec) Initial() string { return "0" }
+
+// Apply implements Spec.
+func (MaxRegisterSpec) Apply(state string, op Op) (string, bool) {
+	cur, err := strconv.ParseInt(state, 10, 64)
+	if err != nil {
+		return "", false
+	}
+	switch op.Kind {
+	case KindWriteMax:
+		if op.Arg > cur {
+			return strconv.FormatInt(op.Arg, 10), true
+		}
+		return state, true
+	case KindReadMax:
+		return state, op.Ret == cur
+	default:
+		return "", false
+	}
+}
+
+// CounterSpec is the sequential counter.
+type CounterSpec struct{}
+
+var _ Spec = CounterSpec{}
+
+// Initial implements Spec.
+func (CounterSpec) Initial() string { return "0" }
+
+// Apply implements Spec.
+func (CounterSpec) Apply(state string, op Op) (string, bool) {
+	cur, err := strconv.ParseInt(state, 10, 64)
+	if err != nil {
+		return "", false
+	}
+	switch op.Kind {
+	case KindIncrement:
+		return strconv.FormatInt(cur+1, 10), true
+	case KindCounterRead:
+		return state, op.Ret == cur
+	default:
+		return "", false
+	}
+}
+
+// SnapshotSpec is the sequential N-segment single-writer snapshot.
+type SnapshotSpec struct {
+	N int
+}
+
+var _ Spec = SnapshotSpec{}
+
+// Initial implements Spec.
+func (s SnapshotSpec) Initial() string {
+	return strings.TrimSuffix(strings.Repeat("0,", s.N), ",")
+}
+
+// Apply implements Spec.
+func (s SnapshotSpec) Apply(state string, op Op) (string, bool) {
+	parts := strings.Split(state, ",")
+	if len(parts) != s.N {
+		return "", false
+	}
+	switch op.Kind {
+	case KindUpdate:
+		if op.Proc < 0 || op.Proc >= s.N {
+			return "", false
+		}
+		parts[op.Proc] = strconv.FormatInt(op.Arg, 10)
+		return strings.Join(parts, ","), true
+	case KindScan:
+		if len(op.RetVec) != s.N {
+			return "", false
+		}
+		for i, v := range op.RetVec {
+			if parts[i] != strconv.FormatInt(v, 10) {
+				return state, false
+			}
+		}
+		return state, true
+	default:
+		return "", false
+	}
+}

@@ -1,0 +1,117 @@
+package maxreg
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// AAC is the Aspnes-Attiya-Censor M-bounded max register built from
+// read/write registers only ("Polylogarithmic concurrent data structures
+// from monotone circuits", J. ACM 2012; reference [2] of the paper).
+//
+// The construction is a balanced binary tree of one-bit switch registers
+// over the value range [0, M). A value v is written by descending toward
+// the v-th leaf: descents into a right child recursively write the offset
+// value there and then raise the parent's switch; descents into a left
+// child first check the switch and abandon the write if it is already
+// raised (some larger value has been written). ReadMax descends by switch:
+// right if raised, left otherwise.
+//
+// Both operations take one shared-memory step per tree level, i.e.
+// ceil(log2 M) steps: this is the read-optimal-but-update-logarithmic
+// implementation the paper's tradeoff question is posed against.
+type AAC struct {
+	root  *aacNode
+	bound int64
+}
+
+var _ MaxRegister = (*AAC)(nil)
+
+// aacNode covers a contiguous value range of the given size. Internal nodes
+// (size >= 2) have a switch register and two children; the left child
+// covers the lower ceil(size/2) values. Leaves (size == 1) store nothing:
+// reaching one pins the value exactly.
+type aacNode struct {
+	size   int64
+	svitch *primitive.Register // "switch" is a Go keyword-adjacent name; nil for leaves
+	left   *aacNode
+	right  *aacNode
+}
+
+// NewAAC builds an M-bounded AAC max register with bound >= 1, allocating
+// its bound-1 switch registers from pool.
+func NewAAC(pool *primitive.Pool, bound int64) (*AAC, error) {
+	if bound < 1 {
+		return nil, fmt.Errorf("maxreg: AAC bound must be >= 1, got %d", bound)
+	}
+	return &AAC{root: newAACNode(pool, bound), bound: bound}, nil
+}
+
+func newAACNode(pool *primitive.Pool, size int64) *aacNode {
+	n := &aacNode{size: size}
+	if size == 1 {
+		return n
+	}
+	leftSize := (size + 1) / 2
+	n.svitch = pool.New("aac.switch", 0)
+	n.left = newAACNode(pool, leftSize)
+	n.right = newAACNode(pool, size-leftSize)
+	return n
+}
+
+// Bound implements MaxRegister.
+func (m *AAC) Bound() int64 { return m.bound }
+
+// ReadMax implements MaxRegister: one read per tree level, O(log M) steps.
+func (m *AAC) ReadMax(ctx primitive.Context) int64 {
+	var base int64
+	n := m.root
+	for n.size > 1 {
+		if ctx.Read(n.svitch) != 0 {
+			base += n.left.size
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return base
+}
+
+// WriteMax implements MaxRegister: at most one step per tree level,
+// O(log M) steps.
+func (m *AAC) WriteMax(ctx primitive.Context, v int64) error {
+	if err := checkRange(v, m.bound); err != nil {
+		return err
+	}
+	m.root.writeMax(ctx, v)
+	return nil
+}
+
+func (n *aacNode) writeMax(ctx primitive.Context, v int64) {
+	if n.size == 1 {
+		return
+	}
+	if v < n.left.size {
+		// A raised switch means some value >= left.size was already
+		// written; our smaller value is obsolete and must not recurse,
+		// or it could overwrite fresher information below.
+		if ctx.Read(n.svitch) != 0 {
+			return
+		}
+		n.left.writeMax(ctx, v)
+		return
+	}
+	n.right.writeMax(ctx, v-n.left.size)
+	ctx.Write(n.svitch, 1)
+}
+
+// Depth returns the height of the switch tree (= worst-case steps per
+// operation).
+func (m *AAC) Depth() int {
+	d := 0
+	for n := m.root; n.size > 1; n = n.left {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+package maxreg
+
+import (
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// CASRegister is the single-word max register: one register holding the
+// current maximum, read in one step and written with a CAS retry loop.
+//
+// ReadMax is O(1). WriteMax is lock-free but NOT wait-free: a writer retries
+// until its value is obsolete or its CAS lands, so a single WriteMax can be
+// starved by concurrent writers indefinitely. Theorem 3 of the paper does
+// not apply to it for exactly that reason (the adversary can force
+// unboundedly many steps, which is far worse than the Omega(log log K)
+// the theorem forces on wait-free implementations; the E3 experiment
+// demonstrates this separation).
+//
+// It is nevertheless the strongest practical baseline on real hardware and
+// is what most production systems use for high-watermark tracking.
+type CASRegister struct {
+	cell  *primitive.Register
+	bound int64
+}
+
+var _ MaxRegister = (*CASRegister)(nil)
+
+// NewCASRegister returns a CAS-loop max register. bound > 0 makes it
+// M-bounded (writes >= bound are rejected); bound == 0 makes it unbounded.
+func NewCASRegister(pool *primitive.Pool, bound int64) *CASRegister {
+	return &CASRegister{cell: pool.New("casmax.cell", 0), bound: bound}
+}
+
+// Bound implements MaxRegister.
+func (m *CASRegister) Bound() int64 { return m.bound }
+
+// ReadMax implements MaxRegister in exactly one step.
+func (m *CASRegister) ReadMax(ctx primitive.Context) int64 {
+	return ctx.Read(m.cell)
+}
+
+// WriteMax implements MaxRegister with a CAS retry loop (lock-free).
+func (m *CASRegister) WriteMax(ctx primitive.Context, v int64) error {
+	if err := checkRange(v, m.bound); err != nil {
+		return err
+	}
+	for {
+		cur := ctx.Read(m.cell)
+		if cur >= v {
+			return nil
+		}
+		if ctx.CAS(m.cell, cur, v) {
+			return nil
+		}
+	}
+}

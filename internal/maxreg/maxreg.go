@@ -1,0 +1,72 @@
+// Package maxreg provides max registers: objects supporting WriteMax(v) and
+// ReadMax, where ReadMax returns the largest value ever written (Hendler &
+// Khait, PODC 2014, Section 2).
+//
+// Conventions shared by every implementation in this repository:
+//
+//   - Values are non-negative int64s.
+//   - The initial value is 0 (equivalently, a virtual WriteMax(0) precedes
+//     every execution). This replaces the paper's -inf sentinel without
+//     affecting any complexity or correctness claim.
+//   - An M-bounded max register accepts values in [0, M); writing a value
+//     outside the bound is a contract violation reported as a RangeError.
+//
+// The package implements:
+//
+//   - AAC: the Aspnes-Attiya-Censor max register from read/write only
+//     (J. ACM 2012; reference [2] of the paper), with O(log M) ReadMax and
+//     WriteMax. This is the read-suboptimal but CAS-free baseline the
+//     paper's question is posed against.
+//   - CASRegister: a single-word CAS-loop max register with O(1) ReadMax and
+//     lock-free (not wait-free) WriteMax. It is the "do the obvious thing
+//     with hardware CAS" baseline.
+//
+// The paper's Algorithm A (O(1) ReadMax, O(min(log N, log v)) wait-free
+// WriteMax) lives in internal/core and satisfies the same interface.
+package maxreg
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// MaxRegister is the object interface shared by every max register in this
+// repository. Implementations are linearizable; each method call issues the
+// implementation's advertised number of shared-memory steps through ctx.
+type MaxRegister interface {
+	// ReadMax returns the largest value written by any WriteMax that
+	// linearized before it, or 0 if there is none.
+	ReadMax(ctx primitive.Context) int64
+
+	// WriteMax makes v visible to subsequent ReadMax operations if v
+	// exceeds every previously written value. It returns a RangeError if
+	// v is negative or outside the register's bound.
+	WriteMax(ctx primitive.Context, v int64) error
+
+	// Bound returns the exclusive upper bound M on storable values, or 0
+	// if the register is unbounded.
+	Bound() int64
+}
+
+// RangeError reports a WriteMax value outside a register's declared range.
+type RangeError struct {
+	Value int64
+	Bound int64 // 0 means unbounded (the value was negative)
+}
+
+// Error implements error.
+func (e *RangeError) Error() string {
+	if e.Bound == 0 {
+		return fmt.Sprintf("maxreg: value %d is negative", e.Value)
+	}
+	return fmt.Sprintf("maxreg: value %d outside bound [0, %d)", e.Value, e.Bound)
+}
+
+// checkRange validates v against an exclusive bound (0 = unbounded).
+func checkRange(v, bound int64) error {
+	if v < 0 || (bound > 0 && v >= bound) {
+		return &RangeError{Value: v, Bound: bound}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package maxreg
+
+import (
+	"errors"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// makers lists every implementation in this package so semantics tests run
+// against all of them.
+func makers(t *testing.T, bound int64) map[string]MaxRegister {
+	t.Helper()
+	aac, err := NewAAC(primitive.NewPool(), bound)
+	if err != nil {
+		t.Fatalf("NewAAC(%d): %v", bound, err)
+	}
+	return map[string]MaxRegister{
+		"aac": aac,
+		"cas": NewCASRegister(primitive.NewPool(), bound),
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	const bound = 100
+	for name, m := range makers(t, bound) {
+		t.Run(name, func(t *testing.T) {
+			ctx := primitive.NewDirect(0)
+
+			if got := m.ReadMax(ctx); got != 0 {
+				t.Fatalf("initial ReadMax = %d, want 0", got)
+			}
+			steps := []struct {
+				write int64
+				want  int64
+			}{
+				{write: 5, want: 5},
+				{write: 3, want: 5}, // smaller value ignored
+				{write: 5, want: 5}, // idempotent re-write
+				{write: 42, want: 42},
+				{write: 0, want: 42}, // zero never lowers
+				{write: 99, want: 99},
+				{write: 98, want: 99},
+			}
+			for i, s := range steps {
+				if err := m.WriteMax(ctx, s.write); err != nil {
+					t.Fatalf("step %d: WriteMax(%d): %v", i, s.write, err)
+				}
+				if got := m.ReadMax(ctx); got != s.want {
+					t.Fatalf("step %d: ReadMax = %d, want %d", i, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	for name, m := range makers(t, 16) {
+		t.Run(name, func(t *testing.T) {
+			ctx := primitive.NewDirect(0)
+			var rangeErr *RangeError
+
+			if err := m.WriteMax(ctx, -1); !errors.As(err, &rangeErr) {
+				t.Fatalf("WriteMax(-1) err = %v, want RangeError", err)
+			}
+			if err := m.WriteMax(ctx, 16); !errors.As(err, &rangeErr) {
+				t.Fatalf("WriteMax(16) err = %v, want RangeError", err)
+			}
+			if rangeErr.Value != 16 || rangeErr.Bound != 16 {
+				t.Fatalf("RangeError fields = %+v", rangeErr)
+			}
+			if err := m.WriteMax(ctx, 15); err != nil {
+				t.Fatalf("WriteMax(15): %v", err)
+			}
+			if got := m.ReadMax(ctx); got != 15 {
+				t.Fatalf("ReadMax = %d, want 15", got)
+			}
+			// Rejected writes must not have perturbed state.
+			if m.Bound() != 16 {
+				t.Fatalf("Bound = %d", m.Bound())
+			}
+		})
+	}
+}
+
+func TestUnboundedCASRegister(t *testing.T) {
+	m := NewCASRegister(primitive.NewPool(), 0)
+	ctx := primitive.NewDirect(0)
+
+	if m.Bound() != 0 {
+		t.Fatalf("Bound = %d, want 0 (unbounded)", m.Bound())
+	}
+	if err := m.WriteMax(ctx, 1<<40); err != nil {
+		t.Fatalf("huge write rejected: %v", err)
+	}
+	if got := m.ReadMax(ctx); got != 1<<40 {
+		t.Fatalf("ReadMax = %d", got)
+	}
+	var rangeErr *RangeError
+	if err := m.WriteMax(ctx, -7); !errors.As(err, &rangeErr) {
+		t.Fatalf("negative write err = %v", err)
+	}
+}
+
+func TestAACRejectsBadBound(t *testing.T) {
+	for _, bound := range []int64{0, -1} {
+		if _, err := NewAAC(primitive.NewPool(), bound); err == nil {
+			t.Fatalf("NewAAC(%d) succeeded", bound)
+		}
+	}
+}
+
+func TestAACBoundOne(t *testing.T) {
+	// A 1-bounded max register stores only 0: degenerate but legal.
+	m, err := NewAAC(primitive.NewPool(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	if err := m.WriteMax(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadMax(ctx); got != 0 {
+		t.Fatalf("ReadMax = %d", got)
+	}
+	if m.Depth() != 0 {
+		t.Fatalf("Depth = %d, want 0", m.Depth())
+	}
+}
+
+func TestAACStepComplexity(t *testing.T) {
+	// Theorems quoted in Section 1: both operations are O(log M). Check the
+	// exact bound: at most ceil(log2 M) steps each, at every bound.
+	for _, bound := range []int64{2, 3, 4, 7, 8, 9, 64, 1000, 1 << 12} {
+		m, err := NewAAC(primitive.NewPool(), bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := primitive.NewCounting(primitive.NewDirect(0))
+		maxSteps := int64(bits.Len64(uint64(bound - 1))) // ceil(log2 bound)
+
+		for _, v := range []int64{0, 1, bound / 2, bound - 1, bound / 3} {
+			got := ctx.Measure(func() {
+				if err := m.WriteMax(ctx, v); err != nil {
+					t.Fatalf("WriteMax(%d): %v", v, err)
+				}
+			})
+			if got > maxSteps {
+				t.Fatalf("bound %d: WriteMax(%d) took %d steps > %d", bound, v, got, maxSteps)
+			}
+			got = ctx.Measure(func() { m.ReadMax(ctx) })
+			if got > maxSteps {
+				t.Fatalf("bound %d: ReadMax took %d steps > %d", bound, got, maxSteps)
+			}
+		}
+		if d := int64(m.Depth()); d != maxSteps {
+			t.Fatalf("bound %d: Depth = %d, want %d", bound, d, maxSteps)
+		}
+	}
+}
+
+func TestAACUsesOnlyReadWrite(t *testing.T) {
+	// The AAC construction's whole point is avoiding CAS.
+	m, err := NewAAC(primitive.NewPool(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+	for v := int64(0); v < 128; v += 17 {
+		if err := m.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		m.ReadMax(ctx)
+	}
+	if _, _, cas := ctx.Breakdown(); cas != 0 {
+		t.Fatalf("AAC issued %d CAS events", cas)
+	}
+}
+
+func TestCASRegisterStepComplexity(t *testing.T) {
+	m := NewCASRegister(primitive.NewPool(), 0)
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+
+	if got := ctx.Measure(func() { m.ReadMax(ctx) }); got != 1 {
+		t.Fatalf("ReadMax = %d steps, want exactly 1", got)
+	}
+	// Uncontended WriteMax: read + CAS = 2 steps.
+	if got := ctx.Measure(func() { _ = m.WriteMax(ctx, 10) }); got != 2 {
+		t.Fatalf("uncontended WriteMax = %d steps, want 2", got)
+	}
+	// Obsolete WriteMax: read only = 1 step.
+	if got := ctx.Measure(func() { _ = m.WriteMax(ctx, 5) }); got != 1 {
+		t.Fatalf("obsolete WriteMax = %d steps, want 1", got)
+	}
+}
+
+func TestRandomSequenceAgainstModel(t *testing.T) {
+	// Drive each implementation with a long random op sequence and compare
+	// against the trivial reference model.
+	for name, m := range makers(t, 1<<10) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			ctx := primitive.NewDirect(0)
+			var model int64
+
+			for i := 0; i < 5000; i++ {
+				if rng.Intn(2) == 0 {
+					v := rng.Int63n(1 << 10)
+					if err := m.WriteMax(ctx, v); err != nil {
+						t.Fatal(err)
+					}
+					if v > model {
+						model = v
+					}
+				} else if got := m.ReadMax(ctx); got != model {
+					t.Fatalf("op %d: ReadMax = %d, want %d", i, got, model)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentMonotoneReads(t *testing.T) {
+	// Readers must observe a non-decreasing sequence of maxima, and the
+	// final value must equal the global maximum written.
+	const (
+		bound   = 1 << 12
+		writers = 4
+		readers = 4
+		perG    = 2000
+	)
+	for name, m := range makers(t, bound) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			globalMax := int64(0)
+			var maxMu sync.Mutex
+
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					ctx := primitive.NewDirect(id)
+					rng := rand.New(rand.NewSource(int64(id)))
+					localMax := int64(0)
+					for i := 0; i < perG; i++ {
+						v := rng.Int63n(bound)
+						if err := m.WriteMax(ctx, v); err != nil {
+							t.Error(err)
+							return
+						}
+						if v > localMax {
+							localMax = v
+						}
+					}
+					maxMu.Lock()
+					if localMax > globalMax {
+						globalMax = localMax
+					}
+					maxMu.Unlock()
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					ctx := primitive.NewDirect(writers + id)
+					prev := int64(-1)
+					for i := 0; i < perG; i++ {
+						got := m.ReadMax(ctx)
+						if got < prev {
+							t.Errorf("reader %d: max regressed %d -> %d", id, prev, got)
+							return
+						}
+						prev = got
+					}
+				}(r)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if got := m.ReadMax(primitive.NewDirect(0)); got != globalMax {
+				t.Fatalf("final ReadMax = %d, want %d", got, globalMax)
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		pool := primitive.NewPool()
+		m, err := NewAAC(pool, 1<<16)
+		if err != nil {
+			return false
+		}
+		ctx := primitive.NewDirect(0)
+		var model int64
+		for _, r := range raw {
+			v := int64(r)
+			if err := m.WriteMax(ctx, v); err != nil {
+				return false
+			}
+			if v > model {
+				model = v
+			}
+			if m.ReadMax(ctx) != model {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeErrorMessage(t *testing.T) {
+	e := &RangeError{Value: 9, Bound: 8}
+	if e.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	neg := &RangeError{Value: -3}
+	if neg.Error() == "" {
+		t.Fatal("empty error message for negative value")
+	}
+}

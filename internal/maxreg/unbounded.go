@@ -1,0 +1,160 @@
+package maxreg
+
+import (
+	"sync/atomic"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// UnboundedAAC is the unbounded max register from read/write registers
+// only: the AAC switch-tree recursion (see AAC) laid over a Bentley-Yao B1
+// shape instead of a balanced tree, so the value range never needs to be
+// declared up front. Writing v descends O(log v) switches and reading
+// descends O(log V) switches, where V is the current maximum — i.e. both
+// operations are logarithmic in the values actually used, not in a bound M
+// (this is the unbounded counterpart the AAC paper [2] sketches; Algorithm
+// A gets the same write cost with O(1) reads by adding CAS, which Theorem 4
+// shows is essential).
+//
+// The switch tree is materialized lazily: nodes spring into existence the
+// first time a write's descent reaches them, which corresponds to the
+// model's infinite pre-initialized register array without the infinite
+// memory. Node creation is not a shared-memory step (the registers it
+// "reveals" hold their initial 0), and the create-then-publish CAS on the
+// Go pointer makes racing creators agree on one node.
+//
+// Structure: a rightward spine of blocks {0}, {1}, [2,4), [4,8), ...; spine
+// node k holds block k as a balanced subtree on its left and the rest of
+// the number line on its right. A raised switch means "the maximum lives to
+// the right"; within a write's descent, switches are raised bottom-up after
+// the deeper subtree is fully recorded, which is what lets a reader trust
+// every raised switch it follows.
+type UnboundedAAC struct {
+	pool *primitive.Pool
+	root *uNode
+}
+
+var _ MaxRegister = (*UnboundedAAC)(nil)
+
+// uNode covers the value range [lo, hi); hi == unboundedHi marks the spine
+// nodes' infinite right ranges. Leaves (hi == lo+1) pin a single value and
+// hold no switch.
+type uNode struct {
+	lo, hi int64
+	// mid splits the range: left child covers [lo, mid), right child
+	// covers [mid, hi).
+	mid    int64
+	svitch *primitive.Register
+
+	left  atomic.Pointer[uNode]
+	right atomic.Pointer[uNode]
+}
+
+const unboundedHi = int64(1) << 62
+
+// NewUnboundedAAC returns an unbounded read/write-only max register with
+// initial value 0. Registers are drawn from pool as the structure grows.
+func NewUnboundedAAC(pool *primitive.Pool) *UnboundedAAC {
+	m := &UnboundedAAC{pool: pool}
+	m.root = m.newNode(0, unboundedHi)
+	return m
+}
+
+// Bound implements MaxRegister (unbounded).
+func (m *UnboundedAAC) Bound() int64 { return 0 }
+
+// newNode builds the node covering [lo, hi), choosing the B1 split for
+// infinite ranges and the balanced split for finite ones.
+func (m *UnboundedAAC) newNode(lo, hi int64) *uNode {
+	n := &uNode{lo: lo, hi: hi}
+	if n.isLeaf() {
+		return n
+	}
+	if hi == unboundedHi {
+		// Spine node: left block is {0}, {1}, or [lo, 2*lo).
+		switch lo {
+		case 0:
+			n.mid = 1
+		case 1:
+			n.mid = 2
+		default:
+			n.mid = 2 * lo
+		}
+	} else {
+		n.mid = lo + (hi-lo+1)/2
+	}
+	n.svitch = m.pool.New("umax.switch", 0)
+	return n
+}
+
+func (n *uNode) isLeaf() bool { return n.hi != unboundedHi && n.hi-n.lo == 1 }
+
+// child returns the node's left or right child, materializing it on first
+// use.
+func (m *UnboundedAAC) child(n *uNode, right bool) *uNode {
+	slot := &n.left
+	lo, hi := n.lo, n.mid
+	if right {
+		slot = &n.right
+		lo, hi = n.mid, n.hi
+	}
+	if c := slot.Load(); c != nil {
+		return c
+	}
+	fresh := m.newNode(lo, hi)
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
+}
+
+// WriteMax implements MaxRegister in O(log v) steps using only reads and
+// writes.
+func (m *UnboundedAAC) WriteMax(ctx primitive.Context, v int64) error {
+	if err := checkRange(v, 0); err != nil {
+		return err
+	}
+	m.write(ctx, m.root, v)
+	return nil
+}
+
+func (m *UnboundedAAC) write(ctx primitive.Context, n *uNode, v int64) {
+	if n.isLeaf() {
+		return
+	}
+	if v < n.mid {
+		// A raised switch means a value >= mid was already recorded; the
+		// smaller v is obsolete and must not disturb the left subtree.
+		if ctx.Read(n.svitch) != 0 {
+			return
+		}
+		m.write(ctx, m.child(n, false), v)
+		return
+	}
+	m.write(ctx, m.child(n, true), v)
+	ctx.Write(n.svitch, 1)
+}
+
+// ReadMax implements MaxRegister in O(log V) steps, V being the returned
+// maximum.
+func (m *UnboundedAAC) ReadMax(ctx primitive.Context) int64 {
+	n := m.root
+	for !n.isLeaf() {
+		if ctx.Read(n.svitch) != 0 {
+			// The raised switch was written only after the right subtree
+			// was fully recorded, so the right child exists and its
+			// switches lead to the value.
+			n = n.right.Load()
+			continue
+		}
+		left := n.left.Load()
+		if left == nil {
+			// No write has completed below here: along a left-only
+			// descent lo is preserved, so lo is 0 at the root or the
+			// floor established by the last justified right turn.
+			return n.lo
+		}
+		n = left
+	}
+	return n.lo
+}

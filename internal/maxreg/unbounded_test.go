@@ -1,0 +1,221 @@
+package maxreg
+
+import (
+	"errors"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+func TestUnboundedSequentialSemantics(t *testing.T) {
+	m := NewUnboundedAAC(primitive.NewPool())
+	ctx := primitive.NewDirect(0)
+
+	if got := m.ReadMax(ctx); got != 0 {
+		t.Fatalf("initial ReadMax = %d", got)
+	}
+	seq := []struct{ write, want int64 }{
+		{write: 0, want: 0},
+		{write: 5, want: 5},
+		{write: 3, want: 5},
+		{write: 1 << 30, want: 1 << 30}, // jump far beyond anything declared
+		{write: 9, want: 1 << 30},
+		{write: 1 << 45, want: 1 << 45},
+	}
+	for i, s := range seq {
+		if err := m.WriteMax(ctx, s.write); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got := m.ReadMax(ctx); got != s.want {
+			t.Fatalf("step %d: ReadMax = %d, want %d", i, got, s.want)
+		}
+	}
+	var rangeErr *RangeError
+	if err := m.WriteMax(ctx, -1); !errors.As(err, &rangeErr) {
+		t.Fatalf("negative write: %v", err)
+	}
+	if m.Bound() != 0 {
+		t.Fatalf("Bound = %d", m.Bound())
+	}
+}
+
+func TestUnboundedUsesOnlyReadWrite(t *testing.T) {
+	m := NewUnboundedAAC(primitive.NewPool())
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+	for _, v := range []int64{3, 100, 5, 1 << 20, 1 << 19} {
+		if err := m.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		m.ReadMax(ctx)
+	}
+	if _, _, cas := ctx.Breakdown(); cas != 0 {
+		t.Fatalf("issued %d CAS events", cas)
+	}
+}
+
+func TestUnboundedWriteStepBound(t *testing.T) {
+	// WriteMax(v) is O(log v): at most one step per level of the B1-shaped
+	// descent, i.e. <= 2*ceil(log2(v+1)) + 3.
+	m := NewUnboundedAAC(primitive.NewPool())
+	for _, v := range []int64{0, 1, 2, 3, 16, 100, 1 << 10, 1 << 30, 1 << 50} {
+		ctx := primitive.NewCounting(primitive.NewDirect(0))
+		if err := m.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		budget := int64(2*bits.Len64(uint64(v)) + 3)
+		if got := ctx.Steps(); got > budget {
+			t.Fatalf("WriteMax(%d) took %d steps > %d", v, got, budget)
+		}
+	}
+}
+
+func TestUnboundedReadStepsTrackCurrentMax(t *testing.T) {
+	// ReadMax costs O(log V): reads stay cheap while the register holds
+	// small values regardless of how many writes occurred.
+	m := NewUnboundedAAC(primitive.NewPool())
+	ctx := primitive.NewCounting(primitive.NewDirect(0))
+	for i := 0; i < 100; i++ {
+		if err := m.WriteMax(ctx, int64(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small := ctx.Measure(func() { m.ReadMax(ctx) })
+	if err := m.WriteMax(ctx, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	large := ctx.Measure(func() { m.ReadMax(ctx) })
+	if small >= large {
+		t.Fatalf("read of small max (%d steps) not cheaper than huge max (%d steps)", small, large)
+	}
+	if large > int64(2*41+3) {
+		t.Fatalf("read of 2^40 max took %d steps", large)
+	}
+}
+
+func TestUnboundedLazyMaterialization(t *testing.T) {
+	pool := primitive.NewPool()
+	m := NewUnboundedAAC(pool)
+	before := pool.Len()
+	ctx := primitive.NewDirect(0)
+	if err := m.WriteMax(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	after := pool.Len()
+	if grown := after - before; grown > 12 {
+		t.Fatalf("writing 7 materialized %d registers; want O(log 7)", grown)
+	}
+	// A huge value grows only logarithmically.
+	if err := m.WriteMax(ctx, 1<<50); err != nil {
+		t.Fatal(err)
+	}
+	if total := pool.Len(); total > 160 {
+		t.Fatalf("writing 2^50 materialized %d registers in total", total)
+	}
+}
+
+func TestUnboundedAgreesWithBoundedAAC(t *testing.T) {
+	unbounded := NewUnboundedAAC(primitive.NewPool())
+	bounded, err := NewAAC(primitive.NewPool(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		v := rng.Int63n(1 << 12)
+		if err := unbounded.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := bounded.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := unbounded.ReadMax(ctx), bounded.ReadMax(ctx); a != b {
+			t.Fatalf("op %d: unbounded=%d bounded=%d", i, a, b)
+		}
+	}
+}
+
+func TestUnboundedConcurrentStress(t *testing.T) {
+	m := NewUnboundedAAC(primitive.NewPool())
+	const writers, readers, perG = 4, 4, 2000
+	var (
+		wg        sync.WaitGroup
+		maxMu     sync.Mutex
+		globalMax int64
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := primitive.NewDirect(id)
+			rng := rand.New(rand.NewSource(int64(id)))
+			local := int64(0)
+			for i := 0; i < perG; i++ {
+				v := rng.Int63n(1 << 24)
+				if err := m.WriteMax(ctx, v); err != nil {
+					t.Error(err)
+					return
+				}
+				if v > local {
+					local = v
+				}
+			}
+			maxMu.Lock()
+			if local > globalMax {
+				globalMax = local
+			}
+			maxMu.Unlock()
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := primitive.NewDirect(writers + id)
+			prev := int64(-1)
+			for i := 0; i < perG; i++ {
+				got := m.ReadMax(ctx)
+				if got < prev {
+					t.Errorf("max regressed %d -> %d", prev, got)
+					return
+				}
+				prev = got
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := m.ReadMax(primitive.NewDirect(0)); got != globalMax {
+		t.Fatalf("final ReadMax = %d, want %d", got, globalMax)
+	}
+}
+
+func TestUnboundedQuickModel(t *testing.T) {
+	f := func(raw []uint32) bool {
+		m := NewUnboundedAAC(primitive.NewPool())
+		ctx := primitive.NewDirect(0)
+		var model int64
+		for _, r := range raw {
+			v := int64(r)
+			if err := m.WriteMax(ctx, v); err != nil {
+				return false
+			}
+			if v > model {
+				model = v
+			}
+			if m.ReadMax(ctx) != model {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package primitive
+
+// Counting wraps a Context and counts shared-memory events, separating them
+// by primitive. It is the instrument behind every step-complexity table in
+// EXPERIMENTS.md: one Counting method call = one step in the paper's model.
+//
+// Counting is owned by a single process (like every Context) and keeps plain
+// int64 counters; snapshotting the counters from another goroutine requires
+// external synchronization (the experiment harness joins worker goroutines
+// before reading).
+type Counting struct {
+	inner Context
+
+	reads  int64
+	writes int64
+	cas    int64
+}
+
+var _ Context = (*Counting)(nil)
+
+// NewCounting returns a step-counting wrapper around inner.
+func NewCounting(inner Context) *Counting {
+	return &Counting{inner: inner}
+}
+
+// ID implements Context.
+func (c *Counting) ID() int { return c.inner.ID() }
+
+// Read implements Context.
+func (c *Counting) Read(r *Register) int64 {
+	c.reads++
+	return c.inner.Read(r)
+}
+
+// Write implements Context.
+func (c *Counting) Write(r *Register, v int64) {
+	c.writes++
+	c.inner.Write(r, v)
+}
+
+// CAS implements Context.
+func (c *Counting) CAS(r *Register, old, new int64) bool {
+	c.cas++
+	return c.inner.CAS(r, old, new)
+}
+
+// Steps reports the total number of shared-memory events issued through the
+// context since the last Reset.
+func (c *Counting) Steps() int64 { return c.reads + c.writes + c.cas }
+
+// Breakdown reports the per-primitive event counts since the last Reset.
+func (c *Counting) Breakdown() (reads, writes, cas int64) {
+	return c.reads, c.writes, c.cas
+}
+
+// Reset zeroes the counters.
+func (c *Counting) Reset() {
+	c.reads, c.writes, c.cas = 0, 0, 0
+}
+
+// Measure runs op and returns the number of steps it issued through the
+// context. The context's running totals are preserved (Measure uses deltas),
+// so Measure calls may be freely interleaved with other accounting.
+func (c *Counting) Measure(op func()) int64 {
+	before := c.Steps()
+	op()
+	return c.Steps() - before
+}

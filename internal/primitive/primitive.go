@@ -1,0 +1,169 @@
+// Package primitive defines the shared-memory base objects and access
+// primitives of the paper's model (Hendler & Khait, PODC 2014, Section 2).
+//
+// A base object is a word-sized Register supporting the read, write, and
+// compare-and-swap (CAS) primitives. Algorithms never touch a Register
+// directly; every shared-memory event goes through a Context, which carries
+// the identity of the process issuing the event. This indirection is what
+// lets the same algorithm code run on bare sync/atomic (Direct), with exact
+// step accounting (Counting), or under the deterministic adversarial
+// scheduler in internal/sim.
+//
+// A "step" in the paper is exactly one shared-memory event: one call to
+// Context.Read, Context.Write, or Context.CAS.
+package primitive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Register is a single word-sized shared base object. Its zero value is a
+// register holding 0, but registers used with internal/sim or internal/aware
+// must be allocated from a Pool so they carry stable identifiers.
+type Register struct {
+	id   int
+	name string
+	v    atomic.Int64
+}
+
+// ID returns the pool-assigned identifier of the register, or 0 for
+// registers not allocated from a Pool.
+func (r *Register) ID() int { return r.id }
+
+// Name returns the human-readable name given at allocation time.
+func (r *Register) Name() string { return r.name }
+
+// Load atomically reads the register. Algorithm code must use a Context
+// instead so that the access is counted as a step; Load exists for
+// schedulers, checkers, and tests that inspect memory out of band.
+func (r *Register) Load() int64 { return r.v.Load() }
+
+// Store atomically writes the register. See Load for when this is
+// appropriate.
+func (r *Register) Store(v int64) { r.v.Store(v) }
+
+// CompareAndSwap atomically applies CAS semantics: if the register holds
+// old, replace it with new and report true; otherwise leave it unchanged
+// and report false. See Load for when this is appropriate.
+func (r *Register) CompareAndSwap(old, new int64) bool {
+	return r.v.CompareAndSwap(old, new)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (r *Register) String() string {
+	if r.name == "" {
+		return fmt.Sprintf("reg#%d", r.id)
+	}
+	return fmt.Sprintf("%s#%d", r.name, r.id)
+}
+
+// Pool allocates registers with dense, stable identifiers. The identifiers
+// index the familiarity-set tables kept by internal/aware, so every register
+// an algorithm uses must come from the pool handed to its constructor.
+//
+// Pool is safe for concurrent allocation, though well-behaved algorithms
+// allocate all their registers at construction time.
+type Pool struct {
+	mu   sync.Mutex
+	regs []*Register
+}
+
+// NewPool returns an empty register pool.
+func NewPool() *Pool { return &Pool{} }
+
+// New allocates a register initialized to init. The name is used only for
+// diagnostics and need not be unique.
+func (p *Pool) New(name string, init int64) *Register {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	r := &Register{id: len(p.regs), name: name}
+	r.v.Store(init)
+	p.regs = append(p.regs, r)
+	return r
+}
+
+// NewSlice allocates n registers sharing a name prefix, all initialized to
+// init.
+func (p *Pool) NewSlice(name string, n int, init int64) []*Register {
+	regs := make([]*Register, n)
+	for i := range regs {
+		regs[i] = p.New(fmt.Sprintf("%s[%d]", name, i), init)
+	}
+	return regs
+}
+
+// Len reports the number of registers allocated so far.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.regs)
+}
+
+// Registers returns a snapshot of all registers allocated so far, in
+// allocation (= identifier) order.
+func (p *Pool) Registers() []*Register {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	out := make([]*Register, len(p.regs))
+	copy(out, p.regs)
+	return out
+}
+
+// Get returns the register with the given identifier.
+func (p *Pool) Get(id int) *Register {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.regs[id]
+}
+
+// Context is the capability through which a process applies primitives to
+// base objects. Each method call is exactly one step in the paper's
+// complexity accounting.
+//
+// A Context belongs to a single process: implementations are not required
+// to be safe for use from multiple goroutines.
+type Context interface {
+	// ID returns the identifier of the process owning this context.
+	// Process identifiers are in [0, N) for an N-process system.
+	ID() int
+
+	// Read applies the read primitive and returns the register's value.
+	Read(r *Register) int64
+
+	// Write applies the write primitive.
+	Write(r *Register, v int64)
+
+	// CAS applies compare-and-swap: if r holds old it is set to new and
+	// CAS reports true; otherwise r is unchanged and CAS reports false.
+	CAS(r *Register, old, new int64) bool
+}
+
+// Direct is the native Context: primitives compile to bare sync/atomic
+// operations with no extra bookkeeping. It is the backend used by the public
+// API and the throughput benchmarks.
+type Direct struct {
+	id int
+}
+
+var _ Context = Direct{}
+
+// NewDirect returns a native context for process id.
+func NewDirect(id int) Direct { return Direct{id: id} }
+
+// ID implements Context.
+func (d Direct) ID() int { return d.id }
+
+// Read implements Context.
+func (d Direct) Read(r *Register) int64 { return r.v.Load() }
+
+// Write implements Context.
+func (d Direct) Write(r *Register, v int64) { r.v.Store(v) }
+
+// CAS implements Context.
+func (d Direct) CAS(r *Register, old, new int64) bool {
+	return r.v.CompareAndSwap(old, new)
+}

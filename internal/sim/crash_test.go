@@ -1,0 +1,309 @@
+package sim_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/farray"
+	"github.com/restricteduse/tradeoffs/internal/history"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// Crash tolerance: in an asynchronous wait-free system a crashed process is
+// indistinguishable from a very slow one, so abandoning processes at
+// arbitrary points mid-operation must leave every object fully usable and
+// linearizable for the survivors. The simulator makes "crash" precise: we
+// simply stop scheduling a process forever. A crashed process's in-flight
+// operation may or may not have taken effect; it is recorded as pending
+// (invoked, never responded), which is exactly how the interval checkers
+// treat that freedom.
+
+// inflightLog tracks each process's currently-executing update-type
+// operation so a crash can surface it as pending.
+type inflightLog struct {
+	mu   sync.Mutex
+	ops  map[int]history.Op
+	invs map[int]int64
+}
+
+func newInflightLog() *inflightLog {
+	return &inflightLog{ops: make(map[int]history.Op), invs: make(map[int]int64)}
+}
+
+func (l *inflightLog) begin(rec *history.Recorder, op history.Op) int64 {
+	inv := rec.Invoke()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops[op.Proc] = op
+	l.invs[op.Proc] = inv
+	return inv
+}
+
+func (l *inflightLog) commit(rec *history.Recorder, op history.Op, inv int64) {
+	rec.Record(op, inv)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.ops, op.Proc)
+	delete(l.invs, op.Proc)
+}
+
+// flushCrashed records the in-flight op of every crashed process as
+// pending.
+func (l *inflightLog) flushCrashed(rec *history.Recorder, crashed map[int]int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for p := range crashed {
+		if op, ok := l.ops[p]; ok {
+			rec.RecordPending(op, l.invs[p])
+		}
+	}
+}
+
+// crashScenario drives the system with a seeded random scheduler, never
+// scheduling process id beyond crashed[id] steps; survivors run to
+// completion.
+func crashScenario(t *testing.T, seed int64, s *sim.System, crashed map[int]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		var runnable []int
+		for _, id := range s.Active() {
+			if limit, isCrashed := crashed[id]; !isCrashed || s.StepsOf(id) < limit {
+				runnable = append(runnable, id)
+			}
+		}
+		if len(runnable) == 0 {
+			return
+		}
+		if _, err := s.Step(runnable[rng.Intn(len(runnable))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runSolo(t *testing.T, s *sim.System, id int, program sim.Program) {
+	t.Helper()
+	if err := s.Spawn(id, program); err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done(id) {
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashedWritersDoNotWedgeMaxRegisters(t *testing.T) {
+	builders := map[string]func(pool *primitive.Pool) maxreg.MaxRegister{
+		"algorithm-a": func(pool *primitive.Pool) maxreg.MaxRegister {
+			m, err := core.New(pool, 6, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		"aac": func(pool *primitive.Pool) maxreg.MaxRegister {
+			m, err := maxreg.NewAAC(pool, 1<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		"unbounded-aac": func(pool *primitive.Pool) maxreg.MaxRegister {
+			return maxreg.NewUnboundedAAC(pool)
+		},
+	}
+	crashed := map[int]int{0: 3, 1: 7}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				pool := primitive.NewPool()
+				m := build(pool)
+				rec := history.NewRecorder()
+				inflight := newInflightLog()
+
+				s := sim.NewSystem()
+				for p := 0; p < 6; p++ {
+					p := p
+					if err := s.Spawn(p, func(ctx primitive.Context) {
+						for i := 1; i <= 3; i++ {
+							op := history.Op{Proc: p, Kind: history.KindWriteMax, Arg: int64(p*10 + i)}
+							inv := inflight.begin(rec, op)
+							if err := m.WriteMax(ctx, op.Arg); err != nil {
+								panic(err)
+							}
+							inflight.commit(rec, op, inv)
+						}
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				crashScenario(t, seed, s, crashed)
+				inflight.flushCrashed(rec, crashed)
+
+				// The register must still serve correct reads: p5
+				// completed WriteMax(53).
+				var got int64
+				runSolo(t, s, 10, func(ctx primitive.Context) {
+					inv := rec.Invoke()
+					got = m.ReadMax(ctx)
+					rec.Record(history.Op{Proc: 10, Kind: history.KindReadMax, Ret: got}, inv)
+				})
+				s.Shutdown()
+				if got < 53 {
+					t.Fatalf("seed %d: read %d after p5 completed WriteMax(53)", seed, got)
+				}
+				if err := history.CheckMaxRegister(rec.Ops()); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashedIncrementersDoNotWedgeCounters(t *testing.T) {
+	crashed := map[int]int{2: 1, 3: 12}
+	for seed := int64(0); seed < 20; seed++ {
+		pool := primitive.NewPool()
+		c, err := counter.NewFArray(pool, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := history.NewRecorder()
+		inflight := newInflightLog()
+
+		s := sim.NewSystem()
+		for p := 0; p < 6; p++ {
+			p := p
+			if err := s.Spawn(p, func(ctx primitive.Context) {
+				for i := 0; i < 4; i++ {
+					op := history.Op{Proc: p, Kind: history.KindIncrement}
+					inv := inflight.begin(rec, op)
+					if err := c.Increment(ctx); err != nil {
+						panic(err)
+					}
+					inflight.commit(rec, op, inv)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crashScenario(t, seed, s, crashed)
+		inflight.flushCrashed(rec, crashed)
+
+		var got int64
+		runSolo(t, s, 10, func(ctx primitive.Context) {
+			inv := rec.Invoke()
+			got = c.Read(ctx)
+			rec.Record(history.Op{Proc: 10, Kind: history.KindCounterRead, Ret: got}, inv)
+		})
+		s.Shutdown()
+
+		// 4 survivors completed 16 increments; the crashed pair
+		// contributed between 0 and 5 (p2 crashed in its 1st, p3 in its
+		// 2nd-4th).
+		if got < 16 || got > 21 {
+			t.Fatalf("seed %d: read %d, want within [16,21]", seed, got)
+		}
+		if err := history.CheckCounter(rec.Ops()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCrashedUpdatersDoNotWedgeSnapshots(t *testing.T) {
+	crashed := map[int]int{1: 5}
+	for seed := int64(0); seed < 20; seed++ {
+		pool := primitive.NewPool()
+		snap, err := snapshot.NewFArray(pool, 5, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := history.NewRecorder()
+		inflight := newInflightLog()
+
+		s := sim.NewSystem()
+		for p := 0; p < 5; p++ {
+			p := p
+			if err := s.Spawn(p, func(ctx primitive.Context) {
+				for i := 1; i <= 3; i++ {
+					op := history.Op{Proc: p, Kind: history.KindUpdate, Arg: int64(i)}
+					inv := inflight.begin(rec, op)
+					if err := snap.Update(ctx, op.Arg); err != nil {
+						panic(err)
+					}
+					inflight.commit(rec, op, inv)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crashScenario(t, seed, s, crashed)
+		inflight.flushCrashed(rec, crashed)
+
+		var view []int64
+		runSolo(t, s, 10, func(ctx primitive.Context) {
+			inv := rec.Invoke()
+			view = snap.Scan(ctx)
+			rec.Record(history.Op{Proc: 10, Kind: history.KindScan, RetVec: view}, inv)
+		})
+		s.Shutdown()
+
+		for i, v := range view {
+			if i == 1 {
+				continue // the crashed updater may be anywhere
+			}
+			if v != 3 {
+				t.Fatalf("seed %d: segment %d = %d, want 3 (its updater completed)", seed, i, v)
+			}
+		}
+		if err := history.CheckSnapshot(rec.Ops()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCrashMidRefreshLeavesFArrayConsistent(t *testing.T) {
+	// White-box: crash a process between its leaf write and its root-path
+	// refreshes. Helpers (other updaters) must carry its value to the root
+	// — the whole point of the double-refresh helping pattern.
+	pool := primitive.NewPool()
+	fa, err := farray.New(pool, 4, farray.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	if err := s.Spawn(0, func(ctx primitive.Context) {
+		if _, err := fa.Add(ctx, 5); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// p0 performs exactly its leaf read + leaf write, then crashes.
+	if err := s.Run([]int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// p1 updates its sibling leaf and, in refreshing the shared path,
+	// publishes p0's stranded 5 as well.
+	runSolo(t, s, 1, func(ctx primitive.Context) {
+		if _, err := fa.Add(ctx, 2); err != nil {
+			panic(err)
+		}
+	})
+
+	var got int64
+	runSolo(t, s, 2, func(ctx primitive.Context) { got = fa.Read(ctx) })
+	if got != 7 {
+		t.Fatalf("root = %d, want 7 (crashed updater's 5 + helper's 2)", got)
+	}
+}

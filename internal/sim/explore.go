@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// Explore enumerates EVERY schedule of the system produced by build,
+// invoking check on each completed execution, and returns how many
+// executions it visited.
+//
+// Goroutine state cannot be forked, so exploration replays prefixes: for
+// each tree node the system is rebuilt from scratch and driven down the
+// prefix. build must therefore be deterministic (same programs, same
+// registers) — the same requirement the adversary's erase-and-replay
+// surgery imposes.
+//
+// budget caps the number of complete executions; exceeding it returns an
+// error (exhaustive exploration grows combinatorially, so configurations
+// must be chosen small).
+func Explore(build func() (*System, error), check func(*System) error, budget int) (int, error) {
+	executions := 0
+
+	// runPrefix rebuilds, replays prefix, and returns the active set (nil
+	// means the execution is complete and check has run).
+	runPrefix := func(prefix []int) ([]int, error) {
+		s, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("sim: explore build: %w", err)
+		}
+		defer s.Shutdown()
+		if err := s.Run(prefix); err != nil {
+			return nil, fmt.Errorf("sim: explore replay: %w", err)
+		}
+		if active := s.Active(); len(active) != 0 {
+			return active, nil
+		}
+		executions++
+		if executions > budget {
+			return nil, fmt.Errorf("sim: exploration exceeded budget of %d executions", budget)
+		}
+		if err := check(s); err != nil {
+			return nil, fmt.Errorf("sim: schedule %v: %w", prefix, err)
+		}
+		return nil, nil
+	}
+
+	var explore func(prefix []int) error
+	explore = func(prefix []int) error {
+		active, err := runPrefix(prefix)
+		if err != nil {
+			return err
+		}
+		for _, id := range active {
+			// Re-slice with a hard cap so sibling branches cannot alias
+			// one another's prefix storage.
+			if err := explore(append(prefix[:len(prefix):len(prefix)], id)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := explore(nil); err != nil {
+		return executions, err
+	}
+	return executions, nil
+}

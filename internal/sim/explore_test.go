@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// buildTwoWriters makes two processes that each perform `steps` writes to
+// their own register: the schedule count is the binomial C(2k, k).
+func buildTwoWriters(steps int) func() (*System, error) {
+	return func() (*System, error) {
+		pool := primitive.NewPool()
+		a := pool.New("a", 0)
+		b := pool.New("b", 0)
+		s := NewSystem()
+		for id, reg := range []*primitive.Register{a, b} {
+			reg := reg
+			if err := s.Spawn(id, func(ctx primitive.Context) {
+				for i := 0; i < steps; i++ {
+					ctx.Write(reg, int64(i))
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+func TestExploreCountsInterleavings(t *testing.T) {
+	// Two independent 3-step processes: C(6,3) = 20 schedules.
+	checked := 0
+	execs, err := Explore(buildTwoWriters(3), func(s *System) error {
+		checked++
+		if len(s.Events()) != 6 {
+			return errors.New("incomplete execution passed to check")
+		}
+		return nil
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs != 20 || checked != 20 {
+		t.Fatalf("execs=%d checked=%d, want 20", execs, checked)
+	}
+}
+
+func TestExploreBudget(t *testing.T) {
+	_, err := Explore(buildTwoWriters(4), func(*System) error { return nil }, 10)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("budget overrun not reported: %v", err)
+	}
+}
+
+func TestExplorePropagatesCheckError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Explore(buildTwoWriters(1), func(*System) error { return sentinel }, 100)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("check error lost: %v", err)
+	}
+}
+
+func TestExplorePropagatesBuildError(t *testing.T) {
+	sentinel := errors.New("cannot build")
+	_, err := Explore(func() (*System, error) { return nil, sentinel }, func(*System) error { return nil }, 10)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("build error lost: %v", err)
+	}
+}

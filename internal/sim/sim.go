@@ -1,0 +1,372 @@
+// Package sim is a deterministic shared-memory execution simulator
+// implementing the model of Hendler & Khait (PODC 2014, Section 2).
+//
+// Simulated processes are goroutines running ordinary algorithm code
+// against a primitive.Context; before every shared-memory event the process
+// publishes the event it is about to apply (object, primitive, operands)
+// and blocks until a scheduler grants it. The scheduler therefore sees the
+// full set of *enabled events* — exactly the information the paper's
+// adversary constructions (Lemma 1, Theorems 1 and 3) act on — and executes
+// events one at a time, producing a totally ordered execution with a
+// complete event log.
+//
+// Executions are deterministic: the same programs driven by the same
+// schedule (sequence of process ids) produce the same events and responses.
+// That is what makes the paper's "erase a set of processes" surgery
+// (Lemma 2, Claim 1) operational — internal/adversary replays a filtered
+// schedule on a fresh system and checks the survivors cannot tell.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// OpKind identifies a shared-memory primitive.
+type OpKind int
+
+// The three primitives of the paper's model.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpCAS
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Pending is an enabled event: the shared-memory event a process will apply
+// the next time it is scheduled.
+type Pending struct {
+	Proc  int
+	Kind  OpKind
+	Reg   *primitive.Register
+	Value int64 // write operand
+	Old   int64 // CAS expected value
+	New   int64 // CAS new value
+}
+
+// Event is an applied shared-memory event.
+type Event struct {
+	Seq     int // position in the execution (0-based)
+	Proc    int // issuing process
+	Kind    OpKind
+	Reg     *primitive.Register
+	Value   int64 // write operand
+	Old     int64 // CAS expected value
+	New     int64 // CAS new value
+	Before  int64 // register value before the event
+	After   int64 // register value after the event
+	Changed bool  // After != Before (the paper's "non-trivial")
+	CASOK   bool  // CAS success (meaningless for read/write)
+}
+
+// Program is the code a simulated process runs. It must be deterministic
+// and must touch shared memory only through the provided context.
+type Program func(ctx primitive.Context)
+
+type procResp struct {
+	value int64
+	ok    bool
+}
+
+type proc struct {
+	id      int
+	reqCh   chan Pending
+	respCh  chan procResp
+	pending *Pending
+	done    bool
+	steps   int
+}
+
+// System owns a set of simulated processes and the execution they build.
+// Not safe for concurrent use: one goroutine (the "adversary") drives it.
+type System struct {
+	procs    map[int]*proc
+	order    []int
+	events   []Event
+	schedule []int
+	kill     chan struct{}
+	killOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// errKilled unwinds process goroutines at shutdown.
+var errKilled = errors.New("sim: system shut down")
+
+// ErrFinished is returned by Step for processes whose program has returned.
+var ErrFinished = errors.New("sim: process has finished")
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		procs: make(map[int]*proc),
+		kill:  make(chan struct{}),
+	}
+}
+
+// Spawn starts a process with the given id running program, and blocks
+// until its first enabled event is published (or the program returns
+// without issuing any event).
+func (s *System) Spawn(id int, program Program) error {
+	if _, dup := s.procs[id]; dup {
+		return fmt.Errorf("sim: process %d already spawned", id)
+	}
+	p := &proc{
+		id:     id,
+		reqCh:  make(chan Pending),
+		respCh: make(chan procResp),
+	}
+	s.procs[id] = p
+	s.order = append(s.order, id)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(p.reqCh)
+		defer func() {
+			if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		program(simCtx{p: p, sys: s})
+	}()
+
+	s.pump(p)
+	return nil
+}
+
+// pump receives the process's next enabled event (blocking until the
+// process publishes one or its program returns).
+func (s *System) pump(p *proc) {
+	req, ok := <-p.reqCh
+	if !ok {
+		p.done = true
+		p.pending = nil
+		return
+	}
+	req.Proc = p.id
+	p.pending = &req
+}
+
+// Enabled returns the enabled events of all active processes, ordered by
+// process id (deterministic).
+func (s *System) Enabled() []Pending {
+	ids := s.Active()
+	out := make([]Pending, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *s.procs[id].pending)
+	}
+	return out
+}
+
+// EnabledOf returns process id's enabled event, or false if the process is
+// finished or unknown.
+func (s *System) EnabledOf(id int) (Pending, bool) {
+	p, ok := s.procs[id]
+	if !ok || p.done {
+		return Pending{}, false
+	}
+	return *p.pending, true
+}
+
+// Active returns the ids of spawned, unfinished processes in ascending
+// order.
+func (s *System) Active() []int {
+	var ids []int
+	for _, id := range s.order {
+		if !s.procs[id].done {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Done reports whether process id has finished its program.
+func (s *System) Done(id int) bool {
+	p, ok := s.procs[id]
+	return ok && p.done
+}
+
+// StepsOf reports how many events process id has applied.
+func (s *System) StepsOf(id int) int {
+	p, ok := s.procs[id]
+	if !ok {
+		return 0
+	}
+	return p.steps
+}
+
+// WouldChange reports whether applying the pending event right now would
+// change its register's value — the paper's trivial/non-trivial
+// classification, evaluated against current memory.
+func WouldChange(p Pending) bool {
+	cur := p.Reg.Load()
+	switch p.Kind {
+	case OpWrite:
+		return p.Value != cur
+	case OpCAS:
+		return cur == p.Old && p.Old != p.New
+	default:
+		return false
+	}
+}
+
+// Step applies process id's enabled event, appends it to the execution, and
+// blocks until the process publishes its next event (or finishes).
+func (s *System) Step(id int) (Event, error) {
+	p, ok := s.procs[id]
+	if !ok {
+		return Event{}, fmt.Errorf("sim: unknown process %d", id)
+	}
+	if p.done {
+		return Event{}, fmt.Errorf("sim: step process %d: %w", id, ErrFinished)
+	}
+
+	pd := *p.pending
+	before := pd.Reg.Load()
+	var (
+		after = before
+		casOK bool
+		resp  procResp
+	)
+	switch pd.Kind {
+	case OpRead:
+		resp = procResp{value: before}
+	case OpWrite:
+		pd.Reg.Store(pd.Value)
+		after = pd.Value
+	case OpCAS:
+		casOK = pd.Reg.CompareAndSwap(pd.Old, pd.New)
+		after = pd.Reg.Load()
+		resp = procResp{ok: casOK}
+	default:
+		return Event{}, fmt.Errorf("sim: process %d has invalid pending op %v", id, pd.Kind)
+	}
+
+	ev := Event{
+		Seq:     len(s.events),
+		Proc:    id,
+		Kind:    pd.Kind,
+		Reg:     pd.Reg,
+		Value:   pd.Value,
+		Old:     pd.Old,
+		New:     pd.New,
+		Before:  before,
+		After:   after,
+		Changed: after != before,
+		CASOK:   casOK,
+	}
+	s.events = append(s.events, ev)
+	s.schedule = append(s.schedule, id)
+	p.steps++
+
+	p.respCh <- resp
+	s.pump(p)
+	return ev, nil
+}
+
+// Run applies a whole schedule (sequence of process ids), stopping at the
+// first error.
+func (s *System) Run(schedule []int) error {
+	for i, id := range schedule {
+		if _, err := s.Step(id); err != nil {
+			return fmt.Errorf("sim: schedule position %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RunToCompletion steps the active processes round-robin until all finish
+// or maxEvents is exceeded.
+func (s *System) RunToCompletion(maxEvents int) error {
+	for len(s.events) < maxEvents {
+		ids := s.Active()
+		if len(ids) == 0 {
+			return nil
+		}
+		for _, id := range ids {
+			if s.Done(id) {
+				continue
+			}
+			if _, err := s.Step(id); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Active()) > 0 {
+		return fmt.Errorf("sim: execution exceeded %d events", maxEvents)
+	}
+	return nil
+}
+
+// Events returns the execution's event log (shared slice: callers must not
+// modify it).
+func (s *System) Events() []Event { return s.events }
+
+// Schedule returns the executed schedule so far (shared slice: callers must
+// not modify it).
+func (s *System) Schedule() []int { return s.schedule }
+
+// Shutdown terminates all process goroutines and waits for them to exit.
+// The system must not be used afterwards.
+func (s *System) Shutdown() {
+	s.killOnce.Do(func() { close(s.kill) })
+	s.wg.Wait()
+}
+
+// simCtx adapts the scheduler rendezvous to primitive.Context.
+type simCtx struct {
+	p   *proc
+	sys *System
+}
+
+var _ primitive.Context = simCtx{}
+
+// ID implements primitive.Context.
+func (c simCtx) ID() int { return c.p.id }
+
+// Read implements primitive.Context.
+func (c simCtx) Read(r *primitive.Register) int64 {
+	return c.issue(Pending{Kind: OpRead, Reg: r}).value
+}
+
+// Write implements primitive.Context.
+func (c simCtx) Write(r *primitive.Register, v int64) {
+	c.issue(Pending{Kind: OpWrite, Reg: r, Value: v})
+}
+
+// CAS implements primitive.Context.
+func (c simCtx) CAS(r *primitive.Register, old, new int64) bool {
+	return c.issue(Pending{Kind: OpCAS, Reg: r, Old: old, New: new}).ok
+}
+
+func (c simCtx) issue(pd Pending) procResp {
+	select {
+	case c.p.reqCh <- pd:
+	case <-c.sys.kill:
+		panic(errKilled)
+	}
+	select {
+	case resp := <-c.p.respCh:
+		return resp
+	case <-c.sys.kill:
+		panic(errKilled)
+	}
+}

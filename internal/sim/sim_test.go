@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// incProgram CAS-increments reg n times.
+func incProgram(reg *primitive.Register, n int) Program {
+	return func(ctx primitive.Context) {
+		for i := 0; i < n; i++ {
+			for {
+				cur := ctx.Read(reg)
+				if ctx.CAS(reg, cur, cur+1) {
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestBasicStepping(t *testing.T) {
+	pool := primitive.NewPool()
+	reg := pool.New("r", 0)
+	s := NewSystem()
+	defer s.Shutdown()
+
+	if err := s.Spawn(0, incProgram(reg, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spawn(1, incProgram(reg, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both processes have their first read enabled.
+	enabled := s.Enabled()
+	if len(enabled) != 2 {
+		t.Fatalf("enabled = %d events", len(enabled))
+	}
+	for _, pd := range enabled {
+		if pd.Kind != OpRead || pd.Reg != reg {
+			t.Fatalf("unexpected enabled event %+v", pd)
+		}
+	}
+
+	// p0 reads, p1 reads, p0 CASes (succeeds), p1 CASes (fails: stale).
+	for _, id := range []int{0, 1} {
+		ev, err := s.Step(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != OpRead || ev.Before != 0 || ev.Changed {
+			t.Fatalf("read event %+v", ev)
+		}
+	}
+	ev, err := s.Step(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != OpCAS || !ev.CASOK || !ev.Changed || ev.After != 1 {
+		t.Fatalf("p0 CAS event %+v", ev)
+	}
+	ev, err = s.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != OpCAS || ev.CASOK || ev.Changed {
+		t.Fatalf("p1 CAS event %+v", ev)
+	}
+	// p0 finished; p1 retries.
+	if !s.Done(0) {
+		t.Fatal("p0 not done")
+	}
+	if s.Done(1) {
+		t.Fatal("p1 done after failed CAS")
+	}
+	if err := s.Run([]int{1, 1}); err != nil { // re-read + successful CAS
+		t.Fatal(err)
+	}
+	if !s.Done(1) {
+		t.Fatal("p1 not done")
+	}
+	if got := reg.Load(); got != 2 {
+		t.Fatalf("final value %d", got)
+	}
+	if got := len(s.Events()); got != 6 {
+		t.Fatalf("%d events", got)
+	}
+	if got := s.StepsOf(1); got != 4 {
+		t.Fatalf("p1 steps = %d", got)
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	pool := primitive.NewPool()
+	reg := pool.New("r", 0)
+	s := NewSystem()
+	defer s.Shutdown()
+
+	if _, err := s.Step(9); err == nil {
+		t.Fatal("stepping unknown process succeeded")
+	}
+	if err := s.Spawn(0, incProgram(reg, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spawn(0, incProgram(reg, 1)); err == nil {
+		t.Fatal("duplicate spawn succeeded")
+	}
+	if err := s.Run([]int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(0); !errors.Is(err, ErrFinished) {
+		t.Fatalf("step finished proc: %v", err)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	if err := s.Spawn(3, func(ctx primitive.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done(3) {
+		t.Fatal("empty program not done after spawn")
+	}
+	if len(s.Active()) != 0 {
+		t.Fatal("active list not empty")
+	}
+	if _, ok := s.EnabledOf(3); ok {
+		t.Fatal("finished proc has enabled event")
+	}
+}
+
+func TestContextID(t *testing.T) {
+	s := NewSystem()
+	defer s.Shutdown()
+	pool := primitive.NewPool()
+	reg := pool.New("r", 0)
+
+	got := make(chan int, 1)
+	if err := s.Spawn(7, func(ctx primitive.Context) {
+		got <- ctx.ID()
+		ctx.Read(reg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if id := <-got; id != 7 {
+		t.Fatalf("ctx.ID() = %d", id)
+	}
+	if _, err := s.Step(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWouldChange(t *testing.T) {
+	pool := primitive.NewPool()
+	reg := pool.New("r", 5)
+	tests := []struct {
+		name string
+		pd   Pending
+		want bool
+	}{
+		{name: "read", pd: Pending{Kind: OpRead, Reg: reg}, want: false},
+		{name: "same write", pd: Pending{Kind: OpWrite, Reg: reg, Value: 5}, want: false},
+		{name: "changing write", pd: Pending{Kind: OpWrite, Reg: reg, Value: 6}, want: true},
+		{name: "matching cas", pd: Pending{Kind: OpCAS, Reg: reg, Old: 5, New: 9}, want: true},
+		{name: "stale cas", pd: Pending{Kind: OpCAS, Reg: reg, Old: 4, New: 9}, want: false},
+		{name: "no-op cas", pd: Pending{Kind: OpCAS, Reg: reg, Old: 5, New: 5}, want: false},
+	}
+	for _, tt := range tests {
+		if got := WouldChange(tt.pd); got != tt.want {
+			t.Errorf("%s: WouldChange = %v", tt.name, got)
+		}
+	}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	pool := primitive.NewPool()
+	reg := pool.New("r", 0)
+	s := NewSystem()
+	defer s.Shutdown()
+	for id := 0; id < 4; id++ {
+		if err := s.Spawn(id, incProgram(reg, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunToCompletion(10000); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Load(); got != 12 {
+		t.Fatalf("final value %d, want 12", got)
+	}
+}
+
+func TestRunToCompletionBudget(t *testing.T) {
+	pool := primitive.NewPool()
+	reg := pool.New("r", 0)
+	s := NewSystem()
+	defer s.Shutdown()
+	if err := s.Spawn(0, incProgram(reg, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(10); err == nil {
+		t.Fatal("budget overrun not reported")
+	}
+}
+
+func TestShutdownUnblocksProcesses(t *testing.T) {
+	pool := primitive.NewPool()
+	reg := pool.New("r", 0)
+	s := NewSystem()
+	for id := 0; id < 8; id++ {
+		if err := s.Spawn(id, incProgram(reg, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Take a few steps, then abandon mid-flight. Shutdown must return
+	// (deadlock here fails the test by timeout).
+	if err := s.Run([]int{0, 1, 2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	s.Shutdown() // idempotent
+}
+
+// runOnce executes the given programs under the given scheduling function
+// and returns the event log.
+func runOnce(t *testing.T, build func(pool *primitive.Pool) []Program, schedule func(s *System) []int) []Event {
+	t.Helper()
+	pool := primitive.NewPool()
+	programs := build(pool)
+	s := NewSystem()
+	defer s.Shutdown()
+	for id, p := range programs {
+		if err := s.Spawn(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(schedule(s)); err != nil {
+		t.Fatal(err)
+	}
+	return s.Events()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func(pool *primitive.Pool) []Program {
+		a := pool.New("a", 0)
+		b := pool.New("b", 0)
+		return []Program{
+			func(ctx primitive.Context) {
+				v := ctx.Read(a)
+				ctx.Write(b, v+10)
+				ctx.CAS(a, v, v+1)
+			},
+			incProgram(a, 2),
+			func(ctx primitive.Context) {
+				ctx.Write(a, 7)
+				ctx.Read(b)
+			},
+		}
+	}
+	fixed := []int{0, 1, 2, 1, 0, 2, 1, 0, 1, 1, 1}
+
+	// Two fresh runs of the same programs under the same schedule must
+	// produce identical event logs.
+	first := runOnce(t, build, func(*System) []int { return fixed })
+	second := runOnce(t, build, func(*System) []int { return fixed })
+	if len(first) != len(second) {
+		t.Fatalf("event counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		if a.Proc != b.Proc || a.Kind != b.Kind || a.Before != b.Before ||
+			a.After != b.After || a.CASOK != b.CASOK || a.Reg.ID() != b.Reg.ID() {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for _, k := range []OpKind{OpRead, OpWrite, OpCAS, OpKind(0)} {
+		if k.String() == "" {
+			t.Fatalf("empty String for %d", int(k))
+		}
+	}
+}

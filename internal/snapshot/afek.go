@@ -1,0 +1,131 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Afek is the wait-free single-writer snapshot of Afek, Attiya, Dolev,
+// Gafni, Merritt and Shavit (JACM 1993), the standard read/write wait-free
+// baseline. Each Update embeds a full view (obtained by an internal scan)
+// alongside its value; a scanner that fails to get a clean double collect
+// watches for a segment that changes twice and borrows that updater's
+// embedded view, which is guaranteed to have been taken inside the
+// scanner's interval.
+//
+// Both Scan and Update are O(N^2) steps worst case (O(N) when
+// uncontended). Update capacity is restricted by the view arena (the
+// object is built for a declared number of updates), in the same spirit as
+// the paper's restricted-use objects.
+type Afek struct {
+	n     int
+	segs  []*primitive.Register // arena indices
+	cells *arena[afekCell]
+	limit int64
+}
+
+type afekCell struct {
+	value int64
+	seq   int64
+	view  []int64 // immutable once published
+}
+
+var _ Snapshot = (*Afek)(nil)
+
+// NewAfek builds a wait-free snapshot with n >= 1 segments supporting at
+// most maxUpdates Update operations in total.
+func NewAfek(pool *primitive.Pool, n int, maxUpdates int64) (*Afek, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: need n >= 1 segments, got %d", n)
+	}
+	if maxUpdates < 0 {
+		return nil, fmt.Errorf("snapshot: negative update limit %d", maxUpdates)
+	}
+	s := &Afek{
+		n:     n,
+		cells: newArena[afekCell](1 + maxUpdates),
+		limit: maxUpdates,
+	}
+	zero := &afekCell{view: make([]int64, n)}
+	if _, ok := s.cells.alloc(zero); !ok {
+		return nil, fmt.Errorf("snapshot: arena capacity too small")
+	}
+	s.segs = pool.NewSlice("afek.seg", n, 0) // all point at the zero cell
+	return s, nil
+}
+
+// Components implements Snapshot.
+func (s *Afek) Components() int { return s.n }
+
+// Update implements Snapshot: an embedded scan, one read of the writer's
+// own segment, and one write.
+func (s *Afek) Update(ctx primitive.Context, v int64) error {
+	id, err := checkID(ctx, s.n)
+	if err != nil {
+		return err
+	}
+	view := s.scan(ctx)
+	old := s.cells.get(ctx.Read(s.segs[id]))
+	idx, ok := s.cells.alloc(&afekCell{value: v, seq: old.seq + 1, view: view})
+	if !ok {
+		return &CapacityError{Object: "afek snapshot", Limit: s.limit}
+	}
+	ctx.Write(s.segs[id], idx)
+	return nil
+}
+
+// Scan implements Snapshot.
+func (s *Afek) Scan(ctx primitive.Context) []int64 {
+	return s.scan(ctx)
+}
+
+// scan returns a fresh, consistent view. It terminates within 2n+1
+// collects: every dirty collect pair charges a move to some segment, and a
+// segment observed moving twice donates its embedded view.
+func (s *Afek) scan(ctx primitive.Context) []int64 {
+	moved := make([]int, s.n)
+	prev := s.collect(ctx)
+	for {
+		cur := s.collect(ctx)
+		dirty := false
+		for i := range cur {
+			if cur[i] == prev[i] {
+				continue
+			}
+			dirty = true
+			moved[i]++
+			if moved[i] >= 2 {
+				// Segment i moved twice during this scan: the second
+				// cell's embedded view was collected entirely within
+				// our interval.
+				borrowed := s.cells.get(cur[i]).view
+				out := make([]int64, s.n)
+				copy(out, borrowed)
+				return out
+			}
+		}
+		if !dirty {
+			out := make([]int64, s.n)
+			for i, idx := range cur {
+				out[i] = s.cells.get(idx).value
+			}
+			return out
+		}
+		prev = cur
+	}
+}
+
+func (s *Afek) collect(ctx primitive.Context) []int64 {
+	idxs := make([]int64, s.n)
+	for i, seg := range s.segs {
+		idxs[i] = ctx.Read(seg)
+	}
+	return idxs
+}
+
+// UpdatesRemaining reports how many more Update operations the arena can
+// accommodate.
+func (s *Afek) UpdatesRemaining() int64 {
+	return s.cells.capacity() - s.cells.used()
+}

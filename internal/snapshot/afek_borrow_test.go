@@ -1,0 +1,73 @@
+package snapshot_test
+
+import (
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// TestAfekScannerBorrowsEmbeddedView drives the exact interleaving where
+// the Afek scanner never gets a clean double collect and must return a
+// borrowed embedded view: updater u changes its segment twice during the
+// scan, and the second update's embedded view (collected entirely inside
+// the scan's interval) is what the scanner returns.
+//
+// With 2 segments: the scanner's collects are 2 reads each; the updater's
+// Update is an internal scan (4 reads, clean solo) + own-segment read +
+// write = 6 steps.
+func TestAfekScannerBorrowsEmbeddedView(t *testing.T) {
+	pool := primitive.NewPool()
+	snap, err := snapshot.NewAfek(pool, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSystem()
+	defer s.Shutdown()
+
+	// Updater (process 0): two updates to segment 0.
+	if err := s.Spawn(0, func(ctx primitive.Context) {
+		for _, v := range []int64{7, 9} {
+			if err := snap.Update(ctx, v); err != nil {
+				panic(err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Scanner (process 1): one scan.
+	var view []int64
+	if err := s.Spawn(1, func(ctx primitive.Context) {
+		view = snap.Scan(ctx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	schedule := []int{
+		1, 1, // scanner: first collect (sees initial cells)
+		0, 0, 0, 0, 0, 0, // updater: full Update(7)
+		1, 1, // scanner: second collect (segment 0 moved once -> dirty)
+		0, 0, 0, 0, 0, 0, // updater: full Update(9)
+		1, 1, // scanner: third collect (segment 0 moved twice -> borrow)
+	}
+	if err := s.Run(schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done(1) {
+		t.Fatalf("scanner still active after %d steps (took %d)", len(schedule), s.StepsOf(1))
+	}
+	if !s.Done(0) {
+		t.Fatal("updater still active")
+	}
+
+	// The borrowed view is Update(9)'s embedded scan, which ran entirely
+	// after Update(7) completed: [7, 0].
+	if len(view) != 2 || view[0] != 7 || view[1] != 0 {
+		t.Fatalf("borrowed view = %v, want [7 0]", view)
+	}
+	// And the scanner spent exactly three collects: 6 steps.
+	if got := s.StepsOf(1); got != 6 {
+		t.Fatalf("scanner steps = %d, want 6", got)
+	}
+}

@@ -1,0 +1,81 @@
+package snapshot
+
+import (
+	"sync/atomic"
+)
+
+// arena is an append-only, fixed-capacity store of immutable values.
+// Registers hold arena indices instead of the values themselves: this
+// models the literature's big-register assumption with word-sized base
+// objects. Indices are handed out once and never reused, so a CAS on an
+// index register can never suffer ABA — it behaves like LL/SC.
+//
+// Storage is chunked and allocated lazily, so a large declared capacity
+// (the restricted-use budget) costs memory only as it is consumed.
+//
+// Publication safety: a writer fully populates slot idx before publishing
+// idx through an atomic register operation, and readers obtain idx from an
+// atomic read, so the slot contents are visible by release/acquire
+// ordering. An allocated-but-never-published slot (failed CAS) is simply
+// garbage.
+type arena[T any] struct {
+	chunks   []atomic.Pointer[arenaChunk[T]]
+	next     atomic.Int64
+	capLimit int64
+}
+
+const arenaChunkBits = 13 // 8192 slots per chunk
+
+type arenaChunk[T any] struct {
+	slots [1 << arenaChunkBits]atomic.Pointer[T]
+}
+
+func newArena[T any](capacity int64) *arena[T] {
+	chunkCount := (capacity + (1 << arenaChunkBits) - 1) >> arenaChunkBits
+	return &arena[T]{
+		chunks:   make([]atomic.Pointer[arenaChunk[T]], chunkCount),
+		capLimit: capacity,
+	}
+}
+
+// alloc stores v in a fresh slot and returns its index, or false if the
+// arena is exhausted.
+func (a *arena[T]) alloc(v *T) (int64, bool) {
+	idx := a.next.Add(1) - 1
+	if idx >= a.capLimit {
+		return 0, false
+	}
+	chunk := a.chunk(idx >> arenaChunkBits)
+	chunk.slots[idx&(1<<arenaChunkBits-1)].Store(v)
+	return idx, true
+}
+
+// chunk returns chunk ci, creating it on first use. Racing creators are
+// reconciled with a CAS; the loser's chunk is garbage-collected.
+func (a *arena[T]) chunk(ci int64) *arenaChunk[T] {
+	if c := a.chunks[ci].Load(); c != nil {
+		return c
+	}
+	fresh := &arenaChunk[T]{}
+	if a.chunks[ci].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return a.chunks[ci].Load()
+}
+
+// get returns the value stored at idx.
+func (a *arena[T]) get(idx int64) *T {
+	return a.chunks[idx>>arenaChunkBits].Load().slots[idx&(1<<arenaChunkBits-1)].Load()
+}
+
+// used reports how many slots have been allocated.
+func (a *arena[T]) used() int64 {
+	n := a.next.Load()
+	if n > a.capLimit {
+		return a.capLimit
+	}
+	return n
+}
+
+// capacity reports the total number of slots.
+func (a *arena[T]) capacity() int64 { return a.capLimit }

@@ -1,0 +1,90 @@
+package snapshot
+
+import (
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// maxDCValue is the largest segment value DoubleCollect can encode: values
+// share a word with the per-segment sequence number (31 bits value, 32 bits
+// sequence).
+const maxDCValue = 1<<31 - 1
+
+// DoubleCollect is the textbook snapshot from read/write registers: each
+// segment is a (sequence, value) pair packed into one word, and Scan
+// repeatedly collects all segments until two consecutive collects are
+// identical (a "clean double collect", which must be a consistent cut).
+//
+// Scan is obstruction-free, not wait-free: concurrent updaters can starve
+// it forever. Update is O(1) (one read, one write). This is the
+// update-optimal extreme of Corollary 1's tradeoff — and its Scan is O(N)
+// per collect with an unbounded number of collects, illustrating why the
+// wait-free constant-Scan alternatives in this package must pay O(log N)
+// updates.
+type DoubleCollect struct {
+	n    int
+	segs []*primitive.Register
+}
+
+var _ Snapshot = (*DoubleCollect)(nil)
+
+// NewDoubleCollect builds a double-collect snapshot with n >= 1 segments,
+// all initially 0.
+func NewDoubleCollect(pool *primitive.Pool, n int) (*DoubleCollect, error) {
+	if n < 1 {
+		return nil, &ValueError{Value: int64(n), Max: 0}
+	}
+	return &DoubleCollect{n: n, segs: pool.NewSlice("dc.seg", n, 0)}, nil
+}
+
+// Components implements Snapshot.
+func (s *DoubleCollect) Components() int { return s.n }
+
+// Update implements Snapshot in exactly 2 steps. Values must be in
+// [0, 2^31).
+func (s *DoubleCollect) Update(ctx primitive.Context, v int64) error {
+	id, err := checkID(ctx, s.n)
+	if err != nil {
+		return err
+	}
+	if v < 0 || v > maxDCValue {
+		return &ValueError{Value: v, Max: maxDCValue}
+	}
+	// Single-writer segment: read own sequence number, bump it.
+	old := ctx.Read(s.segs[id])
+	seq := old >> 31
+	ctx.Write(s.segs[id], (seq+1)<<31|v)
+	return nil
+}
+
+// Scan implements Snapshot: collect until two consecutive collects agree.
+func (s *DoubleCollect) Scan(ctx primitive.Context) []int64 {
+	prev := s.collect(ctx)
+	for {
+		cur := s.collect(ctx)
+		if equalWords(prev, cur) {
+			out := make([]int64, s.n)
+			for i, w := range cur {
+				out[i] = w & maxDCValue
+			}
+			return out
+		}
+		prev = cur
+	}
+}
+
+func (s *DoubleCollect) collect(ctx primitive.Context) []int64 {
+	words := make([]int64, s.n)
+	for i, seg := range s.segs {
+		words[i] = ctx.Read(seg)
+	}
+	return words
+}
+
+func equalWords(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,401 @@
+// Package tradeoffs is a Go library of restricted-use concurrent objects —
+// max registers, counters, and single-writer atomic snapshots — reproducing
+// "Complexity Tradeoffs for Read and Update Operations" (Hendler & Khait,
+// PODC 2014).
+//
+// The package exposes each object family behind a single constructor with
+// an implementation selector, so applications can pick their side of the
+// paper's read/update tradeoff:
+//
+//	reg, err := tradeoffs.NewMaxRegister(
+//		tradeoffs.WithProcesses(8),
+//		tradeoffs.WithMaxRegisterImpl(tradeoffs.MaxRegisterAlgorithmA),
+//	)
+//	h := reg.Handle(0)        // process 0's handle (one goroutine at a time)
+//	_ = h.Write(42)
+//	cur := h.Read()           // 42, in one shared-memory step
+//
+// Every object is linearizable and (except the CAS-loop variants, which are
+// only lock-free) wait-free. Handles are per-process capabilities: process
+// ids run from 0 to Processes-1, and a given id must be used by at most one
+// goroutine at a time. Handles optionally count shared-memory steps
+// (WithStepCounting), which is how the repository's experiments measure the
+// paper's complexity claims — see EXPERIMENTS.md.
+package tradeoffs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// MaxRegisterImpl selects a max register implementation.
+type MaxRegisterImpl int
+
+// Max register implementations.
+const (
+	// MaxRegisterAlgorithmA is the paper's Algorithm A: O(1) Read,
+	// O(min(log N, log v)) wait-free Write from read/write/CAS.
+	MaxRegisterAlgorithmA MaxRegisterImpl = iota + 1
+
+	// MaxRegisterAAC is the Aspnes-Attiya-Censor construction from
+	// read/write only: O(log M) Read and Write. Requires a bound.
+	MaxRegisterAAC
+
+	// MaxRegisterCAS is a single-word CAS loop: O(1) Read, lock-free (not
+	// wait-free) Write.
+	MaxRegisterCAS
+
+	// MaxRegisterUnboundedAAC is the unbounded read/write-only register:
+	// O(log v) Write and O(log V) Read (V = current maximum), with the
+	// switch tree materialized lazily as values grow.
+	MaxRegisterUnboundedAAC
+)
+
+// CounterImpl selects a counter implementation.
+type CounterImpl int
+
+// Counter implementations.
+const (
+	// CounterFArray is the constant-read counter: O(1) Read, O(log N)
+	// wait-free Increment (Jayanti-style f-array over CAS).
+	CounterFArray CounterImpl = iota + 1
+
+	// CounterAAC is the Aspnes-Attiya-Censor read/write counter:
+	// O(log limit) Read, O(log N * log limit) Increment. Requires a
+	// limit (restricted use).
+	CounterAAC
+
+	// CounterCAS is a single-word CAS loop: O(1) Read, lock-free (not
+	// wait-free) Increment.
+	CounterCAS
+
+	// CounterSnapshot is Corollary 1's reduction over the constant-scan
+	// snapshot: O(1) Read, O(log N) Increment. Requires a limit.
+	CounterSnapshot
+)
+
+// SnapshotImpl selects a snapshot implementation.
+type SnapshotImpl int
+
+// Snapshot implementations.
+const (
+	// SnapshotFArray is the constant-scan snapshot: O(1) Scan, O(log N)
+	// wait-free Update. Requires a limit (restricted use).
+	SnapshotFArray SnapshotImpl = iota + 1
+
+	// SnapshotAfek is the classic wait-free snapshot from read/write:
+	// O(N^2) Scan and Update. Requires a limit.
+	SnapshotAfek
+
+	// SnapshotDoubleCollect is the textbook obstruction-free snapshot:
+	// O(1) Update, Scan unbounded under contention.
+	SnapshotDoubleCollect
+)
+
+// config collects the options shared by all constructors.
+type config struct {
+	processes int
+	bound     int64
+	limit     int64
+	counting  bool
+
+	maxRegImpl   MaxRegisterImpl
+	counterImpl  CounterImpl
+	snapshotImpl SnapshotImpl
+}
+
+// Option configures a constructor.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithProcesses sets the number of processes sharing the object (default 8).
+// Process ids for Handle run in [0, n).
+func WithProcesses(n int) Option {
+	return optionFunc(func(c *config) { c.processes = n })
+}
+
+// WithBound makes a max register M-bounded: Write accepts values in
+// [0, bound). MaxRegisterAAC requires it; for Algorithm A a bound <= N also
+// shrinks the structure.
+func WithBound(bound int64) Option {
+	return optionFunc(func(c *config) { c.bound = bound })
+}
+
+// WithLimit declares the restricted-use budget: the maximum number of
+// Increment (counters) or Update (snapshots) operations. Implementations
+// marked "requires a limit" reject configurations without one.
+func WithLimit(limit int64) Option {
+	return optionFunc(func(c *config) { c.limit = limit })
+}
+
+// WithStepCounting makes every handle count its shared-memory events,
+// readable via Handle.Steps.
+func WithStepCounting() Option {
+	return optionFunc(func(c *config) { c.counting = true })
+}
+
+// WithMaxRegisterImpl selects the max register implementation (default
+// MaxRegisterAlgorithmA).
+func WithMaxRegisterImpl(impl MaxRegisterImpl) Option {
+	return optionFunc(func(c *config) { c.maxRegImpl = impl })
+}
+
+// WithCounterImpl selects the counter implementation (default
+// CounterFArray).
+func WithCounterImpl(impl CounterImpl) Option {
+	return optionFunc(func(c *config) { c.counterImpl = impl })
+}
+
+// WithSnapshotImpl selects the snapshot implementation (default
+// SnapshotFArray).
+func WithSnapshotImpl(impl SnapshotImpl) Option {
+	return optionFunc(func(c *config) { c.snapshotImpl = impl })
+}
+
+// ErrLimitRequired is returned when a restricted-use implementation is
+// selected without WithLimit.
+var ErrLimitRequired = errors.New("tradeoffs: implementation requires WithLimit")
+
+// ErrBoundRequired is returned when MaxRegisterAAC is selected without
+// WithBound.
+var ErrBoundRequired = errors.New("tradeoffs: implementation requires WithBound")
+
+func buildConfig(opts []Option) config {
+	c := config{
+		processes:    8,
+		maxRegImpl:   MaxRegisterAlgorithmA,
+		counterImpl:  CounterFArray,
+		snapshotImpl: SnapshotFArray,
+	}
+	for _, o := range opts {
+		o.apply(&c)
+	}
+	return c
+}
+
+// handle is the shared per-process plumbing.
+type handle struct {
+	ctx      primitive.Context
+	counting *primitive.Counting
+}
+
+func newHandle(id int, counting bool) handle {
+	h := handle{ctx: primitive.NewDirect(id)}
+	if counting {
+		c := primitive.NewCounting(primitive.NewDirect(id))
+		h.ctx = c
+		h.counting = c
+	}
+	return h
+}
+
+// Steps reports shared-memory events issued through the handle, or 0 if the
+// object was built without WithStepCounting.
+func (h handle) Steps() int64 {
+	if h.counting == nil {
+		return 0
+	}
+	return h.counting.Steps()
+}
+
+// MaxRegister is a linearizable max register. Construct with
+// NewMaxRegister; access through per-process Handles.
+type MaxRegister struct {
+	impl      maxreg.MaxRegister
+	processes int
+	counting  bool
+}
+
+// NewMaxRegister builds a max register.
+func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
+	c := buildConfig(opts)
+	if c.processes < 1 {
+		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	}
+	var (
+		impl maxreg.MaxRegister
+		err  error
+	)
+	switch c.maxRegImpl {
+	case MaxRegisterAlgorithmA:
+		impl, err = core.New(primitive.NewPool(), c.processes, c.bound)
+	case MaxRegisterAAC:
+		if c.bound <= 0 {
+			return nil, ErrBoundRequired
+		}
+		impl, err = maxreg.NewAAC(primitive.NewPool(), c.bound)
+	case MaxRegisterCAS:
+		impl = maxreg.NewCASRegister(primitive.NewPool(), c.bound)
+	case MaxRegisterUnboundedAAC:
+		impl = maxreg.NewUnboundedAAC(primitive.NewPool())
+	default:
+		return nil, fmt.Errorf("tradeoffs: unknown max register implementation %d", c.maxRegImpl)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tradeoffs: %w", err)
+	}
+	return &MaxRegister{impl: impl, processes: c.processes, counting: c.counting}, nil
+}
+
+// Processes returns the number of process slots.
+func (m *MaxRegister) Processes() int { return m.processes }
+
+// Bound returns the exclusive value bound, or 0 if unbounded.
+func (m *MaxRegister) Bound() int64 { return m.impl.Bound() }
+
+// Handle returns process id's access handle. A handle must be used by one
+// goroutine at a time; different handles may run fully in parallel.
+func (m *MaxRegister) Handle(id int) *MaxRegisterHandle {
+	return &MaxRegisterHandle{reg: m.impl, handle: newHandle(id, m.counting)}
+}
+
+// MaxRegisterHandle is a per-process capability to a MaxRegister.
+type MaxRegisterHandle struct {
+	handle
+
+	reg maxreg.MaxRegister
+}
+
+// Read returns the largest value written so far (0 if none).
+func (h *MaxRegisterHandle) Read() int64 { return h.reg.ReadMax(h.ctx) }
+
+// Write records v if it exceeds every previously written value.
+func (h *MaxRegisterHandle) Write(v int64) error { return h.reg.WriteMax(h.ctx, v) }
+
+// Counter is a linearizable shared counter. Construct with NewCounter.
+type Counter struct {
+	impl      counter.Counter
+	processes int
+	counting  bool
+}
+
+// NewCounter builds a counter.
+func NewCounter(opts ...Option) (*Counter, error) {
+	c := buildConfig(opts)
+	if c.processes < 1 {
+		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	}
+	var (
+		impl counter.Counter
+		err  error
+	)
+	switch c.counterImpl {
+	case CounterFArray:
+		impl, err = counter.NewFArray(primitive.NewPool(), c.processes)
+	case CounterAAC:
+		if c.limit <= 0 {
+			return nil, ErrLimitRequired
+		}
+		impl, err = counter.NewAAC(primitive.NewPool(), c.processes, c.limit)
+	case CounterCAS:
+		impl = counter.NewCAS(primitive.NewPool())
+	case CounterSnapshot:
+		if c.limit <= 0 {
+			return nil, ErrLimitRequired
+		}
+		var snap snapshot.Snapshot
+		snap, err = snapshot.NewFArray(primitive.NewPool(), c.processes, c.limit)
+		if err == nil {
+			impl = counter.NewFromSnapshot(snap)
+		}
+	default:
+		return nil, fmt.Errorf("tradeoffs: unknown counter implementation %d", c.counterImpl)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tradeoffs: %w", err)
+	}
+	return &Counter{impl: impl, processes: c.processes, counting: c.counting}, nil
+}
+
+// Processes returns the number of process slots.
+func (c *Counter) Processes() int { return c.processes }
+
+// Handle returns process id's access handle.
+func (c *Counter) Handle(id int) *CounterHandle {
+	return &CounterHandle{ctr: c.impl, handle: newHandle(id, c.counting)}
+}
+
+// CounterHandle is a per-process capability to a Counter.
+type CounterHandle struct {
+	handle
+
+	ctr counter.Counter
+}
+
+// Read returns the number of increments that linearized before it.
+func (h *CounterHandle) Read() int64 { return h.ctr.Read(h.ctx) }
+
+// Increment adds one to the counter.
+func (h *CounterHandle) Increment() error { return h.ctr.Increment(h.ctx) }
+
+// Snapshot is a linearizable single-writer atomic snapshot. Construct with
+// NewSnapshot.
+type Snapshot struct {
+	impl      snapshot.Snapshot
+	processes int
+	counting  bool
+}
+
+// NewSnapshot builds a snapshot with one segment per process.
+func NewSnapshot(opts ...Option) (*Snapshot, error) {
+	c := buildConfig(opts)
+	if c.processes < 1 {
+		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	}
+	var (
+		impl snapshot.Snapshot
+		err  error
+	)
+	switch c.snapshotImpl {
+	case SnapshotFArray:
+		if c.limit <= 0 {
+			return nil, ErrLimitRequired
+		}
+		impl, err = snapshot.NewFArray(primitive.NewPool(), c.processes, c.limit)
+	case SnapshotAfek:
+		if c.limit <= 0 {
+			return nil, ErrLimitRequired
+		}
+		impl, err = snapshot.NewAfek(primitive.NewPool(), c.processes, c.limit)
+	case SnapshotDoubleCollect:
+		impl, err = snapshot.NewDoubleCollect(primitive.NewPool(), c.processes)
+	default:
+		return nil, fmt.Errorf("tradeoffs: unknown snapshot implementation %d", c.snapshotImpl)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tradeoffs: %w", err)
+	}
+	return &Snapshot{impl: impl, processes: c.processes, counting: c.counting}, nil
+}
+
+// Processes returns the number of segments (= process slots).
+func (s *Snapshot) Processes() int { return s.processes }
+
+// Handle returns process id's access handle; Update writes segment id.
+func (s *Snapshot) Handle(id int) *SnapshotHandle {
+	return &SnapshotHandle{snap: s.impl, handle: newHandle(id, s.counting)}
+}
+
+// SnapshotHandle is a per-process capability to a Snapshot.
+type SnapshotHandle struct {
+	handle
+
+	snap snapshot.Snapshot
+}
+
+// Update atomically sets the handle's segment to v.
+func (h *SnapshotHandle) Update(v int64) error { return h.snap.Update(h.ctx, v) }
+
+// Scan atomically reads all segments.
+func (h *SnapshotHandle) Scan() []int64 { return h.snap.Scan(h.ctx) }
