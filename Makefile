@@ -10,8 +10,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# gofmt -l exits 0 even when it lists files, so fail explicitly on any
+# output.
 vet:
-	gofmt -l . && $(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

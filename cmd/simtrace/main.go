@@ -4,15 +4,25 @@
 // familiarity sets of the paper's information-flow model (Definitions
 // 1-4). It is the debugging / teaching companion to the adversary
 // experiments: the same machinery, driven by a plain round-robin or seeded
-// random scheduler instead of a lower-bound construction.
+// random scheduler — or by the Theorem 1 adversary itself (-sched
+// theorem1) — and exportable as Chrome trace-event JSON that opens
+// directly in Perfetto (-format trace-json).
 //
 // Usage:
 //
 //	simtrace [-object maxreg|counter|snapshot] [-impl NAME] [-n 4] \
-//	         [-ops 6] [-sched random|roundrobin] [-seed 1] [-quiet]
+//	         [-ops 6] [-sched random|roundrobin|theorem1] [-seed 1] \
+//	         [-format text|trace-json] [-quiet]
 //
 // Implementations: maxreg: algorithm-a, aac, unbounded, cas;
 // counter: farray, aac, cas; snapshot: farray, afek, doublecollect.
+//
+// -sched theorem1 replaces the random workload with the paper's Theorem 1
+// lower-bound construction (counter objects only, wait-free impls only):
+// n-1 processes each run one Increment under Lemma 1 round scheduling,
+// then a fresh reader runs one Read. Combined with -format trace-json the
+// adversary's round structure and awareness growth are visible on a
+// Perfetto timeline.
 package main
 
 import (
@@ -22,10 +32,12 @@ import (
 	"math/rand"
 	"os"
 
+	"github.com/restricteduse/tradeoffs/internal/adversary"
 	"github.com/restricteduse/tradeoffs/internal/aware"
 	"github.com/restricteduse/tradeoffs/internal/core"
 	"github.com/restricteduse/tradeoffs/internal/counter"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/obs"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/sim"
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
@@ -45,6 +57,7 @@ type traceConfig struct {
 	ops    int
 	sched  string
 	seed   int64
+	format string
 	quiet  bool
 }
 
@@ -55,16 +68,29 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.impl, "impl", "", "implementation (default: the family's constant-read one)")
 	fs.IntVar(&cfg.n, "n", 4, "number of processes")
 	fs.IntVar(&cfg.ops, "ops", 6, "operations per process")
-	fs.StringVar(&cfg.sched, "sched", "random", "scheduler: random or roundrobin")
+	fs.StringVar(&cfg.sched, "sched", "random", "scheduler: random, roundrobin, or theorem1 (counter only)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "scheduler and workload seed")
-	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-event log")
+	fs.StringVar(&cfg.format, "format", "text", "output format: text or trace-json (Chrome trace events for Perfetto)")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-event log (text format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if cfg.n < 1 || cfg.ops < 1 {
 		return fmt.Errorf("need -n >= 1 and -ops >= 1")
 	}
+	if cfg.format != "text" && cfg.format != "trace-json" {
+		return fmt.Errorf("unknown format %q (want text or trace-json)", cfg.format)
+	}
 
+	if cfg.sched == "theorem1" {
+		return runTheorem1(cfg, out)
+	}
+	return runWorkload(cfg, out)
+}
+
+// runWorkload is the classic mode: a seeded random workload under a random
+// or round-robin scheduler.
+func runWorkload(cfg traceConfig, out io.Writer) error {
 	pool := primitive.NewPool()
 	programs, err := buildPrograms(cfg, pool)
 	if err != nil {
@@ -73,6 +99,12 @@ func run(args []string, out io.Writer) error {
 
 	s := sim.NewSystem()
 	defer s.Shutdown()
+
+	// Track information flow live, event by event, through the scheduler's
+	// observer hook rather than post-hoc over the log.
+	tr := aware.NewTracker(cfg.n)
+	s.SetObserver(tr.Apply)
+
 	for id, p := range programs {
 		if err := s.Spawn(id, p); err != nil {
 			return err
@@ -104,29 +136,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	tr := aware.NewTracker(cfg.n)
+	if cfg.format == "trace-json" {
+		return writeTraceJSON(out, s.Events(), cfg.n)
+	}
+
 	if !cfg.quiet {
 		fmt.Fprintf(out, "events (%d total):\n", len(s.Events()))
-	}
-	for _, ev := range s.Events() {
-		tr.Apply(ev)
-		if cfg.quiet {
-			continue
+		for _, ev := range s.Events() {
+			printEvent(out, ev)
 		}
-		detail := ""
-		switch ev.Kind {
-		case sim.OpRead:
-			detail = fmt.Sprintf("-> %d", ev.Before)
-		case sim.OpWrite:
-			detail = fmt.Sprintf("val=%d", ev.Value)
-		case sim.OpCAS:
-			detail = fmt.Sprintf("%d->%d ok=%v", ev.Old, ev.New, ev.CASOK)
-		}
-		vis := " "
-		if ev.Changed {
-			vis = "*"
-		}
-		fmt.Fprintf(out, "  %4d p%-2d %-5s %-14s %s %s\n", ev.Seq, ev.Proc, ev.Kind, ev.Reg, vis, detail)
 	}
 
 	fmt.Fprintf(out, "\nsteps per process:\n")
@@ -146,6 +164,83 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nM(E) = %d (max awareness/familiarity set size)\n", tr.MaxSetSize())
 	return nil
+}
+
+// runTheorem1 runs the paper's Theorem 1 adversary construction against a
+// counter implementation and renders its event log.
+func runTheorem1(cfg traceConfig, out io.Writer) error {
+	if cfg.object != "counter" {
+		return fmt.Errorf("-sched theorem1 requires -object counter (got %q)", cfg.object)
+	}
+	if cfg.n < 2 {
+		return fmt.Errorf("-sched theorem1 needs -n >= 2")
+	}
+	var factory adversary.CounterFactory
+	switch cfg.impl {
+	case "", "farray":
+		factory = func(pool *primitive.Pool, n int) (counter.Counter, error) {
+			return counter.NewFArray(pool, n)
+		}
+	case "aac":
+		factory = func(pool *primitive.Pool, n int) (counter.Counter, error) {
+			return counter.NewAAC(pool, n, int64(n))
+		}
+	case "cas":
+		return fmt.Errorf("-sched theorem1 rejects -impl cas: the CAS counter is not wait-free, so the adversary starves it")
+	default:
+		return fmt.Errorf("unknown counter impl %q", cfg.impl)
+	}
+
+	res, err := adversary.RunCounterConstruction(factory, cfg.n, 100000)
+	if err != nil {
+		return err
+	}
+
+	if cfg.format == "trace-json" {
+		return writeTraceJSON(out, res.Events, cfg.n)
+	}
+
+	if !cfg.quiet {
+		fmt.Fprintf(out, "events (%d total):\n", len(res.Events))
+		for _, ev := range res.Events {
+			printEvent(out, ev)
+		}
+	}
+	fmt.Fprintf(out, "\ntheorem1 construction (N=%d):\n", res.N)
+	fmt.Fprintf(out, "  rounds            %d (bound: >= %d)\n", res.Rounds, res.TheoremBound)
+	fmt.Fprintf(out, "  reader steps f(N) %d\n", res.ReadSteps)
+	fmt.Fprintf(out, "  reader awareness  %d of %d\n", res.ReaderAwareness, res.N)
+	fmt.Fprintf(out, "  read value        %d (want %d)\n", res.ReadValue, res.N-1)
+	fmt.Fprintf(out, "  max familiarity per round: %v (invariant <= 3^j)\n", res.MaxFamiliarityPerRound)
+	return nil
+}
+
+// writeTraceJSON renders events as Chrome trace-event JSON.
+func writeTraceJSON(out io.Writer, events []sim.Event, n int) error {
+	b, err := obs.ChromeTrace(events, n)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(b, '\n'))
+	return err
+}
+
+// printEvent renders one event line of the text format.
+func printEvent(out io.Writer, ev sim.Event) {
+	detail := ""
+	switch ev.Kind {
+	case sim.OpRead:
+		detail = fmt.Sprintf("-> %d", ev.Before)
+	case sim.OpWrite:
+		detail = fmt.Sprintf("val=%d", ev.Value)
+	case sim.OpCAS:
+		detail = fmt.Sprintf("%d->%d ok=%v", ev.Old, ev.New, ev.CASOK)
+	}
+	vis := " "
+	if ev.Changed {
+		vis = "*"
+	}
+	fmt.Fprintf(out, "  %4d p%-2d %-5s %-14s %s %s\n", ev.Seq, ev.Proc, ev.Kind, ev.Reg, vis, detail)
 }
 
 // buildPrograms constructs the chosen object plus one random workload

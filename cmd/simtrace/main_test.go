@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/obs"
 )
 
 func TestTraceMaxRegDefault(t *testing.T) {
@@ -68,6 +71,84 @@ func TestTraceRejectsBadFlags(t *testing.T) {
 		{"-n", "0"},
 		{"-ops", "0"},
 		{"-bogus-flag"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestTraceJSONWorkload checks -format trace-json emits parseable Chrome
+// trace-event JSON for a random workload.
+func TestTraceJSONWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", "-ops", "4", "-seed", "2", "-format", "trace-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(out.Bytes(), &tf); err != nil {
+		t.Fatalf("trace-json output is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+}
+
+// TestTraceJSONTheorem1 is the acceptance check: the Theorem 1 adversary
+// run exports as valid Chrome trace-event JSON with per-event slices and
+// the information-flow counter tracks.
+func TestTraceJSONTheorem1(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-object", "counter", "-sched", "theorem1", "-n", "5", "-format", "trace-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(out.Bytes(), &tf); err != nil {
+		t.Fatalf("trace-json output is not valid JSON: %v", err)
+	}
+	var slices, counters int
+	sawME := false
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+		case "X":
+			slices++
+		case "C":
+			counters++
+			if ev.Name == "M(E)" {
+				sawME = true
+			}
+		default:
+			t.Fatalf("unknown phase %q in %+v", ev.Ph, ev)
+		}
+	}
+	if slices == 0 || counters == 0 || !sawME {
+		t.Fatalf("trace structure wrong: %d slices, %d counters, M(E)=%v", slices, counters, sawME)
+	}
+}
+
+func TestTheorem1TextSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-object", "counter", "-sched", "theorem1", "-n", "5", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"theorem1 construction (N=5)", "reader steps f(N)", "read value        4 (want 4)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTheorem1RejectsBadConfigs(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-sched", "theorem1"},                                       // maxreg object
+		{"-object", "counter", "-sched", "theorem1", "-n", "1"},      // too few processes
+		{"-object", "counter", "-sched", "theorem1", "-impl", "cas"}, // not wait-free
+		{"-object", "counter", "-sched", "theorem1", "-impl", "nope"},
+		{"-format", "yaml"},
 	} {
 		if err := run(args, &out); err == nil {
 			t.Fatalf("args %v accepted", args)

@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	tradeoff [-run e1,e3] [-format text|markdown|csv] [-ns 8,16,32] [-ks 64,256]
+//	tradeoff [-run e1,e3] [-format text|markdown|csv] [-ns 8,16,32] [-ks 64,256] \
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
-// With no flags it runs everything with the default sweeps.
+// With no flags it runs everything with the default sweeps. The profiling
+// flags wrap the whole run: -cpuprofile and -memprofile write pprof
+// profiles (`go tool pprof`), -trace writes a runtime execution trace
+// (`go tool trace`) — the standard toolchain views of the same experiments
+// whose shared-memory step counts the tables report.
 package main
 
 import (
@@ -15,6 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 
@@ -31,13 +39,52 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
 	var (
-		runList = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10 or all")
-		format  = fs.String("format", "text", "output format: text, markdown, or csv")
-		nsFlag  = fs.String("ns", "", "override process-count sweep for e1/e2/e5 (comma-separated)")
-		ksFlag  = fs.String("ks", "", "override K sweep for e3 (comma-separated)")
+		runList    = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10 or all")
+		format     = fs.String("format", "text", "output format: text, markdown, or csv")
+		nsFlag     = fs.String("ns", "", "override process-count sweep for e1/e2/e5 (comma-separated)")
+		ksFlag     = fs.String("ks", "", "override K sweep for e3 (comma-separated)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tradeoff: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	ns := bench.DefaultCounterNs

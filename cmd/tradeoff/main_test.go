@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -78,5 +80,36 @@ func TestRunMultipleExperiments(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "E1:") || !strings.Contains(out.String(), "E9:") {
 		t.Fatal("requested experiments missing from output")
+	}
+}
+
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	var out bytes.Buffer
+	err := run([]string{"-run", "e1", "-ns", "4",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU profile and trace are finalized by deferred stops inside run,
+	// so all three files must exist and be non-empty now.
+	for _, path := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfilingFlagBadPath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "e1", "-ns", "4", "-cpuprofile", "/nonexistent-dir/x"}, &out); err == nil {
+		t.Fatal("unwritable -cpuprofile accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/restricteduse/tradeoffs/internal/consensus"
+	"github.com/restricteduse/tradeoffs/internal/obs"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
 
@@ -21,6 +22,7 @@ type Consensus struct {
 	impl      *consensus.Consensus
 	processes int
 	counting  bool
+	col       *obs.Collector
 }
 
 // ErrRoundsExhausted is returned by Propose when contention outlasts the
@@ -38,11 +40,16 @@ func NewConsensus(opts ...Option) (*Consensus, error) {
 	if rounds == 0 {
 		rounds = 1024
 	}
-	impl, err := consensus.NewConsensus(primitive.NewPool(), c.processes, int(rounds))
+	pool := primitive.NewPool()
+	impl, err := consensus.NewConsensus(pool, c.processes, int(rounds))
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	return &Consensus{impl: impl, processes: c.processes, counting: c.counting}, nil
+	col, err := registerObs(c, "consensus", pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Consensus{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
 }
 
 // Processes returns the number of process slots.
@@ -50,19 +57,30 @@ func (c *Consensus) Processes() int { return c.processes }
 
 // Handle returns process id's access handle.
 func (c *Consensus) Handle(id int) *ConsensusHandle {
-	return &ConsensusHandle{cons: c.impl, handle: newHandle(id, c.counting)}
+	h := &ConsensusHandle{cons: c.impl, handle: newHandle(id, c.counting, c.col)}
+	if c.col != nil {
+		h.opPropose = c.col.Op("propose")
+	}
+	return h
 }
 
 // ConsensusHandle is a per-process capability to a Consensus.
 type ConsensusHandle struct {
 	handle
 
-	cons *consensus.Consensus
+	cons      *consensus.Consensus
+	opPropose *obs.Op
 }
 
 // Propose submits v and returns the agreed value.
 func (h *ConsensusHandle) Propose(v int64) (int64, error) {
-	return h.cons.Propose(h.ctx, v)
+	if h.inst == nil {
+		return h.cons.Propose(h.ctx, v)
+	}
+	sp := h.opPropose.Begin(h.inst)
+	agreed, err := h.cons.Propose(h.ctx, v)
+	sp.End()
+	return agreed, err
 }
 
 // Decided returns the agreed value, or 0 if none yet (one step).

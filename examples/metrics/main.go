@@ -11,15 +11,29 @@
 // count is unbounded in theory; watch it move with -workers).
 //
 //	go run ./examples/metrics [-workers 8] [-requests 5000]
+//
+// With -listen the example becomes a live observability demo instead: the
+// workload loops forever over two instrumented counters ("served", an
+// f-array; "failed", a CAS loop) while an HTTP server exposes Prometheus
+// metrics — steps-per-op histograms, CAS failure (contention) counters,
+// and the per-register heatmap — plus /debug/pprof and /debug/vars:
+//
+//	go run ./examples/metrics -listen localhost:8080
+//	curl -s localhost:8080/metrics | grep tradeoffs_
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	tradeoffs "github.com/restricteduse/tradeoffs"
 )
@@ -28,11 +42,88 @@ func main() {
 	var (
 		workers  = flag.Int("workers", 8, "worker goroutines")
 		requests = flag.Int("requests", 5000, "requests per worker")
+		listen   = flag.String("listen", "", "serve live /metrics on this address and loop the workload until interrupted")
 	)
 	flag.Parse()
+	if *listen != "" {
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := serve(ctx, lis, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*workers, *requests); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// serve loops the request-counting workload over instrumented counters
+// until ctx is cancelled, exposing live metrics on lis.
+func serve(ctx context.Context, lis net.Listener, workers int) error {
+	o := tradeoffs.NewObservability()
+	base := []tradeoffs.Option{
+		tradeoffs.WithProcesses(workers + 1),
+		tradeoffs.WithObservability(o),
+	}
+	served, err := tradeoffs.NewCounter(append(base,
+		tradeoffs.WithCounterImpl(tradeoffs.CounterFArray),
+		tradeoffs.WithName("served"))...)
+	if err != nil {
+		return err
+	}
+	failed, err := tradeoffs.NewCounter(append(base,
+		tradeoffs.WithCounterImpl(tradeoffs.CounterCAS),
+		tradeoffs.WithName("failed"))...)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(lis) //nolint:errcheck // closed via srv.Close below
+	defer srv.Close()
+	log.Printf("serving live metrics on http://%s/metrics (pprof on /debug/pprof)", lis.Addr())
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			servedH := served.Handle(w)
+			failedH := failed.Handle(w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for ctx.Err() == nil {
+				if err := servedH.Increment(); err != nil {
+					log.Print(err)
+					return
+				}
+				if rng.Intn(50) == 0 { // 2% error rate
+					if err := failedH.Increment(); err != nil {
+						log.Print(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Dashboard reader: hot-path reads, also instrumented.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := served.Handle(workers)
+		for ctx.Err() == nil {
+			h.Read()
+		}
+	}()
+
+	<-ctx.Done()
+	wg.Wait()
+	return nil
 }
 
 func run(workers, requests int) error {

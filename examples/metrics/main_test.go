@@ -1,9 +1,140 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestMetricsRuns(t *testing.T) {
 	if err := run(3, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsServeLive scrapes the live /metrics endpoint twice while the
+// workload runs and checks that the steps-per-op histograms and the CAS
+// failure counters are present and advancing.
+func TestMetricsServeLive(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, lis, 4) }()
+
+	url := fmt.Sprintf("http://%s/metrics", lis.Addr())
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	incCount := regexp.MustCompile(`tradeoffs_op_steps_count\{object="served",op="increment"\} (\d+)`)
+	casFail := regexp.MustCompile(`tradeoffs_cas_failures_total\{object="(?:served|failed)"\} (\d+)`)
+
+	read := func(re *regexp.Regexp, text string) int64 {
+		t.Helper()
+		total := int64(0)
+		matched := false
+		for _, m := range re.FindAllStringSubmatch(text, -1) {
+			v, err := strconv.ParseInt(m[1], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += v
+			matched = true
+		}
+		if !matched {
+			t.Fatalf("no match for %v in:\n%s", re, text)
+		}
+		return total
+	}
+
+	// Wait for the first non-trivial sample, then require growth.
+	deadline := time.Now().Add(30 * time.Second)
+	var first string
+	for {
+		first = scrape()
+		if incCount.MatchString(first) && read(incCount, first) > 0 && read(casFail, first) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never became non-trivial:\n%s", first)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"tradeoffs_op_steps_bucket",
+		"tradeoffs_op_latency_seconds_bucket",
+		"tradeoffs_primitive_ops_total",
+		"tradeoffs_register_accesses_total",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, first)
+		}
+	}
+
+	firstInc, firstFail := read(incCount, first), read(casFail, first)
+	for {
+		second := scrape()
+		if read(incCount, second) > firstInc && read(casFail, second) > firstFail {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("metrics did not advance while workload was running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsDebugEndpoints checks the pprof and expvar endpoints respond.
+func TestMetricsDebugEndpoints(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, lis, 2) }()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", lis.Addr(), path))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	cancel()
+	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
 }

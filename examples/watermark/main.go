@@ -13,13 +13,25 @@
 // -impl aac to feel the other side (reads pay O(log M)).
 //
 //	go run ./examples/watermark [-replicas 5] [-entries 2000] [-impl algorithm-a|aac|cas]
+//
+// With -listen the run also serves live Prometheus metrics (plus
+// /debug/pprof and /debug/vars) for the commit-index max register and the
+// durable-offset snapshot while replication is in progress; raise -entries
+// to give yourself time to scrape:
+//
+//	go run ./examples/watermark -entries 2000000 -listen localhost:8080 &
+//	curl -s localhost:8080/metrics | grep 'object="commit-index"'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,18 +44,30 @@ func main() {
 		replicas = flag.Int("replicas", 5, "number of replicas (odd)")
 		entries  = flag.Int("entries", 2000, "log entries appended per replica")
 		implName = flag.String("impl", "algorithm-a", "max register implementation: algorithm-a, aac, or cas")
+		listen   = flag.String("listen", "", "serve live /metrics on this address while the run is in progress")
 	)
 	flag.Parse()
-	if err := run(*replicas, *entries, *implName); err != nil {
+	var lis net.Listener
+	if *listen != "" {
+		var err error
+		lis, err = net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := run(*replicas, *entries, *implName, lis); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(replicas, entries int, implName string) error {
+func run(replicas, entries int, implName string, lis net.Listener) error {
+	obsrv := tradeoffs.NewObservability()
 	var impl tradeoffs.MaxRegisterImpl
 	opts := []tradeoffs.Option{
 		tradeoffs.WithProcesses(replicas + 2), // replicas + committer + reader pool share ids
 		tradeoffs.WithStepCounting(),
+		tradeoffs.WithObservability(obsrv),
+		tradeoffs.WithName("commit-index"),
 	}
 	switch implName {
 	case "algorithm-a":
@@ -65,9 +89,18 @@ func run(replicas, entries int, implName string) error {
 	durable, err := tradeoffs.NewSnapshot(
 		tradeoffs.WithProcesses(replicas),
 		tradeoffs.WithLimit(int64(replicas*entries)+1),
+		tradeoffs.WithObservability(obsrv),
+		tradeoffs.WithName("durable-offsets"),
 	)
 	if err != nil {
 		return err
+	}
+
+	if lis != nil {
+		srv := &http.Server{Handler: obsrv.Handler()}
+		go srv.Serve(lis) //nolint:errcheck // closed via srv.Close below
+		defer srv.Close()
+		log.Printf("serving live metrics on http://%s/metrics while replicating", lis.Addr())
 	}
 
 	var (
@@ -149,6 +182,29 @@ func run(replicas, entries int, implName string) error {
 	fmt.Printf("shared-memory steps for one commit-index read: %d\n", readSteps)
 	if final != int64(entries) {
 		return fmt.Errorf("commit index stalled at %d", final)
+	}
+
+	// When serving metrics, prove the endpoint works end to end with one
+	// self-scrape before the deferred shutdown.
+	if lis != nil {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", lis.Addr()))
+		if err != nil {
+			return fmt.Errorf("self-scrape: %w", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("self-scrape: %w", err)
+		}
+		for _, want := range []string{
+			`tradeoffs_op_steps_count{object="commit-index",op="read"}`,
+			`tradeoffs_op_steps_count{object="durable-offsets",op="update"}`,
+		} {
+			if !strings.Contains(string(body), want) {
+				return fmt.Errorf("self-scrape missing %q", want)
+			}
+		}
+		fmt.Printf("metrics self-scrape ok (%d bytes of exposition)\n", len(body))
 	}
 	return nil
 }

@@ -1,17 +1,32 @@
 package main
 
-import "testing"
+import (
+	"net"
+	"testing"
+)
 
 func TestWatermarkAllImplementations(t *testing.T) {
 	for _, impl := range []string{"algorithm-a", "aac", "cas"} {
-		if err := run(3, 200, impl); err != nil {
+		if err := run(3, 200, impl, nil); err != nil {
 			t.Fatalf("%s: %v", impl, err)
 		}
 	}
 }
 
 func TestWatermarkRejectsUnknownImpl(t *testing.T) {
-	if err := run(3, 10, "nope"); err == nil {
+	if err := run(3, 10, "nope", nil); err == nil {
 		t.Fatal("unknown impl accepted")
+	}
+}
+
+// TestWatermarkServesMetrics runs with a live metrics listener; run itself
+// verifies the /metrics endpoint with a self-scrape before shutdown.
+func TestWatermarkServesMetrics(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 500, "algorithm-a", lis); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -42,6 +42,11 @@ type CounterResult struct {
 	// TheoremBound is ceil(log3((N-1)/ReadSteps)), the paper's lower bound
 	// on Rounds implied by Theorem 1's proof: f(N) * 3^Rounds >= N-1.
 	TheoremBound int
+
+	// Events is the construction's full shared-memory event log, in
+	// execution order (a private copy). Exporters (obs.ChromeTrace,
+	// cmd/simtrace -sched theorem1) visualize the adversary from it.
+	Events []sim.Event
 }
 
 // RunCounterConstruction executes the Theorem 1 adversary against a counter
@@ -89,6 +94,7 @@ func RunCounterConstruction(factory CounterFactory, n, maxRounds int) (*CounterR
 		if round >= maxRounds {
 			res.Rounds = maxRounds
 			res.ReadValue = -1
+			res.Events = append([]sim.Event(nil), s.Events()...)
 			return res, nil
 		}
 		if err := Lemma1Round(s, tr, active); err != nil {
@@ -131,6 +137,7 @@ func RunCounterConstruction(factory CounterFactory, n, maxRounds int) (*CounterR
 	res.ReadSteps = s.StepsOf(reader)
 	res.ReaderAwareness = tr.AwarenessCount(reader)
 	res.ReadValue = readValue
+	res.Events = append([]sim.Event(nil), s.Events()...)
 
 	if res.ReadValue != int64(n-1) {
 		return nil, &InvariantError{

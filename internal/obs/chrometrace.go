@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/aware"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format (the JSON
+// consumed by Perfetto and chrome://tracing). Only the fields the exporter
+// uses are modeled.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON-object form of a Chrome trace.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// awarenessPid is the synthetic pid carrying the global M(E) counter track.
+const awarenessPid = 1_000_000
+
+// ChromeTrace converts a simulated execution's event log into Chrome
+// trace-event JSON: one process track per simulated process with one slice
+// per shared-memory event (1 µs of virtual time per execution position),
+// plus counter tracks for the paper's information-flow measures — each
+// process's awareness-set size |AW(p)| and the global maximum set size
+// M(E) — recomputed incrementally with aware.Tracker as the log replays.
+//
+// n is the process-universe size for the awareness computation; pass 0 to
+// infer it from the largest process id in the log. The output opens
+// directly in https://ui.perfetto.dev.
+func ChromeTrace(events []sim.Event, n int) ([]byte, error) {
+	for _, ev := range events {
+		if ev.Proc >= n {
+			n = ev.Proc + 1
+		}
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("obs: ChromeTrace: empty event log and no process count")
+	}
+
+	tf := TraceFile{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"source": "tradeoffs internal/sim execution log",
+			"events": len(events),
+			"n":      n,
+		},
+		TraceEvents: make([]TraceEvent, 0, 3*len(events)+2*n+2),
+	}
+
+	for p := 0; p < n; p++ {
+		tf.TraceEvents = append(tf.TraceEvents,
+			TraceEvent{Name: "process_name", Ph: "M", Pid: p, Tid: p,
+				Args: map[string]any{"name": fmt.Sprintf("p%d", p)}},
+			TraceEvent{Name: "thread_name", Ph: "M", Pid: p, Tid: p,
+				Args: map[string]any{"name": "shared-memory events"}},
+		)
+	}
+	tf.TraceEvents = append(tf.TraceEvents,
+		TraceEvent{Name: "process_name", Ph: "M", Pid: awarenessPid, Tid: 0,
+			Args: map[string]any{"name": "information flow"}})
+
+	tr := aware.NewTracker(n)
+	lastAW := make([]int, n)
+	for p := range lastAW {
+		lastAW[p] = 1 // every process starts aware of itself
+	}
+	lastM := 0
+	for _, ev := range events {
+		ts := int64(ev.Seq)
+		args := map[string]any{
+			"seq":    ev.Seq,
+			"proc":   ev.Proc,
+			"reg":    ev.Reg.String(),
+			"before": ev.Before,
+			"after":  ev.After,
+		}
+		switch ev.Kind {
+		case sim.OpWrite:
+			args["value"] = ev.Value
+		case sim.OpCAS:
+			args["old"] = ev.Old
+			args["new"] = ev.New
+			args["ok"] = ev.CASOK
+		}
+		if ev.Changed {
+			args["visible-change"] = true
+		}
+		tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+			Name: fmt.Sprintf("%s %s", ev.Kind, ev.Reg),
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  1,
+			Pid:  ev.Proc,
+			Tid:  ev.Proc,
+			Args: args,
+		})
+
+		tr.Apply(ev)
+		// Counter samples only when a value moves, to keep traces small.
+		if ev.Proc < n {
+			if aw := tr.AwarenessCount(ev.Proc); aw != lastAW[ev.Proc] {
+				lastAW[ev.Proc] = aw
+				tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+					Name: fmt.Sprintf("|AW(p%d)|", ev.Proc),
+					Ph:   "C",
+					Ts:   ts + 1,
+					Pid:  ev.Proc,
+					Tid:  ev.Proc,
+					Args: map[string]any{"size": aw},
+				})
+			}
+		}
+		if m := tr.MaxSetSize(); m != lastM {
+			lastM = m
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: "M(E)",
+				Ph:   "C",
+				Ts:   ts + 1,
+				Pid:  awarenessPid,
+				Args: map[string]any{"size": m},
+			})
+		}
+	}
+
+	return json.MarshalIndent(tf, "", " ")
+}

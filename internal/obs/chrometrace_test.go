@@ -1,0 +1,216 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/adversary"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// theorem1Events runs the Theorem 1 adversary construction against the
+// f-array counter and returns its event log.
+func theorem1Events(t *testing.T, n int) []sim.Event {
+	t.Helper()
+	factory := adversary.CounterFactory(func(pool *primitive.Pool, n int) (counter.Counter, error) {
+		return counter.NewFArray(pool, n)
+	})
+	res, err := adversary.RunCounterConstruction(factory, n, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("adversary run produced no events")
+	}
+	return res.Events
+}
+
+// TestChromeTraceTheorem1SchemaValid renders a real Theorem 1 adversary run
+// and checks the output is valid Chrome-trace-event JSON: parseable, with
+// every event carrying a known phase, microsecond timestamps matching the
+// execution order, and the awareness counter tracks present.
+func TestChromeTraceTheorem1SchemaValid(t *testing.T) {
+	const n = 6
+	events := theorem1Events(t, n)
+
+	raw, err := obs.ChromeTrace(events, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode generically and validate the fields the viewers require.
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayTime string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	var slices, counters, meta int
+	seenAW := map[string]bool{}
+	seenME := false
+	for i, ev := range tf.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			t.Fatalf("event %d has no ph: %v", i, ev)
+		}
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			t.Fatalf("event %d has no name: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d has no numeric pid: %v", i, ev)
+		}
+		switch ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("slice %d has no numeric ts: %v", i, ev)
+			}
+			if dur, ok := ev["dur"].(float64); !ok || dur <= 0 {
+				t.Fatalf("slice %d has no positive dur: %v", i, ev)
+			}
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
+				t.Fatalf("slice %d has no args: %v", i, ev)
+			}
+			for _, key := range []string{"seq", "proc", "reg", "before", "after"} {
+				if _, ok := args[key]; !ok {
+					t.Fatalf("slice %d args missing %q: %v", i, key, args)
+				}
+			}
+		case "C":
+			counters++
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
+				t.Fatalf("counter %d has no args: %v", i, ev)
+			}
+			if _, ok := args["size"].(float64); !ok {
+				t.Fatalf("counter %d args missing numeric size: %v", i, args)
+			}
+			if name == "M(E)" {
+				seenME = true
+			} else {
+				seenAW[name] = true
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ev["ph"])
+		}
+	}
+
+	if slices != len(events) {
+		t.Fatalf("emitted %d slices for %d sim events", slices, len(events))
+	}
+	if meta < n+1 {
+		t.Fatalf("only %d metadata events for %d processes", meta, n)
+	}
+	if !seenME {
+		t.Fatal("no M(E) counter track")
+	}
+	// The Lemma 1 rounds grow writer awareness, so at least one per-process
+	// awareness track must have moved.
+	if len(seenAW) == 0 {
+		t.Fatal("no |AW(p)| counter samples")
+	}
+	if counters == 0 {
+		t.Fatal("no counter events at all")
+	}
+}
+
+// TestChromeTraceSliceOrder checks slices keep the execution order: ts
+// equals the event's sequence number.
+func TestChromeTraceSliceOrder(t *testing.T) {
+	pool := primitive.NewPool()
+	r := pool.New("r", 0)
+	s := sim.NewSystem()
+	defer s.Shutdown()
+	if err := s.Spawn(0, func(ctx primitive.Context) { ctx.Write(r, 1); ctx.Read(r) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spawn(1, func(ctx primitive.Context) { ctx.Read(r) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(100); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := obs.ChromeTrace(s.Events(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := int64(0)
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts != wantSeq {
+			t.Fatalf("slice ts = %d, want %d", ev.Ts, wantSeq)
+		}
+		wantSeq++
+	}
+	if wantSeq != int64(len(s.Events())) {
+		t.Fatalf("saw %d slices, want %d", wantSeq, len(s.Events()))
+	}
+}
+
+// TestChromeTraceInfersProcessCount checks n is raised to cover every
+// process id in the log, so awareness replay cannot index out of range.
+func TestChromeTraceInfersProcessCount(t *testing.T) {
+	pool := primitive.NewPool()
+	r := pool.New("r", 0)
+	s := sim.NewSystem()
+	defer s.Shutdown()
+	if err := s.Spawn(2, func(ctx primitive.Context) { ctx.Write(r, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliberately pass n too small.
+	raw, err := obs.ChromeTrace(s.Events(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Pid == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no metadata track for process 2")
+	}
+}
+
+func TestChromeTraceRejectsEmptyLog(t *testing.T) {
+	if _, err := obs.ChromeTrace(nil, 0); err == nil {
+		t.Fatal("empty log with n=0 accepted")
+	}
+	// An empty log with an explicit process count is fine: just tracks.
+	raw, err := obs.ChromeTrace(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatal(err)
+	}
+}

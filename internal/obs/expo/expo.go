@@ -1,0 +1,152 @@
+// Package expo exposes obs measurements over HTTP using only the standard
+// library: Prometheus-text-format exposition on /metrics, expvar on
+// /debug/vars, and runtime profiling on /debug/pprof. A workload wires it
+// up with one line:
+//
+//	http.ListenAndServe(addr, expo.DebugMux(gather))
+//
+// where gather returns the current []obs.NamedStats (one entry per
+// observed object). The text format follows the Prometheus exposition
+// format v0.0.4; histogram buckets are the log2 buckets of obs.Histogram
+// rendered cumulatively with `le` labels.
+package expo
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"github.com/restricteduse/tradeoffs/internal/obs"
+)
+
+// Gatherer returns the current stats of every observed object. It is
+// called once per scrape and may be invoked concurrently.
+type Gatherer func() []obs.NamedStats
+
+// Handler returns an http.Handler serving the Prometheus text exposition
+// of gather's objects.
+func Handler(gather Gatherer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, gather())
+	})
+}
+
+// DebugMux returns a mux serving /metrics (Prometheus text), /debug/vars
+// (expvar JSON), and the /debug/pprof profiling endpoints.
+func DebugMux(gather Gatherer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(gather))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// metric name constants, shared with the golden test.
+const (
+	metricPrimitiveOps     = "tradeoffs_primitive_ops_total"
+	metricCASFailures      = "tradeoffs_cas_failures_total"
+	metricOpSteps          = "tradeoffs_op_steps"
+	metricOpLatency        = "tradeoffs_op_latency_seconds"
+	metricRegisterAccesses = "tradeoffs_register_accesses_total"
+	metricHeatOverflow     = "tradeoffs_register_access_overflow_total"
+)
+
+// WriteMetrics renders the full exposition to w. Output is deterministic
+// for a given input: objects appear in the order given, operations and
+// registers in their (already sorted) Stats order.
+func WriteMetrics(w io.Writer, all []obs.NamedStats) {
+	fmt.Fprintf(w, "# HELP %s Shared-memory events by primitive (CAS counts attempts).\n", metricPrimitiveOps)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricPrimitiveOps)
+	for _, ns := range all {
+		obj := escapeLabel(ns.Object)
+		fmt.Fprintf(w, "%s{object=\"%s\",primitive=\"read\"} %d\n", metricPrimitiveOps, obj, ns.Stats.Reads)
+		fmt.Fprintf(w, "%s{object=\"%s\",primitive=\"write\"} %d\n", metricPrimitiveOps, obj, ns.Stats.Writes)
+		fmt.Fprintf(w, "%s{object=\"%s\",primitive=\"cas\"} %d\n", metricPrimitiveOps, obj, ns.Stats.CASAttempts)
+	}
+
+	fmt.Fprintf(w, "# HELP %s Failed CAS attempts: another process moved the register first (contention).\n", metricCASFailures)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricCASFailures)
+	for _, ns := range all {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricCASFailures, escapeLabel(ns.Object), ns.Stats.CASFailures)
+	}
+
+	fmt.Fprintf(w, "# HELP %s Shared-memory steps per operation.\n", metricOpSteps)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", metricOpSteps)
+	for _, ns := range all {
+		for _, op := range ns.Stats.Ops {
+			writeHistogram(w, metricOpSteps, ns.Object, op.Name, &op.Steps, stepsBound)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s Operation latency.\n", metricOpLatency)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", metricOpLatency)
+	for _, ns := range all {
+		for _, op := range ns.Stats.Ops {
+			writeHistogram(w, metricOpLatency, ns.Object, op.Name, &op.LatencyNS, secondsBound)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s Accesses per base register (heatmap).\n", metricRegisterAccesses)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricRegisterAccesses)
+	for _, ns := range all {
+		obj := escapeLabel(ns.Object)
+		for _, reg := range ns.Stats.Registers {
+			fmt.Fprintf(w, "%s{object=\"%s\",register=\"%s\"} %d\n",
+				metricRegisterAccesses, obj, escapeLabel(reg.Name), reg.Accesses)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s Accesses to registers allocated after instrumentation was attached.\n", metricHeatOverflow)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricHeatOverflow)
+	for _, ns := range all {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricHeatOverflow, escapeLabel(ns.Object), ns.Stats.HeatOverflow)
+	}
+}
+
+// stepsBound renders a step histogram's le bound: the integer BucketBound.
+func stepsBound(i int) string {
+	return fmt.Sprintf("%d", obs.BucketBound(i))
+}
+
+// secondsBound renders a latency bound: BucketBound nanoseconds, in seconds.
+func secondsBound(i int) string {
+	return fmt.Sprintf("%g", float64(obs.BucketBound(i))/1e9)
+}
+
+// writeHistogram renders one (metric, object, op) histogram with cumulative
+// le buckets, up to the highest non-empty bucket, then +Inf, sum, count.
+// The latency sum is in the bound's unit only for steps; for latency the
+// sum is converted from nanoseconds by the bound function's unit — callers
+// pass the matching bound renderer and WriteMetrics converts the sum below.
+func writeHistogram(w io.Writer, metric, object, op string, h *obs.HistogramSnapshot, bound func(int) string) {
+	obj := escapeLabel(object)
+	opl := escapeLabel(op)
+	cum := int64(0)
+	for i := 0; i <= h.MaxBucket(); i++ {
+		cum += h.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{object=\"%s\",op=\"%s\",le=\"%s\"} %d\n", metric, obj, opl, bound(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{object=\"%s\",op=\"%s\",le=\"+Inf\"} %d\n", metric, obj, opl, h.Count)
+	if metric == metricOpLatency {
+		fmt.Fprintf(w, "%s_sum{object=\"%s\",op=\"%s\"} %g\n", metric, obj, opl, float64(h.Sum)/1e9)
+	} else {
+		fmt.Fprintf(w, "%s_sum{object=\"%s\",op=\"%s\"} %d\n", metric, obj, opl, h.Sum)
+	}
+	fmt.Fprintf(w, "%s_count{object=\"%s\",op=\"%s\"} %d\n", metric, obj, opl, h.Count)
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

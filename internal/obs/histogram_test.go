@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBound(t *testing.T) {
+	cases := []struct {
+		i    int
+		want int64
+	}{
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 7},
+		{10, 1023},
+		{62, 1<<62 - 1},
+		{63, math.MaxInt64},
+		{64, math.MaxInt64},
+		{100, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := BucketBound(c.i); got != c.want {
+			t.Errorf("BucketBound(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Every positive observation must satisfy BucketBound(i-1) < v <=
+// BucketBound(i) for its bucket i — the invariant the cumulative `le`
+// rendering in obs/expo depends on.
+func TestBucketIndexConsistentWithBounds(t *testing.T) {
+	for _, v := range []int64{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1 << 20, 1<<62 - 1, 1 << 62, math.MaxInt64} {
+		i := bucketIndex(v)
+		if v > BucketBound(i) {
+			t.Errorf("v=%d lands in bucket %d with bound %d (< v)", v, i, BucketBound(i))
+		}
+		if i > 0 && v <= BucketBound(i-1) {
+			t.Errorf("v=%d lands in bucket %d but already fits bucket %d (bound %d)", v, i, i-1, BucketBound(i-1))
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 4, 1024, -5} {
+		h.Observe(v)
+	}
+	var s HistogramSnapshot
+	h.snapshotInto(&s)
+
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	// -5 is clamped to 0 before summing.
+	if want := int64(0 + 1 + 1 + 3 + 4 + 1024 + 0); s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+	wantBuckets := map[int]int64{0: 2, 1: 2, 2: 1, 3: 1, 11: 1}
+	for i, n := range s.Buckets {
+		if n != wantBuckets[i] {
+			t.Errorf("Buckets[%d] = %d, want %d", i, n, wantBuckets[i])
+		}
+	}
+	if got := s.MaxBucket(); got != 11 {
+		t.Fatalf("MaxBucket = %d, want 11", got)
+	}
+}
+
+func TestHistogramSnapshotMerges(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(1)
+
+	var s HistogramSnapshot
+	a.snapshotInto(&s)
+	b.snapshotInto(&s)
+	if s.Count != 3 || s.Sum != 102 {
+		t.Fatalf("merged Count=%d Sum=%d, want 3, 102", s.Count, s.Sum)
+	}
+	if s.Buckets[1] != 2 {
+		t.Fatalf("merged Buckets[1] = %d, want 2", s.Buckets[1])
+	}
+}
+
+func TestEmptyHistogramMaxBucket(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.MaxBucket(); got != -1 {
+		t.Fatalf("empty MaxBucket = %d, want -1", got)
+	}
+}

@@ -1,0 +1,304 @@
+// Package obs is the repository's live observability layer: a cheap,
+// race-safe instrument for concurrent workloads running against the public
+// objects, and exporters that make its measurements visible — Prometheus
+// text exposition (obs/expo) and Chrome-trace-event JSON for simulated
+// executions (ChromeTrace).
+//
+// Where primitive.Counting gives exact offline step accounting for a single
+// process, obs.Collector observes a *running* multi-process workload: every
+// process writes to its own shard (plain atomic adds on uncontended cache
+// lines), and readers merge the shards on demand, so scraping never stalls
+// the hot path. Recorded per object:
+//
+//   - per-primitive event counters (reads, writes, CAS attempts);
+//   - CAS failure counters — the paper's contention signal: a failed CAS is
+//     a retry some other process forced;
+//   - log2-bucketed histograms of steps-per-operation and latency, keyed by
+//     operation name (Read, WriteMax, Increment, Scan, ...);
+//   - a per-register access heatmap keyed by primitive.Pool ids, which
+//     shows exactly which base objects a workload hammers (for Algorithm A:
+//     the root switch vs. the leaf registers).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// shard holds one process's counters. A shard has exactly one writer (the
+// process owning the id) and any number of concurrent readers, so all
+// fields are atomics; the trailing pad keeps adjacent heap allocations from
+// false-sharing the hot counters.
+type shard struct {
+	reads        atomic.Int64
+	writes       atomic.Int64
+	casAttempts  atomic.Int64
+	casFailures  atomic.Int64
+	heatOverflow atomic.Int64
+
+	heat []atomic.Int64 // per-register access counts, indexed by register id
+
+	_ [24]byte
+}
+
+// steps returns the shard's total shared-memory events.
+func (s *shard) steps() int64 {
+	return s.reads.Load() + s.writes.Load() + s.casAttempts.Load()
+}
+
+// touch bumps the register's heatmap cell (or the overflow counter for ids
+// allocated after the collector was built, e.g. by lazily-growing objects).
+func (s *shard) touch(id int) {
+	if id >= 0 && id < len(s.heat) {
+		s.heat[id].Add(1)
+	} else {
+		s.heatOverflow.Add(1)
+	}
+}
+
+// Collector aggregates observations for one shared object (one
+// primitive.Pool). It is immutable after construction except through its
+// per-process Instrumented contexts, so Snapshot may run concurrently with
+// any number of writers.
+type Collector struct {
+	processes int
+	pool      *primitive.Pool
+	shards    []*shard
+
+	mu  sync.Mutex
+	ops map[string]*Op
+
+	now func() time.Time // test hook; time.Now in production
+}
+
+// NewCollector builds a collector for process ids in [0, processes). The
+// pool, if non-nil, fixes the heatmap size to the registers allocated so
+// far and supplies register names at snapshot time; accesses to registers
+// allocated later land in the overflow cell.
+func NewCollector(processes int, pool *primitive.Pool) *Collector {
+	if processes < 1 {
+		panic(fmt.Sprintf("obs: NewCollector: processes must be >= 1, got %d", processes))
+	}
+	heatCap := 0
+	if pool != nil {
+		heatCap = pool.Len()
+	}
+	c := &Collector{
+		processes: processes,
+		pool:      pool,
+		shards:    make([]*shard, processes),
+		ops:       make(map[string]*Op),
+		now:       time.Now,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{heat: make([]atomic.Int64, heatCap)}
+	}
+	return c
+}
+
+// Processes returns the number of process slots.
+func (c *Collector) Processes() int { return c.processes }
+
+// Context wraps inner in an Instrumented context writing to process id's
+// shard. Like every primitive.Context, the result must be used by one
+// goroutine at a time.
+func (c *Collector) Context(id int, inner primitive.Context) *Instrumented {
+	if id < 0 || id >= c.processes {
+		panic(fmt.Sprintf("obs: Collector.Context(%d): process id out of range [0, %d)", id, c.processes))
+	}
+	return &Instrumented{inner: inner, col: c, sh: c.shards[id], idx: id}
+}
+
+// Op returns the named operation's recorder, creating it on first use. Op
+// is safe for concurrent callers; the returned *Op should be cached (by a
+// handle) rather than looked up per operation.
+func (c *Collector) Op(name string) *Op {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op := c.ops[name]
+	if op == nil {
+		op = &Op{
+			name:    name,
+			steps:   make([]Histogram, c.processes),
+			latency: make([]Histogram, c.processes),
+		}
+		c.ops[name] = op
+	}
+	return op
+}
+
+// Snapshot merges every shard into one consistent-enough view (each counter
+// is read atomically; the set as a whole is not a linearizable cut, which
+// is fine for monitoring).
+func (c *Collector) Snapshot() Stats {
+	st := Stats{}
+	heatCap := 0
+	if len(c.shards) > 0 {
+		heatCap = len(c.shards[0].heat)
+	}
+	heat := make([]int64, heatCap)
+	for _, sh := range c.shards {
+		st.Reads += sh.reads.Load()
+		st.Writes += sh.writes.Load()
+		st.CASAttempts += sh.casAttempts.Load()
+		st.CASFailures += sh.casFailures.Load()
+		st.HeatOverflow += sh.heatOverflow.Load()
+		for i := range sh.heat {
+			heat[i] += sh.heat[i].Load()
+		}
+	}
+
+	var names []string
+	if c.pool != nil {
+		for _, r := range c.pool.Registers() {
+			names = append(names, r.String())
+		}
+	}
+	for id, n := range heat {
+		if n == 0 {
+			continue
+		}
+		reg := RegisterStats{ID: id, Name: fmt.Sprintf("reg#%d", id), Accesses: n}
+		if id < len(names) {
+			reg.Name = names[id]
+		}
+		st.Registers = append(st.Registers, reg)
+	}
+
+	c.mu.Lock()
+	ops := make([]*Op, 0, len(c.ops))
+	for _, op := range c.ops {
+		ops = append(ops, op)
+	}
+	c.mu.Unlock()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].name < ops[j].name })
+	for _, op := range ops {
+		os := OpStats{Name: op.name}
+		for i := range op.steps {
+			op.steps[i].snapshotInto(&os.Steps)
+			op.latency[i].snapshotInto(&os.LatencyNS)
+		}
+		st.Ops = append(st.Ops, os)
+	}
+	return st
+}
+
+// Op records one named operation's steps-per-op and latency histograms,
+// sharded per process like the counters.
+type Op struct {
+	name    string
+	steps   []Histogram
+	latency []Histogram
+}
+
+// Name returns the operation name.
+func (o *Op) Name() string { return o.name }
+
+// Begin opens a span for one operation issued through ctx. The returned
+// Span must be Ended by the same goroutine.
+func (o *Op) Begin(ctx *Instrumented) Span {
+	return Span{op: o, ctx: ctx, startSteps: ctx.sh.steps(), start: ctx.col.now()}
+}
+
+// Span is an in-flight operation measurement.
+type Span struct {
+	op         *Op
+	ctx        *Instrumented
+	startSteps int64
+	start      time.Time
+}
+
+// End closes the span, recording the operation's step count and latency.
+func (s Span) End() {
+	idx := s.ctx.idx
+	s.op.steps[idx].Observe(s.ctx.sh.steps() - s.startSteps)
+	s.op.latency[idx].Observe(s.ctx.col.now().Sub(s.start).Nanoseconds())
+}
+
+// Instrumented is a primitive.Context that records every shared-memory
+// event into its process's shard before delegating to the wrapped context.
+// Overhead per event is a handful of uncontended atomic adds.
+type Instrumented struct {
+	inner primitive.Context
+	col   *Collector
+	sh    *shard
+	idx   int
+}
+
+var _ primitive.Context = (*Instrumented)(nil)
+
+// ID implements primitive.Context.
+func (c *Instrumented) ID() int { return c.inner.ID() }
+
+// Read implements primitive.Context.
+func (c *Instrumented) Read(r *primitive.Register) int64 {
+	c.sh.reads.Add(1)
+	c.sh.touch(r.ID())
+	return c.inner.Read(r)
+}
+
+// Write implements primitive.Context.
+func (c *Instrumented) Write(r *primitive.Register, v int64) {
+	c.sh.writes.Add(1)
+	c.sh.touch(r.ID())
+	c.inner.Write(r, v)
+}
+
+// CAS implements primitive.Context. A false return is counted as a CAS
+// failure: the register moved under the caller, i.e. contention.
+func (c *Instrumented) CAS(r *primitive.Register, old, new int64) bool {
+	c.sh.casAttempts.Add(1)
+	c.sh.touch(r.ID())
+	ok := c.inner.CAS(r, old, new)
+	if !ok {
+		c.sh.casFailures.Add(1)
+	}
+	return ok
+}
+
+// Steps returns the total shared-memory events recorded on this context's
+// shard (all handles sharing the process id included).
+func (c *Instrumented) Steps() int64 { return c.sh.steps() }
+
+// Stats is a merged view of a Collector.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	CASAttempts int64
+	CASFailures int64
+
+	// Ops holds per-operation histograms, sorted by name.
+	Ops []OpStats
+
+	// Registers holds the access heatmap, sorted by register id; registers
+	// never touched are omitted. HeatOverflow counts accesses to registers
+	// allocated after the collector was built.
+	Registers    []RegisterStats
+	HeatOverflow int64
+}
+
+// OpStats is one operation's merged histograms.
+type OpStats struct {
+	Name      string
+	Steps     HistogramSnapshot
+	LatencyNS HistogramSnapshot
+}
+
+// RegisterStats is one heatmap cell.
+type RegisterStats struct {
+	ID       int
+	Name     string
+	Accesses int64
+}
+
+// NamedStats pairs an object's name with its merged stats; it is the unit
+// the exposition package renders.
+type NamedStats struct {
+	Object string
+	Stats  Stats
+}

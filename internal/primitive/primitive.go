@@ -113,10 +113,14 @@ func (p *Pool) Registers() []*Register {
 	return out
 }
 
-// Get returns the register with the given identifier.
+// Get returns the register with the given identifier. It panics with a
+// descriptive message if no such register was allocated from this pool.
 func (p *Pool) Get(id int) *Register {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.regs) {
+		panic(fmt.Sprintf("primitive: Pool.Get(%d): no such register (pool holds ids [0, %d))", id, len(p.regs)))
+	}
 	return p.regs[id]
 }
 

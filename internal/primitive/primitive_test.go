@@ -2,6 +2,7 @@ package primitive
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -261,5 +262,28 @@ func TestRegisterConcurrentCASIncrement(t *testing.T) {
 
 	if got := r.Load(); got != workers*perWorker {
 		t.Fatalf("final = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPoolGetRejectsBadID(t *testing.T) {
+	p := NewPool()
+	p.New("only", 0)
+	if got := p.Get(0); got == nil {
+		t.Fatal("Get(0) returned nil for an allocated register")
+	}
+	for _, id := range []int{-1, 1, 100} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Get(%d) did not panic", id)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "no such register") {
+					t.Fatalf("Get(%d) panic = %v, want a descriptive message", id, r)
+				}
+			}()
+			p.Get(id)
+		}()
 	}
 }

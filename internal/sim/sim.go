@@ -101,6 +101,7 @@ type System struct {
 	order    []int
 	events   []Event
 	schedule []int
+	observer func(Event)
 	kill     chan struct{}
 	killOnce sync.Once
 	wg       sync.WaitGroup
@@ -276,6 +277,9 @@ func (s *System) Step(id int) (Event, error) {
 	s.events = append(s.events, ev)
 	s.schedule = append(s.schedule, id)
 	p.steps++
+	if s.observer != nil {
+		s.observer(ev)
+	}
 
 	p.respCh <- resp
 	s.pump(p)
@@ -315,6 +319,14 @@ func (s *System) RunToCompletion(maxEvents int) error {
 	}
 	return nil
 }
+
+// SetObserver installs a callback invoked synchronously from Step after
+// each event is applied and logged — the hook live exporters and trackers
+// (internal/aware, obs.ChromeTrace streaming) consume events through
+// without waiting for the execution to finish. Pass nil to remove it. The
+// callback runs on the scheduler's goroutine and must not re-enter the
+// System.
+func (s *System) SetObserver(fn func(Event)) { s.observer = fn }
 
 // Events returns the execution's event log (shared slice: callers must not
 // modify it).

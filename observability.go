@@ -1,0 +1,104 @@
+package tradeoffs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/expo"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Observability is a live metrics registry shared by any number of
+// objects. Construct one per application, pass it to constructors with
+// WithObservability, and serve Handler (or just MetricsHandler) to watch
+// the workload run:
+//
+//	o := tradeoffs.NewObservability()
+//	ctr, _ := tradeoffs.NewCounter(
+//		tradeoffs.WithObservability(o),
+//		tradeoffs.WithName("served"),
+//	)
+//	go http.ListenAndServe("localhost:8080", o.Handler())
+//
+// Instrumented objects record, per object: shared-memory events by
+// primitive, CAS failures (contention), log2 histograms of steps-per-op
+// and latency per operation, and a per-register access heatmap. Recording
+// is sharded per process id and merged at scrape time, so the hot path
+// pays only uncontended atomic adds. See docs/observability.md.
+type Observability struct {
+	mu      sync.Mutex
+	order   []string
+	byName  map[string]*obs.Collector
+	nextIdx map[string]int
+}
+
+// NewObservability returns an empty registry.
+func NewObservability() *Observability {
+	return &Observability{
+		byName:  make(map[string]*obs.Collector),
+		nextIdx: make(map[string]int),
+	}
+}
+
+// register creates the collector for one newly constructed object. An
+// empty name is auto-assigned family#k in construction order.
+func (o *Observability) register(family, name string, processes int, pool *primitive.Pool) (*obs.Collector, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("%s#%d", family, o.nextIdx[family])
+		o.nextIdx[family]++
+	}
+	if _, dup := o.byName[name]; dup {
+		return nil, fmt.Errorf("tradeoffs: observability object name %q already in use", name)
+	}
+	col := obs.NewCollector(processes, pool)
+	o.byName[name] = col
+	o.order = append(o.order, name)
+	return col, nil
+}
+
+// gather snapshots every registered object, in registration order.
+func (o *Observability) gather() []obs.NamedStats {
+	o.mu.Lock()
+	names := append([]string(nil), o.order...)
+	cols := make([]*obs.Collector, len(names))
+	for i, n := range names {
+		cols[i] = o.byName[n]
+	}
+	o.mu.Unlock()
+
+	out := make([]obs.NamedStats, len(names))
+	for i := range names {
+		out[i] = obs.NamedStats{Object: names[i], Stats: cols[i].Snapshot()}
+	}
+	return out
+}
+
+// MetricsHandler returns the Prometheus-text-format /metrics handler for
+// every object registered so far (and later).
+func (o *Observability) MetricsHandler() http.Handler {
+	return expo.Handler(o.gather)
+}
+
+// Handler returns a mux serving /metrics plus the standard Go debug
+// endpoints /debug/vars (expvar) and /debug/pprof.
+func (o *Observability) Handler() http.Handler {
+	return expo.DebugMux(o.gather)
+}
+
+// WithObservability instruments the constructed object into o: its handles
+// record into a per-object collector visible through o's handlers. Combine
+// with WithName to control the metrics' object label.
+func WithObservability(o *Observability) Option {
+	return optionFunc(func(c *config) { c.obs = o })
+}
+
+// WithName sets the object's name in observability output (default:
+// family#index in construction order). Names must be unique within an
+// Observability.
+func WithName(name string) Option {
+	return optionFunc(func(c *config) { c.name = name })
+}

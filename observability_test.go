@@ -1,0 +1,110 @@
+package tradeoffs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestObservabilityEndToEnd drives instrumented objects concurrently and
+// checks the scraped /metrics output reflects the workload.
+func TestObservabilityEndToEnd(t *testing.T) {
+	o := NewObservability()
+
+	ctr, err := NewCounter(WithProcesses(4), WithObservability(o), WithName("hits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := NewMaxRegister(WithProcesses(2), WithObservability(o)) // auto-named maxreg#0
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := ctr.Handle(p)
+			for i := 0; i < 50; i++ {
+				if err := h.Increment(); err != nil {
+					t.Error(err)
+					return
+				}
+				h.Read()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := mr.Handle(0).Write(9); err != nil {
+		t.Fatal(err)
+	}
+	if v := mr.Handle(1).Read(); v != 9 {
+		t.Fatalf("Read = %d, want 9", v)
+	}
+
+	rec := httptest.NewRecorder()
+	o.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	text := rec.Body.String()
+	for _, want := range []string{
+		`tradeoffs_op_steps_count{object="hits",op="increment"} 200`,
+		`tradeoffs_op_steps_count{object="hits",op="read"} 200`,
+		`tradeoffs_op_steps_count{object="maxreg#0",op="write"} 1`,
+		`tradeoffs_op_steps_count{object="maxreg#0",op="read"} 1`,
+		`tradeoffs_register_accesses_total{object="hits"`,
+		`tradeoffs_op_latency_seconds_bucket{object="hits",op="increment"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// The counter value must be untouched by instrumentation.
+	if got := ctr.Handle(0).Read(); got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+}
+
+func TestObservabilityDuplicateNameRejected(t *testing.T) {
+	o := NewObservability()
+	if _, err := NewCounter(WithObservability(o), WithName("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSnapshot(WithObservability(o), WithName("x")); err == nil {
+		t.Fatal("duplicate object name accepted")
+	}
+}
+
+func TestWithNameWithoutObservabilityIsHarmless(t *testing.T) {
+	ctr, err := NewCounter(WithName("ignored"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctr.Handle(0).Increment(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObservabilityComposesWithStepCounting checks the instrumented wrapper
+// preserves the step-counting facade feature it stacks under.
+func TestObservabilityComposesWithStepCounting(t *testing.T) {
+	o := NewObservability()
+	ctr, err := NewCounter(WithProcesses(2), WithStepCounting(), WithObservability(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	if err := h.Increment(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Steps() == 0 {
+		t.Fatal("step counting lost under instrumentation")
+	}
+
+	rec := httptest.NewRecorder()
+	o.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `tradeoffs_op_steps_count{object="counter#0",op="increment"} 1`) {
+		t.Fatalf("instrumentation lost under step counting:\n%s", rec.Body.String())
+	}
+}

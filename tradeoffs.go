@@ -30,6 +30,7 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/core"
 	"github.com/restricteduse/tradeoffs/internal/counter"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/obs"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
 )
@@ -104,6 +105,8 @@ type config struct {
 	bound     int64
 	limit     int64
 	counting  bool
+	obs       *Observability
+	name      string
 
 	maxRegImpl   MaxRegisterImpl
 	counterImpl  CounterImpl
@@ -184,16 +187,30 @@ func buildConfig(opts []Option) config {
 	return c
 }
 
+// registerObs attaches a freshly built object's pool to its Observability
+// registry (if any), returning the object's collector or nil.
+func registerObs(c config, family string, pool *primitive.Pool) (*obs.Collector, error) {
+	if c.obs == nil {
+		return nil, nil
+	}
+	return c.obs.register(family, c.name, c.processes, pool)
+}
+
 // handle is the shared per-process plumbing.
 type handle struct {
 	ctx      primitive.Context
 	counting *primitive.Counting
+	inst     *obs.Instrumented
 }
 
-func newHandle(id int, counting bool) handle {
+func newHandle(id int, counting bool, col *obs.Collector) handle {
 	h := handle{ctx: primitive.NewDirect(id)}
+	if col != nil {
+		h.inst = col.Context(id, h.ctx)
+		h.ctx = h.inst
+	}
 	if counting {
-		c := primitive.NewCounting(primitive.NewDirect(id))
+		c := primitive.NewCounting(h.ctx)
 		h.ctx = c
 		h.counting = c
 	}
@@ -215,6 +232,7 @@ type MaxRegister struct {
 	impl      maxreg.MaxRegister
 	processes int
 	counting  bool
+	col       *obs.Collector
 }
 
 // NewMaxRegister builds a max register.
@@ -223,29 +241,34 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 	if c.processes < 1 {
 		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
 	}
+	pool := primitive.NewPool()
 	var (
 		impl maxreg.MaxRegister
 		err  error
 	)
 	switch c.maxRegImpl {
 	case MaxRegisterAlgorithmA:
-		impl, err = core.New(primitive.NewPool(), c.processes, c.bound)
+		impl, err = core.New(pool, c.processes, c.bound)
 	case MaxRegisterAAC:
 		if c.bound <= 0 {
 			return nil, ErrBoundRequired
 		}
-		impl, err = maxreg.NewAAC(primitive.NewPool(), c.bound)
+		impl, err = maxreg.NewAAC(pool, c.bound)
 	case MaxRegisterCAS:
-		impl = maxreg.NewCASRegister(primitive.NewPool(), c.bound)
+		impl = maxreg.NewCASRegister(pool, c.bound)
 	case MaxRegisterUnboundedAAC:
-		impl = maxreg.NewUnboundedAAC(primitive.NewPool())
+		impl = maxreg.NewUnboundedAAC(pool)
 	default:
 		return nil, fmt.Errorf("tradeoffs: unknown max register implementation %d", c.maxRegImpl)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	return &MaxRegister{impl: impl, processes: c.processes, counting: c.counting}, nil
+	col, err := registerObs(c, "maxreg", pool)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxRegister{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
 }
 
 // Processes returns the number of process slots.
@@ -257,27 +280,50 @@ func (m *MaxRegister) Bound() int64 { return m.impl.Bound() }
 // Handle returns process id's access handle. A handle must be used by one
 // goroutine at a time; different handles may run fully in parallel.
 func (m *MaxRegister) Handle(id int) *MaxRegisterHandle {
-	return &MaxRegisterHandle{reg: m.impl, handle: newHandle(id, m.counting)}
+	h := &MaxRegisterHandle{reg: m.impl, handle: newHandle(id, m.counting, m.col)}
+	if m.col != nil {
+		h.opRead = m.col.Op("read")
+		h.opWrite = m.col.Op("write")
+	}
+	return h
 }
 
 // MaxRegisterHandle is a per-process capability to a MaxRegister.
 type MaxRegisterHandle struct {
 	handle
 
-	reg maxreg.MaxRegister
+	reg             maxreg.MaxRegister
+	opRead, opWrite *obs.Op
 }
 
 // Read returns the largest value written so far (0 if none).
-func (h *MaxRegisterHandle) Read() int64 { return h.reg.ReadMax(h.ctx) }
+func (h *MaxRegisterHandle) Read() int64 {
+	if h.inst == nil {
+		return h.reg.ReadMax(h.ctx)
+	}
+	sp := h.opRead.Begin(h.inst)
+	v := h.reg.ReadMax(h.ctx)
+	sp.End()
+	return v
+}
 
 // Write records v if it exceeds every previously written value.
-func (h *MaxRegisterHandle) Write(v int64) error { return h.reg.WriteMax(h.ctx, v) }
+func (h *MaxRegisterHandle) Write(v int64) error {
+	if h.inst == nil {
+		return h.reg.WriteMax(h.ctx, v)
+	}
+	sp := h.opWrite.Begin(h.inst)
+	err := h.reg.WriteMax(h.ctx, v)
+	sp.End()
+	return err
+}
 
 // Counter is a linearizable shared counter. Construct with NewCounter.
 type Counter struct {
 	impl      counter.Counter
 	processes int
 	counting  bool
+	col       *obs.Collector
 }
 
 // NewCounter builds a counter.
@@ -286,26 +332,27 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if c.processes < 1 {
 		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
 	}
+	pool := primitive.NewPool()
 	var (
 		impl counter.Counter
 		err  error
 	)
 	switch c.counterImpl {
 	case CounterFArray:
-		impl, err = counter.NewFArray(primitive.NewPool(), c.processes)
+		impl, err = counter.NewFArray(pool, c.processes)
 	case CounterAAC:
 		if c.limit <= 0 {
 			return nil, ErrLimitRequired
 		}
-		impl, err = counter.NewAAC(primitive.NewPool(), c.processes, c.limit)
+		impl, err = counter.NewAAC(pool, c.processes, c.limit)
 	case CounterCAS:
-		impl = counter.NewCAS(primitive.NewPool())
+		impl = counter.NewCAS(pool)
 	case CounterSnapshot:
 		if c.limit <= 0 {
 			return nil, ErrLimitRequired
 		}
 		var snap snapshot.Snapshot
-		snap, err = snapshot.NewFArray(primitive.NewPool(), c.processes, c.limit)
+		snap, err = snapshot.NewFArray(pool, c.processes, c.limit)
 		if err == nil {
 			impl = counter.NewFromSnapshot(snap)
 		}
@@ -315,7 +362,11 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	return &Counter{impl: impl, processes: c.processes, counting: c.counting}, nil
+	col, err := registerObs(c, "counter", pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
 }
 
 // Processes returns the number of process slots.
@@ -323,21 +374,43 @@ func (c *Counter) Processes() int { return c.processes }
 
 // Handle returns process id's access handle.
 func (c *Counter) Handle(id int) *CounterHandle {
-	return &CounterHandle{ctr: c.impl, handle: newHandle(id, c.counting)}
+	h := &CounterHandle{ctr: c.impl, handle: newHandle(id, c.counting, c.col)}
+	if c.col != nil {
+		h.opRead = c.col.Op("read")
+		h.opInc = c.col.Op("increment")
+	}
+	return h
 }
 
 // CounterHandle is a per-process capability to a Counter.
 type CounterHandle struct {
 	handle
 
-	ctr counter.Counter
+	ctr           counter.Counter
+	opRead, opInc *obs.Op
 }
 
 // Read returns the number of increments that linearized before it.
-func (h *CounterHandle) Read() int64 { return h.ctr.Read(h.ctx) }
+func (h *CounterHandle) Read() int64 {
+	if h.inst == nil {
+		return h.ctr.Read(h.ctx)
+	}
+	sp := h.opRead.Begin(h.inst)
+	v := h.ctr.Read(h.ctx)
+	sp.End()
+	return v
+}
 
 // Increment adds one to the counter.
-func (h *CounterHandle) Increment() error { return h.ctr.Increment(h.ctx) }
+func (h *CounterHandle) Increment() error {
+	if h.inst == nil {
+		return h.ctr.Increment(h.ctx)
+	}
+	sp := h.opInc.Begin(h.inst)
+	err := h.ctr.Increment(h.ctx)
+	sp.End()
+	return err
+}
 
 // Snapshot is a linearizable single-writer atomic snapshot. Construct with
 // NewSnapshot.
@@ -345,6 +418,7 @@ type Snapshot struct {
 	impl      snapshot.Snapshot
 	processes int
 	counting  bool
+	col       *obs.Collector
 }
 
 // NewSnapshot builds a snapshot with one segment per process.
@@ -353,6 +427,7 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 	if c.processes < 1 {
 		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
 	}
+	pool := primitive.NewPool()
 	var (
 		impl snapshot.Snapshot
 		err  error
@@ -362,21 +437,25 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 		if c.limit <= 0 {
 			return nil, ErrLimitRequired
 		}
-		impl, err = snapshot.NewFArray(primitive.NewPool(), c.processes, c.limit)
+		impl, err = snapshot.NewFArray(pool, c.processes, c.limit)
 	case SnapshotAfek:
 		if c.limit <= 0 {
 			return nil, ErrLimitRequired
 		}
-		impl, err = snapshot.NewAfek(primitive.NewPool(), c.processes, c.limit)
+		impl, err = snapshot.NewAfek(pool, c.processes, c.limit)
 	case SnapshotDoubleCollect:
-		impl, err = snapshot.NewDoubleCollect(primitive.NewPool(), c.processes)
+		impl, err = snapshot.NewDoubleCollect(pool, c.processes)
 	default:
 		return nil, fmt.Errorf("tradeoffs: unknown snapshot implementation %d", c.snapshotImpl)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	return &Snapshot{impl: impl, processes: c.processes, counting: c.counting}, nil
+	col, err := registerObs(c, "snapshot", pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
 }
 
 // Processes returns the number of segments (= process slots).
@@ -384,18 +463,40 @@ func (s *Snapshot) Processes() int { return s.processes }
 
 // Handle returns process id's access handle; Update writes segment id.
 func (s *Snapshot) Handle(id int) *SnapshotHandle {
-	return &SnapshotHandle{snap: s.impl, handle: newHandle(id, s.counting)}
+	h := &SnapshotHandle{snap: s.impl, handle: newHandle(id, s.counting, s.col)}
+	if s.col != nil {
+		h.opScan = s.col.Op("scan")
+		h.opUpdate = s.col.Op("update")
+	}
+	return h
 }
 
 // SnapshotHandle is a per-process capability to a Snapshot.
 type SnapshotHandle struct {
 	handle
 
-	snap snapshot.Snapshot
+	snap             snapshot.Snapshot
+	opScan, opUpdate *obs.Op
 }
 
 // Update atomically sets the handle's segment to v.
-func (h *SnapshotHandle) Update(v int64) error { return h.snap.Update(h.ctx, v) }
+func (h *SnapshotHandle) Update(v int64) error {
+	if h.inst == nil {
+		return h.snap.Update(h.ctx, v)
+	}
+	sp := h.opUpdate.Begin(h.inst)
+	err := h.snap.Update(h.ctx, v)
+	sp.End()
+	return err
+}
 
 // Scan atomically reads all segments.
-func (h *SnapshotHandle) Scan() []int64 { return h.snap.Scan(h.ctx) }
+func (h *SnapshotHandle) Scan() []int64 {
+	if h.inst == nil {
+		return h.snap.Scan(h.ctx)
+	}
+	sp := h.opScan.Begin(h.inst)
+	v := h.snap.Scan(h.ctx)
+	sp.End()
+	return v
+}
