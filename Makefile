@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race vet bench experiments fuzz clean
+.PHONY: all test race vet bench bench-json experiments fuzz clean
 
 all: vet test
 
@@ -21,6 +21,13 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fixed-seed throughput suite -> BENCH_PR2.json (schema-validated; CI diffs
+# the artifact across runs). Override e.g. BENCH_JSON_FLAGS="-procs 4 -ops 500".
+BENCH_JSON_FLAGS ?=
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -pretty $(BENCH_JSON_FLAGS)
+	$(GO) run ./cmd/benchjson -check BENCH_PR2.json
 
 # Regenerate every table in EXPERIMENTS.md.
 experiments:

@@ -1,0 +1,93 @@
+// Command benchjson runs the fixed-seed throughput suite and writes its
+// JSON report (BENCH_PR2.json by default), the artifact `make bench-json`
+// produces and CI diffs across runs. With -check it instead validates an
+// existing report against the current schema and exits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/restricteduse/tradeoffs/internal/bench"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_PR2.json", "output path, or - for stdout")
+		procs  = flag.Int("procs", 8, "concurrent processes per workload")
+		ops    = flag.Int("ops", 20000, "operations per process (restricted-use workloads cap this)")
+		seed   = flag.Int64("seed", 20260805, "seed for every per-process random source")
+		pretty = flag.Bool("pretty", false, "indent the JSON output")
+		check  = flag.String("check", "", "validate an existing report file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: valid %s report\n", *check, bench.ReportSchema)
+		return
+	}
+
+	rep, err := bench.RunThroughput(bench.ThroughputConfig{
+		Procs:      *procs,
+		OpsPerProc: *ops,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := encode(rep, *pretty)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func encode(rep *bench.Report, pretty bool) ([]byte, error) {
+	if pretty {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func checkFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep bench.Report
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

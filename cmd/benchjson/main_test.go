@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/bench"
+)
+
+func TestEncodeRoundTripAndCheck(t *testing.T) {
+	rep, err := bench.RunThroughput(bench.ThroughputConfig{Procs: 2, OpsPerProc: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pretty := range []bool{false, true} {
+		enc, err := encode(rep, pretty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "report.json")
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := checkFile(path); err != nil {
+			t.Fatalf("checkFile rejected a fresh report (pretty=%v): %v", pretty, err)
+		}
+		var back bench.Report
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Results) != len(rep.Results) {
+			t.Fatalf("round trip lost results: %d vs %d", len(back.Results), len(rep.Results))
+		}
+	}
+}
+
+func TestCheckFileRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not json":      "not json at all",
+		"wrong schema":  `{"schema":"nope","seed":1,"procs":1,"ops_per_proc":1,"gomaxprocs":1,"go_version":"x","results":[{"name":"a","procs":1,"ops":1,"ns_per_op":1,"steps_per_op":1,"cas_attempts":0,"cas_failures":0,"cas_failure_rate":0}]}`,
+		"unknown field": `{"schema":"tradeoffs/bench/v1","bogus":1,"results":[]}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, "bad.json")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := checkFile(path); err == nil {
+				t.Fatal("checkFile accepted an invalid report")
+			}
+		})
+	}
+	if err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("checkFile accepted a missing file")
+	}
+}

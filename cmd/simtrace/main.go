@@ -262,7 +262,7 @@ func buildPrograms(cfg traceConfig, pool *primitive.Pool) ([]sim.Program, error)
 		case "unbounded":
 			m = maxreg.NewUnboundedAAC(pool)
 		case "cas":
-			m = maxreg.NewCASRegister(pool, 0)
+			m, err = maxreg.NewCASRegister(pool, 0)
 		default:
 			return nil, fmt.Errorf("unknown maxreg impl %q", cfg.impl)
 		}
@@ -295,7 +295,7 @@ func buildPrograms(cfg traceConfig, pool *primitive.Pool) ([]sim.Program, error)
 		case "aac":
 			c, err = counter.NewAAC(pool, cfg.n, int64(cfg.n*cfg.ops)+1)
 		case "cas":
-			c = counter.NewCAS(pool)
+			c, err = counter.NewCAS(pool, 0)
 		default:
 			return nil, fmt.Errorf("unknown counter impl %q", cfg.impl)
 		}

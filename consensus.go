@@ -33,14 +33,14 @@ var ErrRoundsExhausted = consensus.ErrRoundsExhausted
 // (default 1024).
 func NewConsensus(opts ...Option) (*Consensus, error) {
 	c := buildConfig(opts)
-	if c.processes < 1 {
-		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
 	rounds := c.limit
 	if rounds == 0 {
 		rounds = 1024
 	}
-	pool := primitive.NewPool()
+	pool := primitive.NewPadded()
 	impl, err := consensus.NewConsensus(pool, c.processes, int(rounds))
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
@@ -55,8 +55,10 @@ func NewConsensus(opts ...Option) (*Consensus, error) {
 // Processes returns the number of process slots.
 func (c *Consensus) Processes() int { return c.processes }
 
-// Handle returns process id's access handle.
+// Handle returns process id's access handle. Handle panics if id is outside
+// [0, Processes()) — see checkHandleID.
 func (c *Consensus) Handle(id int) *ConsensusHandle {
+	checkHandleID("Consensus", id, c.processes)
 	h := &ConsensusHandle{cons: c.impl, handle: newHandle(id, c.counting, c.col)}
 	if c.col != nil {
 		h.opPropose = c.col.Op("propose")

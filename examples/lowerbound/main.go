@@ -57,7 +57,7 @@ func run(n, k int) error {
 			return counter.NewAAC(pool, n, int64(n))
 		}},
 		{name: "single-word CAS counter (not wait-free)", factory: func(pool *primitive.Pool, n int) (counter.Counter, error) {
-			return counter.NewCAS(pool), nil
+			return counter.NewCAS(pool, 0)
 		}},
 	}
 	for _, c := range counters {
@@ -89,7 +89,7 @@ func run(n, k int) error {
 			return maxreg.NewAAC(pool, int64(k))
 		}, maxIter: 200},
 		{name: "single-word CAS register (not wait-free)", factory: func(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
-			return maxreg.NewCASRegister(pool, int64(k)), nil
+			return maxreg.NewCASRegister(pool, int64(k))
 		}, maxIter: 24},
 	}
 	for _, m := range maxRegs {

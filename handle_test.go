@@ -1,0 +1,364 @@
+package tradeoffs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/counter"
+)
+
+// --- Handle(id) contract: uniform panic on out-of-range ids ---
+
+// handleFamilies builds one object per family, optionally observed, and
+// returns its Handle func erased to func(int). Every family must behave
+// identically: valid ids succeed, invalid ids panic at Handle time.
+func handleFamilies(t *testing.T, procs int, observed bool) map[string]func(int) {
+	t.Helper()
+	opts := func(extra ...Option) []Option {
+		all := append([]Option{WithProcesses(procs)}, extra...)
+		if observed {
+			all = append(all, WithObservability(NewObservability()))
+		}
+		return all
+	}
+	reg, err := NewMaxRegister(opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := NewCounter(opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(opts(WithLimit(64))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsensus(opts(WithLimit(16))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]func(int){
+		"MaxRegister": func(id int) { reg.Handle(id) },
+		"Counter":     func(id int) { ctr.Handle(id) },
+		"Snapshot":    func(id int) { snap.Handle(id) },
+		"Consensus":   func(id int) { cons.Handle(id) },
+	}
+}
+
+func TestHandleIDValidation(t *testing.T) {
+	const procs = 4
+	for _, observed := range []bool{false, true} {
+		name := "direct"
+		if observed {
+			name = "observed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for family, handle := range handleFamilies(t, procs, observed) {
+				t.Run(family, func(t *testing.T) {
+					for _, id := range []int{0, 1, procs - 1} {
+						handle(id) // must not panic
+					}
+					for _, id := range []int{-1, procs, procs + 100} {
+						func() {
+							defer func() {
+								r := recover()
+								if r == nil {
+									t.Fatalf("%s.Handle(%d) did not panic", family, id)
+								}
+								msg := fmt.Sprint(r)
+								// The message must name the family and the valid
+								// range, and come from the facade — not from
+								// deep inside obs or an index expression.
+								if !strings.Contains(msg, family) ||
+									!strings.Contains(msg, fmt.Sprintf("[0, %d)", procs)) ||
+									!strings.HasPrefix(msg, "tradeoffs: ") {
+									t.Fatalf("%s.Handle(%d) panic = %q", family, id, msg)
+								}
+							}()
+							handle(id)
+						}()
+					}
+				})
+			}
+		})
+	}
+}
+
+// --- constructor validation for negative option values ---
+
+func TestNegativeOptionValuesRejected(t *testing.T) {
+	if _, err := NewMaxRegister(WithBound(-1)); err == nil {
+		t.Error("NewMaxRegister(WithBound(-1)) succeeded")
+	}
+	if _, err := NewMaxRegister(WithMaxRegisterImpl(MaxRegisterCAS), WithBound(-1)); err == nil {
+		t.Error("CAS max register accepted a negative bound")
+	}
+	if _, err := NewCounter(WithLimit(-1)); err == nil {
+		t.Error("NewCounter(WithLimit(-1)) succeeded")
+	}
+	if _, err := NewCounter(WithCounterImpl(CounterCAS), WithLimit(-1)); err == nil {
+		t.Error("CAS counter accepted a negative limit")
+	}
+	if _, err := NewCounter(WithBatching(-1)); err == nil {
+		t.Error("NewCounter(WithBatching(-1)) succeeded")
+	}
+	if _, err := NewSnapshot(WithLimit(-1)); err == nil {
+		t.Error("NewSnapshot(WithLimit(-1)) succeeded")
+	}
+	if _, err := NewConsensus(WithProcesses(0)); err == nil {
+		t.Error("NewConsensus(WithProcesses(0)) succeeded")
+	}
+}
+
+// --- Add and WithBatching semantics ---
+
+func TestCounterAddDelta(t *testing.T) {
+	for name, opts := range map[string][]Option{
+		"farray":   {WithCounterImpl(CounterFArray)},
+		"cas":      {WithCounterImpl(CounterCAS)},
+		"aac":      {WithCounterImpl(CounterAAC), WithLimit(1 << 10)},
+		"snapshot": {WithCounterImpl(CounterSnapshot), WithLimit(1 << 10)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctr, err := NewCounter(append(opts, WithProcesses(2))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := ctr.Handle(0)
+			if err := h.Add(5); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Add(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Increment(); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Add(-3); err == nil {
+				t.Fatal("Add(-3) succeeded")
+			}
+			if got := h.Read(); got != 6 {
+				t.Fatalf("Read = %d, want 6", got)
+			}
+		})
+	}
+}
+
+func TestBatchingReadYourWrites(t *testing.T) {
+	ctr, err := NewCounter(WithProcesses(2), WithBatching(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.BatchWindow() != 4 {
+		t.Fatalf("BatchWindow = %d, want 4", ctr.BatchWindow())
+	}
+	h0, h1 := ctr.Handle(0), ctr.Handle(1)
+
+	// Three adds stay buffered (window 4)...
+	for i := 0; i < 3; i++ {
+		if err := h0.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h0.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", h0.Pending())
+	}
+	// ...invisible to other handles...
+	if got := h1.Read(); got != 0 {
+		t.Fatalf("other handle Read = %d, want 0 (deltas still buffered)", got)
+	}
+	// ...but the owner reads its own writes.
+	if got := h0.Read(); got != 3 {
+		t.Fatalf("own Read = %d, want 3", got)
+	}
+	if h0.Pending() != 0 {
+		t.Fatalf("Pending after Read = %d, want 0", h0.Pending())
+	}
+	// The fourth call of a full window flushes automatically.
+	for i := 0; i < 4; i++ {
+		if err := h0.Increment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h0.Pending() != 0 {
+		t.Fatalf("Pending after full window = %d, want 0", h0.Pending())
+	}
+	if got := h1.Read(); got != 7 {
+		t.Fatalf("other handle Read = %d, want 7 after flushes", got)
+	}
+}
+
+func TestBatchingFlushErrorKeepsPending(t *testing.T) {
+	// A restricted-use counter whose budget runs out mid-flush must keep
+	// the coalesced delta buffered (nothing silently lost).
+	ctr, err := NewCounter(WithCounterImpl(CounterAAC), WithLimit(4),
+		WithProcesses(1), WithBatching(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	for i := 0; i < 6; i++ {
+		if err := h.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err == nil {
+		t.Fatal("Flush over the limit succeeded")
+	}
+	if h.Pending() != 6 {
+		t.Fatalf("Pending after failed flush = %d, want 6", h.Pending())
+	}
+	var limitErr *counter.LimitError
+	if err := h.Flush(); !errors.As(err, &limitErr) {
+		t.Fatalf("retried Flush err = %v, want LimitError", err)
+	}
+}
+
+func TestBatchingAmortizedSteps(t *testing.T) {
+	// The amortization claim behind WithBatching: with window w, n logical
+	// increments cost about n/w propagations, so the per-increment step
+	// count must drop well below the unbatched counter's.
+	const n = 64
+	steps := func(window int) int64 {
+		t.Helper()
+		ctr, err := NewCounter(WithProcesses(8), WithStepCounting(), WithBatching(window))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := ctr.Handle(0)
+		for i := 0; i < n; i++ {
+			if err := h.Add(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := h.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return h.Steps()
+	}
+	unbatched := steps(0)
+	batched := steps(8)
+	if batched*4 > unbatched {
+		t.Fatalf("window-8 batching: %d steps vs %d unbatched — no amortization win", batched, unbatched)
+	}
+}
+
+func TestBatchingExactUnderQuiescence(t *testing.T) {
+	// -race stress: concurrent batched adders; after every handle flushes
+	// (quiescence), the count must be exact.
+	const (
+		procs  = 8
+		perOp  = 500
+		window = 8
+	)
+	for name, opts := range map[string][]Option{
+		"farray": {WithCounterImpl(CounterFArray)},
+		"cas":    {WithCounterImpl(CounterCAS)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctr, err := NewCounter(append(opts, WithProcesses(procs), WithBatching(window))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < procs; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := ctr.Handle(id)
+					for i := 0; i < perOp; i++ {
+						// Mix unit increments and larger deltas.
+						var err error
+						if i%5 == 0 {
+							err = h.Add(3)
+						} else {
+							err = h.Increment()
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if err := h.Flush(); err != nil {
+						t.Error(err)
+					}
+				}(id)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			want := int64(procs) * (perOp + 2*(perOp/5)) // 3 per fifth op, 1 otherwise
+			if got := ctr.Handle(0).Read(); got != want {
+				t.Fatalf("quiescent Read = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// --- SnapshotHandle.Add ---
+
+func TestSnapshotHandleAdd(t *testing.T) {
+	snap, err := NewSnapshot(WithProcesses(3), WithLimit(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := snap.Handle(1)
+	for i, want := range []int64{4, 9, 9} {
+		var got int64
+		var err error
+		switch i {
+		case 2:
+			got, err = h.Add(0)
+		default:
+			got, err = h.Add(int64(4 + i))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Add #%d = %d, want %d", i, got, want)
+		}
+	}
+	if view := h.Scan(); view[1] != 9 {
+		t.Fatalf("Scan segment 1 = %d, want 9", view[1])
+	}
+	// Update through the same handle keeps the Add cache coherent.
+	if err := h.Update(20); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := h.Add(1); err != nil || got != 21 {
+		t.Fatalf("Add after Update = (%d, %v), want (21, nil)", got, err)
+	}
+}
+
+func TestSnapshotHandleAddErrorLeavesValue(t *testing.T) {
+	// The f-array snapshot's update budget is enforced through its view
+	// arena (with construction slack), so exhaust it by looping rather
+	// than assuming an exact cutoff.
+	snap, err := NewSnapshot(WithProcesses(2), WithLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := snap.Handle(0)
+	var durable int64
+	for i := 0; i < 1000; i++ {
+		got, err := h.Add(5)
+		if err != nil {
+			// Budget exhausted: Add must report the last durable value
+			// and leave the segment untouched.
+			if got != durable {
+				t.Fatalf("failed Add returned %d, want last durable %d", got, durable)
+			}
+			if view := h.Scan(); view[0] != durable {
+				t.Fatalf("segment = %d after failed Add, want %d", view[0], durable)
+			}
+			return
+		}
+		durable = got
+	}
+	t.Fatal("update budget never exhausted")
+}

@@ -76,7 +76,7 @@ func farrayCounterFactory(pool *primitive.Pool, n int) (counter.Counter, error) 
 }
 
 func casCounterFactory(pool *primitive.Pool, n int) (counter.Counter, error) {
-	return counter.NewCAS(pool), nil
+	return counter.NewCAS(pool, 0)
 }
 
 func TestCounterConstructionFArray(t *testing.T) {
@@ -166,7 +166,7 @@ func aacMaxRegFactory(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
 }
 
 func casMaxRegFactory(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
-	return maxreg.NewCASRegister(pool, int64(k)), nil
+	return maxreg.NewCASRegister(pool, int64(k))
 }
 
 func TestMaxRegConstructionAlgorithmA(t *testing.T) {

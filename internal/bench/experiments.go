@@ -122,7 +122,7 @@ func E1CounterTradeoff(ns []int) ([]*Table, error) {
 			return counter.NewFArray(pool, n)
 		}},
 		{name: "cas (single word)", factory: func(pool *primitive.Pool, n int) (counter.Counter, error) {
-			return counter.NewCAS(pool), nil
+			return counter.NewCAS(pool, 0)
 		}},
 	}
 	for _, impl := range impls {
@@ -222,7 +222,7 @@ func E3MaxRegAdversary(ks []int) ([]*Table, error) {
 			return maxreg.NewAAC(pool, int64(k))
 		}, maxIter: 200},
 		{name: "cas (single word)", factory: func(pool *primitive.Pool, k int) (maxreg.MaxRegister, error) {
-			return maxreg.NewCASRegister(pool, int64(k)), nil
+			return maxreg.NewCASRegister(pool, int64(k))
 		}, maxIter: 40},
 	}
 	for _, impl := range impls {
@@ -333,7 +333,7 @@ func E5Compare(ns []int) ([]*Table, error) {
 			{name: "algorithm-a", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return core.New(pool, n, bound) }},
 			{name: "aac", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewAAC(pool, bound) }},
 			{name: "unbounded-aac", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewUnboundedAAC(pool), nil }},
-			{name: "cas", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewCASRegister(pool, bound), nil }},
+			{name: "cas", build: func(pool *primitive.Pool) (maxreg.MaxRegister, error) { return maxreg.NewCASRegister(pool, bound) }},
 		} {
 			read, write, err := maxRegSteps(impl.build, writes)
 			if err != nil {
@@ -353,7 +353,7 @@ func E5Compare(ns []int) ([]*Table, error) {
 		for _, impl := range []ctr{
 			{name: "aac", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewAAC(pool, n, ctrLimit) }},
 			{name: "farray", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewFArray(pool, n) }},
-			{name: "cas", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewCAS(pool), nil }},
+			{name: "cas", build: func(pool *primitive.Pool) (counter.Counter, error) { return counter.NewCAS(pool, 0) }},
 			{name: "snapshot-reduction", build: func(pool *primitive.Pool) (counter.Counter, error) {
 				s, err := snapshot.NewFArray(pool, n, bound)
 				if err != nil {

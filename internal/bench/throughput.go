@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// This file is the bench-regression harness behind `make bench-json`: a
+// fixed-seed throughput suite over the E6 workloads, emitting one JSON
+// report (Report) that CI can diff run over run. Unlike the Go benchmarks in
+// bench_test.go (which let the testing package pick iteration counts), every
+// run here executes an identical, seed-determined schedule, so ns/op noise
+// is the only run-to-run variance — steps/op and CAS-failure rates are
+// exactly reproducible.
+
+// ReportSchema identifies the JSON layout; bump on incompatible change.
+const ReportSchema = "tradeoffs/bench/v1"
+
+// ThroughputConfig parameterizes RunThroughput.
+type ThroughputConfig struct {
+	// Procs is the number of concurrent processes per workload (default 8).
+	Procs int
+	// OpsPerProc is the per-process operation count (default 20000).
+	// Restricted-use workloads cap it further to respect their limits.
+	OpsPerProc int
+	// Seed feeds every per-process rand.Source (default 1).
+	Seed int64
+}
+
+// Result is one workload's measurements.
+type Result struct {
+	// Name is family/impl/workload[/variant], e.g.
+	// "counter/farray/increment/padded".
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	// Ops is the total logical operations across all processes.
+	Ops int64 `json:"ops"`
+	// NsPerOp is wall-clock elapsed divided by Ops (the only field that
+	// varies run to run).
+	NsPerOp float64 `json:"ns_per_op"`
+	// StepsPerOp is shared-memory events (reads+writes+CAS attempts) per
+	// logical operation, measured by obs.Collector.
+	StepsPerOp float64 `json:"steps_per_op"`
+	// CASFailureRate is failed/attempted CAS, the paper's contention
+	// signal; 0 when the workload issues no CAS.
+	CASAttempts    int64   `json:"cas_attempts"`
+	CASFailures    int64   `json:"cas_failures"`
+	CASFailureRate float64 `json:"cas_failure_rate"`
+}
+
+// Report is the bench-json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Seed       int64    `json:"seed"`
+	Procs      int      `json:"procs"`
+	OpsPerProc int      `json:"ops_per_proc"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Results    []Result `json:"results"`
+}
+
+// Validate checks the report is schema-complete: CI fails the bench step on
+// any error here rather than uploading a half-written artifact.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.Procs < 1 || r.OpsPerProc < 1 {
+		return fmt.Errorf("bench: bad dimensions procs=%d ops_per_proc=%d", r.Procs, r.OpsPerProc)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("bench: no results")
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for i, res := range r.Results {
+		if res.Name == "" {
+			return fmt.Errorf("bench: result %d has no name", i)
+		}
+		if seen[res.Name] {
+			return fmt.Errorf("bench: duplicate result %q", res.Name)
+		}
+		seen[res.Name] = true
+		if res.Procs < 1 || res.Ops < 1 {
+			return fmt.Errorf("bench: %s: bad dimensions procs=%d ops=%d", res.Name, res.Procs, res.Ops)
+		}
+		if res.NsPerOp <= 0 || res.StepsPerOp <= 0 {
+			return fmt.Errorf("bench: %s: non-positive measurements ns/op=%g steps/op=%g",
+				res.Name, res.NsPerOp, res.StepsPerOp)
+		}
+		if res.CASFailures < 0 || res.CASFailures > res.CASAttempts {
+			return fmt.Errorf("bench: %s: CAS failures %d out of range [0, %d]",
+				res.Name, res.CASFailures, res.CASAttempts)
+		}
+		if res.CASFailureRate < 0 || res.CASFailureRate > 1 {
+			return fmt.Errorf("bench: %s: CAS failure rate %g outside [0,1]", res.Name, res.CASFailureRate)
+		}
+	}
+	return nil
+}
+
+// runParallel drives procs goroutines through ops calls of op each (after a
+// common start barrier) and returns the elapsed wall time plus the merged
+// obs stats. op receives an instrumented context (so every shared-memory
+// event is counted), the process id, and a process-seeded RNG.
+func runParallel(procs int, ops int64, seed int64, pool *primitive.Pool,
+	op func(ctx primitive.Context, id int, rng *rand.Rand, i int64) error) (time.Duration, obs.Stats, error) {
+
+	col := obs.NewCollector(procs, pool)
+	ctxs := make([]*obs.Instrumented, procs)
+	for id := range ctxs {
+		ctxs[id] = col.Context(id, primitive.NewDirect(id))
+	}
+
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		errMu sync.Mutex
+		first error
+	)
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			ctx := ctxs[id]
+			<-start
+			for i := int64(0); i < ops; i++ {
+				if err := op(ctx, id, rng, i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = fmt.Errorf("process %d op %d: %w", id, i, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(id)
+	}
+	began := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(began)
+	return elapsed, col.Snapshot(), first
+}
+
+// result folds a run's raw numbers into a Result row. logicalOps is the
+// operation count ns/op and steps/op are normalized by (it can differ from
+// the call count, e.g. batched adds count the coalesced increments).
+func result(name string, procs int, logicalOps int64, elapsed time.Duration, st obs.Stats) Result {
+	steps := st.Reads + st.Writes + st.CASAttempts
+	r := Result{
+		Name:        name,
+		Procs:       procs,
+		Ops:         logicalOps,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(logicalOps),
+		StepsPerOp:  float64(steps) / float64(logicalOps),
+		CASAttempts: st.CASAttempts,
+		CASFailures: st.CASFailures,
+	}
+	if st.CASAttempts > 0 {
+		r.CASFailureRate = float64(st.CASFailures) / float64(st.CASAttempts)
+	}
+	return r
+}
+
+// capOps bounds a restricted-use workload's per-process count so the total
+// stays within limit.
+func capOps(opsPerProc, procs int, limit int64) int64 {
+	ops := int64(opsPerProc)
+	if max := limit / int64(procs); ops > max {
+		ops = max
+	}
+	if ops < 1 {
+		ops = 1
+	}
+	return ops
+}
+
+// RunThroughput executes the full fixed-seed suite and returns its report.
+func RunThroughput(cfg ThroughputConfig) (*Report, error) {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 8
+	}
+	if cfg.OpsPerProc <= 0 {
+		cfg.OpsPerProc = 20000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	procs := cfg.Procs
+	ops := int64(cfg.OpsPerProc)
+
+	rep := &Report{
+		Schema:     ReportSchema,
+		Seed:       cfg.Seed,
+		Procs:      procs,
+		OpsPerProc: cfg.OpsPerProc,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	add := func(r Result, err error) error {
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, r)
+		return nil
+	}
+
+	// --- counters: contended increment, every implementation ---
+
+	// The padded/unpadded pair is the false-sharing experiment: identical
+	// algorithm and schedule, only the register allocator differs.
+	for _, variant := range []struct {
+		name string
+		pool *primitive.Pool
+	}{
+		{"counter/farray/increment/unpadded", primitive.NewPool()},
+		{"counter/farray/increment/padded", primitive.NewPadded()},
+	} {
+		c, err := counter.NewFArray(variant.pool, procs)
+		if err != nil {
+			return nil, err
+		}
+		elapsed, st, err := runParallel(procs, ops, cfg.Seed, variant.pool,
+			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
+				return c.Increment(ctx)
+			})
+		if err = add(result(variant.name, procs, ops*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// Batched add over the same padded f-array: window deltas coalesce
+	// locally and land as one Add, amortizing the O(log N) propagation.
+	// Normalized per logical increment so the row compares directly with
+	// the increment rows above.
+	{
+		const window = 8
+		pool := primitive.NewPadded()
+		c, err := counter.NewFArray(pool, procs)
+		if err != nil {
+			return nil, err
+		}
+		pending := make([]struct {
+			n int64
+			_ [7]int64
+		}, procs)
+		elapsed, st, err := runParallel(procs, ops, cfg.Seed, pool,
+			func(ctx primitive.Context, id int, _ *rand.Rand, i int64) error {
+				pending[id].n++
+				if pending[id].n < window && i != ops-1 {
+					return nil
+				}
+				err := c.Add(ctx, pending[id].n)
+				pending[id].n = 0
+				return err
+			})
+		if err = add(result(fmt.Sprintf("counter/farray/add/batched-w%d", window),
+			procs, ops*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	{
+		pool := primitive.NewPadded()
+		c, err := counter.NewCAS(pool, 0)
+		if err != nil {
+			return nil, err
+		}
+		elapsed, st, err := runParallel(procs, ops, cfg.Seed, pool,
+			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
+				return c.Increment(ctx)
+			})
+		if err = add(result("counter/cas/increment", procs, ops*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// AAC's limit fixes the total increment budget; keep it modest so the
+	// O(log N * log limit) tree stays comparable across -ops settings.
+	{
+		const aacLimit = 1 << 16
+		aacOps := capOps(cfg.OpsPerProc, procs, aacLimit)
+		pool := primitive.NewPadded()
+		c, err := counter.NewAAC(pool, procs, aacLimit)
+		if err != nil {
+			return nil, err
+		}
+		elapsed, st, err := runParallel(procs, aacOps, cfg.Seed, pool,
+			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
+				return c.Increment(ctx)
+			})
+		if err = add(result("counter/aac/increment", procs, aacOps*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// Corollary 1 reduction. The f-array snapshot's view arena grows with
+	// its update limit, so cap the op count to keep memory flat.
+	{
+		snapOps := capOps(cfg.OpsPerProc, procs, 1<<17)
+		pool := primitive.NewPadded()
+		snap, err := snapshot.NewFArray(pool, procs, snapOps*int64(procs))
+		if err != nil {
+			return nil, err
+		}
+		c := counter.NewFromSnapshot(snap)
+		elapsed, st, err := runParallel(procs, snapOps, cfg.Seed, pool,
+			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
+				return c.Increment(ctx)
+			})
+		if err = add(result("counter/snapshot/increment", procs, snapOps*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- max registers: contended WriteMax of seeded random values ---
+
+	maxregs := []struct {
+		name  string
+		bound int64
+		build func(pool *primitive.Pool) (maxreg.MaxRegister, error)
+	}{
+		{"maxreg/algorithmA/writemax", 1 << 20, func(pool *primitive.Pool) (maxreg.MaxRegister, error) {
+			return core.New(pool, procs, 1<<20)
+		}},
+		{"maxreg/aac/writemax", 1 << 12, func(pool *primitive.Pool) (maxreg.MaxRegister, error) {
+			return maxreg.NewAAC(pool, 1<<12)
+		}},
+		{"maxreg/cas/writemax", 1 << 20, func(pool *primitive.Pool) (maxreg.MaxRegister, error) {
+			return maxreg.NewCASRegister(pool, 1<<20)
+		}},
+	}
+	for _, mr := range maxregs {
+		pool := primitive.NewPadded()
+		m, err := mr.build(pool)
+		if err != nil {
+			return nil, err
+		}
+		bound := mr.bound
+		elapsed, st, err := runParallel(procs, ops, cfg.Seed, pool,
+			func(ctx primitive.Context, _ int, rng *rand.Rand, _ int64) error {
+				return m.WriteMax(ctx, rng.Int63n(bound))
+			})
+		if err = add(result(mr.name, procs, ops*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- snapshot: contended single-writer Update ---
+
+	{
+		snapOps := capOps(cfg.OpsPerProc, procs, 1<<17)
+		pool := primitive.NewPadded()
+		s, err := snapshot.NewFArray(pool, procs, snapOps*int64(procs))
+		if err != nil {
+			return nil, err
+		}
+		elapsed, st, err := runParallel(procs, snapOps, cfg.Seed, pool,
+			func(ctx primitive.Context, _ int, _ *rand.Rand, i int64) error {
+				return s.Update(ctx, i+1)
+			})
+		if err = add(result("snapshot/farray/update", procs, snapOps*int64(procs), elapsed, st), err); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -34,12 +34,16 @@ func FuzzMaxRegisterAgreement(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		casReg, err := maxreg.NewCASRegister(primitive.NewPool(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		impls := []maxreg.MaxRegister{
 			algA,
 			balanced,
 			aac,
 			maxreg.NewUnboundedAAC(primitive.NewPool()),
-			maxreg.NewCASRegister(primitive.NewPool(), 0),
+			casReg,
 		}
 		ctx := primitive.NewDirect(0)
 

@@ -84,6 +84,19 @@ func (c *AAC) Read(ctx primitive.Context) int64 {
 
 // Increment implements Counter in O(log N * log limit) steps.
 func (c *AAC) Increment(ctx primitive.Context) error {
+	return c.Add(ctx, 1)
+}
+
+// Add implements Counter: the whole delta lands with one leaf write and one
+// leaf-to-root propagation — the same O(log N * log limit) steps a single
+// Increment costs — consuming delta units of the restricted-use budget.
+func (c *AAC) Add(ctx primitive.Context, delta int64) error {
+	if delta < 0 {
+		return &NegativeDeltaError{Delta: delta}
+	}
+	if delta == 0 {
+		return nil
+	}
 	id := ctx.ID()
 	if id < 0 || id >= c.n {
 		return fmt.Errorf("counter: process id %d out of range [0,%d)", id, c.n)
@@ -92,10 +105,10 @@ func (c *AAC) Increment(ctx primitive.Context) error {
 
 	// Single-writer count: read-then-write is not a lost-update race.
 	cur := ctx.Read(c.leafRegs[id])
-	if cur >= c.limit {
+	if cur+delta > c.limit {
 		return &LimitError{Limit: c.limit}
 	}
-	ctx.Write(c.leafRegs[id], cur+1)
+	ctx.Write(c.leafRegs[id], cur+delta)
 
 	for node := leaf.Parent; node != nil; node = node.Parent {
 		sum := c.readNode(ctx, node.Left) + c.readNode(ctx, node.Right)

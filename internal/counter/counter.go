@@ -31,12 +31,30 @@ type Counter interface {
 	// Increment adds one to the counter.
 	Increment(ctx primitive.Context) error
 
+	// Add atomically applies delta >= 0 increments as one update: a
+	// single leaf write plus one propagation, so batching k increments
+	// into one Add costs one update instead of k (the Write-and-f-array
+	// amortization). A delta of 0 is a no-op. Against a restricted-use
+	// counter, Add consumes delta units of the increment budget.
+	Add(ctx primitive.Context, delta int64) error
+
 	// Read returns the number of increments linearized before it.
 	Read(ctx primitive.Context) int64
 
 	// Limit returns the declared maximum number of increments (the
 	// "restricted use" bound), or 0 if unbounded.
 	Limit() int64
+}
+
+// NegativeDeltaError reports an Add with delta < 0: counters are monotone,
+// so negative deltas are a contract violation.
+type NegativeDeltaError struct {
+	Delta int64
+}
+
+// Error implements error.
+func (e *NegativeDeltaError) Error() string {
+	return fmt.Sprintf("counter: negative Add delta %d", e.Delta)
 }
 
 // LimitError reports an Increment beyond a counter's restricted-use bound.

@@ -11,6 +11,14 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
 )
 
+// mustCAS unwraps NewCAS in tests that construct with known-valid limits.
+func mustCAS(c *CAS, err error) *CAS {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // implementations builds every counter in the package (including the
 // Corollary 1 reductions over each snapshot type) for n processes with the
 // given restricted-use limit where one is required.
@@ -39,7 +47,7 @@ func implementations(t *testing.T, n int, limit int64) map[string]Counter {
 	return map[string]Counter{
 		"aac":          aac,
 		"farray":       fa,
-		"cas":          NewCAS(primitive.NewPool()),
+		"cas":          mustCAS(NewCAS(primitive.NewPool(), 0)),
 		"snap/collect": NewFromSnapshot(dc),
 		"snap/afek":    NewFromSnapshot(af),
 		"snap/farray":  NewFromSnapshot(fs),
@@ -150,6 +158,130 @@ func TestConstructorValidation(t *testing.T) {
 	}
 	if _, err := NewFArray(primitive.NewPool(), 0); err == nil {
 		t.Fatal("NewFArray(0) succeeded")
+	}
+	if _, err := NewCAS(primitive.NewPool(), -1); err == nil {
+		t.Fatal("NewCAS(limit -1) succeeded")
+	}
+	if _, err := NewCAS(primitive.NewPool(), 0); err != nil {
+		t.Fatalf("NewCAS(limit 0): %v", err)
+	}
+}
+
+func TestAddExactness(t *testing.T) {
+	// Batched deltas must land exactly, interleaved with single increments
+	// and reads, on every implementation.
+	const n, limit = 4, 1 << 14
+	for name, c := range implementations(t, n, limit) {
+		t.Run(name, func(t *testing.T) {
+			ctxs := make([]primitive.Context, n)
+			for i := range ctxs {
+				ctxs[i] = primitive.NewDirect(i)
+			}
+			var model int64
+			for i := 0; i < 400; i++ {
+				id := i % n
+				switch i % 3 {
+				case 0:
+					if err := c.Increment(ctxs[id]); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+					model++
+				case 1:
+					delta := int64(i%7) * 3 // includes delta == 0 no-ops
+					if err := c.Add(ctxs[id], delta); err != nil {
+						t.Fatalf("op %d: Add(%d): %v", i, delta, err)
+					}
+					model += delta
+				default:
+					if got := c.Read(ctxs[(id+1)%n]); got != model {
+						t.Fatalf("op %d: Read = %d, want %d", i, got, model)
+					}
+				}
+			}
+			if got := c.Read(ctxs[0]); got != model {
+				t.Fatalf("final Read = %d, want %d", got, model)
+			}
+		})
+	}
+}
+
+func TestAddRejectsNegativeDelta(t *testing.T) {
+	for name, c := range implementations(t, 2, 64) {
+		t.Run(name, func(t *testing.T) {
+			ctx := primitive.NewDirect(0)
+			var negErr *NegativeDeltaError
+			if err := c.Add(ctx, -3); !errors.As(err, &negErr) {
+				t.Fatalf("Add(-3) err = %v, want NegativeDeltaError", err)
+			}
+			if negErr.Delta != -3 || negErr.Error() == "" {
+				t.Fatalf("NegativeDeltaError = %+v", negErr)
+			}
+			if got := c.Read(ctx); got != 0 {
+				t.Fatalf("rejected Add perturbed the count: %d", got)
+			}
+		})
+	}
+}
+
+func TestAddConsumesLimit(t *testing.T) {
+	// A delta must consume delta units of the restricted-use budget, and an
+	// over-budget delta must be rejected without partial effect.
+	builds := map[string]func() (Counter, error){
+		"aac": func() (Counter, error) { return NewAAC(primitive.NewPool(), 2, 10) },
+		"cas": func() (Counter, error) { return NewCAS(primitive.NewPool(), 10) },
+	}
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			c, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := primitive.NewDirect(0)
+			if err := c.Add(ctx, 7); err != nil {
+				t.Fatalf("Add(7): %v", err)
+			}
+			var limitErr *LimitError
+			if err := c.Add(ctx, 4); !errors.As(err, &limitErr) {
+				t.Fatalf("Add(4) past limit err = %v, want LimitError", err)
+			}
+			if got := c.Read(ctx); got != 7 {
+				t.Fatalf("rejected Add partially applied: Read = %d, want 7", got)
+			}
+			if err := c.Add(ctx, 3); err != nil {
+				t.Fatalf("Add(3) filling the budget exactly: %v", err)
+			}
+			if got := c.Read(ctx); got != 10 {
+				t.Fatalf("final Read = %d, want 10", got)
+			}
+		})
+	}
+}
+
+func TestAddSingleUpdateCost(t *testing.T) {
+	// The amortization claim: Add(delta) costs one propagation, the same as
+	// a single Increment, independent of delta.
+	for _, n := range []int{2, 8, 32} {
+		impls := implementations(t, n, 1<<12)
+		for _, name := range []string{"farray", "aac", "cas", "snap/farray"} {
+			c := impls[name]
+			ctx := primitive.NewCounting(primitive.NewDirect(0))
+			var err error
+			one := ctx.Measure(func() { err = c.Increment(ctx) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched := ctx.Measure(func() { err = c.Add(ctx, 64) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The batched update may pay a handful of extra steps (e.g. AAC
+			// max-register writes scale with log of the stored value) but
+			// must stay within a small constant of one increment — never
+			// 64x.
+			if batched > 2*one+8 {
+				t.Fatalf("n=%d %s: Add(64) = %d steps vs Increment = %d", n, name, batched, one)
+			}
+		}
 	}
 }
 

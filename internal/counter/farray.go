@@ -42,7 +42,20 @@ func (c *FArray) Read(ctx primitive.Context) int64 {
 
 // Increment implements Counter in O(log N) steps.
 func (c *FArray) Increment(ctx primitive.Context) error {
-	if _, err := c.fa.Add(ctx, 1); err != nil {
+	return c.Add(ctx, 1)
+}
+
+// Add implements Counter: delta increments land as one O(log N) update
+// (the f-array's slot write plus a single leaf-to-root refresh), which is
+// what makes batched increments amortize to O(log N / window) steps each.
+func (c *FArray) Add(ctx primitive.Context, delta int64) error {
+	if delta < 0 {
+		return &NegativeDeltaError{Delta: delta}
+	}
+	if delta == 0 {
+		return nil
+	}
+	if _, err := c.fa.Add(ctx, delta); err != nil {
 		return fmt.Errorf("counter: %w", err)
 	}
 	return nil
@@ -61,18 +74,25 @@ func (c *FArray) Increment(ctx primitive.Context) error {
 // unbounded. The E1 experiment shows the adversary driving its increments
 // past any wait-free implementation's cost.
 type CAS struct {
-	cell *primitive.Register
+	cell  *primitive.Register
+	limit int64
 }
 
 var _ Counter = (*CAS)(nil)
 
-// NewCAS builds a single-word CAS-loop counter.
-func NewCAS(pool *primitive.Pool) *CAS {
-	return &CAS{cell: pool.New("casctr.cell", 0)}
+// NewCAS builds a single-word CAS-loop counter. limit > 0 makes it
+// restricted-use (increments beyond limit return a LimitError); limit == 0
+// makes it unbounded. A negative limit is rejected, matching the validation
+// every other counter constructor performs.
+func NewCAS(pool *primitive.Pool, limit int64) (*CAS, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("counter: negative restricted-use limit %d", limit)
+	}
+	return &CAS{cell: pool.New("casctr.cell", 0), limit: limit}, nil
 }
 
-// Limit implements Counter (unbounded).
-func (c *CAS) Limit() int64 { return 0 }
+// Limit implements Counter.
+func (c *CAS) Limit() int64 { return c.limit }
 
 // Read implements Counter in exactly one step.
 func (c *CAS) Read(ctx primitive.Context) int64 {
@@ -81,9 +101,24 @@ func (c *CAS) Read(ctx primitive.Context) int64 {
 
 // Increment implements Counter with a CAS retry loop.
 func (c *CAS) Increment(ctx primitive.Context) error {
+	return c.Add(ctx, 1)
+}
+
+// Add implements Counter: one CAS applies the whole delta, so a batched
+// delta costs the same 2 uncontended steps as a single increment.
+func (c *CAS) Add(ctx primitive.Context, delta int64) error {
+	if delta < 0 {
+		return &NegativeDeltaError{Delta: delta}
+	}
+	if delta == 0 {
+		return nil
+	}
 	for {
 		cur := ctx.Read(c.cell)
-		if ctx.CAS(c.cell, cur, cur+1) {
+		if c.limit > 0 && cur+delta > c.limit {
+			return &LimitError{Limit: c.limit}
+		}
+		if ctx.CAS(c.cell, cur, cur+delta) {
 			return nil
 		}
 	}

@@ -57,11 +57,24 @@ func (c *FromSnapshot) Read(ctx primitive.Context) int64 {
 
 // Increment implements Counter: exactly one Update.
 func (c *FromSnapshot) Increment(ctx primitive.Context) error {
+	return c.Add(ctx, 1)
+}
+
+// Add implements Counter: the whole delta is exactly one Update of the
+// process's segment, so batching transfers Corollary 1's amortization to
+// any snapshot backend.
+func (c *FromSnapshot) Add(ctx primitive.Context, delta int64) error {
+	if delta < 0 {
+		return &NegativeDeltaError{Delta: delta}
+	}
+	if delta == 0 {
+		return nil
+	}
 	id := ctx.ID()
 	if id < 0 || id >= len(c.local) {
 		return fmt.Errorf("counter: process id %d out of range [0,%d)", id, len(c.local))
 	}
-	next := c.local[id].count + 1
+	next := c.local[id].count + delta
 	if err := c.snap.Update(ctx, next); err != nil {
 		return fmt.Errorf("counter: %w", err)
 	}

@@ -34,10 +34,14 @@ func maxRegisters(t *testing.T) map[string]maxreg.MaxRegister {
 	if err != nil {
 		t.Fatal(err)
 	}
+	casReg, err := maxreg.NewCASRegister(primitive.NewPool(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]maxreg.MaxRegister{
 		"core/algorithm-a": algA,
 		"maxreg/aac":       aac,
-		"maxreg/cas":       maxreg.NewCASRegister(primitive.NewPool(), 1<<16),
+		"maxreg/cas":       casReg,
 		"maxreg/unbounded": maxreg.NewUnboundedAAC(primitive.NewPool()),
 	}
 }
@@ -96,10 +100,14 @@ func counters(t *testing.T) map[string]counter.Counter {
 	if err != nil {
 		t.Fatal(err)
 	}
+	casCtr, err := counter.NewCAS(primitive.NewPool(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]counter.Counter{
 		"counter/aac":    aac,
 		"counter/farray": fa,
-		"counter/cas":    counter.NewCAS(primitive.NewPool()),
+		"counter/cas":    casCtr,
 		"counter/snap":   counter.NewFromSnapshot(fs),
 	}
 }

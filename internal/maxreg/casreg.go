@@ -1,6 +1,8 @@
 package maxreg
 
 import (
+	"fmt"
+
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
 
@@ -26,8 +28,13 @@ var _ MaxRegister = (*CASRegister)(nil)
 
 // NewCASRegister returns a CAS-loop max register. bound > 0 makes it
 // M-bounded (writes >= bound are rejected); bound == 0 makes it unbounded.
-func NewCASRegister(pool *primitive.Pool, bound int64) *CASRegister {
-	return &CASRegister{cell: pool.New("casmax.cell", 0), bound: bound}
+// A negative bound is rejected, matching the validation every other max
+// register constructor performs.
+func NewCASRegister(pool *primitive.Pool, bound int64) (*CASRegister, error) {
+	if bound < 0 {
+		return nil, fmt.Errorf("maxreg: negative bound %d", bound)
+	}
+	return &CASRegister{cell: pool.New("casmax.cell", 0), bound: bound}, nil
 }
 
 // Bound implements MaxRegister.

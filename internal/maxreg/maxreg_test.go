@@ -11,6 +11,15 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
 
+// mustCAS unwraps NewCASRegister in tests that construct with known-valid
+// bounds.
+func mustCAS(m *CASRegister, err error) *CASRegister {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // makers lists every implementation in this package so semantics tests run
 // against all of them.
 func makers(t *testing.T, bound int64) map[string]MaxRegister {
@@ -21,7 +30,7 @@ func makers(t *testing.T, bound int64) map[string]MaxRegister {
 	}
 	return map[string]MaxRegister{
 		"aac": aac,
-		"cas": NewCASRegister(primitive.NewPool(), bound),
+		"cas": mustCAS(NewCASRegister(primitive.NewPool(), bound)),
 	}
 }
 
@@ -88,7 +97,7 @@ func TestRangeErrors(t *testing.T) {
 }
 
 func TestUnboundedCASRegister(t *testing.T) {
-	m := NewCASRegister(primitive.NewPool(), 0)
+	m := mustCAS(NewCASRegister(primitive.NewPool(), 0))
 	ctx := primitive.NewDirect(0)
 
 	if m.Bound() != 0 {
@@ -111,6 +120,15 @@ func TestAACRejectsBadBound(t *testing.T) {
 		if _, err := NewAAC(primitive.NewPool(), bound); err == nil {
 			t.Fatalf("NewAAC(%d) succeeded", bound)
 		}
+	}
+}
+
+func TestCASRegisterRejectsNegativeBound(t *testing.T) {
+	if _, err := NewCASRegister(primitive.NewPool(), -1); err == nil {
+		t.Fatal("NewCASRegister(-1) succeeded")
+	}
+	if _, err := NewCASRegister(primitive.NewPool(), 0); err != nil {
+		t.Fatalf("NewCASRegister(0): %v", err)
 	}
 }
 
@@ -182,7 +200,7 @@ func TestAACUsesOnlyReadWrite(t *testing.T) {
 }
 
 func TestCASRegisterStepComplexity(t *testing.T) {
-	m := NewCASRegister(primitive.NewPool(), 0)
+	m := mustCAS(NewCASRegister(primitive.NewPool(), 0))
 	ctx := primitive.NewCounting(primitive.NewDirect(0))
 
 	if got := ctx.Measure(func() { m.ReadMax(ctx) }); got != 1 {

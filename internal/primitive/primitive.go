@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Register is a single word-sized shared base object. Its zero value is a
@@ -59,19 +60,59 @@ func (r *Register) String() string {
 	return fmt.Sprintf("%s#%d", r.name, r.id)
 }
 
+// CacheLineSize is the coherence granularity the padded allocation mode
+// targets: 64 bytes on every platform this repository runs on (x86-64,
+// arm64).
+const CacheLineSize = 64
+
+// registerPad rounds Register up to the next cache-line multiple. The
+// (… % CacheLineSize) keeps the expression valid (a zero-length pad) if
+// Register ever grows to an exact line multiple.
+const registerPad = (CacheLineSize - unsafe.Sizeof(Register{})%CacheLineSize) % CacheLineSize
+
+// paddedRegister is an arena cell: one Register stretched to own a full
+// cache line, so tree siblings allocated back to back never false-share.
+type paddedRegister struct {
+	reg Register
+	_   [registerPad]byte
+}
+
+// arenaChunk is how many padded registers each arena allocation holds.
+// Chunking keeps the registers of one object contiguous (good for the
+// heatmap and for prefetching) without per-register allocator overhead.
+const arenaChunk = 64
+
 // Pool allocates registers with dense, stable identifiers. The identifiers
 // index the familiarity-set tables kept by internal/aware, so every register
 // an algorithm uses must come from the pool handed to its constructor.
 //
+// A pool built with NewPadded serves each register from a cache-line-padded
+// arena: every register owns a full 64-byte line, so hot tree siblings
+// (Algorithm A nodes, f-array leaves) never false-share. Identifiers are
+// identical in both modes — padding is invisible to internal/aware and the
+// observability heatmap.
+//
 // Pool is safe for concurrent allocation, though well-behaved algorithms
 // allocate all their registers at construction time.
 type Pool struct {
-	mu   sync.Mutex
-	regs []*Register
+	mu     sync.Mutex
+	regs   []*Register
+	padded bool
+	arena  []paddedRegister // remaining cells of the current chunk
 }
 
-// NewPool returns an empty register pool.
+// NewPool returns an empty register pool allocating unpadded registers.
 func NewPool() *Pool { return &Pool{} }
+
+// NewPadded returns an empty register pool whose registers are allocated
+// from cache-line-padded arenas: each register starts a fresh 64-byte line.
+// This is the allocation mode of the native (public API) backend; the
+// simulator and the step-counting experiments use NewPool, where spatial
+// layout cannot matter.
+func NewPadded() *Pool { return &Pool{padded: true} }
+
+// Padded reports whether the pool allocates cache-line-padded registers.
+func (p *Pool) Padded() bool { return p.padded }
 
 // New allocates a register initialized to init. The name is used only for
 // diagnostics and need not be unique.
@@ -79,7 +120,18 @@ func (p *Pool) New(name string, init int64) *Register {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	r := &Register{id: len(p.regs), name: name}
+	var r *Register
+	if p.padded {
+		if len(p.arena) == 0 {
+			p.arena = make([]paddedRegister, arenaChunk)
+		}
+		r = &p.arena[0].reg
+		p.arena = p.arena[1:]
+	} else {
+		r = &Register{}
+	}
+	r.id = len(p.regs)
+	r.name = name
 	r.v.Store(init)
 	p.regs = append(p.regs, r)
 	return r

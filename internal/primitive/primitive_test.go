@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"unsafe"
 )
 
 func TestRegisterZeroValue(t *testing.T) {
@@ -262,6 +263,89 @@ func TestRegisterConcurrentCASIncrement(t *testing.T) {
 
 	if got := r.Load(); got != workers*perWorker {
 		t.Fatalf("final = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPaddedPoolIdentifiersAndSemantics(t *testing.T) {
+	// A padded pool must be observationally identical to a plain pool:
+	// dense ids in allocation order, honored initial values, working
+	// Get/Registers — only the memory layout differs.
+	p := NewPadded()
+	if !p.Padded() {
+		t.Fatal("NewPadded().Padded() = false")
+	}
+	if NewPool().Padded() {
+		t.Fatal("NewPool().Padded() = true")
+	}
+	const n = 3*arenaChunk + 5 // span several arena chunks
+	regs := make([]*Register, n)
+	for i := range regs {
+		regs[i] = p.New(fmt.Sprintf("r%d", i), int64(i))
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	for i, r := range regs {
+		if r.ID() != i {
+			t.Fatalf("regs[%d].ID() = %d", i, r.ID())
+		}
+		if r.Load() != int64(i) {
+			t.Fatalf("regs[%d] init = %d, want %d", i, r.Load(), i)
+		}
+		if p.Get(i) != r {
+			t.Fatalf("Get(%d) did not return the allocated register", i)
+		}
+	}
+	all := p.Registers()
+	if len(all) != n || all[0] != regs[0] || all[n-1] != regs[n-1] {
+		t.Fatal("Registers() out of order")
+	}
+}
+
+func TestPaddedPoolCacheLineSeparation(t *testing.T) {
+	// Any two registers from a padded pool must keep their hot atomic
+	// word on distinct 64-byte lines.
+	p := NewPadded()
+	const n = 2 * arenaChunk
+	regs := make([]*Register, n)
+	for i := range regs {
+		regs[i] = p.New("r", 0)
+	}
+	lines := make(map[uintptr]int, n)
+	for i, r := range regs {
+		line := uintptr(unsafe.Pointer(&r.v)) / CacheLineSize
+		if prev, dup := lines[line]; dup {
+			t.Fatalf("registers %d and %d share cache line %#x", prev, i, line)
+		}
+		lines[line] = i
+	}
+}
+
+func TestPaddedPoolConcurrentAllocation(t *testing.T) {
+	p := NewPadded()
+	const workers, perWorker = 8, 3 * arenaChunk
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.New("r", 0)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if p.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", p.Len(), workers*perWorker)
+	}
+	seen := make(map[int]bool, p.Len())
+	for _, r := range p.Registers() {
+		if seen[r.ID()] {
+			t.Fatalf("duplicate register id %d", r.ID())
+		}
+		seen[r.ID()] = true
 	}
 }
 

@@ -278,7 +278,10 @@ func TestExhaustiveCASCounter(t *testing.T) {
 	// Every interleaving of two CAS increments and a read.
 	build := func(pool *primitive.Pool) ([]sim.Program, *history.Recorder) {
 		rec := history.NewRecorder()
-		c := counter.NewCAS(pool)
+		c, err := counter.NewCAS(pool, 0)
+		if err != nil {
+			panic(err)
+		}
 		return []sim.Program{
 			counterProgram(c, rec, []history.Kind{history.KindIncrement}),
 			counterProgram(c, rec, []history.Kind{history.KindIncrement}),

@@ -105,12 +105,32 @@ type config struct {
 	bound     int64
 	limit     int64
 	counting  bool
+	batch     int
 	obs       *Observability
 	name      string
 
 	maxRegImpl   MaxRegisterImpl
 	counterImpl  CounterImpl
 	snapshotImpl SnapshotImpl
+}
+
+// validate checks the option values every constructor shares. Negative
+// bounds and limits are rejected here so the contract is uniform across
+// implementations (including the CAS variants, whose 0 means "unbounded").
+func (c config) validate() error {
+	if c.processes < 1 {
+		return fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	}
+	if c.bound < 0 {
+		return fmt.Errorf("tradeoffs: negative bound %d", c.bound)
+	}
+	if c.limit < 0 {
+		return fmt.Errorf("tradeoffs: negative limit %d", c.limit)
+	}
+	if c.batch < 0 {
+		return fmt.Errorf("tradeoffs: negative batching window %d", c.batch)
+	}
+	return nil
 }
 
 // Option configures a constructor.
@@ -146,6 +166,24 @@ func WithLimit(limit int64) Option {
 // readable via Handle.Steps.
 func WithStepCounting() Option {
 	return optionFunc(func(c *config) { c.counting = true })
+}
+
+// WithBatching makes counter handles coalesce their pending deltas: Add and
+// Increment buffer locally and propagate once every window calls (or on an
+// explicit Flush, or before a Read through the same handle), cutting the
+// shared-memory cost of an increment from O(log N) to O(log N / window)
+// amortized. Slots are single-writer, so the coalesced delta lands as one
+// linearizable update.
+//
+// The tradeoff is staleness, not correctness: deltas buffered on a handle
+// are invisible to other processes until flushed, and a Read through a
+// batching handle flushes its own buffer first (read-your-writes). After
+// every handle has flushed (quiescence), reads are exact.
+//
+// window <= 1 disables batching (the default). Counters only; other
+// families ignore the option.
+func WithBatching(window int) Option {
+	return optionFunc(func(c *config) { c.batch = window })
 }
 
 // WithMaxRegisterImpl selects the max register implementation (default
@@ -196,6 +234,19 @@ func registerObs(c config, family string, pool *primitive.Pool) (*obs.Collector,
 	return c.obs.register(family, c.name, c.processes, pool)
 }
 
+// checkHandleID validates a Handle(id) argument. Out-of-range ids panic —
+// uniformly, with or without observability — because a handle is a
+// per-process capability: requesting one for a process that does not exist
+// is a programming error on par with an out-of-bounds slice index, and
+// returning a handle that fails (or worse, silently succeeds) per operation
+// would let the bug travel far from its cause. The panic message names the
+// family and the valid range.
+func checkHandleID(family string, id, processes int) {
+	if id < 0 || id >= processes {
+		panic(fmt.Sprintf("tradeoffs: %s.Handle(%d): process id out of range [0, %d)", family, id, processes))
+	}
+}
+
 // handle is the shared per-process plumbing.
 type handle struct {
 	ctx      primitive.Context
@@ -238,10 +289,10 @@ type MaxRegister struct {
 // NewMaxRegister builds a max register.
 func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 	c := buildConfig(opts)
-	if c.processes < 1 {
-		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
-	pool := primitive.NewPool()
+	pool := primitive.NewPadded()
 	var (
 		impl maxreg.MaxRegister
 		err  error
@@ -255,7 +306,7 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 		}
 		impl, err = maxreg.NewAAC(pool, c.bound)
 	case MaxRegisterCAS:
-		impl = maxreg.NewCASRegister(pool, c.bound)
+		impl, err = maxreg.NewCASRegister(pool, c.bound)
 	case MaxRegisterUnboundedAAC:
 		impl = maxreg.NewUnboundedAAC(pool)
 	default:
@@ -278,8 +329,11 @@ func (m *MaxRegister) Processes() int { return m.processes }
 func (m *MaxRegister) Bound() int64 { return m.impl.Bound() }
 
 // Handle returns process id's access handle. A handle must be used by one
-// goroutine at a time; different handles may run fully in parallel.
+// goroutine at a time; different handles may run fully in parallel. Handle
+// panics if id is outside [0, Processes()) — see checkHandleID for why the
+// contract is a panic rather than an error.
 func (m *MaxRegister) Handle(id int) *MaxRegisterHandle {
+	checkHandleID("MaxRegister", id, m.processes)
 	h := &MaxRegisterHandle{reg: m.impl, handle: newHandle(id, m.counting, m.col)}
 	if m.col != nil {
 		h.opRead = m.col.Op("read")
@@ -323,16 +377,17 @@ type Counter struct {
 	impl      counter.Counter
 	processes int
 	counting  bool
+	batch     int
 	col       *obs.Collector
 }
 
 // NewCounter builds a counter.
 func NewCounter(opts ...Option) (*Counter, error) {
 	c := buildConfig(opts)
-	if c.processes < 1 {
-		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
-	pool := primitive.NewPool()
+	pool := primitive.NewPadded()
 	var (
 		impl counter.Counter
 		err  error
@@ -346,7 +401,7 @@ func NewCounter(opts ...Option) (*Counter, error) {
 		}
 		impl, err = counter.NewAAC(pool, c.processes, c.limit)
 	case CounterCAS:
-		impl = counter.NewCAS(pool)
+		impl, err = counter.NewCAS(pool, c.limit)
 	case CounterSnapshot:
 		if c.limit <= 0 {
 			return nil, ErrLimitRequired
@@ -366,32 +421,65 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Counter{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
+	return &Counter{impl: impl, processes: c.processes, counting: c.counting, batch: c.batch, col: col}, nil
 }
 
 // Processes returns the number of process slots.
 func (c *Counter) Processes() int { return c.processes }
 
-// Handle returns process id's access handle.
+// BatchWindow returns the WithBatching window, or 0 if batching is off.
+func (c *Counter) BatchWindow() int {
+	if c.batch <= 1 {
+		return 0
+	}
+	return c.batch
+}
+
+// Handle returns process id's access handle. Handle panics if id is outside
+// [0, Processes()) — see checkHandleID.
 func (c *Counter) Handle(id int) *CounterHandle {
-	h := &CounterHandle{ctr: c.impl, handle: newHandle(id, c.counting, c.col)}
+	checkHandleID("Counter", id, c.processes)
+	h := &CounterHandle{ctr: c.impl, window: c.batch, handle: newHandle(id, c.counting, c.col)}
 	if c.col != nil {
 		h.opRead = c.col.Op("read")
 		h.opInc = c.col.Op("increment")
+		h.opAdd = c.col.Op("add")
 	}
 	return h
 }
 
 // CounterHandle is a per-process capability to a Counter.
+//
+// When the counter was built with WithBatching, the handle carries the
+// process's coalescing buffer: see Add, Flush, and Pending. A handle is
+// owned by one goroutine at a time (like every per-process capability), so
+// the buffer needs no synchronization.
 type CounterHandle struct {
 	handle
 
-	ctr           counter.Counter
-	opRead, opInc *obs.Op
+	ctr                  counter.Counter
+	opRead, opInc, opAdd *obs.Op
+
+	// window is the WithBatching window (<= 1: batching off). pending is
+	// the coalesced delta not yet propagated; buffered counts the calls
+	// coalesced since the last flush.
+	window   int
+	pending  int64
+	buffered int
 }
 
-// Read returns the number of increments that linearized before it.
+// Read returns the number of increments that linearized before it. On a
+// batching handle it first flushes the handle's own pending deltas
+// (read-your-writes); deltas buffered on other handles stay invisible until
+// those handles flush.
 func (h *CounterHandle) Read() int64 {
+	if h.pending > 0 {
+		// A failed flush (e.g. a restricted-use LimitError) keeps the
+		// deltas buffered; the error stays visible through Flush/Add, while
+		// Read keeps its error-free signature and reports the propagated
+		// count.
+		_ = h.Flush()
+	}
 	if h.inst == nil {
 		return h.ctr.Read(h.ctx)
 	}
@@ -401,8 +489,12 @@ func (h *CounterHandle) Read() int64 {
 	return v
 }
 
-// Increment adds one to the counter.
+// Increment adds one to the counter. On a batching handle it coalesces like
+// Add(1).
 func (h *CounterHandle) Increment() error {
+	if h.window > 1 {
+		return h.Add(1)
+	}
 	if h.inst == nil {
 		return h.ctr.Increment(h.ctx)
 	}
@@ -412,6 +504,60 @@ func (h *CounterHandle) Increment() error {
 	return err
 }
 
+// Add atomically adds delta >= 0 to the counter as one update: one leaf
+// write plus one propagation regardless of delta, so pre-batched deltas
+// cost the same O(log N) steps a single Increment does. On a batching
+// handle (WithBatching) the delta is instead coalesced locally and
+// propagated once every window calls — see Flush.
+func (h *CounterHandle) Add(delta int64) error {
+	if h.window > 1 {
+		if delta < 0 {
+			return &counter.NegativeDeltaError{Delta: delta}
+		}
+		h.pending += delta
+		h.buffered++
+		if h.buffered >= h.window {
+			return h.Flush()
+		}
+		return nil
+	}
+	if h.inst == nil {
+		return h.ctr.Add(h.ctx, delta)
+	}
+	sp := h.opAdd.Begin(h.inst)
+	err := h.ctr.Add(h.ctx, delta)
+	sp.End()
+	return err
+}
+
+// Flush propagates the handle's coalesced deltas (if any) as one update.
+// On error (e.g. a restricted-use LimitError) the deltas stay buffered so
+// nothing is silently lost; the caller may retry. Flush on a non-batching
+// handle is a no-op.
+func (h *CounterHandle) Flush() error {
+	if h.pending == 0 {
+		h.buffered = 0
+		return nil
+	}
+	var err error
+	if h.inst == nil {
+		err = h.ctr.Add(h.ctx, h.pending)
+	} else {
+		sp := h.opAdd.Begin(h.inst)
+		err = h.ctr.Add(h.ctx, h.pending)
+		sp.End()
+	}
+	if err != nil {
+		return err
+	}
+	h.pending, h.buffered = 0, 0
+	return nil
+}
+
+// Pending returns the delta coalesced on this handle and not yet
+// propagated (0 on a non-batching handle).
+func (h *CounterHandle) Pending() int64 { return h.pending }
+
 // Snapshot is a linearizable single-writer atomic snapshot. Construct with
 // NewSnapshot.
 type Snapshot struct {
@@ -419,15 +565,26 @@ type Snapshot struct {
 	processes int
 	counting  bool
 	col       *obs.Collector
+
+	// local[i] caches the last value process i successfully wrote to its
+	// segment, so SnapshotHandle.Add needs no Scan. Single-writer (only
+	// the goroutine driving process i touches local[i]) and padded so
+	// writers stay off each other's cache lines.
+	local []paddedSeg
+}
+
+type paddedSeg struct {
+	v int64
+	_ [7]int64 // pad to a 64-byte cache line
 }
 
 // NewSnapshot builds a snapshot with one segment per process.
 func NewSnapshot(opts ...Option) (*Snapshot, error) {
 	c := buildConfig(opts)
-	if c.processes < 1 {
-		return nil, fmt.Errorf("tradeoffs: processes must be >= 1, got %d", c.processes)
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
-	pool := primitive.NewPool()
+	pool := primitive.NewPadded()
 	var (
 		impl snapshot.Snapshot
 		err  error
@@ -455,15 +612,23 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
+	return &Snapshot{
+		impl:      impl,
+		processes: c.processes,
+		counting:  c.counting,
+		col:       col,
+		local:     make([]paddedSeg, c.processes),
+	}, nil
 }
 
 // Processes returns the number of segments (= process slots).
 func (s *Snapshot) Processes() int { return s.processes }
 
 // Handle returns process id's access handle; Update writes segment id.
+// Handle panics if id is outside [0, Processes()) — see checkHandleID.
 func (s *Snapshot) Handle(id int) *SnapshotHandle {
-	h := &SnapshotHandle{snap: s.impl, handle: newHandle(id, s.counting, s.col)}
+	checkHandleID("Snapshot", id, s.processes)
+	h := &SnapshotHandle{snap: s.impl, seg: &s.local[id], handle: newHandle(id, s.counting, s.col)}
 	if s.col != nil {
 		h.opScan = s.col.Op("scan")
 		h.opUpdate = s.col.Op("update")
@@ -476,18 +641,37 @@ type SnapshotHandle struct {
 	handle
 
 	snap             snapshot.Snapshot
+	seg              *paddedSeg
 	opScan, opUpdate *obs.Op
 }
 
 // Update atomically sets the handle's segment to v.
 func (h *SnapshotHandle) Update(v int64) error {
+	var err error
 	if h.inst == nil {
-		return h.snap.Update(h.ctx, v)
+		err = h.snap.Update(h.ctx, v)
+	} else {
+		sp := h.opUpdate.Begin(h.inst)
+		err = h.snap.Update(h.ctx, v)
+		sp.End()
 	}
-	sp := h.opUpdate.Begin(h.inst)
-	err := h.snap.Update(h.ctx, v)
-	sp.End()
+	if err == nil {
+		h.seg.v = v
+	}
 	return err
+}
+
+// Add atomically adds delta to the handle's segment and returns the new
+// segment value. Segments are single-writer, so the read side is a local
+// cache of the last written value (no Scan): the whole operation costs one
+// Update. This is the snapshot-side primitive behind Corollary 1's
+// counter-from-snapshot reduction.
+func (h *SnapshotHandle) Add(delta int64) (int64, error) {
+	next := h.seg.v + delta
+	if err := h.Update(next); err != nil {
+		return h.seg.v, err
+	}
+	return next, nil
 }
 
 // Scan atomically reads all segments.
