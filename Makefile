@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all test race vet bench bench-json experiments fuzz clean
+.PHONY: all test race vet lint bench bench-json experiments fuzz fuzz-smoke clean
 
-all: vet test
+all: vet lint test
 
 test:
 	$(GO) test ./...
@@ -19,25 +19,38 @@ vet:
 	fi
 	$(GO) vet ./...
 
+# Step-accounting static analysis (modelstep, poolalloc, ctxflow,
+# boundedloop) — see docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/tradeoffvet ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fixed-seed throughput suite -> BENCH_PR2.json (schema-validated; CI diffs
-# the artifact across runs). Override e.g. BENCH_JSON_FLAGS="-procs 4 -ops 500".
+# Fixed-seed throughput suite -> $(BENCH_JSON_OUT) (schema-validated; CI
+# diffs the artifact across runs). Override the destination with
+# BENCH_JSON_OUT=..., the workload with e.g.
+# BENCH_JSON_FLAGS="-procs 4 -ops 500".
+BENCH_JSON_OUT ?= BENCH_PR2.json
 BENCH_JSON_FLAGS ?=
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -pretty $(BENCH_JSON_FLAGS)
-	$(GO) run ./cmd/benchjson -check BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON_OUT) -pretty $(BENCH_JSON_FLAGS)
+	$(GO) run ./cmd/benchjson -check $(BENCH_JSON_OUT)
 
 # Regenerate every table in EXPERIMENTS.md.
 experiments:
 	$(GO) run ./cmd/tradeoff -format markdown
 
-# Short fuzzing session over every fuzz target.
+# Fuzzing session over every fuzz target; FUZZTIME=5s for a quick smoke.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -fuzz FuzzMaxRegisterAgreement -fuzztime 30s ./internal/core
-	$(GO) test -fuzz FuzzMaxRegisterCheckerSoundness -fuzztime 30s ./internal/history
-	$(GO) test -fuzz FuzzCounterCheckerSoundness -fuzztime 30s ./internal/history
+	$(GO) test -fuzz FuzzMaxRegisterAgreement -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -fuzz FuzzMaxRegisterCheckerSoundness -fuzztime $(FUZZTIME) ./internal/history
+	$(GO) test -fuzz FuzzCounterCheckerSoundness -fuzztime $(FUZZTIME) ./internal/history
+
+# CI-sized fuzz pass.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=5s
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,68 @@
+// Command tradeoffvet runs the repository's step-accounting static
+// analysis suite (internal/analysis) over module packages: modelstep,
+// poolalloc, ctxflow and boundedloop. It is the machine check behind the
+// convention the whole reproduction rests on — that a "step" (Hendler &
+// Khait, Section 2) is exactly one primitive.Context event.
+//
+// Usage:
+//
+//	go run ./cmd/tradeoffvet [packages]   # default ./...
+//	go run ./cmd/tradeoffvet -list        # describe the analyzers
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
+// load or typecheck failure. Intentional out-of-band accesses are
+// annotated in source with //tradeoffvet:outofband (step-model passes) or
+// //tradeoffvet:casretry (boundedloop); see docs/static-analysis.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/restricteduse/tradeoffs/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tradeoffvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tradeoffvet [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	pkgs, err := analysis.LoadPatterns(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAll(pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tradeoffvet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/analysis"
+)
+
+// TestCleanTree is the acceptance gate: the suite must pass over the whole
+// module, with every deliberate out-of-band access annotated in source.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("tradeoffvet ./... exited %d, want 0\nstdout:\n%sstderr:\n%s", code, &stdout, &stderr)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("tradeoffvet -list exited %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, &stdout)
+		}
+	}
+}
+
+func TestNoMatchingPackages(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("tradeoffvet ./no/such/dir exited %d, want 2", code)
+	}
+}
+
+// injectionLoader shares one import cache across the injection tests.
+var injectionLoader = analysis.NewLoader()
+
+// TestInjectedAtomicInCounter proves the check the suite exists for:
+// smuggling a raw atomic.Int64 into internal/counter — typechecked against
+// the real module without touching the tree — fails modelstep with the
+// documented diagnostic.
+func TestInjectedAtomicInCounter(t *testing.T) {
+	pkg, err := injectionLoader.Source(
+		"github.com/restricteduse/tradeoffs/internal/counter",
+		map[string]string{"bad_atomic.go": `package counter
+
+import "sync/atomic"
+
+// Hot is a raw atomic counter smuggled into a model package.
+type Hot struct {
+	n atomic.Int64
+}
+`})
+	if err != nil {
+		t.Fatalf("loading injected package: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(analysis.Modelstep, pkg)
+	if err != nil {
+		t.Fatalf("running modelstep: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("modelstep reported nothing for a raw atomic.Int64 in internal/counter")
+	}
+	var sawImport, sawUse bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "model package imports sync/atomic") {
+			sawImport = true
+		}
+		if strings.Contains(d.Message, "atomic.Int64 bypasses the step-counted primitive.Context") {
+			sawUse = true
+		}
+	}
+	if !sawImport || !sawUse {
+		t.Errorf("missing documented diagnostics (import=%v use=%v):\n%v", sawImport, sawUse, diags)
+	}
+}
+
+// TestInjectedRawRegisterInCore proves the companion check: allocating a
+// register with new(primitive.Register) inside internal/core fails
+// poolalloc.
+func TestInjectedRawRegisterInCore(t *testing.T) {
+	pkg, err := injectionLoader.Source(
+		"github.com/restricteduse/tradeoffs/internal/core",
+		map[string]string{"bad_alloc.go": `package core
+
+import "github.com/restricteduse/tradeoffs/internal/primitive"
+
+// Rogue allocates a register behind the pool's back.
+func Rogue() *primitive.Register {
+	return new(primitive.Register)
+}
+`})
+	if err != nil {
+		t.Fatalf("loading injected package: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(analysis.Poolalloc, pkg)
+	if err != nil {
+		t.Fatalf("running poolalloc: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("poolalloc reported %d diagnostics, want 1:\n%v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "new(primitive.Register) bypasses the pool") {
+		t.Errorf("unexpected diagnostic: %s", diags[0])
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"net/http"
 	"os/signal"
 	"sync"
-	"sync/atomic"
 	"syscall"
 
 	tradeoffs "github.com/restricteduse/tradeoffs"
@@ -166,11 +165,28 @@ func runImpl(name string, opts []tradeoffs.Option, workers, requests int) error 
 		return err
 	}
 
+	// Bookkeeping totals (steps spent, increments landed, errors injected)
+	// also live on the facade: CAS counters are the eat-your-own-dogfood
+	// replacement for the raw atomics an example would otherwise reach for.
+	bookOpts := []tradeoffs.Option{
+		tradeoffs.WithProcesses(workers + 1),
+		tradeoffs.WithCounterImpl(tradeoffs.CounterCAS),
+	}
+	incSteps, err := tradeoffs.NewCounter(bookOpts...)
+	if err != nil {
+		return err
+	}
+	incs, err := tradeoffs.NewCounter(bookOpts...)
+	if err != nil {
+		return err
+	}
+	wantErrors, err := tradeoffs.NewCounter(bookOpts...)
+	if err != nil {
+		return err
+	}
+
 	var (
 		wg          sync.WaitGroup
-		incSteps    atomic.Int64
-		incs        atomic.Int64
-		wantErrors  atomic.Int64
 		stopReports = make(chan struct{})
 	)
 	for w := 0; w < workers; w++ {
@@ -179,6 +195,9 @@ func runImpl(name string, opts []tradeoffs.Option, workers, requests int) error 
 			defer wg.Done()
 			servedH := served.Handle(w)
 			failedH := failed.Handle(w)
+			incStepsH := incSteps.Handle(w)
+			incsH := incs.Handle(w)
+			wantErrorsH := wantErrors.Handle(w)
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < requests; i++ {
 				// "Process" the request.
@@ -187,15 +206,23 @@ func runImpl(name string, opts []tradeoffs.Option, workers, requests int) error 
 					return
 				}
 				if rng.Intn(50) == 0 { // 2% error rate
-					wantErrors.Add(1)
+					if err := wantErrorsH.Increment(); err != nil {
+						log.Print(err)
+						return
+					}
 					if err := failedH.Increment(); err != nil {
 						log.Print(err)
 						return
 					}
 				}
 			}
-			incs.Add(int64(requests))
-			incSteps.Add(servedH.Steps())
+			if err := incsH.Add(int64(requests)); err != nil {
+				log.Print(err)
+				return
+			}
+			if err := incStepsH.Add(servedH.Steps()); err != nil {
+				log.Print(err)
+			}
 		}(w)
 	}
 
@@ -224,15 +251,16 @@ func runImpl(name string, opts []tradeoffs.Option, workers, requests int) error 
 	total := readerH.Read()
 	readCost := readerH.Steps() // steps of that single read
 
+	wantErrs := wantErrors.Handle(workers).Read()
 	fmt.Printf("%-24s served=%-7d errors=%-5d (expected %d/%d)\n",
-		name, total, failed.Handle(0).Read(), workers*requests, wantErrors.Load())
+		name, total, failed.Handle(0).Read(), workers*requests, wantErrs)
 	fmt.Printf("%-24s avg steps/increment=%.1f  steps/read=%d  dashboard reads=%d\n\n",
-		"", float64(incSteps.Load())/float64(incs.Load()), readCost, reporterReads)
+		"", float64(incSteps.Handle(workers).Read())/float64(incs.Handle(workers).Read()), readCost, reporterReads)
 
 	if total != int64(workers*requests) {
 		return fmt.Errorf("lost increments: %d != %d", total, workers*requests)
 	}
-	if failed.Handle(0).Read() != wantErrors.Load() {
+	if failed.Handle(0).Read() != wantErrs {
 		return fmt.Errorf("lost error increments")
 	}
 	return nil

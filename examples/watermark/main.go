@@ -33,7 +33,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	tradeoffs "github.com/restricteduse/tradeoffs"
@@ -103,11 +102,27 @@ func run(replicas, entries int, implName string, lis net.Listener) error {
 		log.Printf("serving live metrics on http://%s/metrics while replicating", lis.Addr())
 	}
 
-	var (
-		wg          sync.WaitGroup
-		done        atomic.Bool
-		readerReads atomic.Int64
+	// Hot-path reader bookkeeping also lives on the facade instead of raw
+	// atomics: a monotone done flag is exactly a max register, and the read
+	// tally is a CAS counter. Handles 0..readers-1 belong to the reader
+	// goroutines; handle `readers` belongs to this coordinating goroutine.
+	const readers = 4
+	doneFlag, err := tradeoffs.NewMaxRegister(
+		tradeoffs.WithProcesses(readers+1),
+		tradeoffs.WithMaxRegisterImpl(tradeoffs.MaxRegisterCAS),
 	)
+	if err != nil {
+		return err
+	}
+	readerReads, err := tradeoffs.NewCounter(
+		tradeoffs.WithProcesses(readers+1),
+		tradeoffs.WithCounterImpl(tradeoffs.CounterCAS),
+	)
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
 
 	// Replicas: append entries, publish durable offsets.
 	for r := 0; r < replicas; r++ {
@@ -147,29 +162,35 @@ func run(replicas, entries int, implName string, lis net.Listener) error {
 	}()
 
 	// Readers: hot-path commit-index reads until replication finishes.
-	const readers = 4
 	var readerWG sync.WaitGroup
 	for i := 0; i < readers; i++ {
 		readerWG.Add(1)
-		go func() {
+		go func(i int) {
 			defer readerWG.Done()
 			h := commitIndex.Handle(replicas + 1)
+			doneH := doneFlag.Handle(i)
+			readsH := readerReads.Handle(i)
 			prev := int64(-1)
-			for !done.Load() {
+			for doneH.Read() == 0 {
 				idx := h.Read()
 				if idx < prev {
 					log.Printf("BUG: commit index regressed %d -> %d", prev, idx)
 					return
 				}
 				prev = idx
-				readerReads.Add(1)
+				if err := readsH.Increment(); err != nil {
+					log.Print(err)
+					return
+				}
 			}
-		}()
+		}(i)
 	}
 
 	start := time.Now()
 	wg.Wait()
-	done.Store(true)
+	if err := doneFlag.Handle(readers).Write(1); err != nil {
+		return err
+	}
 	readerWG.Wait()
 
 	finalH := commitIndex.Handle(0)
@@ -178,7 +199,7 @@ func run(replicas, entries int, implName string, lis net.Listener) error {
 
 	fmt.Printf("impl=%s replicas=%d entries=%d\n", implName, replicas, entries)
 	fmt.Printf("final commit index: %d (expect %d)\n", final, entries)
-	fmt.Printf("hot-path reads served while replicating: %d in %v\n", readerReads.Load(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("hot-path reads served while replicating: %d in %v\n", readerReads.Handle(readers).Read(), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("shared-memory steps for one commit-index read: %d\n", readSteps)
 	if final != int64(entries) {
 		return fmt.Errorf("commit index stalled at %d", final)

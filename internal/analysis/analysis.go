@@ -1,0 +1,221 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus the four passes that mechanically
+// enforce the paper's step-accounting model (Hendler & Khait, PODC 2014,
+// Section 2).
+//
+// The invariant the suite guards cannot be seen by the compiler: a "step"
+// is exactly one Context.Read/Write/CAS, so algorithm code must never touch
+// Register.Load/Store/CompareAndSwap, raw sync/atomic, locks, or channels,
+// and every register must be Pool-allocated so internal/sim, internal/aware
+// and internal/obs can key their tables by stable register ids. A single
+// stray atomic.Int64 in a model package would silently corrupt step counts
+// and adversary schedules; these passes turn the convention into a
+// machine-checked property. See docs/static-analysis.md for the diagnostic
+// catalog.
+//
+// The framework deliberately re-implements only the slice of go/analysis
+// this repository needs: the toolchain image carries no module cache and no
+// network, so golang.org/x/tools cannot be vendored. Packages are
+// typechecked from source with the standard library's "source" importer,
+// which resolves both stdlib and module-internal imports without export
+// data.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and documentation.
+	Name string
+
+	// Doc is the one-paragraph description printed by tradeoffvet -list.
+	Doc string
+
+	// Suppressor is the annotation name (the part after "tradeoffvet:")
+	// that silences this analyzer's diagnostics: "outofband" for the
+	// step-accounting passes, "casretry" for boundedloop.
+	Suppressor string
+
+	// Run reports diagnostics through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path (module-rooted for real packages,
+	// caller-chosen for fixtures).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	pkg    *Package
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, already positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf reports a diagnostic at pos unless a tradeoffvet annotation
+// matching the analyzer's Suppressor covers that line (same line, the line
+// above, or the doc comment of the enclosing top-level declaration).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.pkg.suppressed(p.Analyzer.Suppressor, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// primitivePath is the suffix identifying the base-object package, which
+// defines Register, Pool and Context and is therefore exempt from the
+// passes that police access to them.
+const primitivePath = "internal/primitive"
+
+// modelPackages are the packages implementing the paper's algorithms: inside
+// them every shared-memory event must be a counted step issued through a
+// primitive.Context.
+var modelPackages = []string{
+	"internal/core",
+	"internal/counter",
+	"internal/maxreg",
+	"internal/snapshot",
+	"internal/b1tree",
+	"internal/farray",
+	"internal/consensus",
+}
+
+// hasPathSuffix reports whether path ends in the package-path suffix want
+// (matching whole segments, so "internal/counter" matches
+// "example.com/m/internal/counter" but not "example.com/m/internal/counter2").
+func hasPathSuffix(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// IsModelPackage reports whether the import path names one of the paper's
+// algorithm packages.
+func IsModelPackage(path string) bool {
+	for _, m := range modelPackages {
+		if hasPathSuffix(path, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPrimitivePackage reports whether the import path is the base-object
+// package itself.
+func isPrimitivePackage(path string) bool {
+	return hasPathSuffix(path, primitivePath)
+}
+
+// primitiveScope returns the type scope of the directly imported
+// internal/primitive package, or nil if the analyzed package does not
+// import it.
+func (p *Pass) primitiveScope() *types.Scope {
+	for _, imp := range p.Pkg.Imports() {
+		if isPrimitivePackage(imp.Path()) {
+			return imp.Scope()
+		}
+	}
+	return nil
+}
+
+// primitiveNamed returns the named type primitive.<name> as seen by this
+// package, or nil.
+func (p *Pass) primitiveNamed(name string) types.Type {
+	scope := p.primitiveScope()
+	if scope == nil {
+		return nil
+	}
+	obj, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return obj.Type()
+}
+
+// Analyzers returns the full suite in the order the multichecker runs it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Modelstep, Poolalloc, Ctxflow, Boundedloop}
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Path:     pkg.Path,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		pkg:      pkg,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunAll applies the whole suite to every package and returns the merged,
+// position-sorted diagnostics.
+func RunAll(pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+func TestHasPathSuffix(t *testing.T) {
+	cases := []struct {
+		path, want string
+		ok         bool
+	}{
+		{"internal/counter", "internal/counter", true},
+		{"github.com/restricteduse/tradeoffs/internal/counter", "internal/counter", true},
+		{"example.test/internal/counter", "internal/counter", true},
+		{"example.test/internal/counter2", "internal/counter", false},
+		{"example.test/xinternal/counter", "internal/counter", false},
+		{"counter", "internal/counter", false},
+	}
+	for _, c := range cases {
+		if got := hasPathSuffix(c.path, c.want); got != c.ok {
+			t.Errorf("hasPathSuffix(%q, %q) = %v, want %v", c.path, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestIsModelPackage(t *testing.T) {
+	for _, path := range []string{
+		"github.com/restricteduse/tradeoffs/internal/core",
+		"github.com/restricteduse/tradeoffs/internal/counter",
+		"github.com/restricteduse/tradeoffs/internal/maxreg",
+		"github.com/restricteduse/tradeoffs/internal/snapshot",
+		"github.com/restricteduse/tradeoffs/internal/b1tree",
+		"github.com/restricteduse/tradeoffs/internal/farray",
+		"github.com/restricteduse/tradeoffs/internal/consensus",
+	} {
+		if !IsModelPackage(path) {
+			t.Errorf("IsModelPackage(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"github.com/restricteduse/tradeoffs/internal/primitive",
+		"github.com/restricteduse/tradeoffs/internal/obs",
+		"github.com/restricteduse/tradeoffs/internal/sim",
+		"github.com/restricteduse/tradeoffs",
+	} {
+		if IsModelPackage(path) {
+			t.Errorf("IsModelPackage(%q) = true, want false", path)
+		}
+	}
+}
+
+func comment(lines ...string) *ast.CommentGroup {
+	cg := &ast.CommentGroup{}
+	for _, l := range lines {
+		cg.List = append(cg.List, &ast.Comment{Text: "// " + l})
+	}
+	return cg
+}
+
+func TestDocClaimsWaitFree(t *testing.T) {
+	cases := []struct {
+		doc  *ast.CommentGroup
+		want bool
+	}{
+		{nil, false},
+		{comment("Read is wait-free."), true},
+		{comment("Scan is Wait-Free in the restricted-use regime."), true},
+		{comment("WriteMax is lock-free but NOT wait-free."), false},
+		{comment("Scan is obstruction-free, not wait-free: updaters starve it."), false},
+		{comment("A non-wait-free baseline."), false},
+		{comment("Purely sequential helper."), false},
+	}
+	for _, c := range cases {
+		if got := docClaimsWaitFree(c.doc); got != c.want {
+			t.Errorf("docClaimsWaitFree(%q) = %v, want %v", c.doc.Text(), got, c.want)
+		}
+	}
+}
+
+func TestAnnotationNames(t *testing.T) {
+	cg := &ast.CommentGroup{List: []*ast.Comment{
+		{Text: "// Ordinary prose."},
+		{Text: "//tradeoffvet:outofband reason one"},
+		{Text: "//tradeoffvet:casretry reason two"},
+		{Text: "//tradeoffvet:"},
+	}}
+	got := annotationNames(cg)
+	want := []string{"outofband", "casretry"}
+	if len(got) != len(want) {
+		t.Fatalf("annotationNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("annotationNames = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSuppression pins the three escape-hatch placements: same line, line
+// directly above, and the doc comment of the enclosing top-level
+// declaration — and that a mismatched annotation name suppresses nothing.
+func TestSuppression(t *testing.T) {
+	src := `package core
+
+// Annotated covers its whole body.
+//
+//tradeoffvet:outofband covers the declaration
+func Annotated() int {
+	return 1
+}
+
+func SameLine() int {
+	return 2 //tradeoffvet:outofband same line
+}
+
+func LineAbove() int {
+	//tradeoffvet:casretry line above
+	return 3
+}
+
+func Bare() int {
+	return 4
+}
+`
+	pkg, err := sharedLoader.Source("example.test/internal/core", map[string]string{"supp.go": src})
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: "supp.go", Line: line}
+	}
+	cases := []struct {
+		name string
+		line int
+		want bool
+	}{
+		{"outofband", 7, true},   // inside Annotated's body, via the doc comment
+		{"casretry", 7, false},   // wrong annotation name
+		{"outofband", 11, true},  // same line in SameLine
+		{"casretry", 16, true},   // line above in LineAbove
+		{"outofband", 16, false}, // wrong annotation name
+		{"outofband", 20, false}, // Bare has no annotation
+	}
+	for _, c := range cases {
+		if got := pkg.suppressed(c.name, at(c.line)); got != c.want {
+			t.Errorf("suppressed(%q, line %d) = %v, want %v", c.name, c.line, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+// The fixture harness is a miniature analysistest: each directory under
+// testdata holds one package's worth of Go files annotated with
+// expectation comments of the form
+//
+//	expr // want "substring"
+//
+// (several quoted substrings per line allowed). The harness loads the
+// fixture under a caller-chosen import path — which is how fixtures opt in
+// or out of model-package status — runs one analyzer, and requires an
+// exact correspondence: every diagnostic must match an expectation on its
+// line, every expectation must be hit.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedLoader reuses one import cache (including the typechecked standard
+// library) across every fixture in this package.
+var sharedLoader = NewLoader()
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+}
+
+// runFixture loads testdata/<dir> as one package under importPath, runs a
+// over it, and compares diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	fixDir := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	files := map[string]string{}
+	var wants []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(fixDir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		files[path] = string(src)
+		wants = append(wants, parseWants(t, path, string(src))...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixDir)
+	}
+
+	pkg, err := sharedLoader.Source(importPath, files)
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: want diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// parseWants extracts the expectation comments from one fixture file.
+func parseWants(t *testing.T, path, src string) []expectation {
+	t.Helper()
+	var out []expectation
+	for i, line := range strings.Split(src, "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		quoted := quotedRe.FindAllString(m[1], -1)
+		if len(quoted) == 0 {
+			t.Fatalf("%s:%d: want comment without a quoted substring", path, i+1)
+		}
+		for _, q := range quoted {
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed want string %s: %v", path, i+1, q, err)
+			}
+			out = append(out, expectation{file: path, line: i + 1, substr: s})
+		}
+	}
+	return out
+}
+
+func TestModelstepModelPackage(t *testing.T) {
+	runFixture(t, Modelstep, filepath.Join("modelstep", "model"), "example.test/internal/counter")
+}
+
+func TestModelstepNonModelPackage(t *testing.T) {
+	runFixture(t, Modelstep, filepath.Join("modelstep", "nonmodel"), "example.test/pkg/util")
+}
+
+func TestPoolalloc(t *testing.T) {
+	runFixture(t, Poolalloc, "poolalloc", "example.test/internal/core")
+}
+
+func TestCtxflow(t *testing.T) {
+	runFixture(t, Ctxflow, "ctxflow", "example.test/pkg/app")
+}
+
+func TestBoundedloop(t *testing.T) {
+	runFixture(t, Boundedloop, "boundedloop", "example.test/internal/maxreg")
+}

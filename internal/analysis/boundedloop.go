@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Boundedloop flags accidental wait-freedom downgrades in model packages.
+// The paper's lower bounds (Theorems 1 and 3) are statements about
+// wait-free step complexity; an unbounded retry loop quietly turns a
+// wait-free algorithm into a merely lock-free one, which is exactly the
+// separation the CAS baselines exist to demonstrate — deliberately. Two
+// rules:
+//
+//   - a bare `for { ... }` anywhere in a model package is an unbounded
+//     retry loop and must carry a //tradeoffvet:casretry justification;
+//   - inside a function whose doc comment claims it is wait-free, every
+//     loop must be visibly bounded (a range loop or a full three-clause
+//     for), or carry //tradeoffvet:casretry stating the termination
+//     argument.
+var Boundedloop = &Analyzer{
+	Name: "boundedloop",
+	Doc: "require loops in wait-free model code to be visibly bounded: bare retry loops " +
+		"and unbounded loops in wait-free-documented functions need a //tradeoffvet:casretry justification",
+	Suppressor: "casretry",
+	Run:        runBoundedloop,
+}
+
+func runBoundedloop(pass *Pass) error {
+	if !IsModelPackage(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			waitFree := docClaimsWaitFree(fn.Doc)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				switch {
+				case loop.Cond == nil:
+					pass.Reportf(loop.Pos(), "unbounded retry loop (bare for): this is obstruction-free, not wait-free; if the downgrade is deliberate annotate //tradeoffvet:casretry with the progress argument")
+				case waitFree && (loop.Init == nil || loop.Post == nil):
+					pass.Reportf(loop.Pos(), "loop without a visible bound in a function documented wait-free: use a range or three-clause for, or annotate //tradeoffvet:casretry with the termination argument")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// docClaimsWaitFree reports whether the doc comment claims wait-freedom,
+// ignoring negated mentions ("not wait-free", "NOT wait-free",
+// "non-wait-free") so the lock-free baselines don't trigger the rule.
+func docClaimsWaitFree(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	text = strings.ReplaceAll(text, "not wait-free", "")
+	text = strings.ReplaceAll(text, "non-wait-free", "")
+	return strings.Contains(text, "wait-free")
+}

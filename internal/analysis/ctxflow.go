@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow preserves per-process step attribution: a primitive.Context is
+// the identity of the process issuing events, so it must arrive as a
+// parameter and stay in its call frame. Storing one in a struct field or
+// capturing one in a goroutine closure lets a context migrate to a
+// goroutine with a different process id, which corrupts the per-process
+// step counts and adversary schedules built on Context.ID. Wrapper types
+// that are themselves per-process contexts (primitive.Counting,
+// obs.Instrumented, the facade handle) annotate //tradeoffvet:outofband.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "require a primitive.Context to flow as a parameter: no struct-field storage, " +
+		"no package-level contexts, no implicit capture by goroutine closures",
+	Suppressor: "outofband",
+	Run:        runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	if isPrimitivePackage(pass.Path) {
+		return nil
+	}
+	ctxType := pass.primitiveNamed("Context")
+	if ctxType == nil {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if t := pass.TypeOf(field.Type); t != nil && isContextType(t, ctxType) {
+						pass.Reportf(field.Pos(), "primitive.Context stored in a struct field: a context is one process's identity and must flow as a parameter; wrappers that are themselves per-process contexts annotate //tradeoffvet:outofband")
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					pass.checkPackageVar(n, ctxType, file)
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					pass.checkCapture(lit, ctxType)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPackageVar flags package-level contexts (only top-level var decls:
+// locals are frame-scoped and fine).
+func (p *Pass) checkPackageVar(decl *ast.GenDecl, ctxType types.Type, file *ast.File) {
+	topLevel := false
+	for _, d := range file.Decls {
+		if d == decl {
+			topLevel = true
+			break
+		}
+	}
+	if !topLevel {
+		return
+	}
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			// `var _ primitive.Context = (*T)(nil)` is the standard
+			// compile-time interface-satisfaction assertion, not storage.
+			if name.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isContextType(obj.Type(), ctxType) {
+				p.Reportf(name.Pos(), "package-level primitive.Context: a context belongs to one process's call frames; package scope lets any goroutine issue steps under its id")
+			}
+		}
+	}
+}
+
+// checkCapture flags free variables of Context type inside a go-statement
+// closure: the new goroutine would issue steps under the captured
+// process's id. Handing a context over explicitly as an argument is the
+// sanctioned idiom (the call site shows the ownership transfer).
+func (p *Pass) checkCapture(lit *ast.FuncLit, ctxType types.Type) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if !isContextType(v.Type(), ctxType) {
+			return true
+		}
+		// Declared inside the closure (including its parameters): fine.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		// Package-level contexts are reported at their declaration.
+		if v.Parent() == p.Pkg.Scope() {
+			return true
+		}
+		p.Reportf(id.Pos(), "goroutine closure captures primitive.Context %q from an enclosing frame: the goroutine would issue steps under another process's id; pass a per-process context as an explicit argument", id.Name)
+		return true
+	})
+}
+
+// isContextType reports whether t is the primitive.Context interface (or a
+// pointer to it, which would be stranger still).
+func isContextType(t, ctxType types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return types.Identical(t, ctxType)
+}

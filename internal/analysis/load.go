@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	ann *annotationIndex
+}
+
+// A Loader parses and typechecks packages from source. One Loader shares a
+// FileSet and an import cache across every package it loads, so the
+// standard library is typechecked at most once per process.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader backed by the standard library's "source"
+// importer. Cgo is disabled for the whole process: the importer must be
+// able to typecheck net, os/user etc. from pure-Go source, and none of this
+// repository uses cgo.
+func NewLoader() *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Dir loads the package in dir under the given import path. Test files
+// (_test.go) are excluded: tests legitimately reach around the model (they
+// inspect memory out of band and build adversary schedules), so the
+// invariants the suite enforces apply to non-test code only.
+func (l *Loader) Dir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !eligibleGoFile(e.Name()) {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[filepath.Join(dir, e.Name())] = string(src)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	return l.Source(importPath, files)
+}
+
+// Source loads a package from in-memory file contents keyed by filename.
+// It is the loading primitive behind Dir and the injection tests in
+// cmd/tradeoffvet, which typecheck a deliberately broken package against
+// the real module without touching the tree.
+func (l *Loader) Source(importPath string, files map[string]string) (*Package, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, parsed, info)
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "analysis: typecheck %s:", importPath)
+		for i, e := range typeErrs {
+			if i == 8 {
+				fmt.Fprintf(&b, "\n\t... and %d more", len(typeErrs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("%s", b.String())
+	}
+
+	pkg := &Package{
+		Path:  importPath,
+		Fset:  l.fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+	}
+	pkg.ann = buildAnnotationIndex(l.fset, parsed)
+	return pkg, nil
+}
+
+// LoadPatterns loads the module packages matched by the given patterns
+// ("./..." for everything, "./dir/..." for a subtree, "./dir" for one
+// package), resolving the module root by walking up from the current
+// directory. testdata directories and hidden/underscore directories are
+// skipped, matching the go tool.
+func LoadPatterns(patterns []string) ([]*Package, error) {
+	root, modPath, err := findModule()
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := NewLoader()
+	var pkgs []*Package
+	for _, rel := range dirs {
+		if !matchesAny(rel, patterns, modPath) {
+			continue
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Dir(filepath.Join(root, rel), importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from the working directory to go.mod and returns the
+// module root directory and module path.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// packageDirs returns the module-relative directories containing at least
+// one eligible (non-test) Go file, sorted.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !eligibleGoFile(d.Name()) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func eligibleGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// matchesAny reports whether the module-relative directory rel is selected
+// by any pattern. Patterns may also be written against the full import
+// path (e.g. example.com/m/internal/...).
+func matchesAny(rel string, patterns []string, modPath string) bool {
+	rel = filepath.ToSlash(rel)
+	full := modPath
+	if rel != "." {
+		full = modPath + "/" + rel
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		switch {
+		case pat == "..." || pat == ".":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") ||
+				full == prefix || strings.HasPrefix(full, prefix+"/") {
+				return true
+			}
+		case rel == pat || full == pat:
+			return true
+		}
+	}
+	return false
+}
+
+// annotationIndex records where //tradeoffvet:NAME annotations appear, so
+// Pass.Reportf can honor the escape hatches: an annotation suppresses a
+// diagnostic on its own line, on the line directly below, or anywhere
+// inside the top-level declaration whose doc comment carries it.
+type annotationIndex struct {
+	// lines maps filename -> line -> annotation names on that line.
+	lines map[string]map[int][]string
+	// decls maps filename -> declaration ranges annotated via doc comment.
+	decls map[string][]annotatedRange
+}
+
+type annotatedRange struct {
+	from, to int
+	names    []string
+}
+
+// annotationNames extracts tradeoffvet annotation names from one comment
+// group ("//tradeoffvet:outofband reason..." -> "outofband").
+func annotationNames(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		rest, ok := strings.CutPrefix(text, "tradeoffvet:")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(rest, " ")
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+func buildAnnotationIndex(fset *token.FileSet, files []*ast.File) *annotationIndex {
+	idx := &annotationIndex{
+		lines: map[string]map[int][]string{},
+		decls: map[string][]annotatedRange{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := annotationNames(&ast.CommentGroup{List: []*ast.Comment{c}})
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx.lines[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			names := annotationNames(doc)
+			if len(names) == 0 {
+				continue
+			}
+			from := fset.Position(decl.Pos())
+			to := fset.Position(decl.End())
+			idx.decls[from.Filename] = append(idx.decls[from.Filename], annotatedRange{
+				from:  from.Line,
+				to:    to.Line,
+				names: names,
+			})
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether an annotation named name covers the position.
+func (p *Package) suppressed(name string, pos token.Position) bool {
+	if p.ann == nil || name == "" {
+		return false
+	}
+	if byLine := p.ann.lines[pos.Filename]; byLine != nil {
+		for _, l := range []int{pos.Line, pos.Line - 1} {
+			for _, n := range byLine[l] {
+				if n == name {
+					return true
+				}
+			}
+		}
+	}
+	for _, r := range p.ann.decls[pos.Filename] {
+		if pos.Line >= r.from && pos.Line <= r.to {
+			for _, n := range r.names {
+				if n == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Modelstep enforces the paper's step model inside the algorithm packages:
+// every shared-memory event must be one Context.Read/Write/CAS, so model
+// code may not reach for sync/atomic, locks, or channels, and no package
+// outside internal/primitive may call Register.Load/Store/CompareAndSwap
+// directly (those exist for schedulers, checkers and tests that inspect
+// memory out of band, and must be annotated //tradeoffvet:outofband).
+var Modelstep = &Analyzer{
+	Name: "modelstep",
+	Doc: "enforce that every shared-memory event in model packages is a counted step: " +
+		"no sync/atomic, no locks, no channels-as-memory, no direct Register primitive calls",
+	Suppressor: "outofband",
+	Run:        runModelstep,
+}
+
+// bannedSyncTypes are the sync package's coordination primitives: each one
+// is shared memory the step accounting cannot see.
+var bannedSyncTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"Once":      true,
+	"Cond":      true,
+	"Map":       true,
+	"WaitGroup": true,
+}
+
+func runModelstep(pass *Pass) error {
+	if isPrimitivePackage(pass.Path) {
+		return nil
+	}
+	model := IsModelPackage(pass.Path)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if model && importPathOf(n) == "sync/atomic" {
+					pass.Reportf(n.Pos(), "model package imports sync/atomic: shared-memory events must go through a primitive.Context so each one is a counted step (annotate //tradeoffvet:outofband if the access is genuinely outside the model)")
+				}
+			case *ast.SelectorExpr:
+				pass.checkSelector(n, model)
+			case *ast.ChanType:
+				if model {
+					pass.Reportf(n.Pos(), "channel type in model package: channels are shared memory the step accounting cannot see; communicate through Pool registers via a primitive.Context")
+				}
+			case *ast.SendStmt:
+				if model {
+					pass.Reportf(n.Pos(), "channel send in model package: channels are shared memory the step accounting cannot see")
+				}
+			case *ast.UnaryExpr:
+				if model && n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(), "channel receive in model package: channels are shared memory the step accounting cannot see")
+				}
+			case *ast.SelectStmt:
+				if model {
+					pass.Reportf(n.Pos(), "select statement in model package: channels are shared memory the step accounting cannot see")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector flags sync/atomic and sync lock usage (model packages) and
+// direct Register primitive calls (every package but internal/primitive).
+func (p *Pass) checkSelector(sel *ast.SelectorExpr, model bool) {
+	if model {
+		if pkgPath := p.selectorPackage(sel); pkgPath == "sync/atomic" {
+			p.Reportf(sel.Pos(), "atomic.%s bypasses the step-counted primitive.Context: in the paper's model every shared-memory event is one Context.Read/Write/CAS", sel.Sel.Name)
+		} else if pkgPath == "sync" && bannedSyncTypes[sel.Sel.Name] {
+			p.Reportf(sel.Pos(), "sync.%s in model package: the paper's model has no locks or out-of-band coordination, only register steps", sel.Sel.Name)
+		}
+	}
+
+	// Direct Register primitive calls, anywhere outside internal/primitive.
+	if name := sel.Sel.Name; name == "Load" || name == "Store" || name == "CompareAndSwap" {
+		selection := p.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.MethodVal {
+			return
+		}
+		recv := selection.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return
+		}
+		if named.Obj().Name() == "Register" && isPrimitivePackage(named.Obj().Pkg().Path()) {
+			p.Reportf(sel.Pos(), "direct Register.%s bypasses step accounting: algorithm code must issue the event through a primitive.Context; schedulers and checkers annotate //tradeoffvet:outofband", name)
+		}
+	}
+}
+
+// selectorPackage returns the import path of the package a selector's base
+// identifier denotes, or "" when the base is not a package name.
+func (p *Pass) selectorPackage(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path()
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	path, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return ""
+	}
+	return path
+}

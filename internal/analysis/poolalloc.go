@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolalloc enforces pool allocation of registers: internal/sim,
+// internal/aware and internal/obs key their tables (adversary schedules,
+// familiarity sets, heatmaps) by the dense, stable ids a primitive.Pool
+// assigns, so a register built with &primitive.Register{} or
+// new(primitive.Register) — or forked by a value copy — silently falls out
+// of every one of those views (it reports id 0).
+var Poolalloc = &Analyzer{
+	Name: "poolalloc",
+	Doc: "require Pool.New/NewPadded register allocation: raw &Register{}/new(Register) " +
+		"and register value copies break the stable-id contract sim/aware/obs depend on",
+	Suppressor: "outofband",
+	Run:        runPoolalloc,
+}
+
+func runPoolalloc(pass *Pass) error {
+	if isPrimitivePackage(pass.Path) {
+		return nil
+	}
+	regType := pass.primitiveNamed("Register")
+	if regType == nil {
+		return nil // package cannot name the type without importing primitive
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t := pass.TypeOf(n); t != nil && types.Identical(t, regType) {
+					pass.Reportf(n.Pos(), "primitive.Register composite literal: allocate registers with Pool.New/NewSlice so they carry a stable pool id for sim, aware and obs")
+				}
+			case *ast.CallExpr:
+				pass.checkNewRegister(n, regType)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					pass.checkValueType(field.Type, regType, "struct field")
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					pass.checkValueType(n.Type, regType, "variable")
+				}
+			case *ast.FuncType:
+				for _, field := range n.Params.List {
+					pass.checkValueType(field.Type, regType, "parameter")
+				}
+				if n.Results != nil {
+					for _, field := range n.Results.List {
+						pass.checkValueType(field.Type, regType, "result")
+					}
+				}
+			case *ast.StarExpr:
+				// A value-context *r copies the register (its atomic word and
+				// its identity); type-context stars are pointer types and fine.
+				if tv, ok := pass.Info.Types[n]; ok && tv.IsValue() && types.Identical(tv.Type, regType) {
+					pass.Reportf(n.Pos(), "dereferencing a *primitive.Register copies the register: registers are shared by pointer; a copy forks the value and keeps the original's pool id")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNewRegister flags new(primitive.Register).
+func (p *Pass) checkNewRegister(call *ast.CallExpr, regType types.Type) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "new" {
+		return
+	}
+	if t := p.TypeOf(call.Args[0]); t != nil && types.Identical(t, regType) {
+		p.Reportf(call.Pos(), "new(primitive.Register) bypasses the pool: allocate with Pool.New/NewSlice so the register carries a stable pool id for sim, aware and obs")
+	}
+}
+
+// checkValueType flags declarations whose type holds registers by value
+// (Register, [...]Register, []Register); pointers are the sharing idiom.
+func (p *Pass) checkValueType(expr ast.Expr, regType types.Type, what string) {
+	t := p.TypeOf(expr)
+	for {
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	if t != nil && types.Identical(t, regType) {
+		p.Reportf(expr.Pos(), "%s holds primitive.Register by value: registers are shared base objects and must be held as *Register (value storage copies them and breaks pool-id stability)", what)
+	}
+}

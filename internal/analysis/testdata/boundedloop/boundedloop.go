@@ -1,0 +1,49 @@
+// Package maxreg is a boundedloop fixture loaded under a model-package
+// import path: bare retry loops and unbounded loops in wait-free-documented
+// functions must be flagged; bounded loops, negated wait-free claims, and
+// the casretry escape hatch must stay silent.
+package maxreg
+
+// Spin retries forever.
+func Spin(done func() bool) {
+	for { // want "unbounded retry loop (bare for)"
+		if done() {
+			return
+		}
+	}
+}
+
+// ReadAll is wait-free: the three-clause loop is visibly bounded.
+func ReadAll(n int, step func(int)) {
+	for i := 0; i < n; i++ {
+		step(i)
+	}
+}
+
+// Sum is wait-free: range loops are bounded by their operand.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Drain is wait-free in name only: the condition loop has no visible bound.
+func Drain(pending func() bool) {
+	for pending() { // want "loop without a visible bound in a function documented wait-free"
+	}
+}
+
+// Help is wait-free: the loop carries its termination argument.
+func Help(pending func() bool) {
+	//tradeoffvet:casretry fixture: bounded by a helping argument the checker cannot see
+	for pending() {
+	}
+}
+
+// Poll is NOT wait-free (lock-free baseline), so a condition loop is fine.
+func Poll(pending func() bool) {
+	for pending() {
+	}
+}

@@ -1,0 +1,46 @@
+// Package app is a ctxflow fixture: contexts stored in fields, at package
+// level, or captured by goroutine closures must be flagged; parameter flow,
+// explicit hand-off, interface assertions and the annotation escape hatch
+// must stay silent.
+package app
+
+import (
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Holder parks a context in a field.
+type Holder struct {
+	ctx primitive.Context // want "primitive.Context stored in a struct field"
+}
+
+var global primitive.Context // want "package-level primitive.Context"
+
+// The compile-time assertion idiom is not storage.
+var _ primitive.Context = primitive.NewDirect(0)
+
+// Spawn leaks its context into a goroutine.
+func Spawn(ctx primitive.Context) {
+	go func() {
+		use(ctx) // want "goroutine closure captures primitive.Context"
+	}()
+}
+
+// Handoff passes the context explicitly: the sanctioned idiom.
+func Handoff(ctx primitive.Context) {
+	go func(c primitive.Context) {
+		use(c)
+	}(ctx)
+}
+
+// Wrapper is itself a per-process context, annotated as such.
+//
+//tradeoffvet:outofband fixture: wrapper is itself a per-process context
+type Wrapper struct {
+	inner primitive.Context
+}
+
+func use(c primitive.Context) {
+	if c != nil {
+		_ = c.ID()
+	}
+}

@@ -1,0 +1,46 @@
+// Package counter is a modelstep fixture loaded under a model-package
+// import path (internal/counter): every out-of-band shared-memory
+// construct must be flagged, and the annotation escape hatches must
+// silence it.
+package counter
+
+import (
+	"sync"
+	"sync/atomic" // want "model package imports sync/atomic"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Shared smuggles raw coordination primitives into the model.
+type Shared struct {
+	n  atomic.Int64 // want "atomic.Int64 bypasses the step-counted primitive.Context"
+	mu sync.Mutex   // want "sync.Mutex in model package"
+}
+
+// Notify communicates through a channel instead of registers.
+func Notify(ch chan int) { // want "channel type in model package"
+	ch <- 1  // want "channel send in model package"
+	<-ch     // want "channel receive in model package"
+	select { // want "select statement in model package"
+	case v := <-ch: // want "channel receive in model package"
+		_ = v
+	default:
+	}
+}
+
+// Peek reads a register directly instead of through a Context.
+func Peek(r *primitive.Register) int64 {
+	return r.Load() // want "direct Register.Load bypasses step accounting"
+}
+
+// Poke is a checker-style access covered by its declaration's annotation.
+//
+//tradeoffvet:outofband fixture: out-of-band inspection justified in the doc comment
+func Poke(r *primitive.Register, v int64) {
+	r.Store(v)
+}
+
+// Swap demonstrates the same-line escape hatch.
+func Swap(r *primitive.Register, oldv, newv int64) bool {
+	return r.CompareAndSwap(oldv, newv) //tradeoffvet:outofband fixture: same-line escape hatch
+}

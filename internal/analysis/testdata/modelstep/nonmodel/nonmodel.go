@@ -1,0 +1,23 @@
+// Package util is a modelstep fixture loaded under a non-model import
+// path: sync/atomic and locks are allowed here, but direct Register
+// primitive calls are still flagged module-wide.
+package util
+
+import (
+	"sync/atomic"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Counter may use raw atomics outside the model packages.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Bump is fine: the step model does not apply here.
+func (c *Counter) Bump() { c.n.Add(1) }
+
+// Snapshot still may not reach around the Context.
+func Snapshot(r *primitive.Register) int64 {
+	return r.Load() // want "direct Register.Load bypasses step accounting"
+}

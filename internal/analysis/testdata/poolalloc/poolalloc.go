@@ -1,0 +1,48 @@
+// Package core is a poolalloc fixture: every way of conjuring or copying
+// a register outside the pool must be flagged; pointer-sharing and the
+// annotation escape hatch must stay silent.
+package core
+
+import (
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Bad allocates registers behind the pool's back.
+func Bad() *primitive.Register {
+	a := &primitive.Register{}   // want "primitive.Register composite literal"
+	b := new(primitive.Register) // want "new(primitive.Register) bypasses the pool"
+	_ = b
+	return a
+}
+
+// Holder stores registers by value.
+type Holder struct {
+	reg  primitive.Register   // want "struct field holds primitive.Register by value"
+	regs []primitive.Register // want "struct field holds primitive.Register by value"
+}
+
+var slot primitive.Register // want "variable holds primitive.Register by value"
+
+// ByValue passes and returns registers by value.
+func ByValue(r primitive.Register) primitive.Register { // want "parameter holds primitive.Register by value" "result holds primitive.Register by value"
+	return r
+}
+
+// Copy forks a register by dereferencing it.
+func Copy(r *primitive.Register) {
+	v := *r // want "dereferencing a *primitive.Register copies the register"
+	_ = v
+}
+
+// Share holds registers the sanctioned way: by pointer.
+type Share struct {
+	reg  *primitive.Register
+	regs []*primitive.Register
+}
+
+// Scratch is annotated out-of-band storage.
+//
+//tradeoffvet:outofband fixture: value storage justified in the doc comment
+type Scratch struct {
+	reg primitive.Register
+}

@@ -113,6 +113,7 @@ func (c *CAS) Add(ctx primitive.Context, delta int64) error {
 	if delta == 0 {
 		return nil
 	}
+	//tradeoffvet:casretry deliberately lock-free: a failed CAS means another increment landed (lock-freedom); the unbounded contended case is the E1 experiment's whole point
 	for {
 		cur := ctx.Read(c.cell)
 		if c.limit > 0 && cur+delta > c.limit {

@@ -50,6 +50,7 @@ func (m *CASRegister) WriteMax(ctx primitive.Context, v int64) error {
 	if err := checkRange(v, m.bound); err != nil {
 		return err
 	}
+	//tradeoffvet:casretry deliberately lock-free: retries until the value is obsolete or the CAS lands; the starvation case is the E3 experiment's separation from Theorem 3
 	for {
 		cur := ctx.Read(m.cell)
 		if cur >= v {

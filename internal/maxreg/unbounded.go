@@ -1,7 +1,7 @@
 package maxreg
 
 import (
-	"sync/atomic"
+	"sync/atomic" //tradeoffvet:outofband lazy node materialization only: the create-then-publish CAS on Go pointers reveals pre-initialized registers and is not a shared-memory step
 
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
@@ -39,6 +39,8 @@ var _ MaxRegister = (*UnboundedAAC)(nil)
 // uNode covers the value range [lo, hi); hi == unboundedHi marks the spine
 // nodes' infinite right ranges. Leaves (hi == lo+1) pin a single value and
 // hold no switch.
+//
+//tradeoffvet:outofband the atomic child pointers implement the model's infinite pre-initialized register array; materializing a node is not a step
 type uNode struct {
 	lo, hi int64
 	// mid splits the range: left child covers [lo, mid), right child

@@ -223,6 +223,8 @@ func (s Span) End() {
 // Instrumented is a primitive.Context that records every shared-memory
 // event into its process's shard before delegating to the wrapped context.
 // Overhead per event is a handful of uncontended atomic adds.
+//
+//tradeoffvet:outofband Instrumented is itself a per-process context: the wrapped inner context shares its process identity and call frames
 type Instrumented struct {
 	inner primitive.Context
 	col   *Collector

@@ -217,6 +217,8 @@ func (s *System) StepsOf(id int) int {
 // WouldChange reports whether applying the pending event right now would
 // change its register's value — the paper's trivial/non-trivial
 // classification, evaluated against current memory.
+//
+//tradeoffvet:outofband the scheduler peeks at memory to classify events; this inspection is the adversary's, not a process step
 func WouldChange(p Pending) bool {
 	cur := p.Reg.Load()
 	switch p.Kind {
@@ -231,6 +233,8 @@ func WouldChange(p Pending) bool {
 
 // Step applies process id's enabled event, appends it to the execution, and
 // blocks until the process publishes its next event (or finishes).
+//
+//tradeoffvet:outofband the scheduler IS the shared memory here: it applies each event with direct register access and accounts the step itself
 func (s *System) Step(id int) (Event, error) {
 	p, ok := s.procs[id]
 	if !ok {

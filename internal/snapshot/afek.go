@@ -86,6 +86,7 @@ func (s *Afek) Scan(ctx primitive.Context) []int64 {
 func (s *Afek) scan(ctx primitive.Context) []int64 {
 	moved := make([]int, s.n)
 	prev := s.collect(ctx)
+	//tradeoffvet:casretry bounded but not visibly so: every dirty collect pair charges a move to some segment and a segment moving twice donates its view, so at most 2n+1 collects run (see the doc comment)
 	for {
 		cur := s.collect(ctx)
 		dirty := false

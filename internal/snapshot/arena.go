@@ -1,7 +1,7 @@
 package snapshot
 
 import (
-	"sync/atomic"
+	"sync/atomic" //tradeoffvet:outofband arena plumbing models the literature's big-register assumption; indices published through model registers carry the ordering
 )
 
 // arena is an append-only, fixed-capacity store of immutable values.
@@ -18,6 +18,8 @@ import (
 // atomic read, so the slot contents are visible by release/acquire
 // ordering. An allocated-but-never-published slot (failed CAS) is simply
 // garbage.
+//
+//tradeoffvet:outofband slot storage behind the big-register abstraction: allocation and retrieval are not shared-memory steps, only the index registers are
 type arena[T any] struct {
 	chunks   []atomic.Pointer[arenaChunk[T]]
 	next     atomic.Int64
@@ -26,10 +28,16 @@ type arena[T any] struct {
 
 const arenaChunkBits = 13 // 8192 slots per chunk
 
+// arenaChunk is one lazily-allocated block of slots.
+//
+//tradeoffvet:outofband slot storage behind the big-register abstraction (see arena)
 type arenaChunk[T any] struct {
 	slots [1 << arenaChunkBits]atomic.Pointer[T]
 }
 
+// newArena sizes the chunk directory for capacity slots.
+//
+//tradeoffvet:outofband slot storage behind the big-register abstraction (see arena)
 func newArena[T any](capacity int64) *arena[T] {
 	chunkCount := (capacity + (1 << arenaChunkBits) - 1) >> arenaChunkBits
 	return &arena[T]{

@@ -59,6 +59,7 @@ func (s *DoubleCollect) Update(ctx primitive.Context, v int64) error {
 // Scan implements Snapshot: collect until two consecutive collects agree.
 func (s *DoubleCollect) Scan(ctx primitive.Context) []int64 {
 	prev := s.collect(ctx)
+	//tradeoffvet:casretry deliberately obstruction-free: concurrent updaters can starve the scanner forever, which is the baseline the wait-free alternatives in this package are measured against
 	for {
 		cur := s.collect(ctx)
 		if equalWords(prev, cur) {

@@ -248,6 +248,8 @@ func checkHandleID(family string, id, processes int) {
 }
 
 // handle is the shared per-process plumbing.
+//
+//tradeoffvet:outofband a handle is itself the per-process capability: it owns exactly one process's context and never crosses goroutines
 type handle struct {
 	ctx      primitive.Context
 	counting *primitive.Counting
