@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race vet lint bench bench-json experiments fuzz fuzz-smoke clean
+.PHONY: all test race race-sim vet lint bench bench-json explore-bench experiments fuzz fuzz-smoke clean
 
 all: vet lint test
 
@@ -9,6 +9,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Targeted race pass over the simulator: the work-stealing exploration
+# engine and recycler are the repo's only scheduler-side concurrency, so
+# this is the fast smoke CI runs on every push.
+race-sim:
+	$(GO) test -race ./internal/sim/...
 
 # gofmt -l exits 0 even when it lists files, so fail explicitly on any
 # output.
@@ -36,6 +42,16 @@ BENCH_JSON_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON_OUT) -pretty $(BENCH_JSON_FLAGS)
 	$(GO) run ./cmd/benchjson -check $(BENCH_JSON_OUT)
+
+# Exhaustive-exploration scaling suite (the E12 experiment): sequential
+# sim.Explore vs ExploreParallel at 1, 2, 4, and 8 workers over the
+# reference workloads -> $(EXPLORE_BENCH_OUT). Shrink the workload with
+# e.g. EXPLORE_BENCH_FLAGS="-procs 2 -steps 2 -workers 1,2".
+EXPLORE_BENCH_OUT ?= EXPLORE_BENCH.json
+EXPLORE_BENCH_FLAGS ?=
+explore-bench:
+	$(GO) run ./cmd/benchjson -suite explore -out $(EXPLORE_BENCH_OUT) -pretty $(EXPLORE_BENCH_FLAGS)
+	$(GO) run ./cmd/benchjson -check $(EXPLORE_BENCH_OUT)
 
 # Regenerate every table in EXPERIMENTS.md.
 experiments:

@@ -1,7 +1,11 @@
-// Command benchjson runs the fixed-seed throughput suite and writes its
-// JSON report (BENCH_PR2.json by default), the artifact `make bench-json`
-// produces and CI diffs across runs. With -check it instead validates an
-// existing report against the current schema and exits.
+// Command benchjson runs a fixed-seed bench suite and writes its JSON
+// report (BENCH_PR2.json by default), the artifact `make bench-json`
+// produces and CI diffs across runs. -suite picks the throughput suite
+// (default) or the schedule-exploration scaling suite (`explore`, behind
+// `make explore-bench`). With -check it instead validates an existing
+// report against the current schema and exits; with -diff it additionally
+// compares the fresh report against a baseline file (either schema
+// version) and summarizes per-row deltas on stderr.
 package main
 
 import (
@@ -9,39 +13,74 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"github.com/restricteduse/tradeoffs/internal/bench"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_PR2.json", "output path, or - for stdout")
-		procs  = flag.Int("procs", 8, "concurrent processes per workload")
-		ops    = flag.Int("ops", 20000, "operations per process (restricted-use workloads cap this)")
-		seed   = flag.Int64("seed", 20260805, "seed for every per-process random source")
-		pretty = flag.Bool("pretty", false, "indent the JSON output")
-		check  = flag.String("check", "", "validate an existing report file and exit")
+		out     = flag.String("out", "BENCH_PR2.json", "output path, or - for stdout")
+		suite   = flag.String("suite", "throughput", "suite to run: throughput or explore")
+		procs   = flag.Int("procs", 0, "processes per workload; 0 = suite default (8 throughput, 3 explore)")
+		ops     = flag.Int("ops", 0, "operations per process (throughput); 0 = 20000")
+		steps   = flag.Int("steps", 0, "events per simulated process (explore); 0 = 4")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated ExploreParallel worker counts (explore)")
+		budget  = flag.Int("budget", 0, "execution budget per exploration (explore); 0 = 10,000,000")
+		seed    = flag.Int64("seed", 20260805, "seed for every per-process random source")
+		pretty  = flag.Bool("pretty", false, "indent the JSON output")
+		check   = flag.String("check", "", "validate an existing report file and exit")
+		diff    = flag.String("diff", "", "baseline report file to compare the fresh report against")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkFile(*check); err != nil {
+		rep, err := readReport(*check)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %s: valid %s report\n", *check, bench.ReportSchema)
+		fmt.Fprintf(os.Stderr, "benchjson: %s: valid %s report\n", *check, rep.Schema)
 		return
 	}
 
-	rep, err := bench.RunThroughput(bench.ThroughputConfig{
-		Procs:      *procs,
-		OpsPerProc: *ops,
-		Seed:       *seed,
-	})
+	var rep *bench.Report
+	var err error
+	switch *suite {
+	case "throughput":
+		rep, err = bench.RunThroughput(bench.ThroughputConfig{
+			Procs:      *procs,
+			OpsPerProc: *ops,
+			Seed:       *seed,
+		})
+	case "explore":
+		var ws []int
+		ws, err = bench.ParseWorkers(*workers)
+		if err == nil {
+			rep, err = bench.RunExplore(bench.ExploreConfig{
+				Procs:   *procs,
+				Steps:   *steps,
+				Workers: ws,
+				Budget:  *budget,
+			})
+		}
+	default:
+		err = fmt.Errorf("unknown suite %q (want throughput or explore)", *suite)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *diff != "" {
+		base, err := readReport(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		diffReports(os.Stderr, base, rep)
 	}
 
 	enc, err := encode(rep, *pretty)
@@ -75,19 +114,70 @@ func encode(rep *bench.Report, pretty bool) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-func checkFile(path string) error {
+// readReport loads and validates a report file of either schema version.
+// v1 files simply lack the v2 columns, so the strict decoder accepts them.
+func readReport(path string) (*bench.Report, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var rep bench.Report
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rep); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if err := rep.Validate(); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return nil
+	return &rep, nil
+}
+
+// checkFile validates an existing report file (kept for the tests' sake;
+// -check goes through readReport).
+func checkFile(path string) error {
+	_, err := readReport(path)
+	return err
+}
+
+// diffReports summarizes cur against base: per-row ns/op, steps/op, and
+// allocs/op deltas for rows present in both, plus added/removed rows. The
+// diff is informational — wall-clock noise makes ns/op a poor gate — so it
+// never fails the run; steps/op shifts in deterministic workloads are the
+// signal reviewers act on.
+func diffReports(w io.Writer, base, cur *bench.Report) {
+	baseRows := make(map[string]bench.Result, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[r.Name] = r
+	}
+	fmt.Fprintf(w, "benchjson: diff against baseline (%s, seed %d)\n", base.Schema, base.Seed)
+	for _, r := range cur.Results {
+		b, ok := baseRows[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  + %s (new row)\n", r.Name)
+			continue
+		}
+		delete(baseRows, r.Name)
+		fmt.Fprintf(w, "  %s: ns/op %.1f -> %.1f (%+.1f%%), steps/op %.2f -> %.2f",
+			r.Name, b.NsPerOp, r.NsPerOp, pct(b.NsPerOp, r.NsPerOp), b.StepsPerOp, r.StepsPerOp)
+		if base.Schema == bench.ReportSchema {
+			fmt.Fprintf(w, ", allocs/op %.2f -> %.2f", b.AllocsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintln(w)
+	}
+	removed := make([]string, 0, len(baseRows))
+	for name := range baseRows {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "  - %s (row removed)\n", name)
+	}
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/restricteduse/tradeoffs/internal/bench"
@@ -33,6 +35,69 @@ func TestEncodeRoundTripAndCheck(t *testing.T) {
 		if len(back.Results) != len(rep.Results) {
 			t.Fatalf("round trip lost results: %d vs %d", len(back.Results), len(rep.Results))
 		}
+	}
+}
+
+func TestCheckFileAcceptsLegacyV1(t *testing.T) {
+	// A pre-v2 artifact (no allocs/bytes/wall-clock columns) must still
+	// read cleanly: old BENCH_PR2.json baselines stay diffable.
+	v1 := `{"schema":"tradeoffs/bench/v1","seed":1,"procs":2,"ops_per_proc":10,"gomaxprocs":2,"go_version":"x","results":[{"name":"counter/cas/increment","procs":2,"ops":20,"ns_per_op":10,"steps_per_op":3,"cas_attempts":5,"cas_failures":1,"cas_failure_rate":0.2}]}`
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFile(path); err != nil {
+		t.Fatalf("checkFile rejected a valid v1 report: %v", err)
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	base, err := bench.RunExplore(bench.ExploreConfig{Procs: 2, Steps: 2, Workers: []int{1}, Budget: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := bench.RunExplore(bench.ExploreConfig{Procs: 2, Steps: 2, Workers: []int{2}, Budget: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	diffReports(&buf, base, cur)
+	out := buf.String()
+	for _, want := range []string{
+		"explore/writers/seq: ns/op",         // common row compared
+		"+ explore/writers/w2 (new row)",     // only in cur
+		"- explore/writers/w1 (row removed)", // only in base
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExploreThroughCLIHelpers(t *testing.T) {
+	ws, err := bench.ParseWorkers(" 1, 2 ")
+	if err != nil || len(ws) != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("ParseWorkers = %v, %v", ws, err)
+	}
+	for _, bad := range []string{"", "0", "two", "4,-1"} {
+		if _, err := bench.ParseWorkers(bad); err == nil {
+			t.Errorf("ParseWorkers(%q) accepted", bad)
+		}
+	}
+	rep, err := bench.RunExplore(bench.ExploreConfig{Procs: 2, Steps: 2, Workers: ws, Budget: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encode(rep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "explore.json")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFile(path); err != nil {
+		t.Fatalf("checkFile rejected a fresh explore report: %v", err)
 	}
 }
 

@@ -12,7 +12,8 @@
 //
 //	simtrace [-object maxreg|counter|snapshot] [-impl NAME] [-n 4] \
 //	         [-ops 6] [-sched random|roundrobin|theorem1] [-seed 1] \
-//	         [-format text|trace-json] [-quiet]
+//	         [-format text|trace-json] [-quiet] \
+//	         [-explore [-workers N] [-budget M]]
 //
 // Implementations: maxreg: algorithm-a, aac, unbounded, cas;
 // counter: farray, aac, cas; snapshot: farray, afek, doublecollect.
@@ -23,14 +24,22 @@
 // then a fresh reader runs one Read. Combined with -format trace-json the
 // adversary's round structure and awareness growth are visible on a
 // Perfetto timeline.
+//
+// -explore switches from running one schedule to exhaustively enumerating
+// EVERY schedule of the workload via sim.ExploreParallel: -workers sets the
+// work-stealing pool size (0 = GOMAXPROCS) and -budget caps the number of
+// complete executions. Keep -n and -ops tiny; the tree grows factorially.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/restricteduse/tradeoffs/internal/adversary"
 	"github.com/restricteduse/tradeoffs/internal/aware"
@@ -51,14 +60,17 @@ func main() {
 }
 
 type traceConfig struct {
-	object string
-	impl   string
-	n      int
-	ops    int
-	sched  string
-	seed   int64
-	format string
-	quiet  bool
+	object  string
+	impl    string
+	n       int
+	ops     int
+	sched   string
+	seed    int64
+	format  string
+	quiet   bool
+	explore bool
+	workers int
+	budget  int
 }
 
 func run(args []string, out io.Writer) error {
@@ -72,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	fs.Int64Var(&cfg.seed, "seed", 1, "scheduler and workload seed")
 	fs.StringVar(&cfg.format, "format", "text", "output format: text or trace-json (Chrome trace events for Perfetto)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-event log (text format)")
+	fs.BoolVar(&cfg.explore, "explore", false, "exhaustively explore EVERY schedule of the workload instead of running one")
+	fs.IntVar(&cfg.workers, "workers", 0, "exploration worker goroutines (-explore); 0 = GOMAXPROCS")
+	fs.IntVar(&cfg.budget, "budget", 1_000_000, "max complete executions before -explore aborts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,10 +97,58 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q (want text or trace-json)", cfg.format)
 	}
 
+	if cfg.explore {
+		if cfg.sched == "theorem1" {
+			return fmt.Errorf("-explore is incompatible with -sched theorem1 (the adversary dictates its own schedule)")
+		}
+		if cfg.format == "trace-json" {
+			return fmt.Errorf("-explore is incompatible with -format trace-json (there is no single execution to export)")
+		}
+		return runExplore(cfg, out)
+	}
 	if cfg.sched == "theorem1" {
 		return runTheorem1(cfg, out)
 	}
 	return runWorkload(cfg, out)
+}
+
+// runExplore exhaustively enumerates every schedule of the configured
+// workload through the work-stealing parallel engine, reporting the tree
+// size and exploration throughput. The per-process programs are the same
+// seeded random workloads runWorkload executes once.
+func runExplore(cfg traceConfig, out io.Writer) error {
+	build := func(rec *sim.Recycler) (*sim.System, error) {
+		pool := rec.Pool()
+		programs, err := buildPrograms(cfg, pool)
+		if err != nil {
+			return nil, err
+		}
+		s := rec.NewSystem()
+		for id, p := range programs {
+			if err := s.Spawn(id, p); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	began := time.Now()
+	execs, err := sim.ExploreParallel(build, func(*sim.System) error { return nil },
+		sim.Options{Workers: cfg.workers, Budget: cfg.budget})
+	elapsed := time.Since(began)
+	if err != nil {
+		var be *sim.BudgetError
+		if errors.As(err, &be) {
+			return fmt.Errorf("%w\n(shrink -n/-ops or raise -budget; exhaustive trees grow factorially)", err)
+		}
+		return err
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(out, "explored %d complete executions in %v (%.0f execs/sec, %d workers)\n",
+		execs, elapsed.Round(time.Millisecond), float64(execs)/elapsed.Seconds(), workers)
+	return nil
 }
 
 // runWorkload is the classic mode: a seeded random workload under a random

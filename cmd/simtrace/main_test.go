@@ -155,3 +155,45 @@ func TestTheorem1RejectsBadConfigs(t *testing.T) {
 		}
 	}
 }
+
+func TestExploreCountsExecutions(t *testing.T) {
+	// Exploration must be deterministic in its execution count across
+	// worker counts (the schedule tree is a property of the workload).
+	counts := make(map[string]bool)
+	for _, workers := range []string{"1", "4"} {
+		var out bytes.Buffer
+		if err := run([]string{"-explore", "-object", "counter", "-impl", "cas",
+			"-n", "2", "-ops", "2", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "complete executions") {
+			t.Fatalf("missing summary line:\n%s", text)
+		}
+		counts[strings.Fields(text)[1]] = true
+	}
+	if len(counts) != 1 {
+		t.Fatalf("execution counts differ across worker counts: %v", counts)
+	}
+}
+
+func TestExploreBudgetAborts(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-explore", "-object", "counter", "-impl", "cas",
+		"-n", "2", "-ops", "2", "-budget", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("budget overrun not reported: %v", err)
+	}
+}
+
+func TestExploreRejectsIncompatibleModes(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-explore", "-sched", "theorem1", "-object", "counter"},
+		{"-explore", "-format", "trace-json"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -39,10 +39,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
 	var (
-		runList    = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10 or all")
+		runList    = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10,e12 or all")
 		format     = fs.String("format", "text", "output format: text, markdown, or csv")
 		nsFlag     = fs.String("ns", "", "override process-count sweep for e1/e2/e5 (comma-separated)")
 		ksFlag     = fs.String("ks", "", "override K sweep for e3 (comma-separated)")
+		workersFlg = fs.String("workers", "1,2,4,8", "ExploreParallel worker-count sweep for e12 (comma-separated, counts >= 1)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		traceFile  = fs.String("trace", "", "write a runtime execution trace to this file")
@@ -118,8 +119,17 @@ func run(args []string, out io.Writer) error {
 			return bench.E9Ablations(4096, []int64{1, 4, 16, 256, 4095, 4096, 1 << 20})
 		},
 		"e10": func() ([]*bench.Table, error) { return bench.E10AmortizedWrites(1 << 12) },
+		"e12": func() ([]*bench.Table, error) {
+			// -workers allows 1 (unlike the process sweeps): workers=1 vs
+			// the sequential row is the replay-reuse ablation.
+			workers, err := bench.ParseWorkers(*workersFlg)
+			if err != nil {
+				return nil, fmt.Errorf("-workers: %w", err)
+			}
+			return bench.E12ExploreScaling(bench.ExploreConfig{Workers: workers})
+		},
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e7", "e9", "e10"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e7", "e9", "e10", "e12"}
 
 	var selected []string
 	if *runList == "all" {
@@ -128,7 +138,7 @@ func run(args []string, out io.Writer) error {
 		for _, name := range strings.Split(*runList, ",") {
 			name = strings.ToLower(strings.TrimSpace(name))
 			if _, ok := experiments[name]; !ok {
-				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10)", name)
+				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10,e12)", name)
 			}
 			selected = append(selected, name)
 		}

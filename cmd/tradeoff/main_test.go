@@ -113,3 +113,27 @@ func TestProfilingFlagBadPath(t *testing.T) {
 		t.Fatal("unwritable -cpuprofile accepted")
 	}
 }
+
+func TestRunE12ExploreScaling(t *testing.T) {
+	// A single-worker run keeps the test fast while still exercising the
+	// seq row, the parallel row, and the speedup column.
+	var out bytes.Buffer
+	if err := run([]string{"-run", "e12", "-workers", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"E12", "writers", "seq", "w1", "speedup_vs_seq"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("e12 output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunE12RejectsBadWorkers(t *testing.T) {
+	var out bytes.Buffer
+	for _, w := range []string{"0", "x", ""} {
+		if err := run([]string{"-run", "e12", "-workers", w}, &out); err == nil {
+			t.Fatalf("-workers %q accepted", w)
+		}
+	}
+}

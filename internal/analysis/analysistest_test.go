@@ -128,6 +128,10 @@ func TestModelstepNonModelPackage(t *testing.T) {
 	runFixture(t, Modelstep, filepath.Join("modelstep", "nonmodel"), "example.test/pkg/util")
 }
 
+func TestModelstepOutOfBandScheduler(t *testing.T) {
+	runFixture(t, Modelstep, "outofband", "example.test/internal/sim")
+}
+
 func TestPoolalloc(t *testing.T) {
 	runFixture(t, Poolalloc, "poolalloc", "example.test/internal/core")
 }

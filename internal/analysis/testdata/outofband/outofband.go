@@ -1,0 +1,45 @@
+// Package sim is a modelstep fixture for the scheduler-side escape hatch
+// introduced with the parallel exploration engine: a non-model package may
+// use raw atomics freely, but direct Register primitives are flagged
+// module-wide unless the site carries a //tradeoffvet:outofband annotation
+// explaining why the access is genuinely outside the step model.
+package sim
+
+import (
+	"sync/atomic"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// engine mirrors the ExploreParallel scheduler: work-stealing bookkeeping
+// uses raw atomics, which the step model does not govern here.
+type engine struct {
+	execs       atomic.Int64
+	outstanding atomic.Int64
+}
+
+// leaf mirrors the per-execution accounting on the scheduler side.
+func (e *engine) leaf() int64 {
+	e.outstanding.Add(-1)
+	return e.execs.Add(1)
+}
+
+//tradeoffvet:outofband fixture: the scheduler inspects registers between executions, outside any process's step count
+func (e *engine) snapshotRegisters(regs []*primitive.Register) []int64 {
+	out := make([]int64, len(regs))
+	for i, r := range regs {
+		out[i] = r.Load()
+	}
+	return out
+}
+
+// reset uses the same-line escape hatch for replay-scaffolding recycling.
+func reset(r *primitive.Register) {
+	r.Store(0) //tradeoffvet:outofband fixture: recycled-register reset between executions is not a modeled step
+}
+
+// probe forgets the annotation: direct primitives stay flagged even in
+// non-model packages.
+func probe(r *primitive.Register) int64 {
+	return r.Load() // want "direct Register.Load bypasses step accounting"
+}

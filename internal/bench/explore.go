@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// ParseWorkers parses a comma-separated worker-count list ("1,2,4,8") for
+// the -workers flags of cmd/benchjson, cmd/simtrace, and cmd/tradeoff.
+// Unlike the experiment sweeps' process counts, a worker count of 1 is
+// meaningful (the replay-reuse ablation), so the floor is 1.
+func ParseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad worker count %q (want integers >= 1)", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: empty worker list %q", s)
+	}
+	return out, nil
+}
+
+// This file is the `explore` bench family behind `make explore-bench`: the
+// fixed reference configurations whose exhaustive exploration time the E12
+// experiment (EXPERIMENTS.md) tracks across worker counts. One "op" is one
+// complete execution of the simulated system, so rows report executions/sec
+// directly; the seq row is the single-core reference sim.Explore and the
+// w1 row is ExploreParallel with one worker — their gap isolates the replay
+// reuse (recycled scaffolding + last-branch continuation) from the
+// parallelism.
+
+// ExploreConfig parameterizes RunExplore.
+type ExploreConfig struct {
+	// Procs is the number of simulated processes per workload (default 3).
+	// The schedule tree grows factorially in Procs*Steps: keep both small.
+	Procs int
+	// Steps is the per-process operation count (default 4).
+	Steps int
+	// Workers lists the ExploreParallel worker counts to sweep
+	// (default 1, 2, 4, 8).
+	Workers []int
+	// Budget caps complete executions per exploration (default 10,000,000).
+	Budget int
+}
+
+// exploreWorkload spawns one reference configuration's programs into s,
+// allocating registers from pool. Spawning is deterministic, which both
+// engines require.
+type exploreWorkload struct {
+	name  string
+	spawn func(pool *primitive.Pool, s *sim.System, procs, steps int) error
+}
+
+var exploreWorkloads = []exploreWorkload{
+	// Independent writers: procs processes each writing their own register
+	// steps times. No data flow between processes, so the tree is the pure
+	// multinomial of interleavings — the scheduler-overhead ceiling.
+	{"writers", func(pool *primitive.Pool, s *sim.System, procs, steps int) error {
+		for id := 0; id < procs; id++ {
+			reg := pool.New(fmt.Sprintf("w%d", id), 0)
+			if err := s.Spawn(id, func(ctx primitive.Context) {
+				for i := 0; i < steps; i++ {
+					ctx.Write(reg, int64(i))
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}},
+	// Contended CAS increments on one shared register: schedules diverge on
+	// CAS success/failure, so descents have variable length and the CAS
+	// columns of the report are populated. Retry branching makes this tree
+	// explode much faster than the writers' multinomial (2 procs at 4 steps
+	// is already ~830k executions), so both dimensions are clamped.
+	{"casinc", func(pool *primitive.Pool, s *sim.System, procs, steps int) error {
+		if procs > 2 {
+			procs = 2
+		}
+		if steps > 3 {
+			steps = 3
+		}
+		reg := pool.New("shared", 0)
+		for id := 0; id < procs; id++ {
+			if err := s.Spawn(id, func(ctx primitive.Context) {
+				for i := 0; i < steps; i++ {
+					for {
+						v := ctx.Read(reg)
+						if ctx.CAS(reg, v, v+1) {
+							break
+						}
+					}
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}},
+}
+
+// exploreTally accumulates event-log statistics across concurrently checked
+// executions.
+type exploreTally struct {
+	events      atomic.Int64
+	casAttempts atomic.Int64
+	casFailures atomic.Int64
+}
+
+func (t *exploreTally) check(s *sim.System) error {
+	evs := s.Events()
+	t.events.Add(int64(len(evs)))
+	for _, ev := range evs {
+		if ev.Kind == sim.OpCAS {
+			t.casAttempts.Add(1)
+			if !ev.CASOK {
+				t.casFailures.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// exploreResult folds one exploration run into a Result row.
+func (t *exploreTally) result(name string, procs, execs int, m measurement) Result {
+	r := Result{
+		Name:        name,
+		Procs:       procs,
+		Ops:         int64(execs),
+		NsPerOp:     float64(m.elapsed.Nanoseconds()) / float64(execs),
+		StepsPerOp:  float64(t.events.Load()) / float64(execs),
+		CASAttempts: t.casAttempts.Load(),
+		CASFailures: t.casFailures.Load(),
+		AllocsPerOp: float64(m.allocs) / float64(execs),
+		BytesPerOp:  float64(m.bytes) / float64(execs),
+		WallClockMS: float64(m.elapsed.Nanoseconds()) / 1e6,
+		ExecsPerSec: float64(execs) / m.elapsed.Seconds(),
+	}
+	if r.CASAttempts > 0 {
+		r.CASFailureRate = float64(r.CASFailures) / float64(r.CASAttempts)
+	}
+	return r
+}
+
+// RunExplore measures exhaustive schedule exploration over the reference
+// workloads: one sequential sim.Explore row per workload, then one
+// ExploreParallel row per requested worker count. Every row of a workload
+// must visit the identical number of complete executions — a mismatch is an
+// engine bug and fails the run rather than producing a silently wrong
+// report.
+func RunExplore(cfg ExploreConfig) (*Report, error) {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 3
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 4
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 10_000_000
+	}
+
+	rep := &Report{
+		Schema:     ReportSchema,
+		Seed:       1, // explorations are exhaustive; no randomness involved
+		Procs:      cfg.Procs,
+		OpsPerProc: cfg.Steps,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	for _, wl := range exploreWorkloads {
+		wl := wl
+		seqBuild := func() (*sim.System, error) {
+			pool := primitive.NewPool()
+			s := sim.NewSystem()
+			if err := wl.spawn(pool, s, cfg.Procs, cfg.Steps); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		parBuild := func(rec *sim.Recycler) (*sim.System, error) {
+			pool := rec.Pool()
+			s := rec.NewSystem()
+			if err := wl.spawn(pool, s, cfg.Procs, cfg.Steps); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+
+		tally := new(exploreTally)
+		var seqExecs int
+		var runErr error
+		m := measure(func() {
+			seqExecs, runErr = sim.Explore(seqBuild, tally.check, cfg.Budget)
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("bench: explore/%s/seq: %w", wl.name, runErr)
+		}
+		rep.Results = append(rep.Results,
+			tally.result("explore/"+wl.name+"/seq", cfg.Procs, seqExecs, m))
+
+		for _, workers := range cfg.Workers {
+			tally = new(exploreTally)
+			var execs int
+			m := measure(func() {
+				execs, runErr = sim.ExploreParallel(parBuild, tally.check,
+					sim.Options{Workers: workers, Budget: cfg.Budget})
+			})
+			if runErr != nil {
+				return nil, fmt.Errorf("bench: explore/%s/w%d: %w", wl.name, workers, runErr)
+			}
+			if execs != seqExecs {
+				return nil, fmt.Errorf("bench: explore/%s/w%d visited %d executions, sequential visited %d",
+					wl.name, workers, execs, seqExecs)
+			}
+			rep.Results = append(rep.Results,
+				tally.result(fmt.Sprintf("explore/%s/w%d", wl.name, workers), cfg.Procs, execs, m))
+		}
+	}
+
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// E12ExploreScaling renders RunExplore as the E12 experiment table
+// (EXPERIMENTS.md): one row per engine per workload with the speedup over
+// the sequential reference. The seq-vs-w1 rows are the replay-reuse
+// ablation; w1-vs-wN the parallel scaling.
+func E12ExploreScaling(cfg ExploreConfig) ([]*Table, error) {
+	rep, err := RunExplore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E12",
+		Title:   fmt.Sprintf("exhaustive exploration scaling (procs=%d steps=%d)", rep.Procs, rep.OpsPerProc),
+		Columns: []string{"workload", "engine", "executions", "wall_ms", "execs_per_sec", "speedup_vs_seq", "allocs_per_exec"},
+		Notes: []string{
+			"seq is the single-core reference sim.Explore; wN is ExploreParallel with N workers",
+			"the seq->w1 gap isolates replay reuse (recycled scaffolding + last-branch continuation) from parallelism",
+			fmt.Sprintf("measured at GOMAXPROCS=%d; on a single-core host the wN rows collapse onto w1 and the speedup is the replay-reuse ablation alone", rep.GoMaxProcs),
+		},
+	}
+	seqWall := make(map[string]float64)
+	for _, r := range rep.Results {
+		parts := strings.Split(r.Name, "/") // explore/<workload>/<engine>
+		if len(parts) != 3 {
+			continue
+		}
+		wl, engine := parts[1], parts[2]
+		if engine == "seq" {
+			seqWall[wl] = r.WallClockMS
+		}
+		speedup := "-"
+		if base := seqWall[wl]; base > 0 {
+			speedup = fmt.Sprintf("%.2fx", base/r.WallClockMS)
+		}
+		t.AddRow(wl, engine, r.Ops,
+			fmt.Sprintf("%.1f", r.WallClockMS),
+			fmt.Sprintf("%.0f", r.ExecsPerSec),
+			speedup,
+			fmt.Sprintf("%.1f", r.AllocsPerOp))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallExploreCfg keeps the exhaustive trees tiny so the suite stays fast.
+var smallExploreCfg = ExploreConfig{Procs: 2, Steps: 2, Workers: []int{1, 2}, Budget: 100000}
+
+func TestRunExploreProducesValidReport(t *testing.T) {
+	rep, err := RunExplore(smallExploreCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := indexResults(rep)
+	for _, name := range []string{
+		"explore/writers/seq", "explore/writers/w1", "explore/writers/w2",
+		"explore/casinc/seq", "explore/casinc/w1", "explore/casinc/w2",
+	} {
+		r, ok := res[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		if r.ExecsPerSec <= 0 || r.WallClockMS <= 0 {
+			t.Errorf("%s: execs/sec=%g wall=%gms, want positive", name, r.ExecsPerSec, r.WallClockMS)
+		}
+	}
+	// Two independent 2-step writers: C(4,2) = 6 executions, on every row.
+	for name, r := range res {
+		if strings.HasPrefix(name, "explore/writers/") && r.Ops != 6 {
+			t.Errorf("%s visited %d executions, want 6", name, r.Ops)
+		}
+	}
+	// The CAS workload must populate the contention columns.
+	if res["explore/casinc/seq"].CASAttempts == 0 {
+		t.Error("explore/casinc/seq recorded no CAS attempts")
+	}
+}
+
+func TestValidateAcceptsLegacyV1Reports(t *testing.T) {
+	// A v1 document has no allocs/bytes/wall-clock columns; Validate must
+	// not demand them.
+	rep := &Report{
+		Schema:     ReportSchemaV1,
+		Seed:       1,
+		Procs:      2,
+		OpsPerProc: 10,
+		Results: []Result{{
+			Name:       "counter/cas/increment",
+			Procs:      2,
+			Ops:        20,
+			NsPerOp:    12.5,
+			StepsPerOp: 3,
+		}},
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("Validate rejected a well-formed v1 report: %v", err)
+	}
+	// The same missing columns in a v2 document are a hard error.
+	rep.Schema = ReportSchema
+	if err := rep.Validate(); err == nil {
+		t.Fatal("Validate accepted a v2 report without wall-clock data")
+	}
+}
+
+func TestValidateChecksV2Columns(t *testing.T) {
+	rep, err := RunExplore(ExploreConfig{Procs: 2, Steps: 1, Workers: []int{1}, Budget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Results[0].AllocsPerOp = -1
+	if err := rep.Validate(); err == nil {
+		t.Fatal("Validate accepted negative allocs/op")
+	}
+}

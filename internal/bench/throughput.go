@@ -24,7 +24,13 @@ import (
 // exactly reproducible.
 
 // ReportSchema identifies the JSON layout; bump on incompatible change.
-const ReportSchema = "tradeoffs/bench/v1"
+// v2 added allocs_per_op, bytes_per_op, and wall_clock_ms to every result
+// row. v1 documents are a strict field subset, so readers (Validate, the
+// -check and -diff modes of cmd/benchjson) still accept them.
+const ReportSchema = "tradeoffs/bench/v2"
+
+// ReportSchemaV1 is the previous layout, accepted on read.
+const ReportSchemaV1 = "tradeoffs/bench/v1"
 
 // ThroughputConfig parameterizes RunThroughput.
 type ThroughputConfig struct {
@@ -56,6 +62,20 @@ type Result struct {
 	CASAttempts    int64   `json:"cas_attempts"`
 	CASFailures    int64   `json:"cas_failures"`
 	CASFailureRate float64 `json:"cas_failure_rate"`
+	// AllocsPerOp and BytesPerOp are heap allocations (count and bytes)
+	// per logical operation, from runtime.MemStats deltas around the
+	// measured region (schema v2). They include every goroutine of the
+	// process, so runs must not overlap.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// WallClockMS is the measured region's total elapsed time (schema v2):
+	// the scaling signal for rows whose Ops differ, e.g. the explore
+	// family's worker sweep.
+	WallClockMS float64 `json:"wall_clock_ms"`
+	// ExecsPerSec is complete executions per second; only the explore
+	// family sets it (its "op" is one complete execution of the simulated
+	// system, so the throughput reading deserves its natural unit).
+	ExecsPerSec float64 `json:"execs_per_sec,omitempty"`
 }
 
 // Report is the bench-json document.
@@ -72,8 +92,8 @@ type Report struct {
 // Validate checks the report is schema-complete: CI fails the bench step on
 // any error here rather than uploading a half-written artifact.
 func (r *Report) Validate() error {
-	if r.Schema != ReportSchema {
-		return fmt.Errorf("bench: schema %q, want %q", r.Schema, ReportSchema)
+	if r.Schema != ReportSchema && r.Schema != ReportSchemaV1 {
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)", r.Schema, ReportSchema, ReportSchemaV1)
 	}
 	if r.Procs < 1 || r.OpsPerProc < 1 {
 		return fmt.Errorf("bench: bad dimensions procs=%d ops_per_proc=%d", r.Procs, r.OpsPerProc)
@@ -104,16 +124,55 @@ func (r *Report) Validate() error {
 		if res.CASFailureRate < 0 || res.CASFailureRate > 1 {
 			return fmt.Errorf("bench: %s: CAS failure rate %g outside [0,1]", res.Name, res.CASFailureRate)
 		}
+		// v1 rows predate the allocation and wall-clock columns; only v2
+		// documents promise them.
+		if r.Schema == ReportSchema {
+			if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+				return fmt.Errorf("bench: %s: negative allocation measurements allocs/op=%g bytes/op=%g",
+					res.Name, res.AllocsPerOp, res.BytesPerOp)
+			}
+			if res.WallClockMS <= 0 {
+				return fmt.Errorf("bench: %s: non-positive wall clock %gms", res.Name, res.WallClockMS)
+			}
+		}
 	}
 	return nil
 }
 
+// measurement is the raw output of one measured region: wall time, merged
+// obs stats, and the process-wide heap-allocation deltas. Mallocs and
+// TotalAlloc are cumulative and monotone, so the deltas are GC-independent;
+// they do cover every goroutine in the process, which is why measured
+// regions never overlap.
+type measurement struct {
+	elapsed time.Duration
+	stats   obs.Stats
+	allocs  uint64
+	bytes   uint64
+}
+
+// measure brackets run with MemStats readings and a wall clock.
+func measure(run func()) measurement {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	began := time.Now()
+	run()
+	elapsed := time.Since(began)
+	runtime.ReadMemStats(&after)
+	return measurement{
+		elapsed: elapsed,
+		allocs:  after.Mallocs - before.Mallocs,
+		bytes:   after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
 // runParallel drives procs goroutines through ops calls of op each (after a
-// common start barrier) and returns the elapsed wall time plus the merged
-// obs stats. op receives an instrumented context (so every shared-memory
-// event is counted), the process id, and a process-seeded RNG.
+// common start barrier) and returns the region's measurement (wall time,
+// merged obs stats, allocation deltas). op receives an instrumented context
+// (so every shared-memory event is counted), the process id, and a
+// process-seeded RNG.
 func runParallel(procs int, ops int64, seed int64, pool *primitive.Pool,
-	op func(ctx primitive.Context, id int, rng *rand.Rand, i int64) error) (time.Duration, obs.Stats, error) {
+	op func(ctx primitive.Context, id int, rng *rand.Rand, i int64) error) (measurement, error) {
 
 	col := obs.NewCollector(procs, pool)
 	ctxs := make([]*obs.Instrumented, procs)
@@ -146,26 +205,31 @@ func runParallel(procs int, ops int64, seed int64, pool *primitive.Pool,
 			}
 		}(id)
 	}
-	began := time.Now()
-	close(start)
-	wg.Wait()
-	elapsed := time.Since(began)
-	return elapsed, col.Snapshot(), first
+	m := measure(func() {
+		close(start)
+		wg.Wait()
+	})
+	m.stats = col.Snapshot()
+	return m, first
 }
 
 // result folds a run's raw numbers into a Result row. logicalOps is the
 // operation count ns/op and steps/op are normalized by (it can differ from
 // the call count, e.g. batched adds count the coalesced increments).
-func result(name string, procs int, logicalOps int64, elapsed time.Duration, st obs.Stats) Result {
+func result(name string, procs int, logicalOps int64, m measurement) Result {
+	st := m.stats
 	steps := st.Reads + st.Writes + st.CASAttempts
 	r := Result{
 		Name:        name,
 		Procs:       procs,
 		Ops:         logicalOps,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(logicalOps),
+		NsPerOp:     float64(m.elapsed.Nanoseconds()) / float64(logicalOps),
 		StepsPerOp:  float64(steps) / float64(logicalOps),
 		CASAttempts: st.CASAttempts,
 		CASFailures: st.CASFailures,
+		AllocsPerOp: float64(m.allocs) / float64(logicalOps),
+		BytesPerOp:  float64(m.bytes) / float64(logicalOps),
+		WallClockMS: float64(m.elapsed.Nanoseconds()) / 1e6,
 	}
 	if st.CASAttempts > 0 {
 		r.CASFailureRate = float64(st.CASFailures) / float64(st.CASAttempts)
@@ -231,11 +295,11 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		elapsed, st, err := runParallel(procs, ops, cfg.Seed, variant.pool,
+		m, err := runParallel(procs, ops, cfg.Seed, variant.pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
-		if err = add(result(variant.name, procs, ops*int64(procs), elapsed, st), err); err != nil {
+		if err = add(result(variant.name, procs, ops*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}
@@ -255,7 +319,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			n int64
 			_ [7]int64
 		}, procs)
-		elapsed, st, err := runParallel(procs, ops, cfg.Seed, pool,
+		m, err := runParallel(procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, id int, _ *rand.Rand, i int64) error {
 				pending[id].n++
 				if pending[id].n < window && i != ops-1 {
@@ -266,7 +330,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 				return err
 			})
 		if err = add(result(fmt.Sprintf("counter/farray/add/batched-w%d", window),
-			procs, ops*int64(procs), elapsed, st), err); err != nil {
+			procs, ops*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}
@@ -277,11 +341,11 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		elapsed, st, err := runParallel(procs, ops, cfg.Seed, pool,
+		m, err := runParallel(procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
-		if err = add(result("counter/cas/increment", procs, ops*int64(procs), elapsed, st), err); err != nil {
+		if err = add(result("counter/cas/increment", procs, ops*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}
@@ -296,11 +360,11 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		elapsed, st, err := runParallel(procs, aacOps, cfg.Seed, pool,
+		m, err := runParallel(procs, aacOps, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
-		if err = add(result("counter/aac/increment", procs, aacOps*int64(procs), elapsed, st), err); err != nil {
+		if err = add(result("counter/aac/increment", procs, aacOps*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}
@@ -315,11 +379,11 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			return nil, err
 		}
 		c := counter.NewFromSnapshot(snap)
-		elapsed, st, err := runParallel(procs, snapOps, cfg.Seed, pool,
+		m, err := runParallel(procs, snapOps, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
-		if err = add(result("counter/snapshot/increment", procs, snapOps*int64(procs), elapsed, st), err); err != nil {
+		if err = add(result("counter/snapshot/increment", procs, snapOps*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}
@@ -348,11 +412,11 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			return nil, err
 		}
 		bound := mr.bound
-		elapsed, st, err := runParallel(procs, ops, cfg.Seed, pool,
+		meas, err := runParallel(procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, rng *rand.Rand, _ int64) error {
 				return m.WriteMax(ctx, rng.Int63n(bound))
 			})
-		if err = add(result(mr.name, procs, ops*int64(procs), elapsed, st), err); err != nil {
+		if err = add(result(mr.name, procs, ops*int64(procs), meas), err); err != nil {
 			return nil, err
 		}
 	}
@@ -366,11 +430,11 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		elapsed, st, err := runParallel(procs, snapOps, cfg.Seed, pool,
+		m, err := runParallel(procs, snapOps, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, i int64) error {
 				return s.Update(ctx, i+1)
 			})
-		if err = add(result("snapshot/farray/update", procs, snapOps*int64(procs), elapsed, st), err); err != nil {
+		if err = add(result("snapshot/farray/update", procs, snapOps*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,37 @@
+package counter
+
+import (
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+var allocSink int64
+
+// TestFromSnapshotReadZeroAlloc proves Corollary 1's read path stays off the
+// heap when the backing snapshot exposes the Viewer fast path: Read over an
+// FArray is a single register read plus a local sum over the arena view.
+func TestFromSnapshotReadZeroAlloc(t *testing.T) {
+	snap, err := snapshot.NewFArray(primitive.NewPool(), 4, 64)
+	if err != nil {
+		t.Fatalf("NewFArray: %v", err)
+	}
+	c := NewFromSnapshot(snap)
+	for id := 0; id < 4; id++ {
+		if err := c.Add(primitive.NewDirect(id), int64(id+1)); err != nil {
+			t.Fatalf("Add(%d): %v", id, err)
+		}
+	}
+	// Box the context once, outside the measured closure.
+	var ctx primitive.Context = primitive.NewDirect(0)
+	if got := c.Read(ctx); got != 1+2+3+4 {
+		t.Fatalf("Read = %d, want 10", got)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		allocSink = c.Read(ctx)
+	})
+	if avg != 0 {
+		t.Errorf("FromSnapshot.Read over FArray allocates %v objects per call, want 0", avg)
+	}
+}

@@ -46,9 +46,18 @@ func NewFromSnapshot(snap snapshot.Snapshot) *FromSnapshot {
 // surfaces the snapshot's CapacityError from Increment when it hits.
 func (c *FromSnapshot) Limit() int64 { return 0 }
 
-// Read implements Counter: one Scan plus a local sum.
+// Read implements Counter: one Scan plus a local sum. Snapshots exposing
+// the zero-copy Viewer path (FArray, DoubleCollect) are summed without
+// allocating; the view is consumed before Read returns, within every
+// implementation's validity window.
 func (c *FromSnapshot) Read(ctx primitive.Context) int64 {
 	var total int64
+	if v, ok := c.snap.(snapshot.Viewer); ok {
+		for _, x := range v.ScanView(ctx) {
+			total += x
+		}
+		return total
+	}
 	for _, v := range c.snap.Scan(ctx) {
 		total += v
 	}

@@ -95,8 +95,13 @@ const arenaChunk = 64
 // Pool is safe for concurrent allocation, though well-behaved algorithms
 // allocate all their registers at construction time.
 type Pool struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// regs holds every register ever allocated; live counts how many of
+	// them belong to the current cycle (live == len(regs) unless Reset has
+	// been called). Registers beyond live are dead storage waiting to be
+	// reissued by New.
 	regs   []*Register
+	live   int
 	padded bool
 	arena  []paddedRegister // remaining cells of the current chunk
 }
@@ -120,6 +125,16 @@ func (p *Pool) New(name string, init int64) *Register {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	if p.live < len(p.regs) {
+		// Reissue a register from a pre-Reset cycle: same storage, same
+		// identifier, re-initialized as if freshly allocated.
+		r := p.regs[p.live]
+		r.name = name
+		r.v.Store(init)
+		p.live++
+		return r
+	}
+
 	var r *Register
 	if p.padded {
 		if len(p.arena) == 0 {
@@ -134,7 +149,23 @@ func (p *Pool) New(name string, init int64) *Register {
 	r.name = name
 	r.v.Store(init)
 	p.regs = append(p.regs, r)
+	p.live++
 	return r
+}
+
+// Reset empties the pool for reuse: registers allocated after the call
+// reuse the storage — and, because allocation order determines identifiers,
+// the identifiers — of the registers allocated before it, in order. A
+// deterministic builder therefore sees a bit-identical pool cycle after
+// cycle without reallocating, which is what the exploration engine's replay
+// reuse (sim.Recycler) relies on.
+//
+// The caller must guarantee nothing still references the pre-Reset
+// registers: their values are overwritten as they are reissued.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.live = 0
 }
 
 // NewSlice allocates n registers sharing a name prefix, all initialized to
@@ -147,11 +178,12 @@ func (p *Pool) NewSlice(name string, n int, init int64) []*Register {
 	return regs
 }
 
-// Len reports the number of registers allocated so far.
+// Len reports the number of registers allocated so far (in the current
+// cycle, if Reset has been called).
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.regs)
+	return p.live
 }
 
 // Registers returns a snapshot of all registers allocated so far, in
@@ -160,8 +192,8 @@ func (p *Pool) Registers() []*Register {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	out := make([]*Register, len(p.regs))
-	copy(out, p.regs)
+	out := make([]*Register, p.live)
+	copy(out, p.regs[:p.live])
 	return out
 }
 
@@ -170,8 +202,8 @@ func (p *Pool) Registers() []*Register {
 func (p *Pool) Get(id int) *Register {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if id < 0 || id >= len(p.regs) {
-		panic(fmt.Sprintf("primitive: Pool.Get(%d): no such register (pool holds ids [0, %d))", id, len(p.regs)))
+	if id < 0 || id >= p.live {
+		panic(fmt.Sprintf("primitive: Pool.Get(%d): no such register (pool holds ids [0, %d))", id, p.live))
 	}
 	return p.regs[id]
 }

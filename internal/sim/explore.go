@@ -4,6 +4,20 @@ import (
 	"fmt"
 )
 
+// BudgetError reports that an exploration visited more complete executions
+// than its budget allows. Prefix is the full schedule of the first
+// over-budget execution — the witness callers need to shrink a
+// configuration or raise the budget deliberately instead of guessing.
+type BudgetError struct {
+	Budget int
+	Prefix []int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: exploration exceeded budget of %d executions (first over-budget schedule %v)", e.Budget, e.Prefix)
+}
+
 // Explore enumerates EVERY schedule of the system produced by build,
 // invoking check on each completed execution, and returns how many
 // executions it visited.
@@ -14,9 +28,13 @@ import (
 // registers) — the same requirement the adversary's erase-and-replay
 // surgery imposes.
 //
-// budget caps the number of complete executions; exceeding it returns an
-// error (exhaustive exploration grows combinatorially, so configurations
-// must be chosen small).
+// budget caps the number of complete executions; exceeding it returns a
+// *BudgetError carrying the offending schedule (exhaustive exploration
+// grows combinatorially, so configurations must be chosen small).
+//
+// Explore is the single-core reference implementation; ExploreParallel
+// visits the identical execution set across a work-stealing worker pool
+// with replay reuse.
 func Explore(build func() (*System, error), check func(*System) error, budget int) (int, error) {
 	executions := 0
 
@@ -36,7 +54,7 @@ func Explore(build func() (*System, error), check func(*System) error, budget in
 		}
 		executions++
 		if executions > budget {
-			return nil, fmt.Errorf("sim: exploration exceeded budget of %d executions", budget)
+			return nil, &BudgetError{Budget: budget, Prefix: append([]int(nil), prefix...)}
 		}
 		if err := check(s); err != nil {
 			return nil, fmt.Errorf("sim: schedule %v: %w", prefix, err)

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures ExploreParallel.
+type Options struct {
+	// Workers is the number of worker goroutines partitioning the schedule
+	// tree; <= 0 means runtime.GOMAXPROCS(0). Workers == 1 still benefits
+	// from replay reuse (recycled scaffolding, last-branch continuation),
+	// which is the ablation `make explore-bench` records against the
+	// sequential Explore.
+	Workers int
+
+	// Budget caps the number of complete executions, exactly like Explore's
+	// budget argument: visiting more aborts the exploration with a
+	// *BudgetError. Workers race toward the cap, so a handful of executions
+	// beyond Budget may have been visited by the time the error surfaces.
+	Budget int
+}
+
+// Build constructs one replay instance for parallel exploration. It must be
+// deterministic: every call must produce the same programs over the same
+// registers, in the same order — the requirement Explore already imposes,
+// now per worker.
+//
+// The worker's Recycler is offered for replay reuse: builders that allocate
+// registers from rec.Pool() and systems from rec.NewSystem() recycle
+// storage across the worker's thousands of rebuilds. Ignoring rec and
+// calling primitive.NewPool/NewSystem directly is always correct, just
+// slower.
+type Build func(rec *Recycler) (*System, error)
+
+// ExploreParallel enumerates EVERY schedule of the system produced by
+// build, like Explore, but partitions the schedule tree across a
+// work-stealing worker pool: each worker owns a deque of frontier prefixes
+// (LIFO for the owner, so exploration stays depth-first and prefixes stay
+// short; FIFO for thieves, so idle workers steal the shallowest — largest —
+// subtrees). It returns how many complete executions were visited.
+//
+// Two forms of replay reuse cut the per-node rebuild cost. Each worker
+// recycles System scaffolding and its register pool through its Recycler
+// (see Build). And each rebuild is driven all the way to a leaf: at every
+// interior node the worker pushes all children but the last onto its deque
+// and *steps the live system* into the last child instead of rebuilding —
+// so the number of rebuilds equals the number of complete executions, not
+// the number of tree nodes.
+//
+// The visited execution set is identical to Explore's (the tree is a
+// property of the programs, not of the workers); only the visit order
+// differs, so check must be order-insensitive. check runs concurrently on
+// different workers (each call receives a different *System) and must not
+// retain the system, its events, or its schedule beyond the call — the
+// worker recycles them immediately after.
+//
+// The first error (build, replay, over-budget, or check) cancels all
+// workers and is returned alongside the number of executions counted so
+// far.
+//
+//tradeoffvet:outofband the worker pool is scheduler-side concurrency: real goroutines exploring simulated schedules, outside the paper's step accounting
+func ExploreParallel(build Build, check func(*System) error, opts Options) (int, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &exploreEngine{
+		build:  build,
+		check:  check,
+		budget: opts.Budget,
+		pool:   make([]*exploreWorker, workers),
+	}
+	for i := range e.pool {
+		e.pool[i] = &exploreWorker{rec: NewRecycler()}
+	}
+
+	// Seed worker 0 with the root prefix (the empty schedule).
+	e.outstanding.Store(1)
+	e.pool[0].push(nil)
+
+	var wg sync.WaitGroup
+	for i := range e.pool {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			e.run(idx)
+		}(i)
+	}
+	wg.Wait()
+
+	execs := int(e.execs.Load())
+	e.errMu.Lock()
+	err := e.err
+	e.errMu.Unlock()
+	return execs, err
+}
+
+// exploreEngine is the state shared by all workers of one ExploreParallel
+// call.
+type exploreEngine struct {
+	build  Build
+	check  func(*System) error
+	budget int
+
+	pool        []*exploreWorker
+	execs       atomic.Int64 // complete executions visited
+	outstanding atomic.Int64 // frontier prefixes queued or in flight
+	stop        atomic.Bool  // first-error (or budget) cancellation
+
+	errMu sync.Mutex
+	err   error
+}
+
+// exploreWorker owns one deque of frontier prefixes and one recycler. The
+// deque is mutex-guarded: the owner touches it once per interior node and
+// thieves only when idle, so contention is negligible next to the channel
+// rendezvous of replaying a prefix.
+type exploreWorker struct {
+	mu    sync.Mutex
+	deque [][]int
+	rec   *Recycler
+}
+
+// push appends a prefix at the owner's (tail) end.
+func (w *exploreWorker) push(prefix []int) {
+	w.mu.Lock()
+	w.deque = append(w.deque, prefix)
+	w.mu.Unlock()
+}
+
+// pop removes the most recently pushed prefix (tail: depth-first).
+func (w *exploreWorker) pop() ([]int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.deque)
+	if n == 0 {
+		return nil, false
+	}
+	p := w.deque[n-1]
+	w.deque[n-1] = nil
+	w.deque = w.deque[:n-1]
+	return p, true
+}
+
+// stealFrom removes the oldest prefix (head: the shallowest subtree, so a
+// thief walks away with as much work as one handoff can carry).
+func (w *exploreWorker) stealFrom() ([]int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.deque) == 0 {
+		return nil, false
+	}
+	p := w.deque[0]
+	w.deque[0] = nil
+	w.deque = w.deque[1:]
+	return p, true
+}
+
+// run is one worker's loop: drain own deque, steal when empty, exit when
+// the frontier is globally exhausted or the engine is cancelled.
+func (e *exploreEngine) run(idx int) {
+	w := e.pool[idx]
+	for {
+		if e.stop.Load() {
+			return
+		}
+		prefix, ok := w.pop()
+		if !ok {
+			prefix, ok = e.steal(idx)
+		}
+		if !ok {
+			if e.outstanding.Load() == 0 {
+				return
+			}
+			// Another worker holds the remaining frontier in flight; yield
+			// rather than spin so the simulated process goroutines get the
+			// cores.
+			time.Sleep(10 * time.Microsecond)
+			continue
+		}
+		e.descend(w, prefix)
+		e.outstanding.Add(-1)
+	}
+}
+
+// steal scans the other workers round-robin for a prefix to take.
+func (e *exploreEngine) steal(idx int) ([]int, bool) {
+	for i := 1; i < len(e.pool); i++ {
+		victim := e.pool[(idx+i)%len(e.pool)]
+		if p, ok := victim.stealFrom(); ok {
+			return p, ok
+		}
+	}
+	return nil, false
+}
+
+// descend rebuilds a system, replays prefix, and drives the live system all
+// the way to a complete execution, pushing every non-final child
+// encountered on the way down as new frontier prefixes (last-branch
+// continuation: one rebuild per leaf, not per node).
+func (e *exploreEngine) descend(w *exploreWorker, prefix []int) {
+	s, err := e.build(w.rec)
+	if err != nil {
+		e.fail(fmt.Errorf("sim: explore build: %w", err))
+		return
+	}
+	defer w.rec.Release(s)
+	if err := s.Run(prefix); err != nil {
+		e.fail(fmt.Errorf("sim: explore replay: %w", err))
+		return
+	}
+
+	for {
+		if e.stop.Load() {
+			return
+		}
+		active := s.Active()
+		if len(active) == 0 {
+			execs := e.execs.Add(1)
+			if execs > int64(e.budget) {
+				e.fail(&BudgetError{Budget: e.budget, Prefix: append([]int(nil), s.Schedule()...)})
+				return
+			}
+			if err := e.check(s); err != nil {
+				e.fail(fmt.Errorf("sim: schedule %v: %w", append([]int(nil), s.Schedule()...), err))
+			}
+			return
+		}
+		if len(active) > 1 {
+			cur := s.Schedule()
+			for _, id := range active[:len(active)-1] {
+				child := make([]int, len(cur)+1)
+				copy(child, cur)
+				child[len(cur)] = id
+				e.outstanding.Add(1)
+				w.push(child)
+			}
+		}
+		if _, err := s.Step(active[len(active)-1]); err != nil {
+			e.fail(fmt.Errorf("sim: explore step: %w", err))
+			return
+		}
+	}
+}
+
+// fail records the first error and cancels every worker.
+func (e *exploreEngine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.stop.Store(true)
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// buildTwoWritersRecycled is buildTwoWriters through the worker's recycler:
+// registers from the reset pool, the system from recycled scaffolding.
+func buildTwoWritersRecycled(steps int) Build {
+	return func(rec *Recycler) (*System, error) {
+		pool := rec.Pool()
+		a := pool.New("a", 0)
+		b := pool.New("b", 0)
+		s := rec.NewSystem()
+		for id, reg := range []*primitive.Register{a, b} {
+			reg := reg
+			if err := s.Spawn(id, func(ctx primitive.Context) {
+				for i := 0; i < steps; i++ {
+					ctx.Write(reg, int64(i))
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+// ignoreRecycler adapts an Explore-style builder: correct, just reuse-free.
+func ignoreRecycler(build func() (*System, error)) Build {
+	return func(*Recycler) (*System, error) { return build() }
+}
+
+func TestExploreParallelCountsInterleavings(t *testing.T) {
+	// Two independent 3-step processes: C(6,3) = 20 schedules, regardless
+	// of worker count and regardless of whether the build recycles.
+	builds := map[string]Build{
+		"recycled": buildTwoWritersRecycled(3),
+		"plain":    ignoreRecycler(buildTwoWriters(3)),
+	}
+	for name, build := range builds {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var checked atomic64
+			execs, err := ExploreParallel(build, func(s *System) error {
+				checked.inc()
+				if len(s.Events()) != 6 {
+					return errors.New("incomplete execution passed to check")
+				}
+				return nil
+			}, Options{Workers: workers, Budget: 100})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if execs != 20 || checked.load() != 20 {
+				t.Fatalf("%s workers=%d: execs=%d checked=%d, want 20", name, workers, execs, checked.load())
+			}
+		}
+	}
+}
+
+// atomic64 is a tiny test-local counter safe for concurrent check calls.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) inc() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func (a *atomic64) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// collectSchedules runs an exploration and returns the multiset of complete
+// schedules it visited, sorted lexicographically for comparison.
+func sortSchedules(schedules [][]int) {
+	sort.Slice(schedules, func(i, j int) bool {
+		a, b := schedules[i], schedules[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func TestExploreParallelMatchesSequentialScheduleSet(t *testing.T) {
+	// The determinism cross-check of the engine: sequential Explore and
+	// ExploreParallel must visit the identical execution multiset — same
+	// count, same schedules — for every worker count.
+	steps := 3
+	if testing.Short() {
+		steps = 2
+	}
+
+	var seq [][]int
+	seqExecs, err := Explore(buildTwoWriters(steps), func(s *System) error {
+		seq = append(seq, append([]int(nil), s.Schedule()...))
+		return nil
+	}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortSchedules(seq)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		var mu sync.Mutex
+		var par [][]int
+		parExecs, err := ExploreParallel(buildTwoWritersRecycled(steps), func(s *System) error {
+			cp := append([]int(nil), s.Schedule()...)
+			mu.Lock()
+			par = append(par, cp)
+			mu.Unlock()
+			return nil
+		}, Options{Workers: workers, Budget: 1_000_000})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if parExecs != seqExecs {
+			t.Fatalf("workers=%d: %d executions, sequential visited %d", workers, parExecs, seqExecs)
+		}
+		sortSchedules(par)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d schedules, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if len(par[i]) != len(seq[i]) {
+				t.Fatalf("workers=%d: schedule %d is %v, want %v", workers, i, par[i], seq[i])
+			}
+			for k := range seq[i] {
+				if par[i][k] != seq[i][k] {
+					t.Fatalf("workers=%d: schedule %d is %v, want %v", workers, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExploreParallelBudget(t *testing.T) {
+	_, err := ExploreParallel(buildTwoWritersRecycled(4), func(*System) error { return nil },
+		Options{Workers: 4, Budget: 10})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("budget overrun not reported as *BudgetError: %v", err)
+	}
+	if be.Budget != 10 {
+		t.Fatalf("BudgetError.Budget = %d, want 10", be.Budget)
+	}
+	// The witness is a complete execution of the two 4-step writers.
+	if len(be.Prefix) != 8 {
+		t.Fatalf("BudgetError.Prefix = %v, want a complete 8-event schedule", be.Prefix)
+	}
+}
+
+func TestExploreBudgetErrorReportsPrefix(t *testing.T) {
+	// The sequential reference must carry the same typed witness.
+	_, err := Explore(buildTwoWriters(4), func(*System) error { return nil }, 10)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("budget overrun not reported as *BudgetError: %v", err)
+	}
+	if be.Budget != 10 || len(be.Prefix) != 8 {
+		t.Fatalf("BudgetError = %+v, want budget 10 and a complete 8-event schedule", be)
+	}
+}
+
+func TestExploreParallelPropagatesCheckError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := ExploreParallel(buildTwoWritersRecycled(1), func(*System) error { return sentinel },
+		Options{Workers: 4, Budget: 100})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("check error lost: %v", err)
+	}
+}
+
+func TestExploreParallelPropagatesBuildError(t *testing.T) {
+	sentinel := errors.New("cannot build")
+	_, err := ExploreParallel(func(*Recycler) (*System, error) { return nil, sentinel },
+		func(*System) error { return nil }, Options{Workers: 4, Budget: 10})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("build error lost: %v", err)
+	}
+}
+
+func TestRecyclerReusesRegistersAndScaffolding(t *testing.T) {
+	rec := NewRecycler()
+
+	build := buildTwoWritersRecycled(2)
+	s1, err := build(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs1 := rec.pool.Registers()
+	rec.Release(s1)
+
+	s2, err := build(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Release(s2)
+	regs2 := rec.pool.Registers()
+
+	if len(regs1) != 2 || len(regs2) != 2 {
+		t.Fatalf("pool sizes %d, %d, want 2 each", len(regs1), len(regs2))
+	}
+	for i := range regs1 {
+		if regs1[i] != regs2[i] {
+			t.Fatalf("register %d reallocated instead of reused", i)
+		}
+		if regs2[i].ID() != i {
+			t.Fatalf("register %d has id %d after reuse", i, regs2[i].ID())
+		}
+	}
+
+	// The recycled system must behave exactly like a fresh one.
+	if err := s2.Run([]int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Events()) != 4 || len(s2.Active()) != 0 {
+		t.Fatalf("recycled system misbehaved: %d events, active %v", len(s2.Events()), s2.Active())
+	}
+}
+
+func TestPoolResetReissuesIdenticalRegisters(t *testing.T) {
+	pool := primitive.NewPool()
+	a := pool.New("a", 7)
+	b := pool.New("b", 9)
+	if a.ID() != 0 || b.ID() != 1 || pool.Len() != 2 {
+		t.Fatalf("fresh pool ids %d,%d len %d", a.ID(), b.ID(), pool.Len())
+	}
+	a.Store(100) // dirty the register across the cycle boundary
+
+	pool.Reset()
+	if pool.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", pool.Len())
+	}
+	a2 := pool.New("a2", 3)
+	if a2 != a {
+		t.Fatal("Reset pool allocated fresh storage instead of reusing")
+	}
+	if a2.ID() != 0 || a2.Name() != "a2" || a2.Load() != 3 {
+		t.Fatalf("reissued register id=%d name=%q val=%d, want 0/a2/3", a2.ID(), a2.Name(), a2.Load())
+	}
+	// Growth past the previous cycle's size still works.
+	c := pool.New("c", 0)
+	d := pool.New("d", 0)
+	if c != b || d == a || d == b {
+		t.Fatal("reuse-then-grow sequence broken")
+	}
+	if d.ID() != 2 || pool.Len() != 3 {
+		t.Fatalf("grown pool id=%d len=%d, want 2/3", d.ID(), pool.Len())
+	}
+}

@@ -1,0 +1,197 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/history"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+	"github.com/restricteduse/tradeoffs/internal/sim"
+)
+
+// Parallel counterparts of the exhaustive model-check tests: the same
+// builders explored through sim.ExploreParallel across several worker
+// counts, with the recorder for each in-flight system tracked through a
+// sync.Map (workers hold distinct systems concurrently, so the sequential
+// helper's single captured recorder variable would race).
+
+// checkExhaustiveParallel enumerates every schedule of build's programs via
+// ExploreParallel and verifies each history against spec. Registers come
+// from the worker's recycled pool and systems from its recycled
+// scaffolding, so this also exercises the replay-reuse path under the exact
+// linearizability oracle.
+func checkExhaustiveParallel(t *testing.T, build buildFn, spec history.Spec, workers, budget int) int {
+	t.Helper()
+	var recorders sync.Map // *sim.System -> *history.Recorder
+	buildSystem := func(rec *sim.Recycler) (*sim.System, error) {
+		pool := rec.Pool()
+		programs, r := build(pool)
+		s := rec.NewSystem()
+		for id, p := range programs {
+			if err := s.Spawn(id, p); err != nil {
+				return nil, err
+			}
+		}
+		recorders.Store(s, r)
+		return s, nil
+	}
+	execs, err := sim.ExploreParallel(buildSystem, func(s *sim.System) error {
+		r, ok := recorders.LoadAndDelete(s)
+		if !ok {
+			return fmt.Errorf("no recorder bound to system %p", s)
+		}
+		return history.CheckLinearizable(r.(*history.Recorder).Ops(), spec)
+	}, sim.Options{Workers: workers, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return execs
+}
+
+func buildExhaustiveAACMaxReg(pool *primitive.Pool) ([]sim.Program, *history.Recorder) {
+	rec := history.NewRecorder()
+	m, err := maxreg.NewAAC(pool, 4)
+	if err != nil {
+		panic(err)
+	}
+	return []sim.Program{
+		maxRegProgram(m, rec, []history.Op{{Kind: history.KindWriteMax, Arg: 3}}),
+		maxRegProgram(m, rec, []history.Op{{Kind: history.KindWriteMax, Arg: 1}}),
+		maxRegProgram(m, rec, []history.Op{{Kind: history.KindReadMax}, {Kind: history.KindReadMax}}),
+	}, rec
+}
+
+func buildExhaustiveCASCounter(pool *primitive.Pool) ([]sim.Program, *history.Recorder) {
+	rec := history.NewRecorder()
+	c, err := counter.NewCAS(pool, 0)
+	if err != nil {
+		panic(err)
+	}
+	return []sim.Program{
+		counterProgram(c, rec, []history.Kind{history.KindIncrement}),
+		counterProgram(c, rec, []history.Kind{history.KindIncrement}),
+		counterProgram(c, rec, []history.Kind{history.KindCounterRead}),
+	}, rec
+}
+
+func TestExhaustiveParallelAACMaxReg(t *testing.T) {
+	seq := checkExhaustive(t, buildExhaustiveAACMaxReg, history.MaxRegisterSpec{}, 100000)
+	for _, workers := range []int{1, 4} {
+		execs := checkExhaustiveParallel(t, buildExhaustiveAACMaxReg, history.MaxRegisterSpec{}, workers, 100000)
+		if execs != seq {
+			t.Fatalf("workers=%d explored %d executions, sequential explored %d", workers, execs, seq)
+		}
+	}
+	t.Logf("explored %d complete executions per engine", seq)
+}
+
+func TestExhaustiveParallelCASCounter(t *testing.T) {
+	seq := checkExhaustive(t, buildExhaustiveCASCounter, history.CounterSpec{}, 100000)
+	for _, workers := range []int{1, 4} {
+		execs := checkExhaustiveParallel(t, buildExhaustiveCASCounter, history.CounterSpec{}, workers, 100000)
+		if execs != seq {
+			t.Fatalf("workers=%d explored %d executions, sequential explored %d", workers, execs, seq)
+		}
+	}
+	t.Logf("explored %d complete executions per engine", seq)
+}
+
+// TestCrashScenariosParallelSeeds runs the max-register crash workload's
+// seeds concurrently — a smoke test that independent Systems on real
+// goroutines do not interfere (each seed owns its pool, recorder, and
+// system; failures are collected, not raised off the test goroutine).
+func TestCrashScenariosParallelSeeds(t *testing.T) {
+	const seeds = 12
+	errs := make(chan error, seeds)
+	var wg sync.WaitGroup
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- runCrashSeed(seed)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// runCrashSeed is one self-contained crash scenario: 6 writers on the AAC
+// max register, two crashed mid-operation, survivors and a late reader
+// checked for linearizability. It mirrors the "aac" case of
+// TestCrashedWritersDoNotWedgeMaxRegisters but reports instead of
+// t.Fatal-ing so it can run off the test goroutine.
+func runCrashSeed(seed int64) error {
+	pool := primitive.NewPool()
+	m, err := maxreg.NewAAC(pool, 1<<10)
+	if err != nil {
+		return err
+	}
+	rec := history.NewRecorder()
+	inflight := newInflightLog()
+	crashed := map[int]int{0: 3, 1: 7}
+
+	s := sim.NewSystem()
+	defer s.Shutdown()
+	for p := 0; p < 6; p++ {
+		p := p
+		if err := s.Spawn(p, func(ctx primitive.Context) {
+			for i := 1; i <= 3; i++ {
+				op := history.Op{Proc: p, Kind: history.KindWriteMax, Arg: int64(p*10 + i)}
+				inv := inflight.begin(rec, op)
+				if err := m.WriteMax(ctx, op.Arg); err != nil {
+					panic(err)
+				}
+				inflight.commit(rec, op, inv)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		var runnable []int
+		for _, id := range s.Active() {
+			if limit, isCrashed := crashed[id]; !isCrashed || s.StepsOf(id) < limit {
+				runnable = append(runnable, id)
+			}
+		}
+		if len(runnable) == 0 {
+			break
+		}
+		if _, err := s.Step(runnable[rng.Intn(len(runnable))]); err != nil {
+			return err
+		}
+	}
+	inflight.flushCrashed(rec, crashed)
+
+	var got int64
+	if err := s.Spawn(10, func(ctx primitive.Context) {
+		inv := rec.Invoke()
+		got = m.ReadMax(ctx)
+		rec.Record(history.Op{Proc: 10, Kind: history.KindReadMax, Ret: got}, inv)
+	}); err != nil {
+		return err
+	}
+	for !s.Done(10) {
+		if _, err := s.Step(10); err != nil {
+			return err
+		}
+	}
+	if got < 53 {
+		return fmt.Errorf("seed %d: read %d after p5 completed WriteMax(53)", seed, got)
+	}
+	if err := history.CheckMaxRegister(rec.Ops()); err != nil {
+		return fmt.Errorf("seed %d: %w", seed, err)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// A Recycler caches the allocation-heavy scaffolding of released Systems —
+// event logs, schedule slices, process shells with their response channels,
+// and one reusable register pool — so an exploration engine rebuilding
+// thousands of systems per second reuses storage instead of hammering the
+// allocator. Exploration builds are deterministic, which is exactly what
+// makes reuse sound: every cycle allocates the same registers in the same
+// order and spawns the same processes.
+//
+// A Recycler is NOT safe for concurrent use. ExploreParallel gives each
+// worker its own.
+//
+//tradeoffvet:outofband scheduler-side scaffolding reuse; no model step is involved
+type Recycler struct {
+	shells []systemShell
+	procs  []*proc
+	pool   *primitive.Pool
+}
+
+// systemShell is the reusable storage of one released System.
+type systemShell struct {
+	procs    map[int]*proc
+	order    []int
+	events   []Event
+	schedule []int
+}
+
+// NewRecycler returns an empty recycler.
+func NewRecycler() *Recycler { return &Recycler{} }
+
+// NewSystem returns an empty system that draws cached process shells from
+// the recycler and whose log storage reuses that of previously Released
+// systems. Behavior is identical to NewSystem; only allocation differs.
+func (r *Recycler) NewSystem() *System {
+	s := &System{kill: make(chan struct{}), rec: r}
+	if n := len(r.shells); n > 0 {
+		sh := r.shells[n-1]
+		r.shells = r.shells[:n-1]
+		s.procs = sh.procs
+		s.order = sh.order[:0]
+		s.events = sh.events[:0]
+		s.schedule = sh.schedule[:0]
+	} else {
+		s.procs = make(map[int]*proc)
+	}
+	return s
+}
+
+// Pool returns the recycler's register pool, Reset to empty: a
+// deterministic builder allocating through it sees bit-identical registers
+// (same storage, same identifiers) cycle after cycle. See
+// primitive.Pool.Reset for the aliasing obligations.
+func (r *Recycler) Pool() *primitive.Pool {
+	if r.pool == nil {
+		r.pool = primitive.NewPool()
+	} else {
+		r.pool.Reset()
+	}
+	return r.pool
+}
+
+// Release shuts s down and donates its scaffolding to the recycler. The
+// system, its event log, its schedule, and any registers allocated from the
+// recycler's pool must not be used afterwards: the next build cycle
+// overwrites them. Systems built outside the recycler may be Released too —
+// their scaffolding is simply adopted.
+func (r *Recycler) Release(s *System) {
+	s.Shutdown()
+	for id, p := range s.procs {
+		// The response channel is unbuffered and every goroutine has
+		// exited, so the shell is quiescent; only reqCh (closed by the
+		// program goroutine) must be reallocated, which Spawn does.
+		p.reqCh = nil
+		p.pending = nil
+		p.done = false
+		p.steps = 0
+		r.procs = append(r.procs, p)
+		delete(s.procs, id)
+	}
+	r.shells = append(r.shells, systemShell{
+		procs:    s.procs,
+		order:    s.order,
+		events:   s.events,
+		schedule: s.schedule,
+	})
+	s.procs = nil
+	s.order = nil
+	s.events = nil
+	s.schedule = nil
+}
+
+// getProc pops a cached process shell, or returns nil when none is cached.
+func (r *Recycler) getProc() *proc {
+	if n := len(r.procs); n > 0 {
+		p := r.procs[n-1]
+		r.procs = r.procs[:n-1]
+		return p
+	}
+	return nil
+}

@@ -105,6 +105,10 @@ type System struct {
 	kill     chan struct{}
 	killOnce sync.Once
 	wg       sync.WaitGroup
+
+	// rec, when non-nil, is the Recycler this system draws cached process
+	// shells from (see Recycler.NewSystem); plain NewSystem leaves it nil.
+	rec *Recycler
 }
 
 // errKilled unwinds process goroutines at shutdown.
@@ -128,11 +132,17 @@ func (s *System) Spawn(id int, program Program) error {
 	if _, dup := s.procs[id]; dup {
 		return fmt.Errorf("sim: process %d already spawned", id)
 	}
-	p := &proc{
-		id:     id,
-		reqCh:  make(chan Pending),
-		respCh: make(chan procResp),
+	var p *proc
+	if s.rec != nil {
+		p = s.rec.getProc()
 	}
+	if p == nil {
+		p = &proc{respCh: make(chan procResp)}
+	}
+	p.id = id
+	// The request channel cannot be recycled: the process goroutine closes
+	// it when its program returns.
+	p.reqCh = make(chan Pending)
 	s.procs[id] = p
 	s.order = append(s.order, id)
 

@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// allocSink defeats dead-code elimination inside AllocsPerRun closures.
+var allocSink int64
+
+// The contexts are built once, outside the measured closures: converting the
+// value-type Direct to the Context interface boxes it, and that one-time
+// allocation must not be charged to the scan under test.
+
+func seedFArray(t *testing.T, n int) (*FArray, []primitive.Context) {
+	t.Helper()
+	fa, err := NewFArray(primitive.NewPool(), n, 64)
+	if err != nil {
+		t.Fatalf("NewFArray: %v", err)
+	}
+	ctxs := make([]primitive.Context, n)
+	for id := 0; id < n; id++ {
+		ctxs[id] = primitive.NewDirect(id)
+		if err := fa.Update(ctxs[id], int64(10+id)); err != nil {
+			t.Fatalf("Update(%d): %v", id, err)
+		}
+	}
+	return fa, ctxs
+}
+
+func seedDoubleCollect(t *testing.T, n int) (*DoubleCollect, []primitive.Context) {
+	t.Helper()
+	dc, err := NewDoubleCollect(primitive.NewPool(), n)
+	if err != nil {
+		t.Fatalf("NewDoubleCollect: %v", err)
+	}
+	ctxs := make([]primitive.Context, n)
+	for id := 0; id < n; id++ {
+		ctxs[id] = primitive.NewDirect(id)
+		if err := dc.Update(ctxs[id], int64(10+id)); err != nil {
+			t.Fatalf("Update(%d): %v", id, err)
+		}
+	}
+	return dc, ctxs
+}
+
+func TestFArrayScanViewZeroAlloc(t *testing.T) {
+	fa, ctxs := seedFArray(t, 4)
+	ctx := ctxs[0]
+	avg := testing.AllocsPerRun(200, func() {
+		view := fa.ScanView(ctx)
+		allocSink = view[len(view)-1]
+	})
+	if avg != 0 {
+		t.Errorf("FArray.ScanView allocates %v objects per call, want 0", avg)
+	}
+}
+
+func TestFArrayScanIntoZeroAlloc(t *testing.T) {
+	fa, ctxs := seedFArray(t, 4)
+	ctx := ctxs[1]
+	dst := make([]int64, 0, fa.Components())
+	avg := testing.AllocsPerRun(200, func() {
+		dst = fa.ScanInto(ctx, dst)
+		allocSink = dst[0]
+	})
+	if avg != 0 {
+		t.Errorf("FArray.ScanInto allocates %v objects per call, want 0", avg)
+	}
+}
+
+func TestFArraySingleLeafScanIntoZeroAlloc(t *testing.T) {
+	// The degenerate one-leaf tree has no arena view: ScanView must
+	// synthesize a slice (and so allocates), but ScanInto stays free.
+	fa, ctxs := seedFArray(t, 1)
+	ctx := ctxs[0]
+	dst := make([]int64, 0, 1)
+	avg := testing.AllocsPerRun(200, func() {
+		dst = fa.ScanInto(ctx, dst)
+		allocSink = dst[0]
+	})
+	if avg != 0 {
+		t.Errorf("single-leaf FArray.ScanInto allocates %v objects per call, want 0", avg)
+	}
+	if got := fa.ScanView(ctx); len(got) != 1 || got[0] != 10 {
+		t.Errorf("single-leaf ScanView = %v, want [10]", got)
+	}
+}
+
+func TestDoubleCollectScanIntoZeroAlloc(t *testing.T) {
+	dc, ctxs := seedDoubleCollect(t, 4)
+	ctx := ctxs[0]
+	dst := make([]int64, 0, dc.Components())
+	avg := testing.AllocsPerRun(200, func() {
+		dst = dc.ScanInto(ctx, dst)
+		allocSink = dst[0]
+	})
+	if avg != 0 {
+		t.Errorf("DoubleCollect.ScanInto allocates %v objects per call, want 0", avg)
+	}
+}
+
+func TestDoubleCollectScanViewZeroAlloc(t *testing.T) {
+	dc, ctxs := seedDoubleCollect(t, 4)
+	ctx := ctxs[2]
+	avg := testing.AllocsPerRun(200, func() {
+		view := dc.ScanView(ctx)
+		allocSink = view[len(view)-1]
+	})
+	if avg != 0 {
+		t.Errorf("DoubleCollect.ScanView allocates %v objects per call, want 0", avg)
+	}
+}
+
+func TestDoubleCollectOutOfRangeScannerFallsBack(t *testing.T) {
+	// Scanner ids outside [0, n) have no scratch: the read still works (it
+	// allocates fresh buffers), preserving the pre-sweep any-id contract.
+	dc, _ := seedDoubleCollect(t, 3)
+	var outside primitive.Context = primitive.NewDirect(7)
+	want := []int64{10, 11, 12}
+	for name, got := range map[string][]int64{
+		"Scan":     dc.Scan(outside),
+		"ScanView": dc.ScanView(outside),
+		"ScanInto": dc.ScanInto(outside, nil),
+	} {
+		if len(got) != len(want) {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s = %v, want %v", name, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestViewPathsMatchScan(t *testing.T) {
+	for name, seed := range map[string]func(*testing.T, int) (Snapshot, []primitive.Context){
+		"farray": func(t *testing.T, n int) (Snapshot, []primitive.Context) {
+			s, c := seedFArray(t, n)
+			return s, c
+		},
+		"doublecollect": func(t *testing.T, n int) (Snapshot, []primitive.Context) {
+			s, c := seedDoubleCollect(t, n)
+			return s, c
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			const n = 5
+			s, ctxs := seed(t, n)
+			v, ok := s.(Viewer)
+			if !ok {
+				t.Fatalf("%T does not implement Viewer", s)
+			}
+			type scanInto interface {
+				ScanInto(primitive.Context, []int64) []int64
+			}
+			for round := 0; round < 3; round++ {
+				for id := 0; id < n; id++ {
+					if err := s.Update(ctxs[id], int64(100*round+id)); err != nil {
+						t.Fatalf("Update: %v", err)
+					}
+				}
+				ctx := ctxs[round%n]
+				want := s.Scan(ctx)
+				view := v.ScanView(ctx)
+				into := s.(scanInto).ScanInto(ctx, make([]int64, 0, n))
+				for i := range want {
+					if view[i] != want[i] || into[i] != want[i] {
+						t.Fatalf("round %d: Scan=%v ScanView=%v ScanInto=%v", round, want, view, into)
+					}
+				}
+			}
+		})
+	}
+}

@@ -23,9 +23,21 @@ const maxDCValue = 1<<31 - 1
 type DoubleCollect struct {
 	n    int
 	segs []*primitive.Register
+
+	// scratch[i] is process i's private collect buffers, reused across
+	// Scans so the hot path stays allocation-free. The single-writer
+	// process-id discipline (one goroutine per id) makes the indexing
+	// race-free; scanners with ids outside [0, n) fall back to allocating.
+	scratch []dcScratch
+}
+
+// dcScratch is one process's reusable collect storage.
+type dcScratch struct {
+	prev, cur, view []int64
 }
 
 var _ Snapshot = (*DoubleCollect)(nil)
+var _ Viewer = (*DoubleCollect)(nil)
 
 // NewDoubleCollect builds a double-collect snapshot with n >= 1 segments,
 // all initially 0.
@@ -33,7 +45,15 @@ func NewDoubleCollect(pool *primitive.Pool, n int) (*DoubleCollect, error) {
 	if n < 1 {
 		return nil, &ValueError{Value: int64(n), Max: 0}
 	}
-	return &DoubleCollect{n: n, segs: pool.NewSlice("dc.seg", n, 0)}, nil
+	s := &DoubleCollect{n: n, segs: pool.NewSlice("dc.seg", n, 0), scratch: make([]dcScratch, n)}
+	for i := range s.scratch {
+		s.scratch[i] = dcScratch{
+			prev: make([]int64, n),
+			cur:  make([]int64, n),
+			view: make([]int64, n),
+		}
+	}
+	return s, nil
 }
 
 // Components implements Snapshot.
@@ -57,28 +77,69 @@ func (s *DoubleCollect) Update(ctx primitive.Context, v int64) error {
 }
 
 // Scan implements Snapshot: collect until two consecutive collects agree.
+// The returned slice is freshly allocated (caller-owned, per the Snapshot
+// contract); the collects themselves reuse per-process scratch. Use
+// ScanInto or ScanView for a fully allocation-free read.
 func (s *DoubleCollect) Scan(ctx primitive.Context) []int64 {
-	prev := s.collect(ctx)
+	out := make([]int64, 0, s.n)
+	return s.ScanInto(ctx, out)
+}
+
+// ScanInto is Scan appending into dst (reset to length zero): with a
+// caller-reused dst of capacity >= Components(), the whole read is
+// allocation-free. It returns the filled slice (reallocated only if dst was
+// too small).
+func (s *DoubleCollect) ScanInto(ctx primitive.Context, dst []int64) []int64 {
+	dst = dst[:0]
+	for _, w := range s.scanWords(ctx) {
+		dst = append(dst, w&maxDCValue)
+	}
+	return dst
+}
+
+// ScanView implements Viewer: the view is the process's scratch buffer,
+// valid only until its next Scan/ScanInto/ScanView and never to be
+// modified. Scanners with ids outside [0, Components()) allocate instead.
+func (s *DoubleCollect) ScanView(ctx primitive.Context) []int64 {
+	words := s.scanWords(ctx)
+	// Decode into a third buffer: words doubles as the next collect's
+	// storage, so the view must not alias it.
+	var view []int64
+	if id := ctx.ID(); id >= 0 && id < len(s.scratch) {
+		view = s.scratch[id].view
+	} else {
+		view = make([]int64, s.n)
+	}
+	for i, w := range words {
+		view[i] = w & maxDCValue
+	}
+	return view
+}
+
+// scanWords runs the double collect and returns the agreed packed words —
+// a scratch buffer, consumed before the process's next collect.
+func (s *DoubleCollect) scanWords(ctx primitive.Context) []int64 {
+	var prev, cur []int64
+	if id := ctx.ID(); id >= 0 && id < len(s.scratch) {
+		prev, cur = s.scratch[id].prev, s.scratch[id].cur
+	} else {
+		prev, cur = make([]int64, s.n), make([]int64, s.n)
+	}
+	s.collectInto(ctx, prev)
 	//tradeoffvet:casretry deliberately obstruction-free: concurrent updaters can starve the scanner forever, which is the baseline the wait-free alternatives in this package are measured against
 	for {
-		cur := s.collect(ctx)
+		s.collectInto(ctx, cur)
 		if equalWords(prev, cur) {
-			out := make([]int64, s.n)
-			for i, w := range cur {
-				out[i] = w & maxDCValue
-			}
-			return out
+			return cur
 		}
-		prev = cur
+		prev, cur = cur, prev
 	}
 }
 
-func (s *DoubleCollect) collect(ctx primitive.Context) []int64 {
-	words := make([]int64, s.n)
+func (s *DoubleCollect) collectInto(ctx primitive.Context, words []int64) {
 	for i, seg := range s.segs {
 		words[i] = ctx.Read(seg)
 	}
-	return words
 }
 
 func equalWords(a, b []int64) bool {

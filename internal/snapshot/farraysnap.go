@@ -31,6 +31,7 @@ type FArray struct {
 }
 
 var _ Snapshot = (*FArray)(nil)
+var _ Viewer = (*FArray)(nil)
 
 // NewFArray builds a constant-Scan snapshot with n >= 1 segments
 // supporting at most maxUpdates Update operations in total.
@@ -74,17 +75,40 @@ func NewFArray(pool *primitive.Pool, n int, maxUpdates int64) (*FArray, error) {
 // Components implements Snapshot.
 func (s *FArray) Components() int { return s.n }
 
-// Scan implements Snapshot in exactly one shared-memory step.
+// Scan implements Snapshot in exactly one shared-memory step. The returned
+// slice is a fresh copy (caller-owned, per the Snapshot contract); ScanView
+// reads the same cut without copying.
 func (s *FArray) Scan(ctx primitive.Context) []int64 {
+	view := s.ScanView(ctx)
+	out := make([]int64, len(view))
+	copy(out, view)
+	return out
+}
+
+// ScanView implements Viewer in the same single shared-memory step as Scan,
+// returning the immutable arena view directly: zero-copy and, for trees
+// with at least two leaves, allocation-free. Views are append-only arena
+// slots that are never modified after publication, so the slice may be
+// retained — but must never be written. (The degenerate single-leaf tree
+// has no arena view and synthesizes a one-element slice.)
+func (s *FArray) ScanView(ctx primitive.Context) []int64 {
 	root := s.tree.Root
 	if root.IsLeaf() {
 		return []int64{ctx.Read(s.regs[root.Index])}
 	}
-	idx := ctx.Read(s.regs[root.Index])
-	view := *s.views.get(idx)
-	out := make([]int64, len(view))
-	copy(out, view)
-	return out
+	return *s.views.get(ctx.Read(s.regs[root.Index]))
+}
+
+// ScanInto is Scan appending into dst (reset to length zero): with a
+// caller-reused dst of capacity >= Components(), the whole read is
+// allocation-free even for single-leaf trees.
+func (s *FArray) ScanInto(ctx primitive.Context, dst []int64) []int64 {
+	dst = dst[:0]
+	root := s.tree.Root
+	if root.IsLeaf() {
+		return append(dst, ctx.Read(s.regs[root.Index]))
+	}
+	return append(dst, *s.views.get(ctx.Read(s.regs[root.Index]))...)
 }
 
 // Update implements Snapshot in O(log N) steps.

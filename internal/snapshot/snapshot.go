@@ -47,6 +47,19 @@ type Snapshot interface {
 	Components() int
 }
 
+// Viewer is the allocation-free read path some snapshots offer alongside
+// Scan. Readers on hot paths (counter.FromSnapshot.Read, the bench
+// harness) type-assert for it and fall back to Scan.
+type Viewer interface {
+	// ScanView atomically reads all segments like Scan but without copying:
+	// the returned slice is implementation-owned and must never be
+	// modified. How long it stays valid is implementation-defined — FArray
+	// views are immutable forever, DoubleCollect views only until the same
+	// process's next scan — so callers that outlive the current operation
+	// must copy.
+	ScanView(ctx primitive.Context) []int64
+}
+
 // CapacityError reports that a restricted-use implementation ran out of its
 // pre-declared update budget.
 type CapacityError struct {
