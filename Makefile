@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race race-sim vet lint bench bench-json explore-bench experiments fuzz fuzz-smoke clean
+.PHONY: all test race race-sim race-flight vet lint bench bench-json explore-bench experiments flight-smoke fuzz fuzz-smoke clean
 
 all: vet lint test
 
@@ -15,6 +15,22 @@ race:
 # this is the fast smoke CI runs on every push.
 race-sim:
 	$(GO) test -race ./internal/sim/...
+
+# Targeted race pass over the flight recorder: the seqlock rings, hybrid
+# clock, and monitor goroutine are the observability layer's only
+# lock-free concurrency, plus the facade-level tests that scrape
+# /metrics and /debug/history while a recorded workload runs.
+race-flight:
+	$(GO) test -race ./internal/obs/flight/... ./internal/bench/flightlive/...
+	$(GO) test -race -run TestFlight .
+
+# Short live run with the flight recorder attached at the default 1/64
+# sampling rate: a concurrent workload over all four object families
+# through the public facade, failing on any detected linearizability
+# violation or a drop rate that says the monitor cannot keep up. See
+# docs/flight-recorder.md.
+flight-smoke:
+	$(GO) run ./cmd/tradeoff -run flight
 
 # gofmt -l exits 0 even when it lists files, so fail explicitly on any
 # output.

@@ -13,7 +13,15 @@
 //	simtrace [-object maxreg|counter|snapshot] [-impl NAME] [-n 4] \
 //	         [-ops 6] [-sched random|roundrobin|theorem1] [-seed 1] \
 //	         [-format text|trace-json] [-quiet] \
-//	         [-explore [-workers N] [-budget M]]
+//	         [-explore [-workers N] [-budget M]] \
+//	         [-from-history dump.json]
+//
+// -from-history skips the simulator entirely and renders a flight-recorder
+// history dump (the tradeoffs/flight/v1 JSON written by /debug/history or a
+// violation artifact; "-" reads stdin). With -format trace-json the window
+// becomes a Chrome trace of real wall-clock operation intervals; the text
+// format prints the window and re-runs the offline batch checker on it, so
+// a violation artifact can be independently re-verified.
 //
 // Implementations: maxreg: algorithm-a, aac, unbounded, cas;
 // counter: farray, aac, cas; snapshot: farray, afek, doublecollect.
@@ -32,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +54,7 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/aware"
 	"github.com/restricteduse/tradeoffs/internal/core"
 	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
 	"github.com/restricteduse/tradeoffs/internal/obs"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
@@ -60,17 +70,18 @@ func main() {
 }
 
 type traceConfig struct {
-	object  string
-	impl    string
-	n       int
-	ops     int
-	sched   string
-	seed    int64
-	format  string
-	quiet   bool
-	explore bool
-	workers int
-	budget  int
+	object      string
+	impl        string
+	n           int
+	ops         int
+	sched       string
+	seed        int64
+	format      string
+	quiet       bool
+	explore     bool
+	workers     int
+	budget      int
+	fromHistory string
 }
 
 func run(args []string, out io.Writer) error {
@@ -87,6 +98,7 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&cfg.explore, "explore", false, "exhaustively explore EVERY schedule of the workload instead of running one")
 	fs.IntVar(&cfg.workers, "workers", 0, "exploration worker goroutines (-explore); 0 = GOMAXPROCS")
 	fs.IntVar(&cfg.budget, "budget", 1_000_000, "max complete executions before -explore aborts")
+	fs.StringVar(&cfg.fromHistory, "from-history", "", "render a flight-recorder history dump (tradeoffs/flight/v1 JSON; \"-\" = stdin) instead of simulating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +109,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q (want text or trace-json)", cfg.format)
 	}
 
+	if cfg.fromHistory != "" {
+		if cfg.explore || cfg.sched == "theorem1" {
+			return fmt.Errorf("-from-history renders an existing dump; it is incompatible with -explore and -sched theorem1")
+		}
+		return runFromHistory(cfg, out)
+	}
 	if cfg.explore {
 		if cfg.sched == "theorem1" {
 			return fmt.Errorf("-explore is incompatible with -sched theorem1 (the adversary dictates its own schedule)")
@@ -110,6 +128,65 @@ func run(args []string, out io.Writer) error {
 		return runTheorem1(cfg, out)
 	}
 	return runWorkload(cfg, out)
+}
+
+// runFromHistory renders a flight-recorder dump instead of simulating:
+// trace-json mode converts the window into a Chrome trace of wall-clock
+// operation intervals, text mode prints it and re-verifies it with the
+// offline batch checker.
+func runFromHistory(cfg traceConfig, out io.Writer) error {
+	var src io.Reader = os.Stdin
+	if cfg.fromHistory != "-" {
+		f, err := os.Open(cfg.fromHistory)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	d, err := history.ReadDump(src)
+	if err != nil {
+		return err
+	}
+
+	if cfg.format == "trace-json" {
+		b, err := json.MarshalIndent(obs.HistoryTrace(d), "", " ")
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(b, '\n'))
+		return err
+	}
+
+	fmt.Fprintf(out, "flight window: object=%s family=%s ops=%d sample=1/%d dropped=%d\n",
+		d.Name, d.Family, len(d.Ops), d.SampleEvery, d.Dropped)
+	if !cfg.quiet {
+		for _, op := range d.Ops {
+			switch op.Kind {
+			case history.KindScan:
+				fmt.Fprintf(out, "  p%-2d %-12s %v  [%d, %d]\n", op.Proc, op.Kind, op.RetVec, op.Inv, op.Res)
+			default:
+				fmt.Fprintf(out, "  p%-2d %-12s arg=%-6d ret=%-6d [%d, %d]\n", op.Proc, op.Kind, op.Arg, op.Ret, op.Inv, op.Res)
+			}
+		}
+	}
+	if s := d.Summary; s != nil {
+		fmt.Fprintf(out, "evicted-prefix summary: admitted=%d sealed_to=%d relaxed=%v\n", s.Admitted, s.SealedTo, s.Relaxed)
+	}
+	if v := d.Violation; v != nil {
+		fmt.Fprintf(out, "recorded violation: %s\n", v.Error())
+	}
+
+	check := history.CheckerFor(d.Family)
+	if check == nil {
+		return fmt.Errorf("no checker for family %q", d.Family)
+	}
+	if err := check(d.Ops); err != nil {
+		fmt.Fprintf(out, "offline re-check: VIOLATION CONFIRMED: %v\n", err)
+	} else {
+		fmt.Fprintf(out, "offline re-check: window passes the %s interval checker\n", d.Family)
+	}
+	return nil
 }
 
 // runExplore exhaustively enumerates every schedule of the configured

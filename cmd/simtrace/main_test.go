@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/obs"
 )
 
@@ -194,6 +197,93 @@ func TestExploreRejectsIncompatibleModes(t *testing.T) {
 	} {
 		if err := run(args, &out); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestFromHistoryRoundTrip is the satellite acceptance test: a
+// flight-recorder dump written by history.WriteDump renders through
+// -from-history as both text (with offline re-check) and valid
+// Chrome-trace JSON.
+func TestFromHistoryRoundTrip(t *testing.T) {
+	dump := &history.Dump{
+		Name:        "maxreg#0",
+		Family:      "maxreg",
+		ClockUnit:   "ns-hybrid",
+		SampleEvery: 1,
+		Violation: &history.ViolationError{
+			Checker: "maxreg",
+			Detail:  "read missed completed write of 42",
+			Op:      history.Op{Proc: 1, Kind: history.KindReadMax, Ret: 0, Inv: 3_000_000, Res: 3_050_000},
+		},
+		Ops: []history.Op{
+			{Proc: 0, Kind: history.KindWriteMax, Arg: 42, Inv: 1_000_000, Res: 1_200_000},
+			{Proc: 1, Kind: history.KindReadMax, Ret: 0, Inv: 3_000_000, Res: 3_050_000},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "dump.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := history.WriteDump(f, dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	if err := run([]string{"-from-history", path}, &text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flight window: object=maxreg#0", "VIOLATION CONFIRMED"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var traced bytes.Buffer
+	if err := run([]string{"-from-history", path, "-format", "trace-json"}, &traced); err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(traced.Bytes(), &tf); err != nil {
+		t.Fatalf("-from-history trace-json invalid: %v", err)
+	}
+	var slices, markers int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+		case "I":
+			markers++
+		}
+	}
+	if slices != 2 || markers != 1 {
+		t.Fatalf("trace structure wrong: %d slices, %d violation markers", slices, markers)
+	}
+}
+
+// TestFromHistoryRejectsBadInput covers the input-mode error paths.
+func TestFromHistoryRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-from-history", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-from-history", bad}, &out); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	for _, args := range [][]string{
+		{"-from-history", bad, "-explore"},
+		{"-from-history", bad, "-sched", "theorem1", "-object", "counter"},
+	} {
+		if err := run(args, &out); err == nil || !strings.Contains(err.Error(), "incompatible") {
+			t.Fatalf("args %v: want incompatibility error, got %v", args, err)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tradeoff [-run e1,e3] [-format text|markdown|csv] [-ns 8,16,32] [-ks 64,256] \
+//	         [-flight] [-flight-sample 64] [-flight-window 1024] \
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // With no flags it runs everything with the default sweeps. The profiling
@@ -13,6 +14,14 @@
 // profiles (`go tool pprof`), -trace writes a runtime execution trace
 // (`go tool trace`) — the standard toolchain views of the same experiments
 // whose shared-memory step counts the tables report.
+//
+// -flight adds the live monitored experiment ("flight", also selectable
+// via -run flight): a concurrent workload over all four object families
+// through the public facade with the flight recorder and online
+// linearizability monitor attached — see docs/flight-recorder.md. The
+// run fails on any detected violation. -flight-sample sets the
+// recorder's 1-in-N sampling rate (1 = record everything, exact-mode
+// checking) and -flight-window its per-process ring capacity.
 package main
 
 import (
@@ -23,10 +32,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"slices"
 	"strconv"
 	"strings"
 
 	"github.com/restricteduse/tradeoffs/internal/bench"
+	"github.com/restricteduse/tradeoffs/internal/bench/flightlive"
 )
 
 func main() {
@@ -44,6 +55,9 @@ func run(args []string, out io.Writer) error {
 		nsFlag     = fs.String("ns", "", "override process-count sweep for e1/e2/e5 (comma-separated)")
 		ksFlag     = fs.String("ks", "", "override K sweep for e3 (comma-separated)")
 		workersFlg = fs.String("workers", "1,2,4,8", "ExploreParallel worker-count sweep for e12 (comma-separated, counts >= 1)")
+		flightFlag = fs.Bool("flight", false, "also run the live flight-recorder experiment (fails on any linearizability violation)")
+		flightSmpl = fs.Int("flight-sample", 64, "flight recorder sampling rate: record 1 in N operations per process (1 = exact)")
+		flightWin  = fs.Int("flight-window", 1024, "flight recorder per-process ring capacity, in records")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		traceFile  = fs.String("trace", "", "write a runtime execution trace to this file")
@@ -129,6 +143,12 @@ func run(args []string, out io.Writer) error {
 			return bench.E12ExploreScaling(bench.ExploreConfig{Workers: workers})
 		},
 	}
+	experiments["flight"] = func() ([]*bench.Table, error) {
+		return flightlive.Run(flightlive.Config{
+			SampleEvery: *flightSmpl,
+			Window:      *flightWin,
+		})
+	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e7", "e9", "e10", "e12"}
 
 	var selected []string
@@ -138,10 +158,14 @@ func run(args []string, out io.Writer) error {
 		for _, name := range strings.Split(*runList, ",") {
 			name = strings.ToLower(strings.TrimSpace(name))
 			if _, ok := experiments[name]; !ok {
-				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10,e12)", name)
+				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10,e12,flight)", name)
 			}
 			selected = append(selected, name)
 		}
+	}
+	// -flight appends the live monitored run unless -run already named it.
+	if *flightFlag && !slices.Contains(selected, "flight") {
+		selected = append(selected, "flight")
 	}
 
 	for _, name := range selected {

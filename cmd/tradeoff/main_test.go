@@ -56,6 +56,23 @@ func TestRunE1TextOutput(t *testing.T) {
 	}
 }
 
+func TestRunFlightExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-flight", "-run", "flight", "-flight-sample", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"FLIGHT:", "maxreg", "counter", "snapshot", "consensus"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("flight output missing %q:\n%s", want, text)
+		}
+	}
+	// -run flight already selects it; -flight must not run it twice.
+	if n := strings.Count(text, "FLIGHT:"); n != 1 {
+		t.Fatalf("flight experiment ran %d times, want 1", n)
+	}
+}
+
 func TestRunMarkdownAndCSV(t *testing.T) {
 	var md bytes.Buffer
 	if err := run([]string{"-run", "e1", "-ns", "4", "-format", "markdown"}, &md); err != nil {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"github.com/restricteduse/tradeoffs/internal/consensus"
+	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
 
@@ -23,6 +25,7 @@ type Consensus struct {
 	processes int
 	counting  bool
 	col       *obs.Collector
+	ftap      *flight.Tap
 }
 
 // ErrRoundsExhausted is returned by Propose when contention outlasts the
@@ -45,11 +48,15 @@ func NewConsensus(opts ...Option) (*Consensus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, err := registerObs(c, "consensus", pool)
+	col, name, err := registerObs(c, "consensus", pool)
 	if err != nil {
 		return nil, err
 	}
-	return &Consensus{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
+	tap, err := registerFlight(c, "consensus", name)
+	if err != nil {
+		return nil, err
+	}
+	return &Consensus{impl: impl, processes: c.processes, counting: c.counting, col: col, ftap: tap}, nil
 }
 
 // Processes returns the number of process slots.
@@ -59,7 +66,7 @@ func (c *Consensus) Processes() int { return c.processes }
 // [0, Processes()) — see checkHandleID.
 func (c *Consensus) Handle(id int) *ConsensusHandle {
 	checkHandleID("Consensus", id, c.processes)
-	h := &ConsensusHandle{cons: c.impl, handle: newHandle(id, c.counting, c.col)}
+	h := &ConsensusHandle{cons: c.impl, handle: newHandle(id, c.counting, c.col, c.ftap)}
 	if c.col != nil {
 		h.opPropose = c.col.Op("propose")
 	}
@@ -76,13 +83,25 @@ type ConsensusHandle struct {
 
 // Propose submits v and returns the agreed value.
 func (h *ConsensusHandle) Propose(v int64) (int64, error) {
+	tok := h.beginFlight()
+	var (
+		agreed int64
+		err    error
+	)
 	if h.inst == nil {
-		return h.cons.Propose(h.ctx, v)
+		agreed, err = h.cons.Propose(h.ctx, v)
+	} else {
+		sp := h.opPropose.Begin(h.inst)
+		agreed, err = h.cons.Propose(h.ctx, v)
+		sp.End()
 	}
-	sp := h.opPropose.Begin(h.inst)
-	agreed, err := h.cons.Propose(h.ctx, v)
-	sp.End()
-	return agreed, err
+	if err != nil {
+		// An exhausted round budget decides nothing: drop the record.
+		h.abortFlight(tok)
+		return agreed, err
+	}
+	h.endFlight(tok, history.KindPropose, v, agreed)
+	return agreed, nil
 }
 
 // Decided returns the agreed value, or 0 if none yet (one step).

@@ -1,0 +1,357 @@
+package tradeoffs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/history"
+)
+
+// TestFlightRecorderEndToEnd taps all four families in exact mode,
+// drives them concurrently, and asserts the monitor admits everything
+// and stays quiet: the real implementations are linearizable, so any
+// violation here is a recorder bug.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{SampleEvery: 1, Window: 1 << 12})
+
+	reg, err := NewMaxRegister(WithFlightRecorder(fr), WithProcesses(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := NewCounter(WithFlightRecorder(fr), WithProcesses(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(WithFlightRecorder(fr), WithProcesses(4), WithLimit(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsensus(WithFlightRecorder(fr), WithProcesses(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Start()
+	defer fr.Stop()
+
+	const procs, opsPer = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rh, ch, sh, nh := reg.Handle(p), ctr.Handle(p), snap.Handle(p), cons.Handle(p)
+			if _, err := nh.Propose(int64(p) + 1); err != nil {
+				t.Error(err)
+			}
+			for i := 0; i < opsPer; i++ {
+				switch i % 4 {
+				case 0:
+					if err := rh.Write(int64(p*opsPer + i + 1)); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					rh.Read()
+					ch.Read()
+				case 2:
+					if err := ch.Add(int64(i%3 + 1)); err != nil {
+						t.Error(err)
+					}
+				case 3:
+					if err := sh.Update(int64(p*opsPer + i + 1)); err != nil {
+						t.Error(err)
+					}
+					sh.Scan()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	fr.Sync()
+
+	st := fr.Stats()
+	if st.Recorded == 0 || len(st.Taps) != 4 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("false violation on correct objects: %+v", fr.Violations())
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("unexpected drops: %d", st.Dropped)
+	}
+	wantNames := map[string]bool{"maxreg#0": true, "counter#0": true, "snapshot#0": true, "consensus#0": true}
+	for _, tap := range st.Taps {
+		if !wantNames[tap.Object] {
+			t.Fatalf("unexpected tap name %q", tap.Object)
+		}
+		if tap.Relaxed {
+			t.Fatalf("exact-mode tap %q reported relaxed", tap.Object)
+		}
+	}
+
+	// The history dump round-trips through the offline tooling's reader.
+	var buf strings.Builder
+	if err := fr.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dumps []*history.Dump
+	if err := json.Unmarshal([]byte(buf.String()), &dumps); err != nil {
+		t.Fatalf("WriteHistory output unparseable: %v", err)
+	}
+	if len(dumps) != 4 {
+		t.Fatalf("want 4 dumps, got %d", len(dumps))
+	}
+	for _, d := range dumps {
+		if d.Schema != history.DumpSchema || len(d.Ops) == 0 {
+			t.Fatalf("bad dump: %+v", d)
+		}
+	}
+}
+
+// TestFlightRecorderComposesWithObservability attaches both layers to
+// one object and scrapes the shared handlers concurrently with the
+// workload (the interesting part runs under -race).
+func TestFlightRecorderComposesWithObservability(t *testing.T) {
+	o := NewObservability()
+	fr := NewFlightRecorder(FlightConfig{SampleEvery: 2, Window: 256})
+	ctr, err := NewCounter(WithObservability(o), WithFlightRecorder(fr), WithProcesses(4), WithName("served"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Start()
+	defer fr.Stop()
+
+	handler := o.Handler()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := ctr.Handle(p)
+			for i := 0; i < 1000; i++ {
+				if err := h.Increment(); err != nil {
+					t.Error(err)
+				}
+				if i%100 == 0 {
+					h.Read()
+				}
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, path := range []string{"/metrics", "/debug/history", "/debug/violations"} {
+						rw := httptest.NewRecorder()
+						handler.ServeHTTP(rw, httptest.NewRequest("GET", path, nil))
+						if rw.Code != 200 {
+							t.Errorf("%s: status %d", path, rw.Code)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	fr.Sync()
+
+	// One final scrape: both layers label the object identically.
+	rw := httptest.NewRecorder()
+	handler.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	body := rw.Body.String()
+	for _, want := range []string{
+		`tradeoffs_primitive_ops_total{object="served"`,
+		`tradeoffs_flight_recorded_total{object="served"}`,
+		`tradeoffs_flight_dropped_total{object="served"}`,
+		`tradeoffs_flight_pending_records{object="served"}`,
+		`tradeoffs_flight_relaxed{object="served"} 1`,
+		`tradeoffs_flight_violations_total{object="served"} 0`,
+		"tradeoffs_flight_sample_every 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	rw = httptest.NewRecorder()
+	handler.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/history", nil))
+	var dumps []*history.Dump
+	if err := json.Unmarshal(rw.Body.Bytes(), &dumps); err != nil {
+		t.Fatalf("/debug/history unparseable: %v", err)
+	}
+	if len(dumps) != 1 || dumps[0].Name != "served" || dumps[0].SampleEvery != 2 {
+		t.Fatalf("bad /debug/history payload: %+v", dumps)
+	}
+	if fr.Stats().Violations != 0 {
+		t.Fatalf("false violation: %+v", fr.Violations())
+	}
+}
+
+// TestFlightRecorderPlantedViolation injects a fabricated record — a
+// read claiming to have missed a completed write — through a real
+// object's tap and follows the violation to its on-disk repro artifact.
+func TestFlightRecorderPlantedViolation(t *testing.T) {
+	dir := t.TempDir()
+	var cbMu sync.Mutex
+	var fromCallback []FlightViolation
+	fr := NewFlightRecorder(FlightConfig{
+		SampleEvery: 1,
+		ArtifactDir: dir,
+		OnViolation: func(v FlightViolation) {
+			cbMu.Lock()
+			fromCallback = append(fromCallback, v)
+			cbMu.Unlock()
+		},
+	})
+	reg, err := NewMaxRegister(WithFlightRecorder(fr), WithProcesses(2), WithName("dut"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Start()
+	defer fr.Stop()
+
+	h0, h1 := reg.Handle(0), reg.Handle(1)
+	if err := h0.Write(42); err != nil {
+		t.Fatal(err)
+	}
+	// The object is correct, so fabricate the faulty read at the tap:
+	// a post-write read returning 0 is exactly what a lost write would
+	// produce.
+	tok := h1.ftap.Begin(h1.fid)
+	h1.ftap.End(h1.fid, tok, history.KindReadMax, 0, 0)
+	fr.Sync()
+
+	vs := fr.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %+v", vs)
+	}
+	v := vs[0]
+	if v.Object != "dut" || v.Family != "maxreg" || v.Checker != "maxreg" || v.Detail == "" {
+		t.Fatalf("bad violation: %+v", v)
+	}
+	cbMu.Lock()
+	ncb := len(fromCallback)
+	cbMu.Unlock()
+	if ncb != 1 {
+		t.Fatalf("OnViolation called %d times", ncb)
+	}
+	if len(v.ArtifactPaths) != 2 {
+		t.Fatalf("want 2 artifacts, got %v", v.ArtifactPaths)
+	}
+	f, err := os.Open(v.ArtifactPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := history.ReadDump(f)
+	if err != nil {
+		t.Fatalf("history artifact unparseable: %v", err)
+	}
+	if history.CheckerFor(d.Family)(d.Ops) == nil {
+		t.Fatal("artifact window re-checks clean; not a repro")
+	}
+	if base := filepath.Base(v.ArtifactPaths[0]); base != "dut-violation.history.json" {
+		t.Fatalf("unexpected artifact name %q", base)
+	}
+
+	// /debug/violations on the standalone handler reports it too.
+	rw := httptest.NewRecorder()
+	fr.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/violations", nil))
+	var served []FlightViolation
+	if err := json.Unmarshal(rw.Body.Bytes(), &served); err != nil {
+		t.Fatalf("/debug/violations unparseable: %v", err)
+	}
+	if len(served) != 1 || served[0].Object != "dut" {
+		t.Fatalf("bad /debug/violations payload: %+v", served)
+	}
+}
+
+// TestFlightRecorderBatchedFlushRecordsWeightedIncrement pins the
+// WithBatching composition: buffered deltas are recorded only when they
+// propagate, as one increment carrying the coalesced weight.
+func TestFlightRecorderBatchedFlushRecordsWeightedIncrement(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{SampleEvery: 1})
+	ctr, err := NewCounter(WithFlightRecorder(fr), WithProcesses(1), WithBatching(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	for i := 0; i < 7; i++ { // one auto-flush at 4, three left buffered
+		if err := h.Add(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Read(); got != 14 { // read-your-writes: flushes the rest
+		t.Fatalf("Read = %d, want 14", got)
+	}
+	fr.Sync()
+
+	st := fr.Stats()
+	// Two flushes (8 and 6) plus the read: buffered Adds themselves are
+	// not shared-memory operations and must not be recorded.
+	if st.Recorded != 3 {
+		t.Fatalf("recorded %d records, want 3 (2 weighted flushes + 1 read)", st.Recorded)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("weighted flushes flagged: %+v", fr.Violations())
+	}
+	var buf strings.Builder
+	if err := fr.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dumps []*history.Dump
+	if err := json.Unmarshal([]byte(buf.String()), &dumps); err != nil {
+		t.Fatal(err)
+	}
+	var weights []int64
+	for _, op := range dumps[0].Ops {
+		if op.Kind == history.KindIncrement {
+			weights = append(weights, op.Arg)
+		}
+	}
+	if len(weights) != 2 || weights[0] != 8 || weights[1] != 6 {
+		t.Fatalf("flush weights = %v, want [8 6]", weights)
+	}
+}
+
+// TestFlightRecorderRegistrationErrors pins the construction contract.
+func TestFlightRecorderRegistrationErrors(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{})
+	if _, err := NewCounter(WithFlightRecorder(fr), WithName("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCounter(WithFlightRecorder(fr), WithName("x")); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	fr.Start()
+	defer fr.Stop()
+	if _, err := NewCounter(WithFlightRecorder(fr)); err == nil {
+		t.Fatal("construction after Start accepted")
+	}
+
+	// One observability registry cannot serve two recorders.
+	o := NewObservability()
+	fr2 := NewFlightRecorder(FlightConfig{})
+	fr3 := NewFlightRecorder(FlightConfig{})
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr3)); err == nil {
+		t.Fatal("second recorder on one observability accepted")
+	}
+}

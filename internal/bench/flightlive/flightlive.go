@@ -1,0 +1,175 @@
+// Package flightlive holds the live monitored experiment behind
+// `tradeoff -flight` and `make flight-smoke`. It lives outside
+// internal/bench because it drives the public facade: the root package's
+// in-package benchmarks import internal/bench, so an experiment that
+// imports the root package must sit in its own leaf to keep the test
+// build graph acyclic.
+package flightlive
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	tradeoffs "github.com/restricteduse/tradeoffs"
+	"github.com/restricteduse/tradeoffs/internal/bench"
+)
+
+// Config parameterizes Run.
+type Config struct {
+	// Procs is the process count per object (default 8).
+	Procs int
+	// OpsPerProc is the per-process operation count (default 20000).
+	OpsPerProc int
+	// SampleEvery is the recorder's sampling rate (default 64; 1 records
+	// everything and enables exact-mode checking).
+	SampleEvery int
+	// Window is the per-(object, process) ring capacity (default 1024).
+	Window int
+	// Seed feeds every per-process RNG (default 1).
+	Seed int64
+	// MaxDropRate bounds dropped/(recorded+dropped); exceeding it fails
+	// the run (default 0.25). At the default sampling rate drops mean the
+	// monitor cannot keep up, so the smoke run treats a high rate as a
+	// regression in the recorder itself. The bound is not enforced when
+	// SampleEvery is 1: recording every operation of a full-speed
+	// workload is the designed overload case, where the ring drops old
+	// records and degrades checking rather than stalling the workload.
+	MaxDropRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 8
+	}
+	if c.OpsPerProc <= 0 {
+		c.OpsPerProc = 20000
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxDropRate <= 0 {
+		c.MaxDropRate = 0.25
+	}
+	return c
+}
+
+// Run is the live monitored experiment behind `tradeoff -flight`
+// and `make flight-smoke`: it drives all four object families through
+// the public facade with a flight recorder attached, then tabulates the
+// recorder's verdict. A detected linearizability violation — on the
+// repository's own, correct implementations — or a drop rate above
+// MaxDropRate fails the run.
+func Run(cfg Config) ([]*bench.Table, error) {
+	cfg = cfg.withDefaults()
+	fr := tradeoffs.NewFlightRecorder(tradeoffs.FlightConfig{
+		SampleEvery: cfg.SampleEvery,
+		Window:      cfg.Window,
+	})
+
+	procs := cfg.Procs
+	limit := int64(procs) * int64(cfg.OpsPerProc)
+	reg, err := tradeoffs.NewMaxRegister(tradeoffs.WithFlightRecorder(fr), tradeoffs.WithProcesses(procs))
+	if err != nil {
+		return nil, err
+	}
+	ctr, err := tradeoffs.NewCounter(tradeoffs.WithFlightRecorder(fr), tradeoffs.WithProcesses(procs))
+	if err != nil {
+		return nil, err
+	}
+	snap, err := tradeoffs.NewSnapshot(tradeoffs.WithFlightRecorder(fr), tradeoffs.WithProcesses(procs), tradeoffs.WithLimit(limit))
+	if err != nil {
+		return nil, err
+	}
+	cons, err := tradeoffs.NewConsensus(tradeoffs.WithFlightRecorder(fr), tradeoffs.WithProcesses(procs))
+	if err != nil {
+		return nil, err
+	}
+	fr.Start()
+	defer fr.Stop()
+
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)))
+			rh, ch, sh, nh := reg.Handle(p), ctr.Handle(p), snap.Handle(p), cons.Handle(p)
+			if _, err := nh.Propose(int64(p) + 1); err != nil {
+				fail(fmt.Errorf("flight: propose: %w", err))
+				return
+			}
+			for i := 0; i < cfg.OpsPerProc; i++ {
+				var err error
+				switch rng.Intn(6) {
+				case 0:
+					err = rh.Write(rng.Int63n(1 << 20))
+				case 1:
+					rh.Read()
+				case 2:
+					err = ch.Add(rng.Int63n(4) + 1)
+				case 3:
+					ch.Read()
+				case 4:
+					err = sh.Update(int64(p*cfg.OpsPerProc+i) + 1)
+				case 5:
+					sh.Scan()
+				}
+				if err != nil {
+					fail(fmt.Errorf("flight: process %d op %d: %w", p, i, err))
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	fr.Sync()
+
+	st := fr.Stats()
+	t := &bench.Table{
+		ID:      "FLIGHT",
+		Title:   fmt.Sprintf("Live flight recorder, %d procs x %d ops, sample 1/%d", procs, cfg.OpsPerProc, st.SampleEvery),
+		Columns: []string{"object", "family", "recorded", "dropped", "pending", "relaxed", "violated"},
+		Notes: []string{
+			"recorded = operation records admitted to the online linearizability monitor",
+			"relaxed = only the subset-sound checker conditions ran (sampling < 1/1 or ring drops)",
+			"a violated row on these implementations would be a bug; the run fails on it",
+		},
+	}
+	for _, tap := range st.Taps {
+		t.AddRow(tap.Object, tap.Family, tap.Recorded, tap.Dropped, tap.Pending, tap.Relaxed, tap.Violated)
+	}
+
+	if st.Violations != 0 {
+		vs := fr.Violations()
+		return []*bench.Table{t}, fmt.Errorf("flight: monitor reported %d violation(s); first: %s: %s",
+			st.Violations, vs[0].Object, vs[0].Detail)
+	}
+	if total := st.Recorded + st.Dropped; total > 0 && cfg.SampleEvery > 1 {
+		if rate := float64(st.Dropped) / float64(total); rate > cfg.MaxDropRate {
+			return []*bench.Table{t}, fmt.Errorf("flight: drop rate %.2f exceeds %.2f (monitor cannot keep up)",
+				rate, cfg.MaxDropRate)
+		}
+	}
+	return []*bench.Table{t}, nil
+}

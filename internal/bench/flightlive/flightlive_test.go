@@ -1,0 +1,44 @@
+package flightlive
+
+import "testing"
+
+// TestRunCleanWorkload runs a small live workload and asserts the monitor
+// clears the repo's own implementations: one row per object family, no
+// violations, and a drop rate inside the smoke bound.
+func TestRunCleanWorkload(t *testing.T) {
+	tables, err := Run(Config{Procs: 4, OpsPerProc: 1000, SampleEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tab := tables[0]
+	if tab.ID != "FLIGHT" {
+		t.Fatalf("table ID = %q", tab.ID)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want one per family:\n%s", len(tab.Rows), tab.Text())
+	}
+	families := map[string]bool{}
+	for _, row := range tab.Rows {
+		families[row[1]] = true
+		if violated := row[len(row)-1]; violated != "false" {
+			t.Fatalf("row %v reports a violation on a correct implementation", row)
+		}
+	}
+	for _, want := range []string{"maxreg", "counter", "snapshot", "consensus"} {
+		if !families[want] {
+			t.Fatalf("no row for family %q:\n%s", want, tab.Text())
+		}
+	}
+}
+
+// TestRunExactMode exercises SampleEvery == 1: recording every operation
+// of a full-speed workload is the designed overload case, so drops must
+// not fail the run — they degrade checking instead.
+func TestRunExactMode(t *testing.T) {
+	if _, err := Run(Config{Procs: 4, OpsPerProc: 2000, SampleEvery: 1, Window: 256}); err != nil {
+		t.Fatal(err)
+	}
+}

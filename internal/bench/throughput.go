@@ -9,8 +9,10 @@ import (
 
 	"github.com/restricteduse/tradeoffs/internal/core"
 	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
 	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
 )
@@ -331,6 +333,57 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			})
 		if err = add(result(fmt.Sprintf("counter/farray/add/batched-w%d", window),
 			procs, ops*int64(procs), m), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// Flight recorder overhead: the padded f-array increment schedule again,
+	// with a recorder tap on the hot path. The three rows share one
+	// schedule, so ns/op deltas isolate the tap cost — recorder-off is the
+	// baseline, sampled is the default 1-in-64 production setting (the
+	// acceptance bar: < 10% over off), exact records every operation. Each
+	// recorded run doubles as an end-to-end check: the online monitor must
+	// stay silent on a correct counter.
+	for _, variant := range []struct {
+		name   string
+		attach bool
+		sample int
+	}{
+		{"counter/farray/increment/flight-off", false, 0},
+		{"counter/farray/increment/flight-sampled", true, 64},
+		{"counter/farray/increment/flight-exact", true, 1},
+	} {
+		pool := primitive.NewPadded()
+		c, err := counter.NewFArray(pool, procs)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			rec *flight.Recorder
+			tap *flight.Tap
+		)
+		if variant.attach {
+			rec = flight.New(flight.Config{SampleEvery: variant.sample, WindowPerProc: 1 << 12})
+			tap = rec.Tap("counter", "bench", procs)
+			rec.Start()
+		}
+		m, err := runParallel(procs, ops, cfg.Seed, pool,
+			func(ctx primitive.Context, id int, _ *rand.Rand, _ int64) error {
+				if tap == nil {
+					return c.Increment(ctx)
+				}
+				tok := tap.Begin(id)
+				err := c.Increment(ctx)
+				tap.End(id, tok, history.KindIncrement, 0, 0)
+				return err
+			})
+		if rec != nil {
+			rec.Stop()
+			if vs := rec.Violations(); len(vs) > 0 {
+				return nil, fmt.Errorf("bench: flight monitor flagged a correct counter: %v", vs[0].Err)
+			}
+		}
+		if err = add(result(variant.name, procs, ops*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}

@@ -81,47 +81,108 @@ func CheckMaxRegister(ops []Op) error {
 	return checkMonotoneReads("maxreg", reads)
 }
 
+// IncWeight is the number of unit increments an increment operation
+// represents: Op.Arg when positive, 1 otherwise. Plain Increments record no
+// argument (weight 1); coalesced deltas (CounterHandle.Add, batching
+// flushes) record the delta so checkers can account for them as one
+// linearizable multi-increment.
+func IncWeight(op Op) int64 {
+	if op.Arg > 0 {
+		return op.Arg
+	}
+	return 1
+}
+
 // CheckCounter verifies the interval conditions for counter histories:
-// every read is sandwiched between the number of increments completed
-// before it began and the number started before it ended, and
-// non-overlapping reads are monotone.
+// every read is sandwiched between the total weight (IncWeight) of
+// increments completed before it began and the total weight started before
+// it ended, and non-overlapping reads are monotone.
 func CheckCounter(ops []Op) error {
-	var invTimes, resTimes []int64
+	type inc struct{ t, w int64 }
+	var byInv, byRes []inc
 	var reads []Op
 	for _, op := range ops {
 		switch op.Kind {
 		case KindIncrement:
-			invTimes = append(invTimes, op.Inv)
-			resTimes = append(resTimes, op.Res)
+			w := IncWeight(op)
+			byInv = append(byInv, inc{op.Inv, w})
+			byRes = append(byRes, inc{op.Res, w})
 		case KindCounterRead:
 			reads = append(reads, op)
 		}
 	}
-	sort.Slice(invTimes, func(i, j int) bool { return invTimes[i] < invTimes[j] })
-	sort.Slice(resTimes, func(i, j int) bool { return resTimes[i] < resTimes[j] })
+	sort.Slice(byInv, func(i, j int) bool { return byInv[i].t < byInv[j].t })
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].t < byRes[j].t })
+	prefix := func(incs []inc) []int64 {
+		sums := make([]int64, len(incs)+1)
+		for i, e := range incs {
+			sums[i+1] = sums[i] + e.w
+		}
+		return sums
+	}
+	invSums, resSums := prefix(byInv), prefix(byRes)
 
-	countBefore := func(times []int64, t int64) int64 {
-		return int64(sort.Search(len(times), func(i int) bool { return times[i] >= t }))
+	weightBefore := func(incs []inc, sums []int64, t int64) int64 {
+		return sums[sort.Search(len(incs), func(i int) bool { return incs[i].t >= t })]
 	}
 	for _, r := range reads {
-		completed := countBefore(resTimes, r.Inv)
-		started := countBefore(invTimes, r.Res)
+		completed := weightBefore(byRes, resSums, r.Inv)
+		started := weightBefore(byInv, invSums, r.Res)
 		if r.Ret < completed {
 			return &ViolationError{
 				Checker: "counter",
-				Detail:  fmt.Sprintf("read %d but %d increments had completed", r.Ret, completed),
+				Detail:  fmt.Sprintf("read %d but increments totaling %d had completed", r.Ret, completed),
 				Op:      r,
 			}
 		}
 		if r.Ret > started {
 			return &ViolationError{
 				Checker: "counter",
-				Detail:  fmt.Sprintf("read %d but only %d increments had started", r.Ret, started),
+				Detail:  fmt.Sprintf("read %d but only increments totaling %d had started", r.Ret, started),
 				Op:      r,
 			}
 		}
 	}
 	return checkMonotoneReads("counter", reads)
+}
+
+// CheckConsensus verifies the interval conditions every linearizable
+// consensus history must satisfy: all Propose operations return the same
+// decided value (agreement), and the decided value is some operation's
+// proposal, invoked before the deciding operation responded (validity).
+func CheckConsensus(ops []Op) error {
+	var proposes []Op
+	minInvByValue := make(map[int64]int64)
+	for _, op := range ops {
+		if op.Kind != KindPropose {
+			continue
+		}
+		proposes = append(proposes, op)
+		if inv, ok := minInvByValue[op.Arg]; !ok || op.Inv < inv {
+			minInvByValue[op.Arg] = op.Inv
+		}
+	}
+	var decided int64
+	var first Op
+	for _, p := range proposes {
+		if decided == 0 {
+			decided, first = p.Ret, p
+		} else if p.Ret != decided {
+			return &ViolationError{
+				Checker: "consensus",
+				Detail:  fmt.Sprintf("decided %d but an earlier propose decided %d", p.Ret, first.Ret),
+				Op:      p,
+			}
+		}
+		inv, ok := minInvByValue[p.Ret]
+		if !ok {
+			return &ViolationError{Checker: "consensus", Detail: "decided a never-proposed value", Op: p}
+		}
+		if inv >= p.Res {
+			return &ViolationError{Checker: "consensus", Detail: "decided a value proposed only after the propose responded", Op: p}
+		}
+	}
+	return nil
 }
 
 // checkMonotoneReads verifies that reads are monotone along real-time

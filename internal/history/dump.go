@@ -1,0 +1,102 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpSchema identifies the flight-recorder history dump format. Bump it
+// when the JSON shape changes incompatibly.
+const DumpSchema = "tradeoffs/flight/v1"
+
+// Dump is a self-contained history window: what the flight recorder writes
+// to /debug/history, and what it attaches to a violation artifact so the
+// offending window can be re-checked or rendered offline
+// (cmd/simtrace -from-history). Timestamps in Ops are the recorder's
+// hybrid clock: strictly monotone logical stamps that track wall-clock
+// nanoseconds, so Inv/Res are both precedence-exact and plottable.
+type Dump struct {
+	Schema string `json:"schema"`
+	// Name is the object instance name (Observability registry name).
+	Name string `json:"name"`
+	// Family is the checker family: maxreg, counter, snapshot, consensus.
+	Family string `json:"family"`
+	// ClockUnit documents the timestamp unit ("ns-hybrid").
+	ClockUnit string `json:"clock_unit"`
+	// SampleEvery is the recorder's sampling period (1 = every operation).
+	SampleEvery int64 `json:"sample_every"`
+	// Dropped counts ring-buffer records overwritten before the monitor
+	// consumed them. Nonzero means Ops is a gapped sub-history.
+	Dropped int64 `json:"dropped"`
+	// Summary is the monitor's evicted-prefix summary at dump time.
+	Summary *PrefixSummary `json:"summary,omitempty"`
+	// Violation is set when this dump is a violation repro artifact.
+	Violation *ViolationError `json:"violation,omitempty"`
+	// Ops is the window, sorted by invocation time.
+	Ops []Op `json:"ops"`
+}
+
+// WriteDump serializes d as indented JSON, sorting Ops by invocation time
+// first so artifacts are diff-stable.
+func WriteDump(w io.Writer, d *Dump) error {
+	d.Schema = DumpSchema
+	sort.SliceStable(d.Ops, func(i, j int) bool { return d.Ops[i].Inv < d.Ops[j].Inv })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses and validates a history dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("history: parsing dump: %w", err)
+	}
+	if d.Schema != DumpSchema {
+		return nil, fmt.Errorf("history: dump schema %q, want %q", d.Schema, DumpSchema)
+	}
+	for i, op := range d.Ops {
+		if op.Inv >= op.Res {
+			return nil, fmt.Errorf("history: dump op %d: inv %d >= res %d", i, op.Inv, op.Res)
+		}
+	}
+	sort.SliceStable(d.Ops, func(i, j int) bool { return d.Ops[i].Inv < d.Ops[j].Inv })
+	return &d, nil
+}
+
+// CheckerFor returns the batch interval checker for a dump family, used to
+// re-verify an artifact offline. Unknown families return nil.
+func CheckerFor(family string) func([]Op) error {
+	switch family {
+	case "maxreg":
+		return CheckMaxRegister
+	case "counter":
+		return CheckCounter
+	case "snapshot":
+		return CheckSnapshot
+	case "consensus":
+		return CheckConsensus
+	default:
+		return nil
+	}
+}
+
+// NewIncremental returns a fresh incremental checker for a family, or nil
+// for unknown families.
+func NewIncremental(family string, relaxed bool) Incremental {
+	switch family {
+	case "maxreg":
+		return NewIncrementalMaxRegister(relaxed)
+	case "counter":
+		return NewIncrementalCounter(relaxed)
+	case "snapshot":
+		return NewIncrementalSnapshot(relaxed)
+	case "consensus":
+		return NewIncrementalConsensus(relaxed)
+	default:
+		return nil
+	}
+}

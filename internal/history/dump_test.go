@@ -1,0 +1,101 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	in := &Dump{
+		Name:        "maxreg#0",
+		Family:      "maxreg",
+		ClockUnit:   "ns-hybrid",
+		SampleEvery: 4,
+		Dropped:     7,
+		Summary:     &PrefixSummary{Checker: "maxreg", Admitted: 3, SealedTo: 99, MaxCompletedWrite: 5},
+		Violation: &ViolationError{
+			Checker: "maxreg",
+			Detail:  "read returned a never-written value",
+			Op:      Op{Proc: 2, Kind: KindReadMax, Ret: 9, Inv: 40, Res: 41},
+		},
+		Ops: []Op{
+			{Proc: 1, Kind: KindReadMax, Ret: 5, Inv: 30, Res: 31}, // deliberately unsorted
+			{Proc: 0, Kind: KindWriteMax, Arg: 5, Inv: 10, Res: 11},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, in); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	out, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if out.Schema != DumpSchema || out.Name != in.Name || out.Family != in.Family {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if out.SampleEvery != 4 || out.Dropped != 7 {
+		t.Fatalf("recorder fields mismatch: %+v", out)
+	}
+	if out.Summary == nil || out.Summary.MaxCompletedWrite != 5 {
+		t.Fatalf("summary mismatch: %+v", out.Summary)
+	}
+	if out.Violation == nil || out.Violation.Op.Ret != 9 {
+		t.Fatalf("violation mismatch: %+v", out.Violation)
+	}
+	if len(out.Ops) != 2 || out.Ops[0].Kind != KindWriteMax {
+		t.Fatalf("ops not sorted by invocation: %+v", out.Ops)
+	}
+}
+
+func TestReadDumpRejectsBadInput(t *testing.T) {
+	if _, err := ReadDump(strings.NewReader(`{"schema":"nope","ops":[]}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadDump(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	bad := `{"schema":"` + DumpSchema + `","ops":[{"proc":0,"kind":1,"inv":5,"res":5}]}`
+	if _, err := ReadDump(strings.NewReader(bad)); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestFamilyRegistries(t *testing.T) {
+	for _, fam := range []string{"maxreg", "counter", "snapshot", "consensus"} {
+		if CheckerFor(fam) == nil {
+			t.Fatalf("no batch checker for %s", fam)
+		}
+		if NewIncremental(fam, false) == nil {
+			t.Fatalf("no incremental checker for %s", fam)
+		}
+	}
+	if CheckerFor("queue") != nil || NewIncremental("queue", false) != nil {
+		t.Fatal("unknown family did not return nil")
+	}
+}
+
+// TestDumpRecheckable verifies the repro-artifact promise: a dumped window
+// re-checks offline with the batch checker for its family.
+func TestDumpRecheckable(t *testing.T) {
+	d := &Dump{
+		Name:   "counter#0",
+		Family: "counter",
+		Ops: []Op{
+			{Kind: KindIncrement, Inv: 1, Res: 2},
+			{Kind: KindCounterRead, Ret: 0, Inv: 3, Res: 4}, // violation
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, d); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	out, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if err := CheckerFor(out.Family)(out.Ops); err == nil {
+		t.Fatal("re-check of violating window passed")
+	}
+}

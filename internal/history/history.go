@@ -39,6 +39,7 @@ const (
 	KindIncrement
 	KindScan
 	KindUpdate
+	KindPropose
 )
 
 // String implements fmt.Stringer.
@@ -56,25 +57,28 @@ func (k Kind) String() string {
 		return "Scan"
 	case KindUpdate:
 		return "Update"
+	case KindPropose:
+		return "Propose"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// Op is one completed operation instance.
+// Op is one completed operation instance. The JSON field names are part of
+// the history-dump schema (see Dump); keep them stable.
 type Op struct {
-	Proc int   // process id that issued the operation
-	Kind Kind  // operation type
-	Arg  int64 // WriteMax/Update argument (unused otherwise)
-	Ret  int64 // ReadMax/CounterRead result (unused otherwise)
+	Proc int   `json:"proc"`          // process id that issued the operation
+	Kind Kind  `json:"kind"`          // operation type
+	Arg  int64 `json:"arg,omitempty"` // WriteMax/Update/Propose argument, Increment/Add weight
+	Ret  int64 `json:"ret,omitempty"` // ReadMax/CounterRead/Propose result (unused otherwise)
 
 	// RetVec is the Scan result (unused otherwise).
-	RetVec []int64
+	RetVec []int64 `json:"retvec,omitempty"`
 
 	// Inv and Res are logical invocation/response timestamps: Inv < Res,
 	// and op A precedes op B iff A.Res < B.Inv.
-	Inv int64
-	Res int64
+	Inv int64 `json:"inv"`
+	Res int64 `json:"res"`
 }
 
 // Recorder collects a concurrent history. All methods are safe for
@@ -143,10 +147,11 @@ func (r *Recorder) Len() int {
 }
 
 // ViolationError describes a linearizability violation found by a checker.
+// It marshals to JSON as part of the violation-artifact schema (see Dump).
 type ViolationError struct {
-	Checker string // which checker found it
-	Detail  string // human-readable description
-	Op      Op     // the offending operation
+	Checker string `json:"checker"` // which checker found it
+	Detail  string `json:"detail"`  // human-readable description
+	Op      Op     `json:"op"`      // the offending operation
 }
 
 // Error implements error.

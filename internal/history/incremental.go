@@ -1,0 +1,619 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the incremental (streaming) counterpart of the batch interval
+// checkers in check.go, built for the flight recorder's online monitor
+// (internal/obs/flight): operations arrive while the workload runs, the
+// monitor's ring buffer evicts old records, and the checkers must keep their
+// verdicts sound — never rejecting a linearizable history — on bounded
+// memory.
+//
+// # API shape
+//
+// An Incremental checker consumes a history in two motions:
+//
+//   - Admit(op) feeds one completed operation. Calls must arrive in
+//     nondecreasing invocation order; Stream (below) reorders the
+//     recorder's arrival order (≈ response order) into invocation order
+//     using a watermark.
+//   - Seal(upTo) promises that every operation with Inv < upTo has been
+//     admitted. Sealing is what makes response-side checks possible: a
+//     read's upper bound ("the read saw at most what had started before it
+//     responded") quantifies over operations invoked before the read's
+//     response, and those are only all known once the watermark passes the
+//     response time.
+//
+// Both return the first *ViolationError found, or nil.
+//
+// # Eviction soundness
+//
+// The batch checkers hold the whole history; the incremental ones
+// continuously fold what they no longer need into a compact
+// evicted-prefix summary (PrefixSummary) and drop the rest:
+//
+//   - Admits arrive in invocation order, so any state keyed by "operations
+//     that responded before some future invocation" can be folded into a
+//     scalar the moment its response time drops below the admit frontier.
+//     The max register's completed-write floor and the read-monotonicity
+//     frontier (the "last read frontier") fold this way, exactly — no
+//     precision is lost, because every future query uses a threshold at
+//     least as large as the current frontier.
+//   - Value-provenance state ("was this value ever written?") cannot be
+//     folded exactly. It is capped (maxTrackedValues); at the cap the
+//     checker stops creating entries and stops reporting
+//     "never-written value" violations for unknown values, because a
+//     dropped entry could make a legal read look like a phantom. Entries
+//     that do exist keep exact minimum-invocation times, so their
+//     violations stay genuine.
+//
+// The result is one-sided: a reported violation is always real, while some
+// exotic violations may go unreported after folding — the same contract the
+// batch interval checkers already have with respect to linearizability.
+//
+// # Sampled (relaxed) mode
+//
+// When the recorder samples (records only 1 in k operations), the observed
+// history is a sub-history. Lower-bound and monotonicity conditions survive
+// restriction to any subset — a read must still return at least every
+// *sampled* completed increment, and non-overlapping sampled reads must
+// still be monotone. Upper-bound and provenance conditions do NOT: an
+// unsampled increment can legitimately raise a read above the sampled
+// started-count, and an unsampled write can legitimize a "never-written"
+// value. Constructing a checker with relaxed=true disables exactly the
+// subset-unsound conditions; the monitor also switches a stream to relaxed
+// permanently after a ring-buffer gap, for the same reason (the lost
+// records are an unsampled sub-history).
+
+// Incremental is a streaming linearizability checker for one object.
+// See the file comment for the Admit/Seal contract. Implementations are
+// not safe for concurrent use; the flight monitor drives each from a
+// single goroutine.
+type Incremental interface {
+	// Admit feeds one completed operation. Operations must be admitted in
+	// nondecreasing invocation order.
+	Admit(op Op) *ViolationError
+
+	// Seal declares that every operation with Inv < upTo has been
+	// admitted, and runs the deferred response-side checks for admitted
+	// operations with Res < upTo.
+	Seal(upTo int64) *ViolationError
+
+	// Summary returns the compact evicted-prefix summary.
+	Summary() PrefixSummary
+}
+
+// PrefixSummary is the compact summary of everything an incremental
+// checker has folded out of its bounded in-memory state. It is embedded in
+// violation artifacts (Dump) so a reader knows what the evicted prefix
+// contributed to the verdict. Fields are family-specific; unused ones are
+// omitted from JSON.
+type PrefixSummary struct {
+	// Checker names the family: maxreg, counter, snapshot, or consensus.
+	Checker string `json:"checker"`
+	// Admitted counts operations admitted so far.
+	Admitted int64 `json:"admitted"`
+	// SealedTo is the highest Seal watermark applied.
+	SealedTo int64 `json:"sealed_to"`
+	// Relaxed reports sampled mode (subset-unsound checks disabled).
+	Relaxed bool `json:"relaxed,omitempty"`
+
+	// MaxCompletedWrite is the max register's folded floor: the largest
+	// value whose write completed before the admit frontier.
+	MaxCompletedWrite int64 `json:"max_completed_write,omitempty"`
+	// ReadFrontier is the largest value returned by a read that completed
+	// before the admit frontier (max register and counter monotonicity).
+	ReadFrontier int64 `json:"read_frontier,omitempty"`
+
+	// CompletedWeight is the counter's folded lower bound: total increment
+	// weight completed before the admit frontier.
+	CompletedWeight int64 `json:"completed_weight,omitempty"`
+	// StartedWeight is the total increment weight admitted.
+	StartedWeight int64 `json:"started_weight,omitempty"`
+
+	// ScanFrontier is the snapshot's folded pointwise-max view over scans
+	// that completed before the admit frontier.
+	ScanFrontier []int `json:"scan_frontier,omitempty"`
+
+	// Decided is the consensus decision observed (0 if none).
+	Decided int64 `json:"decided,omitempty"`
+}
+
+// maxTrackedValues caps the value-provenance maps (written values for max
+// registers, proposed values for consensus, per-segment update values for
+// snapshots). Past the cap the checker degrades gracefully: it stops
+// reporting provenance violations for untracked values instead of risking
+// a false positive. Var, not const, so tests can shrink it.
+var maxTrackedValues = 1 << 16
+
+// minHeap is a small binary min-heap ordered by less.
+type minHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+func newMinHeap[T any](less func(a, b T) bool) *minHeap[T] {
+	return &minHeap[T]{less: less}
+}
+
+func (h *minHeap[T]) Len() int { return len(h.items) }
+
+func (h *minHeap[T]) Peek() T { return h.items[0] }
+
+func (h *minHeap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *minHeap[T]) Pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.less(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < len(h.items) && h.less(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// pair is a (timestamp, value) heap entry.
+type pair struct{ t, v int64 }
+
+func pairLess(a, b pair) bool { return a.t < b.t }
+
+func opResLess(a, b Op) bool { return a.Res < b.Res }
+
+// admitOrdered enforces the nondecreasing-invocation contract.
+func admitOrdered(checker string, last *int64, op Op) {
+	if op.Inv < *last {
+		panic(fmt.Sprintf("history: %s: Admit out of order: inv %d after %d (use Stream to reorder arrivals)",
+			checker, op.Inv, *last))
+	}
+	*last = op.Inv
+}
+
+// IncrementalMaxRegister is the streaming CheckMaxRegister. Construct with
+// NewIncrementalMaxRegister.
+type IncrementalMaxRegister struct {
+	relaxed  bool
+	admitted int64
+	lastInv  int64
+	sealedTo int64
+
+	// floorMax folds writes whose response dropped below the admit
+	// frontier; writesByRes holds the rest as (Res, Arg).
+	floorMax    int64
+	writesByRes *minHeap[pair]
+
+	// readFrontier folds completed reads (monotonicity); readsByRes holds
+	// reads still overlapping the frontier as (Res, Ret).
+	readFrontier int64
+	readsByRes   *minHeap[pair]
+
+	// minInvByValue tracks the earliest write invocation per value for the
+	// provenance check; capped by maxTrackedValues (valuesOverflowed
+	// disables absent-entry verdicts past the cap).
+	minInvByValue    map[int64]int64
+	valuesOverflowed bool
+
+	// deferred holds reads awaiting their provenance check, by Res.
+	deferred *minHeap[Op]
+}
+
+// NewIncrementalMaxRegister returns an empty streaming max register
+// checker. relaxed disables the subset-unsound provenance conditions (use
+// it when the observed history is a sample of the real one).
+func NewIncrementalMaxRegister(relaxed bool) *IncrementalMaxRegister {
+	return &IncrementalMaxRegister{
+		relaxed:       relaxed,
+		writesByRes:   newMinHeap(pairLess),
+		readsByRes:    newMinHeap(pairLess),
+		minInvByValue: make(map[int64]int64),
+		deferred:      newMinHeap(opResLess),
+	}
+}
+
+// fold retires state whose response time dropped below the admit frontier.
+func (c *IncrementalMaxRegister) fold(t int64) {
+	for c.writesByRes.Len() > 0 && c.writesByRes.Peek().t < t {
+		p := c.writesByRes.Pop()
+		if p.v > c.floorMax {
+			c.floorMax = p.v
+		}
+	}
+	for c.readsByRes.Len() > 0 && c.readsByRes.Peek().t < t {
+		p := c.readsByRes.Pop()
+		if p.v > c.readFrontier {
+			c.readFrontier = p.v
+		}
+	}
+}
+
+// Admit implements Incremental.
+func (c *IncrementalMaxRegister) Admit(op Op) *ViolationError {
+	admitOrdered("maxreg", &c.lastInv, op)
+	c.admitted++
+	c.fold(op.Inv)
+	switch op.Kind {
+	case KindWriteMax:
+		if prev, ok := c.minInvByValue[op.Arg]; ok {
+			if op.Inv < prev {
+				c.minInvByValue[op.Arg] = op.Inv
+			}
+		} else if len(c.minInvByValue) < maxTrackedValues {
+			c.minInvByValue[op.Arg] = op.Inv
+		} else {
+			c.valuesOverflowed = true
+		}
+		c.writesByRes.Push(pair{op.Res, op.Arg})
+	case KindReadMax:
+		if op.Ret < c.floorMax {
+			return &ViolationError{
+				Checker: "maxreg",
+				Detail:  fmt.Sprintf("read missed completed write of %d", c.floorMax),
+				Op:      op,
+			}
+		}
+		if op.Ret < c.readFrontier {
+			return &ViolationError{
+				Checker: "maxreg",
+				Detail:  fmt.Sprintf("read %d after an earlier read already returned %d", op.Ret, c.readFrontier),
+				Op:      op,
+			}
+		}
+		c.readsByRes.Push(pair{op.Res, op.Ret})
+		if op.Ret != 0 && !c.relaxed {
+			c.deferred.Push(op)
+		}
+	}
+	return nil
+}
+
+// Seal implements Incremental.
+func (c *IncrementalMaxRegister) Seal(upTo int64) *ViolationError {
+	if upTo > c.sealedTo {
+		c.sealedTo = upTo
+	}
+	for c.deferred.Len() > 0 && c.deferred.Peek().Res < upTo {
+		r := c.deferred.Pop()
+		inv, ok := c.minInvByValue[r.Ret]
+		if !ok {
+			if c.valuesOverflowed {
+				continue
+			}
+			return &ViolationError{Checker: "maxreg", Detail: "read returned a never-written value", Op: r}
+		}
+		if inv >= r.Res {
+			return &ViolationError{Checker: "maxreg", Detail: "read returned a value written only after the read responded", Op: r}
+		}
+	}
+	return nil
+}
+
+// Summary implements Incremental.
+func (c *IncrementalMaxRegister) Summary() PrefixSummary {
+	return PrefixSummary{
+		Checker:           "maxreg",
+		Admitted:          c.admitted,
+		SealedTo:          c.sealedTo,
+		Relaxed:           c.relaxed,
+		MaxCompletedWrite: c.floorMax,
+		ReadFrontier:      c.readFrontier,
+	}
+}
+
+// IncrementalCounter is the streaming CheckCounter. Construct with
+// NewIncrementalCounter.
+type IncrementalCounter struct {
+	relaxed  bool
+	admitted int64
+	lastInv  int64
+	sealedTo int64
+
+	// completedWeight folds increments whose response dropped below the
+	// admit frontier; incsByRes holds the rest as (Res, weight).
+	completedWeight int64
+	incsByRes       *minHeap[pair]
+
+	// startedWeight totals every admitted increment's weight. incInvs
+	// holds (Inv, cumulative weight) in admit order for the deferred
+	// upper-bound check; incLo is the prune pointer (queries arrive in
+	// nondecreasing Res order, so retired prefixes drop off).
+	startedWeight int64
+	incInvs       []pair
+	incLo         int
+
+	readFrontier int64
+	readsByRes   *minHeap[pair]
+
+	deferred *minHeap[Op]
+}
+
+// NewIncrementalCounter returns an empty streaming counter checker.
+// relaxed disables the subset-unsound upper-bound condition.
+func NewIncrementalCounter(relaxed bool) *IncrementalCounter {
+	return &IncrementalCounter{
+		relaxed:    relaxed,
+		incsByRes:  newMinHeap(pairLess),
+		readsByRes: newMinHeap(pairLess),
+		deferred:   newMinHeap(opResLess),
+	}
+}
+
+func (c *IncrementalCounter) fold(t int64) {
+	for c.incsByRes.Len() > 0 && c.incsByRes.Peek().t < t {
+		c.completedWeight += c.incsByRes.Pop().v
+	}
+	for c.readsByRes.Len() > 0 && c.readsByRes.Peek().t < t {
+		p := c.readsByRes.Pop()
+		if p.v > c.readFrontier {
+			c.readFrontier = p.v
+		}
+	}
+}
+
+// startedBefore returns the total weight of increments invoked before t.
+// Exact only once the watermark passed t (Seal's precondition).
+func (c *IncrementalCounter) startedBefore(t int64) int64 {
+	tail := c.incInvs[c.incLo:]
+	k := sort.Search(len(tail), func(i int) bool { return tail[i].t >= t })
+	if c.incLo+k == 0 {
+		return 0
+	}
+	return c.incInvs[c.incLo+k-1].v
+}
+
+// prune retires incInvs entries no future query can reach. Queries arrive
+// in nondecreasing Res order from the deferred heap, so everything before
+// the last entry below t is dead.
+func (c *IncrementalCounter) prune(t int64) {
+	tail := c.incInvs[c.incLo:]
+	k := sort.Search(len(tail), func(i int) bool { return tail[i].t >= t })
+	if k > 0 {
+		c.incLo += k - 1 // keep the last entry below t: it carries the cumulative weight
+	}
+	if c.incLo > len(c.incInvs)/2 && c.incLo > 64 {
+		c.incInvs = append(c.incInvs[:0:0], c.incInvs[c.incLo:]...)
+		c.incLo = 0
+	}
+}
+
+// Admit implements Incremental.
+func (c *IncrementalCounter) Admit(op Op) *ViolationError {
+	admitOrdered("counter", &c.lastInv, op)
+	c.admitted++
+	c.fold(op.Inv)
+	switch op.Kind {
+	case KindIncrement:
+		w := IncWeight(op)
+		c.startedWeight += w
+		c.incsByRes.Push(pair{op.Res, w})
+		if !c.relaxed {
+			c.incInvs = append(c.incInvs, pair{op.Inv, c.startedWeight})
+		}
+	case KindCounterRead:
+		if op.Ret < c.completedWeight {
+			return &ViolationError{
+				Checker: "counter",
+				Detail:  fmt.Sprintf("read %d but increments totaling %d had completed", op.Ret, c.completedWeight),
+				Op:      op,
+			}
+		}
+		if op.Ret < c.readFrontier {
+			return &ViolationError{
+				Checker: "counter",
+				Detail:  fmt.Sprintf("read %d after an earlier read already returned %d", op.Ret, c.readFrontier),
+				Op:      op,
+			}
+		}
+		c.readsByRes.Push(pair{op.Res, op.Ret})
+		if !c.relaxed {
+			c.deferred.Push(op)
+		}
+	}
+	return nil
+}
+
+// Seal implements Incremental.
+func (c *IncrementalCounter) Seal(upTo int64) *ViolationError {
+	if upTo > c.sealedTo {
+		c.sealedTo = upTo
+	}
+	for c.deferred.Len() > 0 && c.deferred.Peek().Res < upTo {
+		r := c.deferred.Pop()
+		if started := c.startedBefore(r.Res); r.Ret > started {
+			return &ViolationError{
+				Checker: "counter",
+				Detail:  fmt.Sprintf("read %d but only increments totaling %d had started", r.Ret, started),
+				Op:      r,
+			}
+		}
+		c.prune(r.Res)
+	}
+	return nil
+}
+
+// Summary implements Incremental.
+func (c *IncrementalCounter) Summary() PrefixSummary {
+	return PrefixSummary{
+		Checker:         "counter",
+		Admitted:        c.admitted,
+		SealedTo:        c.sealedTo,
+		Relaxed:         c.relaxed,
+		CompletedWeight: c.completedWeight,
+		StartedWeight:   c.startedWeight,
+		ReadFrontier:    c.readFrontier,
+	}
+}
+
+// IncrementalConsensus is the streaming CheckConsensus. Construct with
+// NewIncrementalConsensus.
+type IncrementalConsensus struct {
+	relaxed  bool
+	admitted int64
+	lastInv  int64
+	sealedTo int64
+
+	// decided is the observed decision; 0 means none yet (matching
+	// CheckConsensus, which treats 0 as "undecided").
+	decided int64
+
+	minInvByValue    map[int64]int64
+	valuesOverflowed bool
+	deferred         *minHeap[Op]
+}
+
+// NewIncrementalConsensus returns an empty streaming consensus checker.
+// relaxed disables the subset-unsound validity condition; agreement is
+// checked in every mode (any two sampled decisions must still agree).
+func NewIncrementalConsensus(relaxed bool) *IncrementalConsensus {
+	return &IncrementalConsensus{
+		relaxed:       relaxed,
+		minInvByValue: make(map[int64]int64),
+		deferred:      newMinHeap(opResLess),
+	}
+}
+
+// Admit implements Incremental.
+func (c *IncrementalConsensus) Admit(op Op) *ViolationError {
+	admitOrdered("consensus", &c.lastInv, op)
+	if op.Kind != KindPropose {
+		return nil
+	}
+	c.admitted++
+	if prev, ok := c.minInvByValue[op.Arg]; ok {
+		if op.Inv < prev {
+			c.minInvByValue[op.Arg] = op.Inv
+		}
+	} else if len(c.minInvByValue) < maxTrackedValues {
+		c.minInvByValue[op.Arg] = op.Inv
+	} else {
+		c.valuesOverflowed = true
+	}
+	if c.decided == 0 {
+		c.decided = op.Ret
+	} else if op.Ret != c.decided {
+		return &ViolationError{
+			Checker: "consensus",
+			Detail:  fmt.Sprintf("decided %d but an earlier propose decided %d", op.Ret, c.decided),
+			Op:      op,
+		}
+	}
+	if !c.relaxed {
+		c.deferred.Push(op)
+	}
+	return nil
+}
+
+// Seal implements Incremental.
+func (c *IncrementalConsensus) Seal(upTo int64) *ViolationError {
+	if upTo > c.sealedTo {
+		c.sealedTo = upTo
+	}
+	for c.deferred.Len() > 0 && c.deferred.Peek().Res < upTo {
+		p := c.deferred.Pop()
+		inv, ok := c.minInvByValue[p.Ret]
+		if !ok {
+			if c.valuesOverflowed {
+				continue
+			}
+			return &ViolationError{Checker: "consensus", Detail: "decided a never-proposed value", Op: p}
+		}
+		if inv >= p.Res {
+			return &ViolationError{Checker: "consensus", Detail: "decided a value proposed only after the propose responded", Op: p}
+		}
+	}
+	return nil
+}
+
+// Summary implements Incremental.
+func (c *IncrementalConsensus) Summary() PrefixSummary {
+	return PrefixSummary{
+		Checker:  "consensus",
+		Admitted: c.admitted,
+		SealedTo: c.sealedTo,
+		Relaxed:  c.relaxed,
+		Decided:  c.decided,
+	}
+}
+
+// Stream adapts a recorder's arrival order (≈ response order) to the
+// Admit/Seal contract: Add buffers operations in any order, and Advance(w)
+// admits everything invoked before the watermark w in invocation order,
+// then seals to w. The first violation latches: the checker's state past a
+// violation is unreliable, so Advance stops feeding it and keeps returning
+// the same error.
+type Stream struct {
+	inc       Incremental
+	pending   *minHeap[Op]
+	violation *ViolationError
+}
+
+// NewStream wraps an incremental checker.
+func NewStream(inc Incremental) *Stream {
+	return &Stream{
+		inc:     inc,
+		pending: newMinHeap(func(a, b Op) bool { return a.Inv < b.Inv }),
+	}
+}
+
+// Add buffers one completed operation.
+func (s *Stream) Add(op Op) {
+	if s.violation != nil {
+		return
+	}
+	s.pending.Push(op)
+}
+
+// Advance admits every buffered operation invoked before w, seals to w,
+// and returns the latched violation (nil if none).
+func (s *Stream) Advance(w int64) *ViolationError {
+	if s.violation != nil {
+		return s.violation
+	}
+	for s.pending.Len() > 0 && s.pending.Peek().Inv < w {
+		if v := s.inc.Admit(s.pending.Pop()); v != nil {
+			s.violation = v
+			return v
+		}
+	}
+	if v := s.inc.Seal(w); v != nil {
+		s.violation = v
+	}
+	return s.violation
+}
+
+// Violation returns the latched violation, if any.
+func (s *Stream) Violation() *ViolationError { return s.violation }
+
+// Pending reports how many buffered operations await admission.
+func (s *Stream) Pending() int { return s.pending.Len() }
+
+// Summary exposes the wrapped checker's prefix summary.
+func (s *Stream) Summary() PrefixSummary { return s.inc.Summary() }

@@ -12,11 +12,9 @@
 package expo
 
 import (
-	"expvar"
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/pprof"
 	"strings"
 
 	"github.com/restricteduse/tradeoffs/internal/obs"
@@ -29,24 +27,14 @@ type Gatherer func() []obs.NamedStats
 // Handler returns an http.Handler serving the Prometheus text exposition
 // of gather's objects.
 func Handler(gather Gatherer) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteMetrics(w, gather())
-	})
+	return HandlerWith(gather, nil)
 }
 
 // DebugMux returns a mux serving /metrics (Prometheus text), /debug/vars
-// (expvar JSON), and the /debug/pprof profiling endpoints.
+// (expvar JSON), and the /debug/pprof profiling endpoints. See
+// DebugMuxWith to add a flight recorder's endpoints.
 func DebugMux(gather Gatherer) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(gather))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return DebugMuxWith(gather, nil)
 }
 
 // metric name constants, shared with the golden test.

@@ -1,0 +1,158 @@
+package expo
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/restricteduse/tradeoffs/internal/history"
+	"github.com/restricteduse/tradeoffs/internal/obs/flight"
+)
+
+// FlightStatsSource returns the flight recorder's stats at scrape time,
+// or nil when no recorder is attached.
+type FlightStatsSource func() *flight.Stats
+
+// FlightSource returns the attached flight recorder, or nil. Evaluated
+// per request so a recorder linked after mux construction still shows.
+type FlightSource func() *flight.Recorder
+
+// Flight recorder metric names, shared with the golden test.
+const (
+	metricFlightSample     = "tradeoffs_flight_sample_every"
+	metricFlightRecorded   = "tradeoffs_flight_recorded_total"
+	metricFlightDropped    = "tradeoffs_flight_dropped_total"
+	metricFlightPending    = "tradeoffs_flight_pending_records"
+	metricFlightRelaxed    = "tradeoffs_flight_relaxed"
+	metricFlightViolations = "tradeoffs_flight_violations_total"
+)
+
+// WriteFlightMetrics renders the flight recorder's exposition: per-tap
+// record/drop counters, the monitor's lag (records buffered awaiting
+// the watermark), the relaxed-mode flag, and the per-object violation
+// latch.
+func WriteFlightMetrics(w io.Writer, st flight.Stats) {
+	fmt.Fprintf(w, "# HELP %s One in how many operations per process the flight recorder records.\n", metricFlightSample)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", metricFlightSample)
+	fmt.Fprintf(w, "%s %d\n", metricFlightSample, st.SampleEvery)
+
+	fmt.Fprintf(w, "# HELP %s Operation records drained from the flight recorder rings.\n", metricFlightRecorded)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricFlightRecorded)
+	for _, t := range st.Taps {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricFlightRecorded, escapeLabel(t.Name), t.Recorded)
+	}
+
+	fmt.Fprintf(w, "# HELP %s Records lost to ring overwrites (a drop degrades checking to the subset-sound conditions).\n", metricFlightDropped)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricFlightDropped)
+	for _, t := range st.Taps {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricFlightDropped, escapeLabel(t.Name), t.Dropped)
+	}
+
+	fmt.Fprintf(w, "# HELP %s Records buffered awaiting the admission watermark (monitor lag).\n", metricFlightPending)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", metricFlightPending)
+	for _, t := range st.Taps {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricFlightPending, escapeLabel(t.Name), t.Pending)
+	}
+
+	fmt.Fprintf(w, "# HELP %s 1 when the object's checker runs the subset-sound conditions only (sampling or drops).\n", metricFlightRelaxed)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", metricFlightRelaxed)
+	for _, t := range st.Taps {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricFlightRelaxed, escapeLabel(t.Name), b2i(t.Relaxed))
+	}
+
+	fmt.Fprintf(w, "# HELP %s Linearizability violations detected (latched: at most 1 per object).\n", metricFlightViolations)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricFlightViolations)
+	for _, t := range st.Taps {
+		fmt.Fprintf(w, "%s{object=\"%s\"} %d\n", metricFlightViolations, escapeLabel(t.Name), b2i(t.Violated))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// HandlerWith returns the /metrics handler covering gather's objects
+// plus, when fstats yields a non-nil snapshot, the flight recorder
+// series.
+func HandlerWith(gather Gatherer, fstats FlightStatsSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, gather())
+		if fstats != nil {
+			if st := fstats(); st != nil {
+				WriteFlightMetrics(w, *st)
+			}
+		}
+	})
+}
+
+// DebugMuxWith is DebugMux plus the flight recorder endpoints:
+// /debug/history serves the recorder's current per-object windows as a
+// JSON array of history dumps (each re-checkable offline and renderable
+// with cmd/simtrace -from-history), and /debug/violations the detected
+// violations. Without a recorder both endpoints serve an empty array.
+func DebugMuxWith(gather Gatherer, src FlightSource) *http.ServeMux {
+	mux := http.NewServeMux()
+	var fstats FlightStatsSource
+	if src != nil {
+		fstats = func() *flight.Stats {
+			rec := src()
+			if rec == nil {
+				return nil
+			}
+			st := rec.Stats()
+			return &st
+		}
+	}
+	mux.Handle("/metrics", HandlerWith(gather, fstats))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Nil slices render as an empty array, not null: scrapers treat both
+	// endpoints as always-a-list.
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		serveFlightJSON(w, src, func(rec *flight.Recorder) any {
+			if d := rec.Dumps(); d != nil {
+				return d
+			}
+			return []*history.Dump{}
+		})
+	})
+	mux.HandleFunc("/debug/violations", func(w http.ResponseWriter, r *http.Request) {
+		serveFlightJSON(w, src, func(rec *flight.Recorder) any {
+			if v := rec.Violations(); v != nil {
+				return v
+			}
+			return []*flight.Violation{}
+		})
+	})
+	return mux
+}
+
+// serveFlightJSON writes payload(rec) as indented JSON, or [] when no
+// recorder is attached.
+func serveFlightJSON(w http.ResponseWriter, src FlightSource, payload func(*flight.Recorder) any) {
+	w.Header().Set("Content-Type", "application/json")
+	var rec *flight.Recorder
+	if src != nil {
+		rec = src()
+	}
+	if rec == nil {
+		io.WriteString(w, "[]\n")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload(rec)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

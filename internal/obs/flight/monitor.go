@@ -1,0 +1,347 @@
+package flight
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/restricteduse/tradeoffs/internal/history"
+	"github.com/restricteduse/tradeoffs/internal/obs"
+)
+
+// Violation is one detected linearizability violation, with the window
+// that exhibits it packaged as a self-contained repro artifact.
+type Violation struct {
+	Object string                  `json:"object"`
+	Family string                  `json:"family"`
+	Time   time.Time               `json:"time"`
+	Err    *history.ViolationError `json:"violation"`
+	// Dump is the offending window; re-check it offline with the batch
+	// checkers or render it with cmd/simtrace -from-history.
+	Dump *history.Dump `json:"dump"`
+	// ArtifactPaths lists files written under Config.ArtifactDir, if any.
+	ArtifactPaths []string `json:"artifacts,omitempty"`
+}
+
+type dumpReq struct{ reply chan []*history.Dump }
+
+// Start launches the monitor goroutine. Register all taps first.
+func (r *Recorder) Start() {
+	r.mu.Lock()
+	if r.started || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.dumpsCh = make(chan dumpReq)
+	r.mu.Unlock()
+	go r.run()
+}
+
+// Stop halts the monitor after one final drain-and-check pass. It is safe
+// to call once the workload's operations have completed; records from
+// operations still in flight at Stop are not checked.
+func (r *Recorder) Stop() {
+	r.mu.Lock()
+	if !r.started || r.stopped {
+		r.stopped = true
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+}
+
+// Sync forces a full drain-and-check pass and returns once it completes.
+// Intended for tests and shutdown paths.
+func (r *Recorder) Sync() {
+	r.mu.Lock()
+	running := r.started && !r.stopped
+	r.mu.Unlock()
+	if !running {
+		r.cycleAll()
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case r.kick <- ack:
+		<-ack
+	case <-r.done:
+		r.cycleAll()
+	}
+}
+
+func (r *Recorder) run() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			r.cycleAll()
+			return
+		case ack := <-r.kick:
+			r.cycleAll()
+			close(ack)
+		case req := <-r.dumpsCh:
+			req.reply <- r.buildDumps()
+		case <-tick.C:
+			r.cycleAll()
+		}
+	}
+}
+
+// cycleAll runs one drain-and-check pass over every tap. Taps cannot be
+// registered after Start, so reading r.taps without the lock is safe
+// here.
+func (r *Recorder) cycleAll() {
+	for _, t := range r.taps {
+		r.cycle(t)
+	}
+}
+
+// cycle is the per-tap monitor step. Order matters for soundness: the
+// watermark is computed before the rings are drained, so every record it
+// covers is already visible (see the package comment).
+func (r *Recorder) cycle(t *Tap) {
+	w := t.watermark()
+	var drops int64
+	var batch []history.Op
+	for i := range t.procs {
+		drops += t.procs[i].ring.drain(i, func(op history.Op) {
+			batch = append(batch, op)
+			t.appendRecent(op)
+			t.recorded.Add(1)
+		})
+	}
+	if drops > 0 {
+		// Relax before admitting this batch so the records drained
+		// alongside the gap land in the rebuilt stream.
+		t.dropped.Add(drops)
+		r.relaxTap(t)
+	}
+	for _, op := range batch {
+		t.stream.Add(op)
+	}
+	v := t.stream.Advance(w)
+	t.sealedTo.Store(w)
+	t.pending.Store(int64(t.stream.Pending()))
+	if v != nil && !t.violated {
+		t.violated = true
+		t.violatedBit.Store(true)
+		r.report(t, v)
+	}
+}
+
+// relaxTap degrades an exact-mode stream to relaxed after a ring gap: the
+// surviving records are an arbitrary sub-history, so only the subset-sound
+// conditions remain valid. The stream restarts empty — everything the old
+// checker knew about the gap's neighborhood is suspect.
+func (r *Recorder) relaxTap(t *Tap) {
+	if t.relaxed {
+		return // relaxed streams tolerate gaps natively
+	}
+	t.relaxed = true
+	t.relaxedFlag.Store(true)
+	t.stream = history.NewStream(history.NewIncremental(t.family, true))
+}
+
+func (t *Tap) appendRecent(op history.Op) {
+	if cap(t.recent) == 0 {
+		return
+	}
+	if len(t.recent) < cap(t.recent) {
+		t.recent = append(t.recent, op)
+	} else {
+		t.recent[t.recentN%int64(cap(t.recent))] = op
+	}
+	t.recentN++
+}
+
+// recentOps copies the artifact window, oldest first.
+func (t *Tap) recentOps() []history.Op {
+	out := make([]history.Op, 0, len(t.recent))
+	if len(t.recent) < cap(t.recent) {
+		out = append(out, t.recent...)
+		return out
+	}
+	start := t.recentN % int64(cap(t.recent))
+	out = append(out, t.recent[start:]...)
+	out = append(out, t.recent[:start]...)
+	return out
+}
+
+// dump builds the tap's current window dump. Monitor goroutine (or
+// post-Stop) only.
+func (t *Tap) dump() *history.Dump {
+	sum := t.stream.Summary()
+	return &history.Dump{
+		Schema:      history.DumpSchema,
+		Name:        t.name,
+		Family:      t.family,
+		ClockUnit:   "ns-hybrid",
+		SampleEvery: t.sample,
+		Dropped:     t.dropped.Load(),
+		Summary:     &sum,
+		Violation:   t.stream.Violation(),
+		Ops:         t.recentOps(),
+	}
+}
+
+func (r *Recorder) buildDumps() []*history.Dump {
+	taps := r.sortedTaps()
+	out := make([]*history.Dump, 0, len(taps))
+	for _, t := range taps {
+		out = append(out, t.dump())
+	}
+	return out
+}
+
+// Dumps returns one window dump per tap. While the monitor runs, the
+// request is serviced on the monitor goroutine so the windows are
+// consistent; after Stop it reads directly.
+func (r *Recorder) Dumps() []*history.Dump {
+	r.mu.Lock()
+	running := r.started && !r.stopped
+	ch := r.dumpsCh
+	r.mu.Unlock()
+	if running {
+		req := dumpReq{reply: make(chan []*history.Dump, 1)}
+		select {
+		case ch <- req:
+			return <-req.reply
+		case <-r.done:
+		}
+	}
+	return r.buildDumps()
+}
+
+// report packages a violation and its repro artifact.
+func (r *Recorder) report(t *Tap, verr *history.ViolationError) {
+	v := &Violation{
+		Object: t.name,
+		Family: t.family,
+		Time:   time.Now(),
+		Err:    verr,
+		Dump:   t.dump(),
+	}
+	if r.cfg.ArtifactDir != "" {
+		v.ArtifactPaths = r.writeArtifacts(v)
+	}
+	r.violMu.Lock()
+	if len(r.violations) < 64 {
+		r.violations = append(r.violations, v)
+	}
+	r.violMu.Unlock()
+	if r.cfg.OnViolation != nil {
+		r.cfg.OnViolation(v)
+	}
+}
+
+// writeArtifacts persists the violation window as history JSON plus
+// Chrome-trace JSON. Failures are reported inside the artifact list
+// rather than aborting the monitor.
+func (r *Recorder) writeArtifacts(v *Violation) []string {
+	base := filepath.Join(r.cfg.ArtifactDir, sanitize(v.Object)+"-violation")
+	var paths []string
+
+	histPath := base + ".history.json"
+	hf, err := os.Create(histPath)
+	if err == nil {
+		err = history.WriteDump(hf, v.Dump)
+		if cerr := hf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		paths = append(paths, histPath)
+	}
+
+	tracePath := base + ".trace.json"
+	tf, err := os.Create(tracePath)
+	if err == nil {
+		enc := json.NewEncoder(tf)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(obs.HistoryTrace(v.Dump))
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		paths = append(paths, tracePath)
+	}
+	return paths
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Violations returns the detected violations so far.
+func (r *Recorder) Violations() []*Violation {
+	r.violMu.Lock()
+	defer r.violMu.Unlock()
+	return append([]*Violation(nil), r.violations...)
+}
+
+// TapStats is one tap's live counters.
+type TapStats struct {
+	Name     string `json:"name"`
+	Family   string `json:"family"`
+	Procs    int    `json:"procs"`
+	Recorded int64  `json:"recorded"`
+	Dropped  int64  `json:"dropped"`
+	Pending  int64  `json:"pending"`
+	SealedTo int64  `json:"sealed_to"`
+	Relaxed  bool   `json:"relaxed"`
+	Violated bool   `json:"violated"`
+}
+
+// Stats is a recorder-wide snapshot for the exposition layer.
+type Stats struct {
+	SampleEvery int        `json:"sample_every"`
+	Recorded    int64      `json:"recorded"`
+	Dropped     int64      `json:"dropped"`
+	Pending     int64      `json:"pending"`
+	Violations  int64      `json:"violations"`
+	Taps        []TapStats `json:"taps"`
+}
+
+// Stats snapshots the recorder's counters. Safe to call from any
+// goroutine at any time.
+func (r *Recorder) Stats() Stats {
+	st := Stats{SampleEvery: r.cfg.SampleEvery}
+	for _, t := range r.sortedTaps() {
+		ts := TapStats{
+			Name:     t.name,
+			Family:   t.family,
+			Procs:    len(t.procs),
+			Recorded: t.recorded.Load(),
+			Dropped:  t.dropped.Load(),
+			Pending:  t.pending.Load(),
+			SealedTo: t.sealedTo.Load(),
+			Relaxed:  t.relaxedFlag.Load(),
+			Violated: t.violatedBit.Load(),
+		}
+		st.Recorded += ts.Recorded
+		st.Dropped += ts.Dropped
+		st.Pending += ts.Pending
+		st.Taps = append(st.Taps, ts)
+	}
+	r.violMu.Lock()
+	st.Violations = int64(len(r.violations))
+	r.violMu.Unlock()
+	return st
+}

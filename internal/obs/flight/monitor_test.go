@@ -1,0 +1,198 @@
+package flight
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/history"
+)
+
+// brokenMax "loses" writes: reads return a stale zero even after a write
+// completed — a genuine linearizability violation the monitor must catch.
+func TestFaultInjectionProducesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	got := make(chan *Violation, 1)
+	rec := New(Config{
+		SampleEvery: 1,
+		ArtifactDir: dir,
+		OnViolation: func(v *Violation) {
+			select {
+			case got <- v:
+			default:
+			}
+		},
+	})
+	tap := rec.Tap("maxreg", "maxreg#0", 2)
+	rec.Start()
+	defer rec.Stop()
+
+	// A write completes...
+	tok := tap.Begin(0)
+	tap.End(0, tok, history.KindWriteMax, 42, 0)
+	// ...and a later read misses it.
+	tok = tap.Begin(1)
+	tap.End(1, tok, history.KindReadMax, 0, 0)
+	rec.Sync()
+
+	vs := rec.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %d", len(vs))
+	}
+	v := vs[0]
+	if v.Family != "maxreg" || v.Err == nil || v.Err.Checker != "maxreg" {
+		t.Fatalf("bad violation: %+v", v)
+	}
+	select {
+	case <-got:
+	default:
+		t.Fatal("OnViolation callback not invoked")
+	}
+
+	// The embedded dump must re-check to the same verdict offline.
+	if v.Dump == nil || v.Dump.Violation == nil {
+		t.Fatalf("violation lacks dump: %+v", v)
+	}
+	if err := history.CheckerFor(v.Dump.Family)(v.Dump.Ops); err == nil {
+		t.Fatal("dumped window re-checks clean; artifact is not a repro")
+	}
+
+	// Artifacts on disk: parseable history dump + valid trace JSON.
+	if len(v.ArtifactPaths) != 2 {
+		t.Fatalf("want 2 artifact files, got %v", v.ArtifactPaths)
+	}
+	hf, err := os.Open(v.ArtifactPaths[0])
+	if err != nil {
+		t.Fatalf("open history artifact: %v", err)
+	}
+	defer hf.Close()
+	d, err := history.ReadDump(hf)
+	if err != nil {
+		t.Fatalf("parse history artifact: %v", err)
+	}
+	if d.Family != "maxreg" || d.Violation == nil || len(d.Ops) != 2 {
+		t.Fatalf("bad history artifact: %+v", d)
+	}
+
+	raw, err := os.ReadFile(v.ArtifactPaths[1])
+	if err != nil {
+		t.Fatalf("read trace artifact: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace artifact has no events")
+	}
+
+	if base := filepath.Base(v.ArtifactPaths[0]); base != "maxreg_0-violation.history.json" {
+		t.Fatalf("unexpected artifact name: %s", base)
+	}
+}
+
+// TestViolationLatchesPerTap asserts one violation per object, even when
+// the object keeps misbehaving.
+func TestViolationLatchesPerTap(t *testing.T) {
+	rec := New(Config{SampleEvery: 1})
+	tap := rec.Tap("counter", "counter#0", 1)
+	for i := 0; i < 10; i++ {
+		tok := tap.Begin(0)
+		tap.End(0, tok, history.KindCounterRead, 0, int64(100+i)) // nothing ever started
+	}
+	rec.Sync()
+	rec.Sync()
+	if n := len(rec.Violations()); n != 1 {
+		t.Fatalf("violation did not latch: %d reports", n)
+	}
+	if !rec.Stats().Taps[0].Violated {
+		t.Fatal("tap stats missing violated flag")
+	}
+}
+
+// TestConsensusAgreementViolation covers the fourth family end to end.
+func TestConsensusAgreementViolation(t *testing.T) {
+	rec := New(Config{SampleEvery: 1})
+	tap := rec.Tap("consensus", "consensus#0", 2)
+	tok := tap.Begin(0)
+	tap.End(0, tok, history.KindPropose, 1, 1)
+	tok = tap.Begin(1)
+	tap.End(1, tok, history.KindPropose, 2, 2) // disagrees
+	rec.Sync()
+	vs := rec.Violations()
+	if len(vs) != 1 || vs[0].Err.Checker != "consensus" {
+		t.Fatalf("want consensus violation, got %+v", vs)
+	}
+}
+
+// TestConcurrentStatsAndDumpsDuringWorkload hammers the observer paths
+// while producers run; meaningful under -race.
+func TestConcurrentStatsAndDumpsDuringWorkload(t *testing.T) {
+	rec := New(Config{SampleEvery: 2, WindowPerProc: 256})
+	const procs = 4
+	tap := rec.Tap("counter", "counter#0", procs)
+	rec.Start()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tok := tap.Begin(p)
+				tap.End(p, tok, history.KindIncrement, 0, 0)
+			}
+		}(p)
+	}
+	stopObs := make(chan struct{})
+	var owg sync.WaitGroup
+	for o := 0; o < 2; o++ {
+		owg.Add(1)
+		go func() {
+			defer owg.Done()
+			for {
+				select {
+				case <-stopObs:
+					return
+				default:
+					_ = rec.Stats()
+					_ = rec.Dumps()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopObs)
+	owg.Wait()
+	rec.Sync()
+	rec.Stop()
+
+	st := rec.Stats()
+	if st.Recorded == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if st.Violations != 0 {
+		t.Fatalf("false violation: %+v", rec.Violations())
+	}
+	// Stats and Dumps still work after Stop.
+	if len(rec.Dumps()) != 1 {
+		t.Fatal("dumps unavailable after Stop")
+	}
+}
+
+// TestStopIsIdempotent covers shutdown edges.
+func TestStopIsIdempotent(t *testing.T) {
+	rec := New(Config{})
+	rec.Tap("maxreg", "m", 1)
+	rec.Start()
+	rec.Stop()
+	rec.Stop()
+	rec.Start() // no-op after Stop
+	if len(rec.Dumps()) != 1 {
+		t.Fatal("dump after stop")
+	}
+}

@@ -1,12 +1,14 @@
 package tradeoffs
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
 	"github.com/restricteduse/tradeoffs/internal/obs"
 	"github.com/restricteduse/tradeoffs/internal/obs/expo"
+	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
 
@@ -32,6 +34,11 @@ type Observability struct {
 	order   []string
 	byName  map[string]*obs.Collector
 	nextIdx map[string]int
+
+	// flight is set when an object is constructed with both
+	// WithObservability and WithFlightRecorder: the registry's handlers
+	// then also serve the recorder's metrics and debug endpoints.
+	flight *FlightRecorder
 }
 
 // NewObservability returns an empty registry.
@@ -43,8 +50,10 @@ func NewObservability() *Observability {
 }
 
 // register creates the collector for one newly constructed object. An
-// empty name is auto-assigned family#k in construction order.
-func (o *Observability) register(family, name string, processes int, pool *primitive.Pool) (*obs.Collector, error) {
+// empty name is auto-assigned family#k in construction order; the
+// resolved name is returned so a flight recorder attached to the same
+// object labels its tap identically.
+func (o *Observability) register(family, name string, processes int, pool *primitive.Pool) (*obs.Collector, string, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if name == "" {
@@ -52,12 +61,45 @@ func (o *Observability) register(family, name string, processes int, pool *primi
 		o.nextIdx[family]++
 	}
 	if _, dup := o.byName[name]; dup {
-		return nil, fmt.Errorf("tradeoffs: observability object name %q already in use", name)
+		return nil, "", fmt.Errorf("tradeoffs: observability object name %q already in use", name)
 	}
 	col := obs.NewCollector(processes, pool)
 	o.byName[name] = col
 	o.order = append(o.order, name)
-	return col, nil
+	return col, name, nil
+}
+
+// attachFlight links the registry to a flight recorder so Handler and
+// MetricsHandler cover it. One recorder per registry.
+func (o *Observability) attachFlight(f *FlightRecorder) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.flight != nil && o.flight != f {
+		return errors.New("tradeoffs: observability is already linked to a different flight recorder")
+	}
+	o.flight = f
+	return nil
+}
+
+// flightRec returns the linked recorder's engine, or nil. Evaluated at
+// scrape time so objects constructed after Handler() still show up.
+func (o *Observability) flightRec() *flight.Recorder {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.flight == nil {
+		return nil
+	}
+	return o.flight.rec
+}
+
+// flightStats snapshots the linked recorder, or nil without one.
+func (o *Observability) flightStats() *flight.Stats {
+	rec := o.flightRec()
+	if rec == nil {
+		return nil
+	}
+	st := rec.Stats()
+	return &st
 }
 
 // gather snapshots every registered object, in registration order.
@@ -78,15 +120,19 @@ func (o *Observability) gather() []obs.NamedStats {
 }
 
 // MetricsHandler returns the Prometheus-text-format /metrics handler for
-// every object registered so far (and later).
+// every object registered so far (and later). When a flight recorder is
+// linked (WithFlightRecorder alongside WithObservability), the
+// exposition includes its tradeoffs_flight_* series.
 func (o *Observability) MetricsHandler() http.Handler {
-	return expo.Handler(o.gather)
+	return expo.HandlerWith(o.gather, o.flightStats)
 }
 
 // Handler returns a mux serving /metrics plus the standard Go debug
-// endpoints /debug/vars (expvar) and /debug/pprof.
+// endpoints /debug/vars (expvar) and /debug/pprof. With a linked flight
+// recorder it also serves /debug/history (the recorder's current
+// per-object windows as history-dump JSON) and /debug/violations.
 func (o *Observability) Handler() http.Handler {
-	return expo.DebugMux(o.gather)
+	return expo.DebugMuxWith(o.gather, o.flightRec)
 }
 
 // WithObservability instruments the constructed object into o: its handles

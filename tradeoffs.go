@@ -29,8 +29,10 @@ import (
 
 	"github.com/restricteduse/tradeoffs/internal/core"
 	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
 	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
 )
@@ -107,6 +109,7 @@ type config struct {
 	counting  bool
 	batch     int
 	obs       *Observability
+	flight    *FlightRecorder
 	name      string
 
 	maxRegImpl   MaxRegisterImpl
@@ -226,10 +229,12 @@ func buildConfig(opts []Option) config {
 }
 
 // registerObs attaches a freshly built object's pool to its Observability
-// registry (if any), returning the object's collector or nil.
-func registerObs(c config, family string, pool *primitive.Pool) (*obs.Collector, error) {
+// registry (if any), returning the object's collector (or nil) and its
+// resolved name — WithName's value, or the registry-assigned family#k —
+// so a flight recorder tap can share the label.
+func registerObs(c config, family string, pool *primitive.Pool) (*obs.Collector, string, error) {
 	if c.obs == nil {
-		return nil, nil
+		return nil, c.name, nil
 	}
 	return c.obs.register(family, c.name, c.processes, pool)
 }
@@ -254,10 +259,16 @@ type handle struct {
 	ctx      primitive.Context
 	counting *primitive.Counting
 	inst     *obs.Instrumented
+
+	// ftap streams the handle's operations to a flight recorder; fid is
+	// the process id the tap records them under. Nil when the object was
+	// built without WithFlightRecorder.
+	ftap *flight.Tap
+	fid  int
 }
 
-func newHandle(id int, counting bool, col *obs.Collector) handle {
-	h := handle{ctx: primitive.NewDirect(id)}
+func newHandle(id int, counting bool, col *obs.Collector, ftap *flight.Tap) handle {
+	h := handle{ctx: primitive.NewDirect(id), ftap: ftap, fid: id}
 	if col != nil {
 		h.inst = col.Context(id, h.ctx)
 		h.ctx = h.inst
@@ -286,6 +297,7 @@ type MaxRegister struct {
 	processes int
 	counting  bool
 	col       *obs.Collector
+	ftap      *flight.Tap
 }
 
 // NewMaxRegister builds a max register.
@@ -317,11 +329,15 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, err := registerObs(c, "maxreg", pool)
+	col, name, err := registerObs(c, "maxreg", pool)
 	if err != nil {
 		return nil, err
 	}
-	return &MaxRegister{impl: impl, processes: c.processes, counting: c.counting, col: col}, nil
+	tap, err := registerFlight(c, "maxreg", name)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxRegister{impl: impl, processes: c.processes, counting: c.counting, col: col, ftap: tap}, nil
 }
 
 // Processes returns the number of process slots.
@@ -336,7 +352,7 @@ func (m *MaxRegister) Bound() int64 { return m.impl.Bound() }
 // contract is a panic rather than an error.
 func (m *MaxRegister) Handle(id int) *MaxRegisterHandle {
 	checkHandleID("MaxRegister", id, m.processes)
-	h := &MaxRegisterHandle{reg: m.impl, handle: newHandle(id, m.counting, m.col)}
+	h := &MaxRegisterHandle{reg: m.impl, handle: newHandle(id, m.counting, m.col, m.ftap)}
 	if m.col != nil {
 		h.opRead = m.col.Op("read")
 		h.opWrite = m.col.Op("write")
@@ -354,24 +370,36 @@ type MaxRegisterHandle struct {
 
 // Read returns the largest value written so far (0 if none).
 func (h *MaxRegisterHandle) Read() int64 {
+	tok := h.beginFlight()
+	var v int64
 	if h.inst == nil {
-		return h.reg.ReadMax(h.ctx)
+		v = h.reg.ReadMax(h.ctx)
+	} else {
+		sp := h.opRead.Begin(h.inst)
+		v = h.reg.ReadMax(h.ctx)
+		sp.End()
 	}
-	sp := h.opRead.Begin(h.inst)
-	v := h.reg.ReadMax(h.ctx)
-	sp.End()
+	h.endFlight(tok, history.KindReadMax, 0, v)
 	return v
 }
 
 // Write records v if it exceeds every previously written value.
 func (h *MaxRegisterHandle) Write(v int64) error {
+	tok := h.beginFlight()
+	var err error
 	if h.inst == nil {
-		return h.reg.WriteMax(h.ctx, v)
+		err = h.reg.WriteMax(h.ctx, v)
+	} else {
+		sp := h.opWrite.Begin(h.inst)
+		err = h.reg.WriteMax(h.ctx, v)
+		sp.End()
 	}
-	sp := h.opWrite.Begin(h.inst)
-	err := h.reg.WriteMax(h.ctx, v)
-	sp.End()
-	return err
+	if err != nil {
+		h.abortFlight(tok)
+		return err
+	}
+	h.endFlight(tok, history.KindWriteMax, v, 0)
+	return nil
 }
 
 // Counter is a linearizable shared counter. Construct with NewCounter.
@@ -381,6 +409,7 @@ type Counter struct {
 	counting  bool
 	batch     int
 	col       *obs.Collector
+	ftap      *flight.Tap
 }
 
 // NewCounter builds a counter.
@@ -419,11 +448,15 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, err := registerObs(c, "counter", pool)
+	col, name, err := registerObs(c, "counter", pool)
 	if err != nil {
 		return nil, err
 	}
-	return &Counter{impl: impl, processes: c.processes, counting: c.counting, batch: c.batch, col: col}, nil
+	tap, err := registerFlight(c, "counter", name)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{impl: impl, processes: c.processes, counting: c.counting, batch: c.batch, col: col, ftap: tap}, nil
 }
 
 // Processes returns the number of process slots.
@@ -441,7 +474,7 @@ func (c *Counter) BatchWindow() int {
 // [0, Processes()) — see checkHandleID.
 func (c *Counter) Handle(id int) *CounterHandle {
 	checkHandleID("Counter", id, c.processes)
-	h := &CounterHandle{ctr: c.impl, window: c.batch, handle: newHandle(id, c.counting, c.col)}
+	h := &CounterHandle{ctr: c.impl, window: c.batch, handle: newHandle(id, c.counting, c.col, c.ftap)}
 	if c.col != nil {
 		h.opRead = c.col.Op("read")
 		h.opInc = c.col.Op("increment")
@@ -482,12 +515,16 @@ func (h *CounterHandle) Read() int64 {
 		// count.
 		_ = h.Flush()
 	}
+	tok := h.beginFlight()
+	var v int64
 	if h.inst == nil {
-		return h.ctr.Read(h.ctx)
+		v = h.ctr.Read(h.ctx)
+	} else {
+		sp := h.opRead.Begin(h.inst)
+		v = h.ctr.Read(h.ctx)
+		sp.End()
 	}
-	sp := h.opRead.Begin(h.inst)
-	v := h.ctr.Read(h.ctx)
-	sp.End()
+	h.endFlight(tok, history.KindCounterRead, 0, v)
 	return v
 }
 
@@ -497,13 +534,21 @@ func (h *CounterHandle) Increment() error {
 	if h.window > 1 {
 		return h.Add(1)
 	}
+	tok := h.beginFlight()
+	var err error
 	if h.inst == nil {
-		return h.ctr.Increment(h.ctx)
+		err = h.ctr.Increment(h.ctx)
+	} else {
+		sp := h.opInc.Begin(h.inst)
+		err = h.ctr.Increment(h.ctx)
+		sp.End()
 	}
-	sp := h.opInc.Begin(h.inst)
-	err := h.ctr.Increment(h.ctx)
-	sp.End()
-	return err
+	if err != nil {
+		h.abortFlight(tok)
+		return err
+	}
+	h.endFlight(tok, history.KindIncrement, 0, 0)
+	return nil
 }
 
 // Add atomically adds delta >= 0 to the counter as one update: one leaf
@@ -523,13 +568,26 @@ func (h *CounterHandle) Add(delta int64) error {
 		}
 		return nil
 	}
-	if h.inst == nil {
-		return h.ctr.Add(h.ctx, delta)
+	// Add(0) changes nothing and is not recorded: the weighted counter
+	// checker counts every recorded increment with weight max(Arg, 1).
+	var tok flight.OpToken
+	if delta != 0 {
+		tok = h.beginFlight()
 	}
-	sp := h.opAdd.Begin(h.inst)
-	err := h.ctr.Add(h.ctx, delta)
-	sp.End()
-	return err
+	var err error
+	if h.inst == nil {
+		err = h.ctr.Add(h.ctx, delta)
+	} else {
+		sp := h.opAdd.Begin(h.inst)
+		err = h.ctr.Add(h.ctx, delta)
+		sp.End()
+	}
+	if err != nil {
+		h.abortFlight(tok)
+		return err
+	}
+	h.endFlight(tok, history.KindIncrement, delta, 0)
+	return nil
 }
 
 // Flush propagates the handle's coalesced deltas (if any) as one update.
@@ -541,17 +599,25 @@ func (h *CounterHandle) Flush() error {
 		h.buffered = 0
 		return nil
 	}
+	// The coalesced delta lands as one update, so the flight recorder
+	// sees it as one weighted increment (Arg = delta): deltas buffered on
+	// the handle are invisible to other processes and stay unrecorded
+	// until this propagation, which is exactly when they linearize.
+	delta := h.pending
+	tok := h.beginFlight()
 	var err error
 	if h.inst == nil {
-		err = h.ctr.Add(h.ctx, h.pending)
+		err = h.ctr.Add(h.ctx, delta)
 	} else {
 		sp := h.opAdd.Begin(h.inst)
-		err = h.ctr.Add(h.ctx, h.pending)
+		err = h.ctr.Add(h.ctx, delta)
 		sp.End()
 	}
 	if err != nil {
+		h.abortFlight(tok)
 		return err
 	}
+	h.endFlight(tok, history.KindIncrement, delta, 0)
 	h.pending, h.buffered = 0, 0
 	return nil
 }
@@ -567,6 +633,7 @@ type Snapshot struct {
 	processes int
 	counting  bool
 	col       *obs.Collector
+	ftap      *flight.Tap
 
 	// local[i] caches the last value process i successfully wrote to its
 	// segment, so SnapshotHandle.Add needs no Scan. Single-writer (only
@@ -610,7 +677,11 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, err := registerObs(c, "snapshot", pool)
+	col, name, err := registerObs(c, "snapshot", pool)
+	if err != nil {
+		return nil, err
+	}
+	tap, err := registerFlight(c, "snapshot", name)
 	if err != nil {
 		return nil, err
 	}
@@ -619,6 +690,7 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 		processes: c.processes,
 		counting:  c.counting,
 		col:       col,
+		ftap:      tap,
 		local:     make([]paddedSeg, c.processes),
 	}, nil
 }
@@ -630,7 +702,7 @@ func (s *Snapshot) Processes() int { return s.processes }
 // Handle panics if id is outside [0, Processes()) — see checkHandleID.
 func (s *Snapshot) Handle(id int) *SnapshotHandle {
 	checkHandleID("Snapshot", id, s.processes)
-	h := &SnapshotHandle{snap: s.impl, seg: &s.local[id], handle: newHandle(id, s.counting, s.col)}
+	h := &SnapshotHandle{snap: s.impl, seg: &s.local[id], handle: newHandle(id, s.counting, s.col, s.ftap)}
 	if s.col != nil {
 		h.opScan = s.col.Op("scan")
 		h.opUpdate = s.col.Op("update")
@@ -649,6 +721,7 @@ type SnapshotHandle struct {
 
 // Update atomically sets the handle's segment to v.
 func (h *SnapshotHandle) Update(v int64) error {
+	tok := h.beginFlight()
 	var err error
 	if h.inst == nil {
 		err = h.snap.Update(h.ctx, v)
@@ -657,10 +730,13 @@ func (h *SnapshotHandle) Update(v int64) error {
 		err = h.snap.Update(h.ctx, v)
 		sp.End()
 	}
-	if err == nil {
-		h.seg.v = v
+	if err != nil {
+		h.abortFlight(tok)
+		return err
 	}
-	return err
+	h.seg.v = v
+	h.endFlight(tok, history.KindUpdate, v, 0)
+	return nil
 }
 
 // Add atomically adds delta to the handle's segment and returns the new
@@ -678,11 +754,15 @@ func (h *SnapshotHandle) Add(delta int64) (int64, error) {
 
 // Scan atomically reads all segments.
 func (h *SnapshotHandle) Scan() []int64 {
+	tok := h.beginFlight()
+	var v []int64
 	if h.inst == nil {
-		return h.snap.Scan(h.ctx)
+		v = h.snap.Scan(h.ctx)
+	} else {
+		sp := h.opScan.Begin(h.inst)
+		v = h.snap.Scan(h.ctx)
+		sp.End()
 	}
-	sp := h.opScan.Begin(h.inst)
-	v := h.snap.Scan(h.ctx)
-	sp.End()
+	h.endFlightVec(tok, v)
 	return v
 }
