@@ -48,11 +48,7 @@ func NewConsensus(opts ...Option) (*Consensus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, name, err := registerObs(c, "consensus", pool)
-	if err != nil {
-		return nil, err
-	}
-	tap, err := registerFlight(c, "consensus", name)
+	col, tap, err := registerObsAndFlight(c, "consensus", pool)
 	if err != nil {
 		return nil, err
 	}

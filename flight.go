@@ -13,6 +13,7 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/obs"
 	"github.com/restricteduse/tradeoffs/internal/obs/expo"
 	"github.com/restricteduse/tradeoffs/internal/obs/flight"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
 
 // FlightConfig tunes a FlightRecorder. The zero value picks the
@@ -248,6 +249,27 @@ func (f *FlightRecorder) Handler() http.Handler {
 // registries and f's endpoints fold into the Observability handlers.
 func WithFlightRecorder(f *FlightRecorder) Option {
 	return optionFunc(func(c *config) { c.flight = f })
+}
+
+// registerObsAndFlight wires a freshly built object into its
+// Observability registry and flight recorder in one step. If the flight
+// tap fails after the obs registration succeeded (duplicate tap name,
+// recorder already started), the obs entry is rolled back so a retried
+// construction can reuse the name and the metrics never expose an
+// object that was never built.
+func registerObsAndFlight(c config, family string, pool *primitive.Pool) (*obs.Collector, *flight.Tap, error) {
+	col, name, err := registerObs(c, family, pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	tap, err := registerFlight(c, family, name)
+	if err != nil {
+		if col != nil {
+			c.obs.unregister(name)
+		}
+		return nil, nil, err
+	}
+	return col, tap, nil
 }
 
 // registerFlight taps a newly built object into its flight recorder (if

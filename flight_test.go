@@ -351,7 +351,18 @@ func TestFlightRecorderRegistrationErrors(t *testing.T) {
 	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr3)); err == nil {
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr3), WithName("orphan")); err == nil {
 		t.Fatal("second recorder on one observability accepted")
+	}
+
+	// The failed construction must not leak its obs registration: the name
+	// is reusable and the metrics never expose the dead object.
+	for _, ns := range o.gather() {
+		if ns.Object == "orphan" {
+			t.Fatal("failed construction left its collector registered")
+		}
+	}
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr2), WithName("orphan")); err != nil {
+		t.Fatalf("name not released after failed construction: %v", err)
 	}
 }

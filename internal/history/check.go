@@ -164,9 +164,10 @@ func CheckConsensus(ops []Op) error {
 	}
 	var decided int64
 	var first Op
+	decidedSet := false // a decision of 0 is legal, so 0 cannot be the sentinel
 	for _, p := range proposes {
-		if decided == 0 {
-			decided, first = p.Ret, p
+		if !decidedSet {
+			decided, first, decidedSet = p.Ret, p, true
 		} else if p.Ret != decided {
 			return &ViolationError{
 				Checker: "consensus",

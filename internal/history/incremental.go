@@ -480,9 +480,10 @@ type IncrementalConsensus struct {
 	lastInv  int64
 	sealedTo int64
 
-	// decided is the observed decision; 0 means none yet (matching
-	// CheckConsensus, which treats 0 as "undecided").
-	decided int64
+	// decided is the observed decision; decidedSet distinguishes "no
+	// propose admitted yet" from a legitimate decision of 0.
+	decided    int64
+	decidedSet bool
 
 	minInvByValue    map[int64]int64
 	valuesOverflowed bool
@@ -516,8 +517,8 @@ func (c *IncrementalConsensus) Admit(op Op) *ViolationError {
 	} else {
 		c.valuesOverflowed = true
 	}
-	if c.decided == 0 {
-		c.decided = op.Ret
+	if !c.decidedSet {
+		c.decided, c.decidedSet = op.Ret, true
 	} else if op.Ret != c.decided {
 		return &ViolationError{
 			Checker: "consensus",

@@ -67,7 +67,8 @@ const unknownIdx = -1
 
 // NewIncrementalSnapshot returns an empty streaming snapshot checker.
 // relaxed additionally treats values missing from the sampled sub-history
-// as unresolvable instead of never-written violations.
+// as unresolvable instead of never-written violations — including a
+// scanned 0, which an unobserved update may legitimately have written.
 func NewIncrementalSnapshot(relaxed bool) *IncrementalSnapshot {
 	return &IncrementalSnapshot{
 		relaxed:  relaxed,
@@ -156,7 +157,12 @@ func (c *IncrementalSnapshot) resolve(s Op) ([]int, *ViolationError) {
 		idx := 0
 		switch {
 		case v == 0:
-			if info != nil && info.sawZero {
+			// A scanned 0 is the initial value only if no update wrote 0.
+			// In relaxed mode the observed history is a sub-history, so an
+			// unobserved update may have written 0 — the component is never
+			// resolvable; in exact mode only an admitted Update(0) makes it
+			// ambiguous.
+			if c.relaxed || (info != nil && info.sawZero) {
 				idx = unknownIdx
 			}
 		case info == nil:

@@ -303,6 +303,55 @@ func TestIncrementalExactViolations(t *testing.T) {
 	})
 }
 
+// TestIncrementalRelaxedSnapshotZeroScan pins the relaxed-mode soundness
+// fix for scanned zeros: an unsampled update may legitimately have
+// written 0, so a relaxed checker must never pin a scanned 0 to the
+// initial value and alarm on "scan saw update #0 but #N had completed".
+func TestIncrementalRelaxedSnapshotZeroScan(t *testing.T) {
+	ops := []Op{
+		{Proc: 0, Kind: KindUpdate, Arg: 5, Inv: 1, Res: 2},
+		// Linearizable iff some Update(0) overwrote the 5 — which a sampled
+		// history cannot rule out.
+		{Proc: 1, Kind: KindScan, RetVec: []int64{0, 0}, Inv: 10, Res: 11},
+	}
+	if v := runStream(NewIncrementalSnapshot(true), ops); v != nil {
+		t.Fatalf("relaxed checker rejected a scan whose 0 could be an unobserved update: %v", v)
+	}
+	// Exact mode observes the whole history, so the same scan is a genuine
+	// lost-update violation.
+	if v := runStream(NewIncrementalSnapshot(false), ops); v == nil {
+		t.Fatal("exact checker missed the lost-update violation")
+	}
+}
+
+// TestIncrementalConsensusDecidesZero pins the decided-0 coverage fix:
+// a first propose deciding 0 must count as a decision, so a later
+// propose deciding differently is an agreement violation.
+func TestIncrementalConsensusDecidesZero(t *testing.T) {
+	ops := []Op{
+		{Proc: 0, Kind: KindPropose, Arg: 0, Ret: 0, Inv: 1, Res: 2},
+		{Proc: 1, Kind: KindPropose, Arg: 5, Ret: 5, Inv: 3, Res: 4},
+	}
+	v := runStream(NewIncrementalConsensus(false), ops)
+	if v == nil || v.Checker != "consensus" {
+		t.Fatalf("want agreement violation after deciding 0, got %v", v)
+	}
+	if err := CheckConsensus(ops); err == nil {
+		t.Fatal("batch checker missed the 0-vs-5 agreement violation")
+	}
+	// All-zero agreement stays legal in both checkers.
+	legal := []Op{
+		{Proc: 0, Kind: KindPropose, Arg: 0, Ret: 0, Inv: 1, Res: 2},
+		{Proc: 1, Kind: KindPropose, Arg: 7, Ret: 0, Inv: 3, Res: 4},
+	}
+	if v := runStream(NewIncrementalConsensus(false), legal); v != nil {
+		t.Fatalf("unanimous decision of 0 rejected: %v", v)
+	}
+	if err := CheckConsensus(legal); err != nil {
+		t.Fatalf("batch checker rejected unanimous decision of 0: %v", err)
+	}
+}
+
 // TestIncrementalValueCapDegradesGracefully verifies the bounded-memory
 // escape hatch: past maxTrackedValues the checker stops reporting
 // provenance violations (which could be false) but keeps the rest.

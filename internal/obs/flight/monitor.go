@@ -57,11 +57,16 @@ func (r *Recorder) Stop() {
 
 // Sync forces a full drain-and-check pass and returns once it completes.
 // Intended for tests and shutdown paths.
+//
+// Once Start has been called, the monitor goroutine owns the checker
+// state until r.done closes — the stopped flag flips before the final
+// drain pass runs, so Sync (and Dumps) must not use it to decide direct
+// access; they wait on r.done instead.
 func (r *Recorder) Sync() {
 	r.mu.Lock()
-	running := r.started && !r.stopped
+	started := r.started
 	r.mu.Unlock()
-	if !running {
+	if !started {
 		r.cycleAll()
 		return
 	}
@@ -202,13 +207,15 @@ func (r *Recorder) buildDumps() []*history.Dump {
 
 // Dumps returns one window dump per tap. While the monitor runs, the
 // request is serviced on the monitor goroutine so the windows are
-// consistent; after Stop it reads directly.
+// consistent; once the goroutine has exited (r.done closed) it reads
+// directly. See Sync for why r.done, not the stopped flag, is the
+// ownership boundary.
 func (r *Recorder) Dumps() []*history.Dump {
 	r.mu.Lock()
-	running := r.started && !r.stopped
+	started := r.started
 	ch := r.dumpsCh
 	r.mu.Unlock()
-	if running {
+	if started {
 		req := dumpReq{reply: make(chan []*history.Dump, 1)}
 		select {
 		case ch <- req:

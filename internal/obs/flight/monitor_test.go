@@ -184,6 +184,37 @@ func TestConcurrentStatsAndDumpsDuringWorkload(t *testing.T) {
 	}
 }
 
+// TestStopConcurrentWithObservers pins the shutdown ownership boundary:
+// until the monitor goroutine has exited, Dumps and Sync must route
+// through it (or wait for r.done) rather than touching checker state the
+// final drain pass is still writing. Meaningful under -race.
+func TestStopConcurrentWithObservers(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		rec := New(Config{SampleEvery: 1, WindowPerProc: 64})
+		tap := rec.Tap("counter", "counter#0", 1)
+		rec.Start()
+		for j := 0; j < 200; j++ {
+			tok := tap.Begin(0)
+			tap.End(0, tok, history.KindIncrement, 0, 0)
+		}
+		var wg sync.WaitGroup
+		for o := 0; o < 2; o++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = rec.Dumps()
+				rec.Sync()
+				_ = rec.Dumps()
+			}()
+		}
+		rec.Stop()
+		wg.Wait()
+		if st := rec.Stats(); st.Violations != 0 {
+			t.Fatalf("false violation during shutdown: %+v", rec.Violations())
+		}
+	}
+}
+
 // TestStopIsIdempotent covers shutdown edges.
 func TestStopIsIdempotent(t *testing.T) {
 	rec := New(Config{})

@@ -69,6 +69,21 @@ func (o *Observability) register(family, name string, processes int, pool *primi
 	return col, name, nil
 }
 
+// unregister rolls back a registration whose object could not finish
+// construction (its flight tap failed), so the name is reusable and
+// gather stops exposing the dead collector.
+func (o *Observability) unregister(name string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.byName, name)
+	for i, n := range o.order {
+		if n == name {
+			o.order = append(o.order[:i], o.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // attachFlight links the registry to a flight recorder so Handler and
 // MetricsHandler cover it. One recorder per registry.
 func (o *Observability) attachFlight(f *FlightRecorder) error {

@@ -329,11 +329,7 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, name, err := registerObs(c, "maxreg", pool)
-	if err != nil {
-		return nil, err
-	}
-	tap, err := registerFlight(c, "maxreg", name)
+	col, tap, err := registerObsAndFlight(c, "maxreg", pool)
 	if err != nil {
 		return nil, err
 	}
@@ -448,11 +444,7 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, name, err := registerObs(c, "counter", pool)
-	if err != nil {
-		return nil, err
-	}
-	tap, err := registerFlight(c, "counter", name)
+	col, tap, err := registerObsAndFlight(c, "counter", pool)
 	if err != nil {
 		return nil, err
 	}
@@ -677,11 +669,7 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, name, err := registerObs(c, "snapshot", pool)
-	if err != nil {
-		return nil, err
-	}
-	tap, err := registerFlight(c, "snapshot", name)
+	col, tap, err := registerObsAndFlight(c, "snapshot", pool)
 	if err != nil {
 		return nil, err
 	}
