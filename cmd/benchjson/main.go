@@ -1,11 +1,32 @@
 // Command benchjson runs a fixed-seed bench suite and writes its JSON
 // report (BENCH_PR2.json by default), the artifact `make bench-json`
-// produces and CI diffs across runs. -suite picks the throughput suite
-// (default) or the schedule-exploration scaling suite (`explore`, behind
-// `make explore-bench`). With -check it instead validates an existing
-// report against the current schema and exits; with -diff it additionally
-// compares the fresh report against a baseline file (either schema
-// version) and summarizes per-row deltas on stderr.
+// produces. -suite picks the throughput suite (default) or the
+// schedule-exploration scaling suite (`explore`, behind
+// `make explore-bench`).
+//
+// On top of the one-shot report it drives the continuous perf-tracking
+// layer (docs/benchmarking.md):
+//
+//   - -check FILE validates an existing report against the schema and
+//     exits.
+//   - -against FILE skips the suite run and uses FILE as the fresh report,
+//     so -diff and -gate can compare two existing files without paying for
+//     a bench run.
+//   - -diff FILE prints an informational per-row comparison on stderr.
+//   - -gate FILE thresholds the fresh report against FILE (per-suite
+//     ns/op, steps/op, allocs/op, execs/sec ceilings/floors plus the
+//     flight-recorder overhead ratio), prints a verdict, optionally writes
+//     the machine-readable delta document (-delta), and exits 1 on any
+//     regression — this is the CI merge gate.
+//   - -append FILE folds the fresh report into the committed bench
+//     time-series (dev/bench/data.json) as one (commit, timestamp, suite)
+//     entry; re-appending the same commit+suite replaces its entry.
+//     -commit and -timestamp attribute the entry (timestamp defaults to
+//     the current time at this CLI layer only — suite runs themselves
+//     never read the clock into the schema).
+//   - -profile DIR captures a CPU profile and runtime trace of the suite
+//     run (DIR/<suite>.cpu.pprof, DIR/<suite>.trace) with pprof labels
+//     per workload, the attribution artifact a tripped gate ships.
 package main
 
 import (
@@ -16,87 +37,226 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"github.com/restricteduse/tradeoffs/internal/bench"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out     = flag.String("out", "BENCH_PR2.json", "output path, or - for stdout")
-		suite   = flag.String("suite", "throughput", "suite to run: throughput or explore")
-		procs   = flag.Int("procs", 0, "processes per workload; 0 = suite default (8 throughput, 3 explore)")
-		ops     = flag.Int("ops", 0, "operations per process (throughput); 0 = 20000")
-		steps   = flag.Int("steps", 0, "events per simulated process (explore); 0 = 4")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated ExploreParallel worker counts (explore)")
-		budget  = flag.Int("budget", 0, "execution budget per exploration (explore); 0 = 10,000,000")
-		seed    = flag.Int64("seed", 20260805, "seed for every per-process random source")
-		pretty  = flag.Bool("pretty", false, "indent the JSON output")
-		check   = flag.String("check", "", "validate an existing report file and exit")
-		diff    = flag.String("diff", "", "baseline report file to compare the fresh report against")
+		out     = fs.String("out", "BENCH_PR2.json", "output path, or - for stdout")
+		suite   = fs.String("suite", "throughput", "suite to run: throughput or explore")
+		procs   = fs.Int("procs", 0, "processes per workload; 0 = suite default (8 throughput, 3 explore)")
+		ops     = fs.Int("ops", 0, "operations per process (throughput); 0 = 20000")
+		steps   = fs.Int("steps", 0, "events per simulated process (explore); 0 = 4")
+		workers = fs.String("workers", "1,2,4,8", "comma-separated ExploreParallel worker counts (explore)")
+		budget  = fs.Int("budget", 0, "execution budget per exploration (explore); 0 = 10,000,000")
+		seed    = fs.Int64("seed", 20260805, "seed for every per-process random source")
+		pretty  = fs.Bool("pretty", false, "indent the JSON output")
+		check   = fs.String("check", "", "validate an existing report file and exit")
+		against = fs.String("against", "", "use this existing report as the fresh report instead of running the suite")
+		diff    = fs.String("diff", "", "baseline report file for an informational comparison (stderr)")
+
+		gate       = fs.String("gate", "", "baseline report file to gate against; exit 1 on any thresholded regression")
+		deltaOut   = fs.String("delta", "", "write the gate's machine-readable delta JSON here (- for stdout)")
+		gateNs     = fs.Float64("gate-ns", defaults.MaxNsRegress, "allowed relative ns/op growth per row (negative disables)")
+		gateSteps  = fs.Float64("gate-steps", defaults.MaxStepsRegress, "allowed relative steps/op growth per row (negative disables)")
+		gateAllocs = fs.Float64("gate-allocs", defaults.MaxAllocsRegress, "allowed relative allocs/op growth per row (negative disables)")
+		gateSlack  = fs.Float64("gate-allocs-slack", defaults.AllocsSlack, "absolute allocs/op slack on top of -gate-allocs")
+		gateExecs  = fs.Float64("gate-execs", defaults.MinExecsRatio, "execs/sec floor as a fraction of baseline (<=0 disables)")
+		gateFlight = fs.Float64("gate-flight", defaults.MaxFlightOverhead, "allowed flight-recorder sampled-mode overhead over the off row (negative disables)")
+
+		appendTo  = fs.String("append", "", "bench time-series file to append the fresh report to (e.g. dev/bench/data.json)")
+		commit    = fs.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA recorded on the report and series entry (default $GITHUB_SHA)")
+		timestamp = fs.String("timestamp", "", "RFC 3339 run timestamp for the report and series entry (default: now, stamped here, never inside the suite)")
+		profile   = fs.String("profile", "", "directory for per-suite profiling artifacts (<suite>.cpu.pprof + <suite>.trace)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
 
 	if *check != "" {
 		rep, err := readReport(*check)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %s: valid %s report\n", *check, rep.Schema)
-		return
+		fmt.Fprintf(stderr, "benchjson: %s: valid %s report\n", *check, rep.Schema)
+		return 0
+	}
+	if *timestamp != "" {
+		if _, err := time.Parse(time.RFC3339, *timestamp); err != nil {
+			return fail(fmt.Errorf("-timestamp: %w", err))
+		}
 	}
 
-	var rep *bench.Report
-	var err error
-	switch *suite {
-	case "throughput":
-		rep, err = bench.RunThroughput(bench.ThroughputConfig{
-			Procs:      *procs,
-			OpsPerProc: *ops,
-			Seed:       *seed,
-		})
-	case "explore":
-		var ws []int
-		ws, err = bench.ParseWorkers(*workers)
-		if err == nil {
-			rep, err = bench.RunExplore(bench.ExploreConfig{
-				Procs:   *procs,
-				Steps:   *steps,
-				Workers: ws,
-				Budget:  *budget,
-			})
-		}
-	default:
-		err = fmt.Errorf("unknown suite %q (want throughput or explore)", *suite)
-	}
+	rep, fresh, err := freshReport(fs, *against, *suite, *procs, *ops, *steps, *workers, *budget, *seed, *profile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return fail(err)
+	}
+	if *commit != "" && rep.Commit == "" {
+		rep.Commit = *commit
+	}
+	if *timestamp != "" {
+		rep.Timestamp = *timestamp
 	}
 
 	if *diff != "" {
 		base, err := readReport(*diff)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		diffReports(os.Stderr, base, rep)
+		diffReports(stderr, base, rep)
 	}
 
-	enc, err := encode(rep, *pretty)
+	gateFailed := false
+	if *gate != "" {
+		base, err := readReport(*gate)
+		if err != nil {
+			return fail(err)
+		}
+		th := bench.Thresholds{
+			MaxNsRegress:      *gateNs,
+			MaxStepsRegress:   *gateSteps,
+			MaxAllocsRegress:  *gateAllocs,
+			AllocsSlack:       *gateSlack,
+			MinExecsRatio:     *gateExecs,
+			MaxFlightOverhead: *gateFlight,
+		}
+		delta := bench.Gate(base, rep, th)
+		delta.Summary(stderr)
+		if *deltaOut != "" {
+			enc, err := json.MarshalIndent(delta, "", "  ")
+			if err != nil {
+				return fail(err)
+			}
+			enc = append(enc, '\n')
+			if *deltaOut == "-" {
+				stdout.Write(enc)
+			} else if err := os.WriteFile(*deltaOut, enc, 0o644); err != nil {
+				return fail(err)
+			}
+		}
+		gateFailed = !delta.Pass
+	}
+
+	// Write the report and series even when the gate failed: the regressed
+	// artifact is exactly what the investigation needs.
+	if fresh {
+		enc, err := encode(rep, *pretty)
+		if err != nil {
+			return fail(err)
+		}
+		if *out == "-" {
+			stdout.Write(enc)
+		} else {
+			if err := os.WriteFile(*out, enc, 0o644); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+		}
+	}
+
+	if *appendTo != "" {
+		ts := rep.Timestamp
+		if ts == "" {
+			// The only clock read in the pipeline, and it lives here at the
+			// CLI layer: reports themselves stay byte-reproducible.
+			ts = time.Now().UTC().Format(time.RFC3339)
+		}
+		sha := rep.Commit
+		if sha == "" {
+			sha = "unknown"
+		}
+		entrySuite := rep.Suite
+		if entrySuite == "" {
+			entrySuite = *suite // pre-metadata reports fed via -against
+		}
+		series, err := bench.ReadSeries(*appendTo)
+		if err != nil {
+			return fail(err)
+		}
+		if err := series.Append(bench.SeriesEntry{
+			Commit: sha, Timestamp: ts, Suite: entrySuite, Report: rep,
+		}); err != nil {
+			return fail(err)
+		}
+		if err := bench.WriteSeries(*appendTo, series); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "benchjson: series %s now has %d entries (appended %s/%s)\n",
+			*appendTo, len(series.Entries), sha, entrySuite)
+	}
+
+	if gateFailed {
+		return 1
+	}
+	return 0
+}
+
+// defaults seeds the -gate-* flag defaults.
+var defaults = bench.DefaultThresholds()
+
+// freshReport produces the report under test: read from -against, or run
+// the selected suite (optionally under a -profile capture). fresh reports
+// whether a suite actually ran (and the report should be written to -out).
+func freshReport(fs *flag.FlagSet, against, suite string, procs, ops, steps int,
+	workers string, budget int, seed int64, profileDir string) (*bench.Report, bool, error) {
+
+	if against != "" {
+		rep, err := readReport(against)
+		return rep, false, err
+	}
+
+	var stopProfiles func() error
+	if profileDir != "" {
+		var err error
+		stopProfiles, err = bench.StartProfiles(profileDir, suite)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	var rep *bench.Report
+	var err error
+	switch suite {
+	case bench.SuiteThroughput:
+		rep, err = bench.RunThroughput(bench.ThroughputConfig{
+			Procs:      procs,
+			OpsPerProc: ops,
+			Seed:       seed,
+		})
+	case bench.SuiteExplore:
+		var ws []int
+		ws, err = bench.ParseWorkers(workers)
+		if err == nil {
+			rep, err = bench.RunExplore(bench.ExploreConfig{
+				Procs:   procs,
+				Steps:   steps,
+				Workers: ws,
+				Budget:  budget,
+			})
+		}
+	default:
+		err = fmt.Errorf("unknown suite %q (want %s or %s)", suite, bench.SuiteThroughput, bench.SuiteExplore)
+	}
+	if stopProfiles != nil {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, false, err
 	}
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+	return rep, true, nil
 }
 
 func encode(rep *bench.Report, pretty bool) ([]byte, error) {
@@ -142,7 +302,7 @@ func checkFile(path string) error {
 
 // diffReports summarizes cur against base: per-row ns/op, steps/op, and
 // allocs/op deltas for rows present in both, plus added/removed rows. The
-// diff is informational — wall-clock noise makes ns/op a poor gate — so it
+// diff is informational — `-gate` is the enforced counterpart — so it
 // never fails the run; steps/op shifts in deterministic workloads are the
 // signal reviewers act on.
 func diffReports(w io.Writer, base, cur *bench.Report) {

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -10,6 +12,16 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/sim"
 )
+
+// labeled runs one exploration row under pprof labels. ExploreParallel
+// spawns its worker goroutines inside the labeled region, so they inherit
+// the row's labels and a -profile capture attributes samples per row.
+func labeled(row string, f func() measurement) measurement {
+	var m measurement
+	pprof.Do(context.Background(), pprof.Labels("bench_suite", SuiteExplore, "bench_workload", row),
+		func(context.Context) { m = f() })
+	return m
+}
 
 // ParseWorkers parses a comma-separated worker-count list ("1,2,4,8") for
 // the -workers flags of cmd/benchjson, cmd/simtrace, and cmd/tradeoff.
@@ -178,11 +190,13 @@ func RunExplore(cfg ExploreConfig) (*Report, error) {
 
 	rep := &Report{
 		Schema:     ReportSchema,
+		Suite:      SuiteExplore,
 		Seed:       1, // explorations are exhaustive; no randomness involved
 		Procs:      cfg.Procs,
 		OpsPerProc: cfg.Steps,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		Host:       ReadHost(),
 	}
 
 	for _, wl := range exploreWorkloads {
@@ -207,8 +221,10 @@ func RunExplore(cfg ExploreConfig) (*Report, error) {
 		tally := new(exploreTally)
 		var seqExecs int
 		var runErr error
-		m := measure(func() {
-			seqExecs, runErr = sim.Explore(seqBuild, tally.check, cfg.Budget)
+		m := labeled("explore/"+wl.name+"/seq", func() measurement {
+			return measure(func() {
+				seqExecs, runErr = sim.Explore(seqBuild, tally.check, cfg.Budget)
+			})
 		})
 		if runErr != nil {
 			return nil, fmt.Errorf("bench: explore/%s/seq: %w", wl.name, runErr)
@@ -219,9 +235,11 @@ func RunExplore(cfg ExploreConfig) (*Report, error) {
 		for _, workers := range cfg.Workers {
 			tally = new(exploreTally)
 			var execs int
-			m := measure(func() {
-				execs, runErr = sim.ExploreParallel(parBuild, tally.check,
-					sim.Options{Workers: workers, Budget: cfg.Budget})
+			m := labeled(fmt.Sprintf("explore/%s/w%d", wl.name, workers), func() measurement {
+				return measure(func() {
+					execs, runErr = sim.ExploreParallel(parBuild, tally.check,
+						sim.Options{Workers: workers, Budget: cfg.Budget})
+				})
 			})
 			if runErr != nil {
 				return nil, fmt.Errorf("bench: explore/%s/w%d: %w", wl.name, workers, runErr)

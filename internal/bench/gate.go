@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the thresholded regression gate behind `benchjson -gate`:
+// it replaces the old informational-only CI diff with a machine-readable
+// delta document and a pass/fail verdict. The philosophy mirrors the
+// paper's own cost model — steps/op is the deterministic algorithmic
+// signal and gets a tight default threshold, while wall-clock metrics get
+// loose ones sized to the noise of the machine pair being compared (CI
+// overrides them looser still; see docs/benchmarking.md).
+
+// DeltaSchema identifies the gate's delta JSON layout; bump on
+// incompatible change.
+const DeltaSchema = "tradeoffs/bench-delta/v1"
+
+// Thresholds bounds how far a fresh report may drift from its baseline
+// before the gate fails. Relative fields are fractions: 0.5 allows +50%.
+// A negative value disables that metric's check entirely (CI uses this for
+// wall-clock metrics too noisy to gate on shared runners); zero means "no
+// regression allowed".
+type Thresholds struct {
+	// MaxNsRegress bounds ns_per_op growth per row.
+	MaxNsRegress float64 `json:"max_ns_regress"`
+	// MaxStepsRegress bounds steps_per_op growth per row. Steps are the
+	// paper's own cost model and are deterministic for a fixed seed and
+	// GOMAXPROCS=1, so the default is tight.
+	MaxStepsRegress float64 `json:"max_steps_regress"`
+	// MaxAllocsRegress bounds allocs_per_op growth per row; AllocsSlack is
+	// an absolute allowance on top (rows with ~0 allocs/op would otherwise
+	// trip on a single stray allocation).
+	MaxAllocsRegress float64 `json:"max_allocs_regress"`
+	AllocsSlack      float64 `json:"allocs_slack"`
+	// MinExecsRatio is the floor on execs_per_sec as a fraction of the
+	// baseline (explore rows only): 0.5 fails when throughput halves.
+	// Disabled when <= 0 (a ratio floor of 0 gates nothing).
+	MinExecsRatio float64 `json:"min_execs_ratio"`
+	// MaxFlightOverhead bounds the flight recorder's sampled-mode tax,
+	// measured *within* the fresh report (flight-sampled ns/op over
+	// flight-off ns/op, minus 1) — the two rows share one run and one
+	// machine, so this check is meaningful even when the baseline came
+	// from different hardware.
+	MaxFlightOverhead float64 `json:"max_flight_overhead"`
+}
+
+// DefaultThresholds is sized for like-for-like comparisons: same machine,
+// same config, run-to-run wall-clock noise only.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxNsRegress:      0.50,
+		MaxStepsRegress:   0.05,
+		MaxAllocsRegress:  0.25,
+		AllocsSlack:       0.5,
+		MinExecsRatio:     0.50,
+		MaxFlightOverhead: 0.25,
+	}
+}
+
+// MetricDelta is one gated measurement: the baseline value, the fresh
+// value, the absolute limit the fresh value was held to, and the verdict.
+type MetricDelta struct {
+	Metric    string  `json:"metric"`
+	Base      float64 `json:"base"`
+	Cur       float64 `json:"cur"`
+	Limit     float64 `json:"limit"`
+	Regressed bool    `json:"regressed"`
+}
+
+// RowDelta is one result row's gated metrics.
+type RowDelta struct {
+	Name      string        `json:"name"`
+	Metrics   []MetricDelta `json:"metrics"`
+	Regressed bool          `json:"regressed"`
+}
+
+// Delta is the machine-readable gate verdict (`benchjson -gate -delta`).
+type Delta struct {
+	Schema string `json:"schema"`
+	Suite  string `json:"suite,omitempty"`
+	// BaseCommit/CurCommit are carried from the reports when present.
+	BaseCommit string     `json:"base_commit,omitempty"`
+	CurCommit  string     `json:"cur_commit,omitempty"`
+	Thresholds Thresholds `json:"thresholds"`
+	Rows       []RowDelta `json:"rows"`
+	// Added rows are informational; Removed rows are regressions — a row
+	// disappearing means the suite silently lost coverage.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+	// FlightOverhead is the fresh report's sampled-recorder tax check,
+	// present when the report carries the flight-off/flight-sampled pair.
+	FlightOverhead *MetricDelta `json:"flight_overhead,omitempty"`
+	// ConfigMismatch is set (with ConfigNote explaining) when the two
+	// reports measured different workload dimensions — such a comparison
+	// is apples to oranges and fails the gate outright.
+	ConfigMismatch bool   `json:"config_mismatch,omitempty"`
+	ConfigNote     string `json:"config_note,omitempty"`
+	Regressions    int    `json:"regressions"`
+	Pass           bool   `json:"pass"`
+}
+
+// Flight-recorder row pair gated by MaxFlightOverhead.
+const (
+	flightOffRow     = "counter/farray/increment/flight-off"
+	flightSampledRow = "counter/farray/increment/flight-sampled"
+)
+
+// Gate compares cur against base under th and returns the full verdict.
+// It never errors: malformed inputs belong to Report.Validate, which both
+// reports are assumed to have passed.
+func Gate(base, cur *Report, th Thresholds) *Delta {
+	d := &Delta{
+		Schema:     DeltaSchema,
+		Suite:      cur.Suite,
+		BaseCommit: base.Commit,
+		CurCommit:  cur.Commit,
+		Thresholds: th,
+	}
+	if note := configMismatch(base, cur); note != "" {
+		d.ConfigMismatch = true
+		d.ConfigNote = note
+		d.Regressions++
+	}
+
+	baseRows := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[r.Name] = r
+	}
+	baseV2 := base.Schema == ReportSchema
+	for _, r := range cur.Results {
+		b, ok := baseRows[r.Name]
+		if !ok {
+			d.Added = append(d.Added, r.Name)
+			continue
+		}
+		delete(baseRows, r.Name)
+		row := RowDelta{Name: r.Name}
+		row.add(ceiling("ns_per_op", b.NsPerOp, r.NsPerOp, th.MaxNsRegress, 0))
+		row.add(ceiling("steps_per_op", b.StepsPerOp, r.StepsPerOp, th.MaxStepsRegress, 0))
+		if baseV2 {
+			// v1 baselines predate the allocation columns; comparing
+			// against their zero values would trip every row.
+			row.add(ceiling("allocs_per_op", b.AllocsPerOp, r.AllocsPerOp, th.MaxAllocsRegress, th.AllocsSlack))
+		}
+		if b.ExecsPerSec > 0 && r.ExecsPerSec > 0 {
+			row.add(floor("execs_per_sec", b.ExecsPerSec, r.ExecsPerSec, th.MinExecsRatio))
+		}
+		if row.Regressed {
+			d.Regressions++
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	for name := range baseRows {
+		d.Removed = append(d.Removed, name)
+	}
+	sort.Strings(d.Removed)
+	d.Regressions += len(d.Removed)
+
+	if fo := flightOverheadDelta(base, cur, th.MaxFlightOverhead); fo != nil {
+		d.FlightOverhead = fo
+		if fo.Regressed {
+			d.Regressions++
+		}
+	}
+
+	d.Pass = d.Regressions == 0
+	return d
+}
+
+// ceiling gates a grow-is-bad metric: cur must stay at or below
+// base*(1+rel)+abs. rel < 0 disables the check.
+func ceiling(metric string, base, cur, rel, abs float64) MetricDelta {
+	m := MetricDelta{Metric: metric, Base: base, Cur: cur}
+	if rel < 0 {
+		return m
+	}
+	m.Limit = base*(1+rel) + abs
+	m.Regressed = cur > m.Limit
+	return m
+}
+
+// floor gates a shrink-is-bad metric: cur must stay at or above
+// base*ratio. ratio <= 0 disables the check.
+func floor(metric string, base, cur, ratio float64) MetricDelta {
+	m := MetricDelta{Metric: metric, Base: base, Cur: cur}
+	if ratio <= 0 {
+		return m
+	}
+	m.Limit = base * ratio
+	m.Regressed = cur < m.Limit
+	return m
+}
+
+func (r *RowDelta) add(m MetricDelta) {
+	r.Metrics = append(r.Metrics, m)
+	if m.Regressed {
+		r.Regressed = true
+	}
+}
+
+// configMismatch describes any workload-dimension difference between the
+// reports ("" when comparable). Machine attributes (gomaxprocs, host, go
+// version) intentionally do not count: comparing machines is what the
+// thresholds are for.
+func configMismatch(base, cur *Report) string {
+	if base.Suite != "" && cur.Suite != "" && base.Suite != cur.Suite {
+		return fmt.Sprintf("suite %q vs %q", base.Suite, cur.Suite)
+	}
+	if base.Procs != cur.Procs {
+		return fmt.Sprintf("procs %d vs %d", base.Procs, cur.Procs)
+	}
+	if base.OpsPerProc != cur.OpsPerProc {
+		return fmt.Sprintf("ops_per_proc %d vs %d", base.OpsPerProc, cur.OpsPerProc)
+	}
+	if base.Seed != cur.Seed {
+		return fmt.Sprintf("seed %d vs %d", base.Seed, cur.Seed)
+	}
+	return ""
+}
+
+// flightOverheadDelta computes the sampled-recorder tax inside cur (and
+// the baseline's own tax for reference). Nil when cur lacks the row pair
+// (the explore suite, trimmed runs). rel < 0 disables the verdict.
+func flightOverheadDelta(base, cur *Report, rel float64) *MetricDelta {
+	ratio := func(rep *Report) float64 {
+		var off, sampled float64
+		for _, r := range rep.Results {
+			switch r.Name {
+			case flightOffRow:
+				off = r.NsPerOp
+			case flightSampledRow:
+				sampled = r.NsPerOp
+			}
+		}
+		if off <= 0 || sampled <= 0 {
+			return 0
+		}
+		return sampled / off
+	}
+	cr := ratio(cur)
+	if cr == 0 {
+		return nil
+	}
+	m := &MetricDelta{Metric: "flight_sampled_overhead", Base: ratio(base), Cur: cr}
+	if rel >= 0 {
+		m.Limit = 1 + rel
+		m.Regressed = cr > m.Limit
+	}
+	return m
+}
+
+// Summary renders the verdict for humans on w (the delta JSON is the
+// machine-readable artifact; this is what the CI log shows).
+func (d *Delta) Summary(w io.Writer) {
+	verdict := "PASS"
+	if !d.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "benchjson: gate %s (%d regression(s))\n", verdict, d.Regressions)
+	if d.ConfigMismatch {
+		fmt.Fprintf(w, "  ! config mismatch: %s (baseline and report measure different workloads)\n", d.ConfigNote)
+	}
+	for _, row := range d.Rows {
+		for _, m := range row.Metrics {
+			if m.Regressed {
+				fmt.Fprintf(w, "  ! %s: %s %.4g -> %.4g (limit %.4g)\n",
+					row.Name, m.Metric, m.Base, m.Cur, m.Limit)
+			}
+		}
+	}
+	for _, name := range d.Removed {
+		fmt.Fprintf(w, "  ! %s: row removed (suite lost coverage)\n", name)
+	}
+	for _, name := range d.Added {
+		fmt.Fprintf(w, "  + %s (new row, not gated)\n", name)
+	}
+	if fo := d.FlightOverhead; fo != nil {
+		mark := "  "
+		if fo.Regressed {
+			mark = "  ! "
+		}
+		fmt.Fprintf(w, "%sflight sampled overhead: %.3fx off (baseline %.3fx, limit %.3fx)\n",
+			mark, fo.Cur, fo.Base, fo.Limit)
+	}
+}

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func gateOne(t *testing.T, base, cur *Report, th Thresholds) *Delta {
+	t.Helper()
+	for _, rep := range []*Report{base, cur} {
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("synthetic report invalid: %v", err)
+		}
+	}
+	return Gate(base, cur, th)
+}
+
+func TestGateIdenticalReportsPass(t *testing.T) {
+	base := synthReport("aaa", nil)
+	cur := synthReport("bbb", nil)
+	d := gateOne(t, base, cur, DefaultThresholds())
+	if !d.Pass || d.Regressions != 0 {
+		var buf bytes.Buffer
+		d.Summary(&buf)
+		t.Fatalf("identical reports failed the gate:\n%s", buf.String())
+	}
+	if d.BaseCommit != "aaa" || d.CurCommit != "bbb" || d.Suite != SuiteThroughput {
+		t.Fatalf("delta header wrong: %+v", d)
+	}
+	if d.FlightOverhead == nil || d.FlightOverhead.Regressed {
+		t.Fatalf("flight overhead check missing or tripped: %+v", d.FlightOverhead)
+	}
+}
+
+// findMetric returns the named metric of the named row, failing if absent.
+func findMetric(t *testing.T, d *Delta, row, metric string) MetricDelta {
+	t.Helper()
+	for _, r := range d.Rows {
+		if r.Name != row {
+			continue
+		}
+		for _, m := range r.Metrics {
+			if m.Metric == metric {
+				return m
+			}
+		}
+	}
+	t.Fatalf("metric %s/%s not in delta", row, metric)
+	return MetricDelta{}
+}
+
+func TestGateTripsPerMetric(t *testing.T) {
+	th := DefaultThresholds()
+	base := synthReport("base", nil)
+
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		row    string
+		metric string
+	}{
+		{"ns regress", func(r *Report) { r.Results[0].NsPerOp = 160 }, "counter/cas/increment", "ns_per_op"},
+		{"steps regress", func(r *Report) { r.Results[0].StepsPerOp = 4.5 }, "counter/cas/increment", "steps_per_op"},
+		{"allocs regress", func(r *Report) { r.Results[0].AllocsPerOp = 0.7 }, "counter/cas/increment", "allocs_per_op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := synthReport("cur", tc.mutate)
+			d := gateOne(t, base, cur, th)
+			if d.Pass || d.Regressions != 1 {
+				t.Fatalf("pass=%v regressions=%d, want a single trip", d.Pass, d.Regressions)
+			}
+			if m := findMetric(t, d, tc.row, tc.metric); !m.Regressed {
+				t.Fatalf("%s not marked regressed: %+v", tc.metric, m)
+			}
+		})
+	}
+
+	// Just inside every threshold: no trip. ns +50% exactly, steps +5%
+	// exactly, allocs within the absolute slack from a zero base.
+	cur := synthReport("cur", func(r *Report) {
+		r.Results[0].NsPerOp = 150
+		r.Results[0].StepsPerOp = 4.2
+		r.Results[0].AllocsPerOp = 0.4
+	})
+	if d := gateOne(t, base, cur, th); !d.Pass {
+		var buf bytes.Buffer
+		d.Summary(&buf)
+		t.Fatalf("within-threshold report failed:\n%s", buf.String())
+	}
+}
+
+func TestGateFlightOverheadTrip(t *testing.T) {
+	base := synthReport("base", nil)
+	// Sampled row drifts to 1.35x off — past the default 1.25x limit —
+	// while staying inside the generic per-row ns threshold (+50%).
+	cur := synthReport("cur", func(r *Report) {
+		r.Results[2].NsPerOp = 540
+	})
+	d := gateOne(t, base, cur, DefaultThresholds())
+	if d.Pass || d.FlightOverhead == nil || !d.FlightOverhead.Regressed {
+		t.Fatalf("flight overhead 1.35x passed a 1.25x limit: %+v", d.FlightOverhead)
+	}
+
+	// The explore suite has no flight rows: check absent, not tripped.
+	noFlight := synthReport("x", func(r *Report) { r.Results = r.Results[:1] })
+	if d := gateOne(t, noFlight, noFlight, DefaultThresholds()); d.FlightOverhead != nil {
+		t.Fatalf("flight overhead fabricated without the row pair: %+v", d.FlightOverhead)
+	}
+}
+
+func TestGateRowChurn(t *testing.T) {
+	base := synthReport("base", nil)
+	cur := synthReport("cur", func(r *Report) {
+		r.Results = append(r.Results[:1:1], synthRow("counter/new/increment", 50, 2, 0))
+	})
+	d := gateOne(t, base, cur, DefaultThresholds())
+	// flight-off and flight-sampled disappeared: coverage loss fails the
+	// gate; the new row is informational.
+	if d.Pass || len(d.Removed) != 2 || d.Regressions != 2 {
+		t.Fatalf("removed rows did not fail: pass=%v removed=%v regressions=%d",
+			d.Pass, d.Removed, d.Regressions)
+	}
+	if len(d.Added) != 1 || d.Added[0] != "counter/new/increment" {
+		t.Fatalf("added rows = %v", d.Added)
+	}
+}
+
+func TestGateConfigMismatchFails(t *testing.T) {
+	base := synthReport("base", nil)
+	cur := synthReport("cur", func(r *Report) { r.Procs = 4; r.OpsPerProc = 25 })
+	for i := range cur.Results {
+		cur.Results[i].Procs = 4
+	}
+	d := gateOne(t, base, cur, DefaultThresholds())
+	if d.Pass || !d.ConfigMismatch || d.ConfigNote == "" {
+		t.Fatalf("procs mismatch passed: %+v", d)
+	}
+
+	// Suite mismatch likewise; legacy reports without a suite tag are
+	// given the benefit of the doubt.
+	exp := synthReport("cur", func(r *Report) { r.Suite = SuiteExplore })
+	if d := gateOne(t, base, exp, DefaultThresholds()); !d.ConfigMismatch {
+		t.Fatal("suite mismatch not flagged")
+	}
+	legacy := synthReport("base", func(r *Report) { r.Suite = "" })
+	if d := gateOne(t, legacy, synthReport("cur", nil), DefaultThresholds()); d.ConfigMismatch {
+		t.Fatal("legacy untagged baseline flagged as suite mismatch")
+	}
+}
+
+func TestGateV1BaselineVsV2Fresh(t *testing.T) {
+	// A v1 baseline (no allocation columns) still gates ns and steps, and
+	// must not trip on the columns it never measured.
+	base := synthReport("old", func(r *Report) {
+		r.Schema = ReportSchemaV1
+		r.Suite = ""
+		r.Host = nil
+		for i := range r.Results {
+			r.Results[i].AllocsPerOp = 0
+			r.Results[i].BytesPerOp = 0
+			r.Results[i].WallClockMS = 0
+		}
+	})
+	cur := synthReport("new", func(r *Report) {
+		for i := range r.Results {
+			r.Results[i].AllocsPerOp = 100 // would trip against a 0 baseline
+		}
+	})
+	d := gateOne(t, base, cur, DefaultThresholds())
+	if !d.Pass {
+		var buf bytes.Buffer
+		d.Summary(&buf)
+		t.Fatalf("v1 baseline vs v2 fresh failed:\n%s", buf.String())
+	}
+	for _, r := range d.Rows {
+		for _, m := range r.Metrics {
+			if m.Metric == "allocs_per_op" {
+				t.Fatalf("allocs gated against a v1 baseline: %+v", m)
+			}
+		}
+	}
+
+	// The same v2 fresh report against a v2 baseline does trip.
+	if d := gateOne(t, synthReport("old", nil), cur, DefaultThresholds()); d.Pass {
+		t.Fatal("allocs regression passed against a v2 baseline")
+	}
+}
+
+func TestGateDisabledThresholds(t *testing.T) {
+	th := Thresholds{
+		MaxNsRegress:      -1,
+		MaxStepsRegress:   -1,
+		MaxAllocsRegress:  -1,
+		MinExecsRatio:     -1,
+		MaxFlightOverhead: -1,
+	}
+	base := synthReport("base", nil)
+	cur := synthReport("cur", func(r *Report) {
+		for i := range r.Results {
+			r.Results[i].NsPerOp *= 100
+			r.Results[i].StepsPerOp *= 100
+			r.Results[i].AllocsPerOp += 100
+		}
+	})
+	if d := gateOne(t, base, cur, th); !d.Pass {
+		t.Fatal("fully disabled thresholds still tripped")
+	}
+}
+
+func TestGateExecsFloor(t *testing.T) {
+	mk := func(execs float64) *Report {
+		return synthReport("x", func(r *Report) {
+			r.Suite = SuiteExplore
+			r.Results = r.Results[:1]
+			r.Results[0].ExecsPerSec = execs
+		})
+	}
+	d := gateOne(t, mk(1000), mk(400), DefaultThresholds())
+	if d.Pass {
+		t.Fatal("execs/sec at 0.4x baseline passed a 0.5x floor")
+	}
+	if m := findMetric(t, d, "counter/cas/increment", "execs_per_sec"); !m.Regressed {
+		t.Fatalf("execs metric not regressed: %+v", m)
+	}
+	if d := gateOne(t, mk(1000), mk(600), DefaultThresholds()); !d.Pass {
+		t.Fatal("execs/sec at 0.6x baseline failed a 0.5x floor")
+	}
+}
+
+// TestDeltaGolden pins the delta JSON document byte for byte: the gate's
+// output is a machine-readable artifact other tooling parses, so schema
+// drift must be a deliberate, reviewed change. Regenerate with
+// `go test ./internal/bench -run TestDeltaGolden -update-golden`.
+func TestDeltaGolden(t *testing.T) {
+	base := synthReport("baseline-sha", nil)
+	cur := synthReport("current-sha", func(r *Report) {
+		r.Results[0].NsPerOp = 170                                         // ns trip
+		r.Results[2].NsPerOp = 540                                         // flight overhead trip
+		r.Results = append(r.Results, synthRow("maxreg/new/row", 9, 3, 0)) // added
+	})
+	d := gateOne(t, base, cur, DefaultThresholds())
+	got, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "delta_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("delta JSON drifted from golden (rerun with -update-golden if deliberate):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// The golden document must also round-trip as a valid delta.
+	var back Delta
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != DeltaSchema || back.Pass || back.Regressions != 2 {
+		t.Fatalf("golden delta header: %+v", back)
+	}
+}

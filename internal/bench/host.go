@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Host identifies the machine a report was measured on, so time-series
+// points (dev/bench/data.json) are attributable: a ns/op cliff that
+// coincides with a CPU-model change is a hardware event, not a code
+// regression. All fields are best-effort — CPUModel is only readable on
+// Linux — and the whole block is optional on read, keeping v1 and
+// pre-metadata v2 documents valid.
+type Host struct {
+	// CPUs is runtime.NumCPU at measurement time (logical CPUs visible to
+	// the process, which caps real parallelism regardless of -procs).
+	CPUs int `json:"cpus"`
+	// CPUModel is the first "model name" line of /proc/cpuinfo, empty when
+	// unreadable (non-Linux, restricted container).
+	CPUModel string `json:"cpu_model,omitempty"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+}
+
+// ReadHost collects the current machine's Host block. It never fails:
+// unreadable fields are left zero.
+func ReadHost() *Host {
+	return &Host{
+		CPUs:     runtime.NumCPU(),
+		CPUModel: cpuModel(),
+		OS:       runtime.GOOS,
+		Arch:     runtime.GOARCH,
+	}
+}
+
+// cpuModel extracts the first "model name" entry from /proc/cpuinfo.
+// Anywhere that file does not exist (or has another layout) the model is
+// simply unknown — the report stays valid without it.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

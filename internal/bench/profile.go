@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles begins a CPU profile and a runtime execution trace for one
+// suite run, writing <dir>/<suite>.cpu.pprof and <dir>/<suite>.trace
+// (`benchjson -profile dir/`). Together with the pprof labels runParallel
+// and the explore rows set, a tripped regression gate then ships an
+// attribution artifact — which workload burned the time, per goroutine —
+// the same way the flight recorder ships violation repros.
+//
+// The returned stop must be called exactly once; it flushes and closes
+// both files and reports the first error.
+func StartProfiles(dir, suite string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("-profile: %w", err)
+	}
+	cpuPath := filepath.Join(dir, suite+".cpu.pprof")
+	cpuF, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("-profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, fmt.Errorf("-profile: %s: %w", cpuPath, err)
+	}
+	tracePath := filepath.Join(dir, suite+".trace")
+	traceF, err := os.Create(tracePath)
+	if err != nil {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		return nil, fmt.Errorf("-profile: %w", err)
+	}
+	if err := trace.Start(traceF); err != nil {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		traceF.Close()
+		return nil, fmt.Errorf("-profile: %s: %w", tracePath, err)
+	}
+	return func() error {
+		trace.Stop()
+		pprof.StopCPUProfile()
+		var first error
+		if err := traceF.Close(); err != nil {
+			first = err
+		}
+		if err := cpuF.Close(); err != nil && first == nil {
+			first = err
+		}
+		return first
+	}, nil
+}

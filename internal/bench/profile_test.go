@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesWritesLoadableArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "profiles") // exercises MkdirAll
+	stop, err := StartProfiles(dir, SuiteThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real (tiny) suite run inside the capture, so the profile has the
+	// labeled workload goroutines in it.
+	if _, err := RunThroughput(ThroughputConfig{Procs: 2, OpsPerProc: 200, Seed: 5}); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	// A second capture cannot start while this one is running: CPU
+	// profiling is process-exclusive, and the error must surface rather
+	// than silently truncating the live capture.
+	if stop2, err := StartProfiles(dir, SuiteExplore); err == nil {
+		stop2()
+		stop()
+		t.Fatal("nested StartProfiles succeeded; CPU profiling should be exclusive")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	cpu, err := os.ReadFile(filepath.Join(dir, "throughput.cpu.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pprof CPU profiles are gzip-wrapped protobuf; the magic is the
+	// cheap loadability check without importing a profile parser.
+	if len(cpu) < 2 || cpu[0] != 0x1f || cpu[1] != 0x8b {
+		t.Fatalf("cpu profile is not gzip data (len %d, head % x)", len(cpu), cpu[:min(len(cpu), 2)])
+	}
+
+	tr, err := os.ReadFile(filepath.Join(dir, "throughput.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(tr, []byte("go 1.")) {
+		t.Fatalf("trace missing runtime/trace header (head %q)", tr[:min(len(tr), 16)])
+	}
+
+	// Sequential captures work.
+	stop4, err := StartProfiles(dir, SuiteExplore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop4(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "explore.cpu.pprof")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file is the committed bench time-series behind `benchjson -append`
+// and the dev/bench dashboard: every tracked run becomes one SeriesEntry
+// (report + commit + timestamp) in dev/bench/data.json, the
+// buildpacks/pack dev/bench pattern adapted to the bench v2 schema. The
+// series is the long-lived record the regression gate and the dashboard
+// both read — a report shows one run, the series shows the trend.
+
+// SeriesSchema identifies the time-series JSON layout; bump on
+// incompatible change.
+const SeriesSchema = "tradeoffs/bench-series/v1"
+
+// SeriesEntry is one tracked run. Commit and Timestamp are duplicated out
+// of the report (and override whatever the report carries) so the series
+// stays scannable without descending into every report, and so entries
+// built from pre-metadata reports can still be attributed.
+type SeriesEntry struct {
+	// Commit is the revision the run measured (full or abbreviated SHA;
+	// "unknown" when untracked).
+	Commit string `json:"commit"`
+	// Timestamp is the run instant, RFC 3339. It orders the series.
+	Timestamp string `json:"timestamp"`
+	// Suite is the generator ("throughput" or "explore"); one series file
+	// holds both, panels split on it.
+	Suite  string  `json:"suite"`
+	Report *Report `json:"report"`
+}
+
+// Series is the dev/bench/data.json document.
+type Series struct {
+	Schema  string        `json:"schema"`
+	Entries []SeriesEntry `json:"entries"`
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series {
+	return &Series{Schema: SeriesSchema}
+}
+
+// ReadSeries loads and validates a series file. A missing file yields an
+// empty series — the first -append bootstraps it.
+func ReadSeries(path string) (*Series, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewSeries(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var s Series
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Validate checks the series document: schema id, per-entry completeness
+// (commit, parseable timestamp, known suite, valid report), chronological
+// order, and at most one entry per (commit, suite) — the invariants Append
+// maintains and readers (the dashboard, the gate's latest-entry lookup)
+// rely on.
+func (s *Series) Validate() error {
+	if s.Schema != SeriesSchema {
+		return fmt.Errorf("bench: series schema %q, want %q", s.Schema, SeriesSchema)
+	}
+	seen := make(map[[2]string]bool, len(s.Entries))
+	var prev time.Time
+	for i, e := range s.Entries {
+		if e.Commit == "" {
+			return fmt.Errorf("bench: series entry %d has no commit", i)
+		}
+		if e.Suite != SuiteThroughput && e.Suite != SuiteExplore {
+			return fmt.Errorf("bench: series entry %d: unknown suite %q", i, e.Suite)
+		}
+		ts, err := time.Parse(time.RFC3339, e.Timestamp)
+		if err != nil {
+			return fmt.Errorf("bench: series entry %d: timestamp %q is not RFC 3339: %w", i, e.Timestamp, err)
+		}
+		if i > 0 && ts.Before(prev) {
+			return fmt.Errorf("bench: series entry %d (%s) out of order: %s before %s",
+				i, e.Commit, e.Timestamp, s.Entries[i-1].Timestamp)
+		}
+		prev = ts
+		key := [2]string{e.Commit, e.Suite}
+		if seen[key] {
+			return fmt.Errorf("bench: duplicate series entry for commit %s suite %s", e.Commit, e.Suite)
+		}
+		seen[key] = true
+		if e.Report == nil {
+			return fmt.Errorf("bench: series entry %d (%s) has no report", i, e.Commit)
+		}
+		if err := e.Report.Validate(); err != nil {
+			return fmt.Errorf("bench: series entry %d (%s): %w", i, e.Commit, err)
+		}
+	}
+	return nil
+}
+
+// Append inserts an entry, keeping the series valid: re-appending the same
+// (commit, suite) replaces the old entry rather than duplicating it (so
+// re-running CI on a rebuilt commit is idempotent), and entries stay
+// ordered by timestamp (ties break on commit then suite, so appends
+// commute).
+func (s *Series) Append(e SeriesEntry) error {
+	if e.Commit == "" {
+		return fmt.Errorf("bench: series entry needs a commit (use \"unknown\" to track anyway)")
+	}
+	if e.Suite != SuiteThroughput && e.Suite != SuiteExplore {
+		return fmt.Errorf("bench: series entry: unknown suite %q", e.Suite)
+	}
+	ts, err := time.Parse(time.RFC3339, e.Timestamp)
+	if err != nil {
+		return fmt.Errorf("bench: series entry: timestamp %q is not RFC 3339: %w", e.Timestamp, err)
+	}
+	if e.Report == nil {
+		return fmt.Errorf("bench: series entry has no report")
+	}
+	if err := e.Report.Validate(); err != nil {
+		return err
+	}
+	out := s.Entries[:0:0]
+	inserted := false
+	for _, old := range s.Entries {
+		if old.Commit == e.Commit && old.Suite == e.Suite {
+			continue // replaced by e
+		}
+		if !inserted && entryAfter(old, ts, e) {
+			out = append(out, e)
+			inserted = true
+		}
+		out = append(out, old)
+	}
+	if !inserted {
+		out = append(out, e)
+	}
+	s.Entries = out
+	return nil
+}
+
+// entryAfter reports whether old sorts strictly after a new entry e at
+// timestamp ts.
+func entryAfter(old SeriesEntry, ts time.Time, e SeriesEntry) bool {
+	ots, err := time.Parse(time.RFC3339, old.Timestamp)
+	if err != nil {
+		return false // unreachable on a validated series; keep old first
+	}
+	if !ots.Equal(ts) {
+		return ots.After(ts)
+	}
+	if old.Commit != e.Commit {
+		return old.Commit > e.Commit
+	}
+	return old.Suite > e.Suite
+}
+
+// Latest returns the newest entry for suite, or nil.
+func (s *Series) Latest(suite string) *SeriesEntry {
+	for i := len(s.Entries) - 1; i >= 0; i-- {
+		if s.Entries[i].Suite == suite {
+			return &s.Entries[i]
+		}
+	}
+	return nil
+}
+
+// EncodeSeries renders the series as the canonical committed form:
+// indented, trailing newline. Both data.json and the -check mode of
+// cmd/benchdash go through this, so "regenerate and byte-compare" works.
+func EncodeSeries(s *Series) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteSeries validates and writes the series to path, creating parent
+// directories so the first -append can bootstrap dev/bench/.
+func WriteSeries(path string, s *Series) error {
+	enc, err := EncodeSeries(s)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, enc, 0o644)
+}

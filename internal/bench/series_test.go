@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// synthRow builds a schema-valid v2 result row.
+func synthRow(name string, ns, steps, allocs float64) Result {
+	return Result{
+		Name:        name,
+		Procs:       2,
+		Ops:         100,
+		NsPerOp:     ns,
+		StepsPerOp:  steps,
+		AllocsPerOp: allocs,
+		BytesPerOp:  allocs * 16,
+		WallClockMS: ns * 100 / 1e6,
+	}
+}
+
+// synthReport builds a schema-valid v2 throughput report with the
+// flight-overhead row pair, the raw material of the gate and series tests.
+func synthReport(commit string, mutate func(*Report)) *Report {
+	rep := &Report{
+		Schema:     ReportSchema,
+		Suite:      SuiteThroughput,
+		Seed:       7,
+		Procs:      2,
+		OpsPerProc: 50,
+		GoMaxProcs: 1,
+		GoVersion:  "go1.24.0",
+		Commit:     commit,
+		Host:       &Host{CPUs: 1, OS: "linux", Arch: "amd64"},
+		Results: []Result{
+			synthRow("counter/cas/increment", 100, 4, 0),
+			synthRow(flightOffRow, 400, 26, 0.1),
+			synthRow(flightSampledRow, 440, 26, 0.2),
+		},
+	}
+	if mutate != nil {
+		mutate(rep)
+	}
+	return rep
+}
+
+func mustAppend(t *testing.T, s *Series, e SeriesEntry) {
+	t.Helper()
+	if err := s.Append(e); err != nil {
+		t.Fatalf("Append(%s/%s): %v", e.Commit, e.Suite, err)
+	}
+}
+
+func entry(commit, ts, suite string) SeriesEntry {
+	rep := synthReport(commit, func(r *Report) { r.Suite = suite })
+	if suite == SuiteExplore {
+		// Explore reports have no flight rows but do have execs/sec.
+		rep.Results = rep.Results[:1]
+		rep.Results[0].ExecsPerSec = 1000
+	}
+	return SeriesEntry{Commit: commit, Timestamp: ts, Suite: suite, Report: rep}
+}
+
+func TestSeriesAppendOrderingAndIdempotence(t *testing.T) {
+	s := NewSeries()
+	// Out-of-timestamp-order appends land in chronological order.
+	mustAppend(t, s, entry("bbb", "2026-08-02T00:00:00Z", SuiteThroughput))
+	mustAppend(t, s, entry("aaa", "2026-08-01T00:00:00Z", SuiteThroughput))
+	mustAppend(t, s, entry("ccc", "2026-08-03T00:00:00Z", SuiteExplore))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(s.Entries))
+	for i, e := range s.Entries {
+		got[i] = e.Commit
+	}
+	if strings.Join(got, ",") != "aaa,bbb,ccc" {
+		t.Fatalf("order = %v", got)
+	}
+
+	// Appending the same (commit, suite) twice replaces, not duplicates,
+	// and the encoded document is byte-identical afterwards.
+	before, err := EncodeSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, entry("bbb", "2026-08-02T00:00:00Z", SuiteThroughput))
+	after, err := EncodeSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("append-twice changed the document:\n%s\nvs\n%s", before, after)
+	}
+
+	// Replacement with fresher data keeps one entry per (commit, suite)
+	// and re-sorts by the new timestamp.
+	e := entry("bbb", "2026-08-04T00:00:00Z", SuiteThroughput)
+	mustAppend(t, s, e)
+	if len(s.Entries) != 3 {
+		t.Fatalf("%d entries after replacement, want 3", len(s.Entries))
+	}
+	if last := s.Entries[len(s.Entries)-1]; last.Commit != "bbb" || last.Timestamp != e.Timestamp {
+		t.Fatalf("replaced entry not re-sorted to the end: %+v", last)
+	}
+
+	// Same commit under the other suite is a distinct point.
+	mustAppend(t, s, entry("bbb", "2026-08-05T00:00:00Z", SuiteExplore))
+	if len(s.Entries) != 4 {
+		t.Fatalf("%d entries, want 4 (same commit, different suite)", len(s.Entries))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAppendRejectsBadEntries(t *testing.T) {
+	s := NewSeries()
+	good := entry("aaa", "2026-08-01T00:00:00Z", SuiteThroughput)
+
+	e := good
+	e.Commit = ""
+	if err := s.Append(e); err == nil {
+		t.Error("accepted empty commit")
+	}
+	e = good
+	e.Suite = "nope"
+	if err := s.Append(e); err == nil {
+		t.Error("accepted unknown suite")
+	}
+	e = good
+	e.Timestamp = "yesterday"
+	if err := s.Append(e); err == nil {
+		t.Error("accepted non-RFC3339 timestamp")
+	}
+	e = good
+	e.Report = nil
+	if err := s.Append(e); err == nil {
+		t.Error("accepted nil report")
+	}
+	e = good
+	e.Report = synthReport("aaa", func(r *Report) { r.Results = nil })
+	if err := s.Append(e); err == nil {
+		t.Error("accepted invalid report")
+	}
+	if len(s.Entries) != 0 {
+		t.Fatalf("rejected appends mutated the series: %d entries", len(s.Entries))
+	}
+}
+
+func TestSeriesValidateRejectsCorruptDocuments(t *testing.T) {
+	mk := func() *Series {
+		s := NewSeries()
+		mustAppend(t, s, entry("aaa", "2026-08-01T00:00:00Z", SuiteThroughput))
+		mustAppend(t, s, entry("bbb", "2026-08-02T00:00:00Z", SuiteThroughput))
+		return s
+	}
+
+	s := mk()
+	s.Schema = "nope"
+	if err := s.Validate(); err == nil {
+		t.Error("accepted wrong schema")
+	}
+	s = mk()
+	s.Entries[0], s.Entries[1] = s.Entries[1], s.Entries[0]
+	if err := s.Validate(); err == nil {
+		t.Error("accepted out-of-order entries")
+	}
+	s = mk()
+	s.Entries[1].Commit = "aaa"
+	s.Entries[1].Timestamp = s.Entries[0].Timestamp
+	if err := s.Validate(); err == nil {
+		t.Error("accepted duplicate (commit, suite)")
+	}
+}
+
+func TestSeriesReadWriteRoundTripAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.json")
+
+	// Missing file bootstraps an empty series.
+	s, err := ReadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) != 0 || s.Schema != SeriesSchema {
+		t.Fatalf("missing file read as %+v", s)
+	}
+
+	mustAppend(t, s, entry("aaa", "2026-08-01T00:00:00Z", SuiteThroughput))
+	mustAppend(t, s, entry("bbb", "2026-08-02T00:00:00Z", SuiteExplore))
+	if err := WriteSeries(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 {
+		t.Fatalf("round trip lost entries: %d", len(back.Entries))
+	}
+	if got := back.Latest(SuiteThroughput); got == nil || got.Commit != "aaa" {
+		t.Fatalf("Latest(throughput) = %+v", got)
+	}
+	if got := back.Latest(SuiteExplore); got == nil || got.Commit != "bbb" {
+		t.Fatalf("Latest(explore) = %+v", got)
+	}
+	if got := back.Latest("nope"); got != nil {
+		t.Fatalf("Latest(nope) = %+v", got)
+	}
+}

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -80,15 +82,35 @@ type Result struct {
 	ExecsPerSec float64 `json:"execs_per_sec,omitempty"`
 }
 
+// Suite names, recorded in Report.Suite and used as the time-series axis
+// (dev/bench/data.json groups entries per suite).
+const (
+	SuiteThroughput = "throughput"
+	SuiteExplore    = "explore"
+)
+
 // Report is the bench-json document.
 type Report struct {
-	Schema     string   `json:"schema"`
-	Seed       int64    `json:"seed"`
-	Procs      int      `json:"procs"`
-	OpsPerProc int      `json:"ops_per_proc"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	GoVersion  string   `json:"go_version"`
-	Results    []Result `json:"results"`
+	Schema string `json:"schema"`
+	// Suite names the generator ("throughput" or "explore"). Optional on
+	// read: pre-metadata v2 and all v1 documents lack it.
+	Suite      string `json:"suite,omitempty"`
+	Seed       int64  `json:"seed"`
+	Procs      int    `json:"procs"`
+	OpsPerProc int    `json:"ops_per_proc"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// Commit and Timestamp attribute the run to a revision and an instant.
+	// They are never set by the suite runners — no time.Now in the schema's
+	// default path, keeping fixed-seed runs byte-reproducible — only by
+	// cmd/benchjson's -commit/-timestamp flags (or its -append stamping).
+	// Timestamp, when present, is RFC 3339.
+	Commit    string `json:"commit,omitempty"`
+	Timestamp string `json:"timestamp,omitempty"`
+	// Host is the measuring machine, filled by the suite runners via
+	// ReadHost; optional on read for pre-metadata documents.
+	Host    *Host    `json:"host,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // Validate checks the report is schema-complete: CI fails the bench step on
@@ -96,6 +118,17 @@ type Report struct {
 func (r *Report) Validate() error {
 	if r.Schema != ReportSchema && r.Schema != ReportSchemaV1 {
 		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)", r.Schema, ReportSchema, ReportSchemaV1)
+	}
+	if r.Suite != "" && r.Suite != SuiteThroughput && r.Suite != SuiteExplore {
+		return fmt.Errorf("bench: unknown suite %q (want %q or %q)", r.Suite, SuiteThroughput, SuiteExplore)
+	}
+	if r.Timestamp != "" {
+		if _, err := time.Parse(time.RFC3339, r.Timestamp); err != nil {
+			return fmt.Errorf("bench: timestamp %q is not RFC 3339: %w", r.Timestamp, err)
+		}
+	}
+	if r.Host != nil && r.Host.CPUs < 1 {
+		return fmt.Errorf("bench: host block present but cpus=%d", r.Host.CPUs)
 	}
 	if r.Procs < 1 || r.OpsPerProc < 1 {
 		return fmt.Errorf("bench: bad dimensions procs=%d ops_per_proc=%d", r.Procs, r.OpsPerProc)
@@ -172,8 +205,10 @@ func measure(run func()) measurement {
 // common start barrier) and returns the region's measurement (wall time,
 // merged obs stats, allocation deltas). op receives an instrumented context
 // (so every shared-memory event is counted), the process id, and a
-// process-seeded RNG.
-func runParallel(procs int, ops int64, seed int64, pool *primitive.Pool,
+// process-seeded RNG. The workload goroutines run under pprof labels
+// (bench_suite, bench_workload), so a -profile capture attributes samples
+// to the row that tripped the regression gate.
+func runParallel(name string, procs int, ops int64, seed int64, pool *primitive.Pool,
 	op func(ctx primitive.Context, id int, rng *rand.Rand, i int64) error) (measurement, error) {
 
 	col := obs.NewCollector(procs, pool)
@@ -187,30 +222,37 @@ func runParallel(procs int, ops int64, seed int64, pool *primitive.Pool,
 		start = make(chan struct{})
 		errMu sync.Mutex
 		first error
+		m     measurement
 	)
-	for id := 0; id < procs; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(id)))
-			ctx := ctxs[id]
-			<-start
-			for i := int64(0); i < ops; i++ {
-				if err := op(ctx, id, rng, i); err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = fmt.Errorf("process %d op %d: %w", id, i, err)
+	// Goroutines inherit the creator's label set, so spawning inside the
+	// labeled region tags every workload goroutine; the labels are a no-op
+	// unless a CPU profile is being captured.
+	pprof.Do(context.Background(), pprof.Labels("bench_suite", SuiteThroughput, "bench_workload", name),
+		func(context.Context) {
+			for id := 0; id < procs; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed + int64(id)))
+					ctx := ctxs[id]
+					<-start
+					for i := int64(0); i < ops; i++ {
+						if err := op(ctx, id, rng, i); err != nil {
+							errMu.Lock()
+							if first == nil {
+								first = fmt.Errorf("process %d op %d: %w", id, i, err)
+							}
+							errMu.Unlock()
+							return
+						}
 					}
-					errMu.Unlock()
-					return
-				}
+				}(id)
 			}
-		}(id)
-	}
-	m := measure(func() {
-		close(start)
-		wg.Wait()
-	})
+			m = measure(func() {
+				close(start)
+				wg.Wait()
+			})
+		})
 	m.stats = col.Snapshot()
 	return m, first
 }
@@ -268,11 +310,13 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 
 	rep := &Report{
 		Schema:     ReportSchema,
+		Suite:      SuiteThroughput,
 		Seed:       cfg.Seed,
 		Procs:      procs,
 		OpsPerProc: cfg.OpsPerProc,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		Host:       ReadHost(),
 	}
 	add := func(r Result, err error) error {
 		if err != nil {
@@ -297,7 +341,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runParallel(procs, ops, cfg.Seed, variant.pool,
+		m, err := runParallel(variant.name, procs, ops, cfg.Seed, variant.pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
@@ -321,7 +365,8 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			n int64
 			_ [7]int64
 		}, procs)
-		m, err := runParallel(procs, ops, cfg.Seed, pool,
+		name := fmt.Sprintf("counter/farray/add/batched-w%d", window)
+		m, err := runParallel(name, procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, id int, _ *rand.Rand, i int64) error {
 				pending[id].n++
 				if pending[id].n < window && i != ops-1 {
@@ -331,8 +376,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 				pending[id].n = 0
 				return err
 			})
-		if err = add(result(fmt.Sprintf("counter/farray/add/batched-w%d", window),
-			procs, ops*int64(procs), m), err); err != nil {
+		if err = add(result(name, procs, ops*int64(procs), m), err); err != nil {
 			return nil, err
 		}
 	}
@@ -367,7 +411,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			tap = rec.Tap("counter", "bench", procs)
 			rec.Start()
 		}
-		m, err := runParallel(procs, ops, cfg.Seed, pool,
+		m, err := runParallel(variant.name, procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, id int, _ *rand.Rand, _ int64) error {
 				if tap == nil {
 					return c.Increment(ctx)
@@ -394,7 +438,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runParallel(procs, ops, cfg.Seed, pool,
+		m, err := runParallel("counter/cas/increment", procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
@@ -413,7 +457,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runParallel(procs, aacOps, cfg.Seed, pool,
+		m, err := runParallel("counter/aac/increment", procs, aacOps, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
@@ -432,7 +476,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			return nil, err
 		}
 		c := counter.NewFromSnapshot(snap)
-		m, err := runParallel(procs, snapOps, cfg.Seed, pool,
+		m, err := runParallel("counter/snapshot/increment", procs, snapOps, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, _ int64) error {
 				return c.Increment(ctx)
 			})
@@ -465,7 +509,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			return nil, err
 		}
 		bound := mr.bound
-		meas, err := runParallel(procs, ops, cfg.Seed, pool,
+		meas, err := runParallel(mr.name, procs, ops, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, rng *rand.Rand, _ int64) error {
 				return m.WriteMax(ctx, rng.Int63n(bound))
 			})
@@ -483,7 +527,7 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runParallel(procs, snapOps, cfg.Seed, pool,
+		m, err := runParallel("snapshot/farray/update", procs, snapOps, cfg.Seed, pool,
 			func(ctx primitive.Context, _ int, _ *rand.Rand, i int64) error {
 				return s.Update(ctx, i+1)
 			})
