@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race race-sim race-flight vet lint bench bench-json explore-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
+.PHONY: all test race race-sim race-flight vet lint bench bench-json explore-bench contention-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
 
 all: vet lint test
 
@@ -69,12 +69,23 @@ explore-bench:
 	$(GO) run ./cmd/benchjson -suite explore -out $(EXPLORE_BENCH_OUT) -pretty $(EXPLORE_BENCH_FLAGS)
 	$(GO) run ./cmd/benchjson -check $(EXPLORE_BENCH_OUT)
 
+# Flat-vs-sharded counter contention sweep (the E13 experiment): the CAS
+# counter against the elastic sharded counter across writer counts and
+# read mixes -> $(CONTENTION_BENCH_OUT). Shrink the workload with e.g.
+# CONTENTION_BENCH_FLAGS="-workers 1,2 -ops 500".
+CONTENTION_BENCH_OUT ?= CONTENTION_BENCH.json
+CONTENTION_BENCH_FLAGS ?=
+contention-bench:
+	$(GO) run ./cmd/benchjson -suite contention -out $(CONTENTION_BENCH_OUT) -pretty $(CONTENTION_BENCH_FLAGS)
+	$(GO) run ./cmd/benchjson -check $(CONTENTION_BENCH_OUT)
+
 # --- Continuous perf tracking (see docs/benchmarking.md) ---------------
 
 # CI-sized workloads: must match the committed baselines in dev/bench/ci/
 # exactly (suite, procs, ops, seed) or the gate fails on config mismatch.
 BENCH_CI_THROUGHPUT_FLAGS = -procs 4 -ops 500
 BENCH_CI_EXPLORE_FLAGS = -procs 2 -steps 2 -workers 1,2
+BENCH_CI_CONTENTION_FLAGS = -workers 1,2,4,8 -ops 500
 
 # Gate thresholds for CI-sized runs: wall-clock metrics are mostly noise
 # at smoke size (the flight-overhead ratio was observed anywhere from
@@ -101,6 +112,9 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -suite explore $(BENCH_CI_EXPLORE_FLAGS) \
 		-gate dev/bench/ci/explore.json $(BENCH_GATE_FLAGS) \
 		-out explore-ci.json -delta explore-ci-delta.json
+	$(GO) run ./cmd/benchjson -suite contention $(BENCH_CI_CONTENTION_FLAGS) \
+		-gate dev/bench/ci/contention.json $(BENCH_GATE_FLAGS) \
+		-out contention-ci.json -delta contention-ci-delta.json
 
 # Profiled CI-sized runs of both suites: CPU pprof + execution trace per
 # suite into bench-profiles/ (reports land there too, so the profile can
@@ -110,6 +124,8 @@ bench-profile:
 		-out bench-profiles/throughput.json -profile bench-profiles
 	$(GO) run ./cmd/benchjson -suite explore $(BENCH_CI_EXPLORE_FLAGS) \
 		-out bench-profiles/explore.json -profile bench-profiles
+	$(GO) run ./cmd/benchjson -suite contention $(BENCH_CI_CONTENTION_FLAGS) \
+		-out bench-profiles/contention.json -profile bench-profiles
 
 # Refresh the committed CI baselines after an intentional perf change
 # (the "bless" step — commit the result together with the change that
@@ -119,6 +135,8 @@ bench-ci-baselines:
 		-out dev/bench/ci/throughput.json -pretty -commit "$$(git rev-parse HEAD)"
 	$(GO) run ./cmd/benchjson -suite explore $(BENCH_CI_EXPLORE_FLAGS) \
 		-out dev/bench/ci/explore.json -pretty -commit "$$(git rev-parse HEAD)"
+	$(GO) run ./cmd/benchjson -suite contention $(BENCH_CI_CONTENTION_FLAGS) \
+		-out dev/bench/ci/contention.json -pretty -commit "$$(git rev-parse HEAD)"
 
 # Full-size runs of both suites, appended to the committed time-series at
 # the current HEAD (refreshing the top-level baseline files so they stay
@@ -127,6 +145,8 @@ bench-append:
 	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -pretty \
 		-append dev/bench/data.json -commit "$$(git rev-parse HEAD)"
 	$(GO) run ./cmd/benchjson -suite explore -out EXPLORE_BENCH.json -pretty \
+		-append dev/bench/data.json -commit "$$(git rev-parse HEAD)"
+	$(GO) run ./cmd/benchjson -suite contention -out CONTENTION_BENCH.json -pretty \
 		-append dev/bench/data.json -commit "$$(git rev-parse HEAD)"
 	$(MAKE) bench-dash
 

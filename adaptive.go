@@ -1,0 +1,138 @@
+package tradeoffs
+
+import "runtime"
+
+// BackendObservation is the evidence an AdaptivePolicy decides from: the
+// requested configuration plus, when the constructor was also given
+// WithObservability, the live usage of every counter already registered in
+// the same registry (aggregated CAS traffic and read/update op counts from
+// the collectors' histograms). A fresh registry — or none — yields zero
+// counts, and policies fall back to the static signals.
+type BackendObservation struct {
+	// Processes is the WithProcesses value: the number of handles, an
+	// upper bound on concurrent writers.
+	Processes int
+
+	// GoMaxProcs is runtime.GOMAXPROCS(0): the number of writers that can
+	// actually run in parallel. Stripe contention cannot exceed it.
+	GoMaxProcs int
+
+	// CASAttempts and CASFailures aggregate the counter family's CAS
+	// traffic across the registry. A failed CAS is the contention signal:
+	// a retry some other process forced.
+	CASAttempts int64
+	CASFailures int64
+
+	// Reads and Updates count the family's recorded operations (reads and
+	// scans vs everything else).
+	Reads   int64
+	Updates int64
+}
+
+// CASFailureRate returns CASFailures/CASAttempts, or 0 with no attempts.
+func (o BackendObservation) CASFailureRate() float64 {
+	if o.CASAttempts == 0 {
+		return 0
+	}
+	return float64(o.CASFailures) / float64(o.CASAttempts)
+}
+
+// ReadFraction returns Reads/(Reads+Updates), or 0 with no operations.
+func (o BackendObservation) ReadFraction() float64 {
+	total := o.Reads + o.Updates
+	if total == 0 {
+		return 0
+	}
+	return float64(o.Reads) / float64(total)
+}
+
+// Samples returns the total operation count behind the observation — the
+// policy's confidence signal.
+func (o BackendObservation) Samples() int64 { return o.Reads + o.Updates }
+
+// BackendChoice is an AdaptivePolicy's verdict. A zero Impl keeps the
+// configured (or default) implementation; a zero BatchWindow keeps the
+// configured WithBatching window.
+type BackendChoice struct {
+	Impl        CounterImpl
+	BatchWindow int
+}
+
+// AdaptivePolicy maps live evidence to a counter backend. It runs once, at
+// construction time, inside NewCounter.
+type AdaptivePolicy func(BackendObservation) BackendChoice
+
+// DefaultAdaptivePolicy picks the backend the E13 contention sweep says
+// wins each regime (see EXPERIMENTS.md):
+//
+//   - read-heavy workloads (> 50% reads) get the flat CAS counter — O(1)
+//     reads are the whole point of the read-optimal side, and striped
+//     reads pay O(stripes);
+//   - a measured CAS-failure rate >= 5% (on enough samples to trust) with
+//     real parallelism gets the sharded counter — contended retries spread
+//     across stripes instead of re-serializing;
+//   - a single-process update-heavy workload gets the flat counter with a
+//     batching window — coalescing amortizes propagation, and with one
+//     process read-your-writes makes batching invisible;
+//   - with no usage history the static signals decide: multiple processes
+//     that can actually run in parallel provision sharded, everything
+//     else starts flat.
+func DefaultAdaptivePolicy(o BackendObservation) BackendChoice {
+	writers := o.Processes
+	if o.GoMaxProcs < writers {
+		writers = o.GoMaxProcs
+	}
+	const (
+		minSamples   = 256  // CAS attempts before the failure rate is trusted
+		contended    = 0.05 // failure rate that says "retries are real"
+		readHeavy    = 0.5
+		batchDefault = 8
+	)
+	switch {
+	case o.Samples() > 0 && o.ReadFraction() > readHeavy:
+		return BackendChoice{Impl: CounterCAS}
+	case o.CASAttempts >= minSamples && o.CASFailureRate() >= contended && writers > 1:
+		return BackendChoice{Impl: CounterSharded}
+	case o.Processes == 1 && o.Samples() > 0:
+		return BackendChoice{Impl: CounterCAS, BatchWindow: batchDefault}
+	case o.Samples() == 0 && writers > 1:
+		return BackendChoice{Impl: CounterSharded}
+	default:
+		return BackendChoice{Impl: CounterCAS}
+	}
+}
+
+// WithAdaptiveBackend makes NewCounter resolve its implementation through
+// policy instead of a fixed WithCounterImpl: the policy sees a
+// BackendObservation (static config plus, with WithObservability, the
+// registry's live counter-family usage) and its BackendChoice rewrites the
+// implementation and batching window before construction. Selection is a
+// config-resolution layer on the same seam WithBatching and
+// WithFlightRecorder compose on, so the chosen backend carries handles,
+// metrics, and flight taps exactly as if it had been picked explicitly;
+// Counter.Impl reports the outcome.
+//
+// A nil policy means DefaultAdaptivePolicy. The policy runs once per
+// constructor call — re-resolving a live object would break the
+// restricted-use and linearizability contracts, so adaptation happens at
+// object-creation granularity (create counters through a factory to track
+// shifting workloads).
+func WithAdaptiveBackend(policy AdaptivePolicy) Option {
+	if policy == nil {
+		policy = DefaultAdaptivePolicy
+	}
+	return optionFunc(func(c *config) { c.adaptive = policy })
+}
+
+// backendObservation assembles the evidence for an AdaptivePolicy from the
+// constructor's config and (if present) its observability registry.
+func (c config) backendObservation() BackendObservation {
+	o := BackendObservation{
+		Processes:  c.processes,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if c.obs != nil {
+		o.CASAttempts, o.CASFailures, o.Reads, o.Updates = c.obs.familyUsage("counter")
+	}
+	return o
+}

@@ -1,0 +1,245 @@
+package tradeoffs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardedFacade(t *testing.T) {
+	ctr, err := NewCounter(WithCounterImpl(CounterSharded), WithProcesses(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Impl() != CounterSharded {
+		t.Fatalf("Impl = %d, want CounterSharded", ctr.Impl())
+	}
+	var wg sync.WaitGroup
+	const opsPer = 500
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := ctr.Handle(p)
+			for i := 0; i < opsPer; i++ {
+				if err := h.Increment(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := ctr.Handle(0).Read(); got != 4*opsPer {
+		t.Fatalf("Read = %d, want %d", got, 4*opsPer)
+	}
+}
+
+func TestCounterShardedRejectsLimit(t *testing.T) {
+	_, err := NewCounter(WithCounterImpl(CounterSharded), WithLimit(100))
+	if !errors.Is(err, ErrLimitUnsupported) {
+		t.Fatalf("CounterSharded with WithLimit: err = %v, want ErrLimitUnsupported", err)
+	}
+}
+
+func TestCounterShardedStepCountingAndBatching(t *testing.T) {
+	// The sharded backend must compose with the same seams the flat ones
+	// do: step counting and batching ride the handle, not the impl.
+	ctr, err := NewCounter(
+		WithCounterImpl(CounterSharded),
+		WithProcesses(2),
+		WithStepCounting(),
+		WithBatching(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	for i := 0; i < 3; i++ {
+		if err := h.Increment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Steps() != 0 {
+		t.Fatalf("buffered increments issued %d steps, want 0", h.Steps())
+	}
+	if h.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", h.Pending())
+	}
+	if got := h.Read(); got != 3 {
+		t.Fatalf("Read = %d, want 3 (flush-on-read)", got)
+	}
+	if h.Steps() == 0 {
+		t.Fatal("flush + read issued 0 steps")
+	}
+}
+
+// TestDefaultAdaptivePolicy pins the policy's regimes as a pure function of
+// the observation (hardware-independent: the observation is constructed,
+// not measured).
+func TestDefaultAdaptivePolicy(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  BackendObservation
+		want BackendChoice
+	}{
+		{
+			name: "read-heavy stays flat",
+			obs:  BackendObservation{Processes: 8, GoMaxProcs: 8, Reads: 900, Updates: 100},
+			want: BackendChoice{Impl: CounterCAS},
+		},
+		{
+			name: "measured contention goes sharded",
+			obs:  BackendObservation{Processes: 8, GoMaxProcs: 8, CASAttempts: 10000, CASFailures: 2000, Reads: 10, Updates: 990},
+			want: BackendChoice{Impl: CounterSharded},
+		},
+		{
+			name: "contention on one core stays flat",
+			obs:  BackendObservation{Processes: 8, GoMaxProcs: 1, CASAttempts: 10000, CASFailures: 2000, Reads: 10, Updates: 990},
+			want: BackendChoice{Impl: CounterCAS},
+		},
+		{
+			name: "single-process update-heavy batches",
+			obs:  BackendObservation{Processes: 1, GoMaxProcs: 8, Reads: 10, Updates: 990},
+			want: BackendChoice{Impl: CounterCAS, BatchWindow: 8},
+		},
+		{
+			name: "no history with parallel writers provisions sharded",
+			obs:  BackendObservation{Processes: 4, GoMaxProcs: 4},
+			want: BackendChoice{Impl: CounterSharded},
+		},
+		{
+			name: "no history on one core stays flat",
+			obs:  BackendObservation{Processes: 4, GoMaxProcs: 1},
+			want: BackendChoice{Impl: CounterCAS},
+		},
+		{
+			name: "uncontended update-heavy multiprocess stays flat",
+			obs:  BackendObservation{Processes: 4, GoMaxProcs: 4, CASAttempts: 10000, CASFailures: 10, Reads: 100, Updates: 900},
+			want: BackendChoice{Impl: CounterCAS},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DefaultAdaptivePolicy(tc.obs); got != tc.want {
+				t.Fatalf("DefaultAdaptivePolicy(%+v) = %+v, want %+v", tc.obs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestObservationAccessors(t *testing.T) {
+	o := BackendObservation{CASAttempts: 100, CASFailures: 25, Reads: 30, Updates: 10}
+	if got := o.CASFailureRate(); got != 0.25 {
+		t.Fatalf("CASFailureRate = %v, want 0.25", got)
+	}
+	if got := o.ReadFraction(); got != 0.75 {
+		t.Fatalf("ReadFraction = %v, want 0.75", got)
+	}
+	if got := o.Samples(); got != 40 {
+		t.Fatalf("Samples = %v, want 40", got)
+	}
+	var zero BackendObservation
+	if zero.CASFailureRate() != 0 || zero.ReadFraction() != 0 || zero.Samples() != 0 {
+		t.Fatal("zero observation must report zero rates")
+	}
+}
+
+func TestWithAdaptiveBackendResolvesImpl(t *testing.T) {
+	var seen BackendObservation
+	policy := func(o BackendObservation) BackendChoice {
+		seen = o
+		return BackendChoice{Impl: CounterSharded}
+	}
+	ctr, err := NewCounter(WithAdaptiveBackend(policy), WithProcesses(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Impl() != CounterSharded {
+		t.Fatalf("Impl = %d, want CounterSharded", ctr.Impl())
+	}
+	if seen.Processes != 3 {
+		t.Fatalf("policy saw Processes = %d, want 3", seen.Processes)
+	}
+	if seen.GoMaxProcs < 1 {
+		t.Fatalf("policy saw GoMaxProcs = %d, want >= 1", seen.GoMaxProcs)
+	}
+	if seen.Samples() != 0 {
+		t.Fatalf("policy saw %d samples without observability, want 0", seen.Samples())
+	}
+
+	// Zero Impl keeps the configured implementation; BatchWindow rewrites
+	// the batching window.
+	ctr, err = NewCounter(
+		WithAdaptiveBackend(func(BackendObservation) BackendChoice {
+			return BackendChoice{BatchWindow: 16}
+		}),
+		WithCounterImpl(CounterCAS),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Impl() != CounterCAS {
+		t.Fatalf("Impl = %d, want CounterCAS (zero Impl keeps config)", ctr.Impl())
+	}
+	if ctr.BatchWindow() != 16 {
+		t.Fatalf("BatchWindow = %d, want 16", ctr.BatchWindow())
+	}
+}
+
+// TestWithAdaptiveBackendSeesLiveUsage drives one counter through a
+// read-heavy workload and checks the next construction's policy sees that
+// history through the shared registry.
+func TestWithAdaptiveBackendSeesLiveUsage(t *testing.T) {
+	o := NewObservability()
+	first, err := NewCounter(
+		WithObservability(o),
+		WithCounterImpl(CounterCAS),
+		WithProcesses(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := first.Handle(0)
+	for i := 0; i < 20; i++ {
+		if err := h.Increment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		h.Read()
+	}
+
+	var seen BackendObservation
+	_, err = NewCounter(
+		WithObservability(o),
+		WithAdaptiveBackend(func(obs BackendObservation) BackendChoice {
+			seen = obs
+			return BackendChoice{Impl: CounterCAS}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.Reads != 80 {
+		t.Fatalf("policy saw %d reads, want 80", seen.Reads)
+	}
+	if seen.Updates != 20 {
+		t.Fatalf("policy saw %d updates, want 20", seen.Updates)
+	}
+	if seen.CASAttempts < 20 {
+		t.Fatalf("policy saw %d CAS attempts, want >= 20 (one per increment)", seen.CASAttempts)
+	}
+	if DefaultAdaptivePolicy(seen).Impl != CounterCAS {
+		t.Fatalf("default policy on a read-heavy history picked %d, want CounterCAS", DefaultAdaptivePolicy(seen).Impl)
+	}
+
+	// A nil policy is the default policy.
+	ctr, err := NewCounter(WithObservability(o), WithAdaptiveBackend(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Impl() != CounterCAS {
+		t.Fatalf("nil policy on read-heavy history: Impl = %d, want CounterCAS", ctr.Impl())
+	}
+}

@@ -1,8 +1,9 @@
 // Command benchjson runs a fixed-seed bench suite and writes its JSON
 // report (BENCH_PR2.json by default), the artifact `make bench-json`
-// produces. -suite picks the throughput suite (default) or the
+// produces. -suite picks the throughput suite (default), the
 // schedule-exploration scaling suite (`explore`, behind
-// `make explore-bench`).
+// `make explore-bench`), or the flat-vs-sharded counter contention
+// sweep (`contention`, behind `make contention-bench`).
 //
 // On top of the one-shot report it drives the continuous perf-tracking
 // layer (docs/benchmarking.md):
@@ -51,11 +52,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		out     = fs.String("out", "BENCH_PR2.json", "output path, or - for stdout")
-		suite   = fs.String("suite", "throughput", "suite to run: throughput or explore")
+		suite   = fs.String("suite", "throughput", "suite to run: throughput, explore, or contention")
 		procs   = fs.Int("procs", 0, "processes per workload; 0 = suite default (8 throughput, 3 explore)")
-		ops     = fs.Int("ops", 0, "operations per process (throughput); 0 = 20000")
+		ops     = fs.Int("ops", 0, "operations per process (throughput/contention); 0 = 20000")
 		steps   = fs.Int("steps", 0, "events per simulated process (explore); 0 = 4")
-		workers = fs.String("workers", "1,2,4,8", "comma-separated ExploreParallel worker counts (explore)")
+		workers = fs.String("workers", "", "comma-separated worker counts: ExploreParallel workers (explore, default 1,2,4,8) or writer counts (contention, default powers of 2 through max(8, 2*GOMAXPROCS))")
 		budget  = fs.Int("budget", 0, "execution budget per exploration (explore); 0 = 10,000,000")
 		seed    = fs.Int64("seed", 20260805, "seed for every per-process random source")
 		pretty  = fs.Bool("pretty", false, "indent the JSON output")
@@ -235,6 +236,9 @@ func freshReport(fs *flag.FlagSet, against, suite string, procs, ops, steps int,
 			Seed:       seed,
 		})
 	case bench.SuiteExplore:
+		if workers == "" {
+			workers = "1,2,4,8"
+		}
 		var ws []int
 		ws, err = bench.ParseWorkers(workers)
 		if err == nil {
@@ -245,8 +249,21 @@ func freshReport(fs *flag.FlagSet, against, suite string, procs, ops, steps int,
 				Budget:  budget,
 			})
 		}
+	case bench.SuiteContention:
+		var ws []int // empty -workers keeps the suite's default axis
+		if workers != "" {
+			ws, err = bench.ParseWorkers(workers)
+		}
+		if err == nil {
+			rep, err = bench.RunContention(bench.ContentionConfig{
+				Writers:      ws,
+				OpsPerWriter: ops,
+				Seed:         seed,
+			})
+		}
 	default:
-		err = fmt.Errorf("unknown suite %q (want %s or %s)", suite, bench.SuiteThroughput, bench.SuiteExplore)
+		err = fmt.Errorf("unknown suite %q (want %s, %s, or %s)",
+			suite, bench.SuiteThroughput, bench.SuiteExplore, bench.SuiteContention)
 	}
 	if stopProfiles != nil {
 		if perr := stopProfiles(); perr != nil && err == nil {

@@ -265,7 +265,7 @@ func registerObsAndFlight(c config, family string, pool *primitive.Pool) (*obs.C
 	tap, err := registerFlight(c, family, name)
 	if err != nil {
 		if col != nil {
-			c.obs.unregister(name)
+			c.obs.unregister(family, name)
 		}
 		return nil, nil, err
 	}

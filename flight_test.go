@@ -2,6 +2,7 @@ package tradeoffs
 
 import (
 	"encoding/json"
+	"math/rand"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -364,5 +365,216 @@ func TestFlightRecorderRegistrationErrors(t *testing.T) {
 	}
 	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(fr2), WithName("orphan")); err != nil {
 		t.Fatalf("name not released after failed construction: %v", err)
+	}
+}
+
+// TestFlightBatchingFailedFlushView pins what the flight recorder sees of
+// a batching handle stuck over its budget: buffered deltas are invisible
+// (they never linearized), the failed flush is aborted rather than
+// recorded, and the stale reads admit a consistent (violation-free)
+// history of zero increments.
+func TestFlightBatchingFailedFlushView(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{SampleEvery: 1, Window: 1 << 10})
+	ctr, err := NewCounter(WithCounterImpl(CounterAAC), WithLimit(4),
+		WithProcesses(1), WithBatching(8), WithFlightRecorder(fr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Start()
+	defer fr.Stop()
+
+	h := ctr.Handle(0)
+	for i := 0; i < 6; i++ {
+		if err := h.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err == nil {
+		t.Fatal("Flush over the limit succeeded")
+	}
+	if got := h.Read(); got != 0 {
+		t.Fatalf("Read = %d, want 0", got)
+	}
+	if got := h.Read(); got != 0 {
+		t.Fatalf("second Read = %d, want 0", got)
+	}
+
+	fr.Sync()
+	st := fr.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("violations = %d, want 0 (stale reads are consistent: nothing linearized)", st.Violations)
+	}
+	if len(st.Taps) != 1 {
+		t.Fatalf("taps = %d, want 1", len(st.Taps))
+	}
+	// Two reads recorded; the failed flushes (one explicit, two
+	// read-triggered) aborted without a record, and the buffered adds
+	// were never operations on the shared object at all.
+	if got := st.Taps[0].Recorded; got != 2 {
+		t.Fatalf("recorded ops = %d, want 2 (the reads only)", got)
+	}
+}
+
+// TestFlightShardedCounterParity runs the elastic sharded backend under
+// an exact-mode recorder (SampleEvery=1): every operation is admitted to
+// the online linearizability monitor, so a quiet run is a machine-checked
+// parity certificate for the striped double-collect reads — the same
+// suite the flat backends pass.
+func TestFlightShardedCounterParity(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{SampleEvery: 1, Window: 1 << 12})
+	ctr, err := NewCounter(WithFlightRecorder(fr), WithProcesses(8),
+		WithCounterImpl(CounterSharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Start()
+	defer fr.Stop()
+
+	const procs, opsPer = 8, 400
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := ctr.Handle(p)
+			for i := 0; i < opsPer; i++ {
+				switch i % 4 {
+				case 0, 1:
+					if err := h.Increment(); err != nil {
+						t.Error(err)
+					}
+				case 2:
+					if err := h.Add(int64(i%5 + 1)); err != nil {
+						t.Error(err)
+					}
+				case 3:
+					h.Read()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	fr.Sync()
+
+	st := fr.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("sharded backend flagged by the exact-mode monitor: %+v", fr.Violations())
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("unexpected drops: %d", st.Dropped)
+	}
+	if st.Recorded == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if got := ctr.Handle(0).Read(); got != procs*(opsPer/2+opsPer/4*3) {
+		// per proc: 200 increments + 100 adds of (i%5+1); i%4==2 over
+		// 0..399 gives deltas 3,2,1,5,4 repeating -> 100 adds summing 300.
+		t.Fatalf("final Read = %d, want %d", got, procs*(200+300))
+	}
+}
+
+// TestFlightShardedBatchedWeightedIncrement checks the weighted-increment
+// recording contract survives the backend swap: coalesced flushes into a
+// sharded counter land as single KindIncrement records with Arg = delta.
+func TestFlightShardedBatchedWeightedIncrement(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{SampleEvery: 1})
+	ctr, err := NewCounter(WithFlightRecorder(fr), WithProcesses(1),
+		WithCounterImpl(CounterSharded), WithBatching(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	for i := 0; i < 7; i++ {
+		if err := h.Add(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Read(); got != 14 {
+		t.Fatalf("Read = %d, want 14", got)
+	}
+	fr.Sync()
+
+	st := fr.Stats()
+	if st.Recorded != 3 {
+		t.Fatalf("recorded %d records, want 3 (2 weighted flushes + 1 read)", st.Recorded)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("weighted flushes on sharded backend flagged: %+v", fr.Violations())
+	}
+	var buf strings.Builder
+	if err := fr.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dumps []*history.Dump
+	if err := json.Unmarshal([]byte(buf.String()), &dumps); err != nil {
+		t.Fatal(err)
+	}
+	var weights []int64
+	for _, op := range dumps[0].Ops {
+		if op.Kind == history.KindIncrement {
+			weights = append(weights, op.Arg)
+		}
+	}
+	if len(weights) != 2 || weights[0] != 8 || weights[1] != 6 {
+		t.Fatalf("flush weights = %v, want [8 6]", weights)
+	}
+}
+
+// TestFlightShardedLinearizabilityFuzz drives randomized schedules (mixed
+// op ratios, deltas, and read densities per seed) through the sharded
+// backend with every operation monitored. Violations latch, so one quiet
+// pass over all seeds certifies every sampled interleaving.
+func TestFlightShardedLinearizabilityFuzz(t *testing.T) {
+	const procs, opsPer = 6, 300
+	for seed := int64(1); seed <= 5; seed++ {
+		fr := NewFlightRecorder(FlightConfig{SampleEvery: 1, Window: 1 << 12})
+		ctr, err := NewCounter(WithFlightRecorder(fr), WithProcesses(procs),
+			WithCounterImpl(CounterSharded))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Start()
+
+		var wg sync.WaitGroup
+		total := make([]int64, procs)
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				h := ctr.Handle(p)
+				rng := rand.New(rand.NewSource(seed*1000 + int64(p)))
+				readBias := int(seed) % 4 // 0..3 reads per 4 ops across seeds
+				for i := 0; i < opsPer; i++ {
+					if rng.Intn(4) < readBias {
+						h.Read()
+						continue
+					}
+					delta := int64(rng.Intn(4))
+					if err := h.Add(delta); err != nil {
+						t.Error(err)
+						return
+					}
+					total[p] += delta
+				}
+			}(p)
+		}
+		wg.Wait()
+		fr.Sync()
+		fr.Stop()
+
+		st := fr.Stats()
+		if st.Violations != 0 {
+			t.Fatalf("seed %d: sharded backend flagged: %+v", seed, fr.Violations())
+		}
+		if st.Dropped != 0 {
+			t.Fatalf("seed %d: drops: %d", seed, st.Dropped)
+		}
+		var want int64
+		for _, v := range total {
+			want += v
+		}
+		if got := ctr.Handle(0).Read(); got != want {
+			t.Fatalf("seed %d: final Read = %d, want %d", seed, got, want)
+		}
 	}
 }

@@ -362,3 +362,77 @@ func TestSnapshotHandleAddErrorLeavesValue(t *testing.T) {
 	}
 	t.Fatal("update budget never exhausted")
 }
+
+// TestBatchingFailedFlushSurfacesStuckState pins the visible state of a
+// batching handle stuck over its restricted-use budget: Read keeps its
+// error-free signature and reports the stale propagated count, so
+// Pending() is the documented stuck signal and LastFlushErr the reason.
+func TestBatchingFailedFlushSurfacesStuckState(t *testing.T) {
+	ctr, err := NewCounter(WithCounterImpl(CounterAAC), WithLimit(4),
+		WithProcesses(1), WithBatching(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	if h.LastFlushErr() != nil {
+		t.Fatalf("LastFlushErr on a fresh handle = %v, want nil", h.LastFlushErr())
+	}
+	for i := 0; i < 6; i++ {
+		if err := h.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var limitErr *counter.LimitError
+	if err := h.Flush(); !errors.As(err, &limitErr) {
+		t.Fatalf("Flush over the limit = %v, want LimitError", err)
+	}
+	if err := h.LastFlushErr(); !errors.As(err, &limitErr) {
+		t.Fatalf("LastFlushErr after failed Flush = %v, want the LimitError", err)
+	}
+
+	// Read flushes first (read-your-writes), fails again silently, and
+	// reports the propagated count — stale, but flagged through
+	// Pending/LastFlushErr rather than lost.
+	if got := h.Read(); got != 0 {
+		t.Fatalf("Read after failed flush = %d, want 0 (propagated count)", got)
+	}
+	if h.Pending() != 6 {
+		t.Fatalf("Pending after Read = %d, want 6 (deltas kept)", h.Pending())
+	}
+	if err := h.LastFlushErr(); !errors.As(err, &limitErr) {
+		t.Fatalf("LastFlushErr after read-triggered flush = %v, want the LimitError", err)
+	}
+
+	// Add keeps buffering (nothing lost, nothing silently dropped).
+	if err := h.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Pending() != 7 {
+		t.Fatalf("Pending after Add = %d, want 7", h.Pending())
+	}
+}
+
+// TestBatchingFlushSuccessClearsLastFlushErr pins the recovery side:
+// a flush that goes through resets the stuck signal.
+func TestBatchingFlushSuccessClearsLastFlushErr(t *testing.T) {
+	ctr, err := NewCounter(WithCounterImpl(CounterAAC), WithLimit(16),
+		WithProcesses(1), WithBatching(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctr.Handle(0)
+	for i := 0; i < 3; i++ {
+		if err := h.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if h.LastFlushErr() != nil {
+		t.Fatalf("LastFlushErr after successful Flush = %v, want nil", h.LastFlushErr())
+	}
+	if got := h.Read(); got != 3 {
+		t.Fatalf("Read = %d, want 3", got)
+	}
+}

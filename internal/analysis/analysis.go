@@ -104,6 +104,7 @@ const primitivePath = "internal/primitive"
 var modelPackages = []string{
 	"internal/core",
 	"internal/counter",
+	"internal/counter/sharded",
 	"internal/maxreg",
 	"internal/snapshot",
 	"internal/b1tree",

@@ -29,6 +29,7 @@ func TestIsModelPackage(t *testing.T) {
 	for _, path := range []string{
 		"github.com/restricteduse/tradeoffs/internal/core",
 		"github.com/restricteduse/tradeoffs/internal/counter",
+		"github.com/restricteduse/tradeoffs/internal/counter/sharded",
 		"github.com/restricteduse/tradeoffs/internal/maxreg",
 		"github.com/restricteduse/tradeoffs/internal/snapshot",
 		"github.com/restricteduse/tradeoffs/internal/b1tree",

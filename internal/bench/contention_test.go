@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestRunContentionProducesValidReport(t *testing.T) {
+	rep, err := RunContention(ContentionConfig{Writers: []int{1, 2}, OpsPerWriter: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suite != SuiteContention {
+		t.Fatalf("suite %q, want %q", rep.Suite, SuiteContention)
+	}
+	if rep.Procs != 2 {
+		t.Fatalf("report procs %d, want max writer count 2", rep.Procs)
+	}
+	res := indexResults(rep)
+	for _, name := range []string{
+		"contention/cas/w1/update", "contention/cas/w1/read1in8",
+		"contention/cas/w2/update", "contention/cas/w2/read1in8",
+		"contention/sharded/w1/update", "contention/sharded/w1/read1in8",
+		"contention/sharded/w2/update", "contention/sharded/w2/read1in8",
+	} {
+		r, ok := res[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		if r.NsPerOp <= 0 || r.WallClockMS <= 0 {
+			t.Errorf("%s: ns/op=%g wall=%gms, want positive", name, r.NsPerOp, r.WallClockMS)
+		}
+	}
+	// Every row runs writers*ops operations; the w2 rows double the w1 rows.
+	if got := res["contention/cas/w2/update"].Ops; got != 400 {
+		t.Errorf("w2 row ran %d ops, want 400", got)
+	}
+	// The pure-update rows on the flat counter are all CAS; the sharded rows
+	// spread attempts across stripes but still go through CAS.
+	if res["contention/cas/w2/update"].CASAttempts == 0 {
+		t.Error("flat update row recorded no CAS attempts")
+	}
+	if res["contention/sharded/w2/update"].CASAttempts == 0 {
+		t.Error("sharded update row recorded no CAS attempts")
+	}
+}
+
+func TestRunContentionRejectsBadWriters(t *testing.T) {
+	if _, err := RunContention(ContentionConfig{Writers: []int{0}}); err == nil {
+		t.Fatal("RunContention accepted a zero writer count")
+	}
+}
+
+func TestDefaultContentionWriters(t *testing.T) {
+	ws := DefaultContentionWriters()
+	if len(ws) == 0 || ws[0] != 1 {
+		t.Fatalf("default writers %v must start at 1", ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] != 2*ws[i-1] {
+			t.Fatalf("default writers %v must double", ws)
+		}
+	}
+	if last := ws[len(ws)-1]; last < 8 {
+		t.Fatalf("default writers %v must reach at least 8", ws)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	mk := func(rows map[string]float64) *Report {
+		rep := &Report{}
+		for name, ns := range rows {
+			rep.Results = append(rep.Results, Result{Name: name, NsPerOp: ns})
+		}
+		return rep
+	}
+	cases := []struct {
+		name string
+		rows map[string]float64
+		want int
+	}{
+		{"sharded wins from w4", map[string]float64{
+			"contention/cas/w1/update": 10, "contention/sharded/w1/update": 15,
+			"contention/cas/w2/update": 20, "contention/sharded/w2/update": 25,
+			"contention/cas/w4/update": 40, "contention/sharded/w4/update": 30,
+		}, 4},
+		{"never crosses", map[string]float64{
+			"contention/cas/w1/update": 10, "contention/sharded/w1/update": 15,
+			"contention/cas/w8/update": 20, "contention/sharded/w8/update": 25,
+		}, 0},
+		{"read rows ignored", map[string]float64{
+			"contention/cas/w1/read1in8": 50, "contention/sharded/w1/read1in8": 1,
+			"contention/cas/w1/update": 10, "contention/sharded/w1/update": 15,
+		}, 0},
+		{"empty report", nil, 0},
+	}
+	for _, tc := range cases {
+		if got := Crossover(mk(tc.rows)); got != tc.want {
+			t.Errorf("%s: Crossover = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -87,6 +87,7 @@ type Result struct {
 const (
 	SuiteThroughput = "throughput"
 	SuiteExplore    = "explore"
+	SuiteContention = "contention"
 )
 
 // Report is the bench-json document.
@@ -119,8 +120,9 @@ func (r *Report) Validate() error {
 	if r.Schema != ReportSchema && r.Schema != ReportSchemaV1 {
 		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)", r.Schema, ReportSchema, ReportSchemaV1)
 	}
-	if r.Suite != "" && r.Suite != SuiteThroughput && r.Suite != SuiteExplore {
-		return fmt.Errorf("bench: unknown suite %q (want %q or %q)", r.Suite, SuiteThroughput, SuiteExplore)
+	if r.Suite != "" && r.Suite != SuiteThroughput && r.Suite != SuiteExplore && r.Suite != SuiteContention {
+		return fmt.Errorf("bench: unknown suite %q (want %q, %q, or %q)",
+			r.Suite, SuiteThroughput, SuiteExplore, SuiteContention)
 	}
 	if r.Timestamp != "" {
 		if _, err := time.Parse(time.RFC3339, r.Timestamp); err != nil {

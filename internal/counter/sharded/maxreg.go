@@ -1,0 +1,106 @@
+package sharded
+
+import (
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// MaxRegister is the elastic striped max register: WriteMax CASes one
+// stripe up to v (writers on distinct stripes never conflict), ReadMax
+// takes the maximum over a stable double collect.
+//
+//	ReadMax:  obstruction-free, 2(high+1) steps when no write races the
+//	          collect.
+//	WriteMax: lock-free (NOT wait-free), 2 steps uncontended (the active
+//	          stripe set is cached per process, as in Counter.Add); a CAS
+//	          that finds its stripe already >= v finishes immediately
+//	          (some write of a larger value already covers v).
+//
+// The same elasticity policy as Counter applies: the active stripe set
+// doubles on observed CAS-failure rate and halves when contention drops,
+// and reads scan the high-water stripe count (dormant stripes may hold the
+// current maximum, so collapse never narrows the read range).
+type MaxRegister struct {
+	e     *elastic
+	bound int64
+}
+
+var _ maxreg.MaxRegister = (*MaxRegister)(nil)
+
+// NewMax builds an elastic striped max register for procs processes.
+// bound > 0 makes it M-bounded (WriteMax accepts values in [0, bound));
+// bound == 0 leaves it unbounded.
+func NewMax(pool *primitive.Pool, procs int, bound int64, cfg Config) (*MaxRegister, error) {
+	e, err := newElastic(pool, "shardedmax", procs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxRegister{e: e, bound: bound}, nil
+}
+
+// Bound implements maxreg.MaxRegister.
+func (m *MaxRegister) Bound() int64 { return m.bound }
+
+// ReadMax implements maxreg.MaxRegister: the maximum over a stable double
+// collect (0 if nothing has been written).
+func (m *MaxRegister) ReadMax(ctx primitive.Context) int64 {
+	vec := m.e.stableCollect(ctx, &m.e.slots[ctx.ID()])
+	var max int64
+	for _, v := range vec {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// WriteMax implements maxreg.MaxRegister: CAS one stripe up to v. The
+// global maximum is the maximum over stripes, so raising any single
+// stripe to v (or finding one already past it) makes v covered.
+func (m *MaxRegister) WriteMax(ctx primitive.Context, v int64) error {
+	if v < 0 || (m.bound > 0 && v >= m.bound) {
+		return &maxreg.RangeError{Value: v, Bound: m.bound}
+	}
+	e := m.e
+	s := &e.slots[ctx.ID()]
+	a := s.act
+	idx := int(s.probe & uint64(a-1))
+	fails, contended := 0, false
+	//tradeoffvet:casretry deliberately lock-free, like maxreg.CASRegister: a failed CAS means the stripe moved; the retry re-reads it (finishing if it now covers v), rehashes, and doubles the active set on repeated failure
+	for {
+		cur := ctx.Read(e.stripes[idx])
+		if cur >= v {
+			break
+		}
+		if ctx.CAS(e.stripes[idx], cur, v) {
+			break
+		}
+		fails++
+		if !contended {
+			contended = true
+			a = ctx.Read(e.active) // contention: drop the cached stripe set
+		}
+		s.rehash()
+		if fails >= e.cfg.GrowFailures {
+			e.grow(ctx, a)
+			a = ctx.Read(e.active)
+			fails = 0
+		}
+		idx = int(s.probe & uint64(a-1))
+	}
+	s.act = a
+	e.window(ctx, s, contended)
+	return nil
+}
+
+// ActiveStripes reports the stripe count new writes currently target.
+func (m *MaxRegister) ActiveStripes() int64 { return m.e.ActiveStripes() }
+
+// HighStripes reports the read watermark (the per-read collect cost).
+func (m *MaxRegister) HighStripes() int64 { return m.e.HighStripes() }
+
+// ActiveStripes reports the stripe count new updates currently target.
+func (c *Counter) ActiveStripes() int64 { return c.e.ActiveStripes() }
+
+// HighStripes reports the read watermark (the per-read collect cost).
+func (c *Counter) HighStripes() int64 { return c.e.HighStripes() }

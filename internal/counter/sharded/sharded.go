@@ -1,0 +1,388 @@
+// Package sharded provides elastic striped ("sharded") counters and max
+// registers: the production-scale instance of the paper's read/update
+// tradeoff (Hendler & Khait, PODC 2014).
+//
+// A flat CAS counter pays O(1) uncontended steps per update but serializes
+// every writer on one cache line; under contention its retry loop is
+// unbounded. A striped counter splits the value across S cache-line-padded
+// stripes (primitive.NewPadded arenas): updates CAS one stripe —
+// O(1)-contention, writers on distinct stripes never conflict — and reads
+// collect all stripes, paying O(S). That is exactly Theorem 1's curve with
+// the roles reversed: the flat counter sits at the read-optimal extreme,
+// the striped counter buys update scalability with read cost.
+//
+// The stripe count is *elastic*, in the LongAdder style (Doug Lea,
+// java.util.concurrent.atomic):
+//
+//   - each process tracks the CAS-failure rate it observes (a failed CAS is
+//     the paper's contention signal: a retry some other process forced);
+//   - when the rate crosses Config.GrowRate — or a single operation fails
+//     Config.GrowFailures times — the active stripe set doubles, up to
+//     Config.MaxStripes;
+//   - after Config.CollapseWindows consecutive windows with no failures the
+//     active set halves, restoring locality (and flat-counter behavior at
+//     one stripe) when contention drops.
+//
+// Collapse only narrows where new updates land. Stripes that ever held a
+// value keep it (moving it concurrently would make reads miss in-transit
+// counts), so the read cost latches at the high-water stripe count: reads
+// scan [0, high) where high is the largest stripe set ever activated. An
+// object that never sees contention never grows and keeps ~O(1) reads.
+//
+// Progress: updates are lock-free (CAS retry, like counter.CAS — NOT
+// wait-free); reads are obstruction-free (double collect, like the
+// double-collect snapshot). Reads are linearizable by the double-collect
+// argument: stripes are monotone (counters grow, maxes rise), so two
+// identical consecutive collects pin an instant at which every collected
+// stripe simultaneously held its collected value, and the high watermark is
+// raised strictly before any stripe beyond it is written, so a stable high
+// bounds the nonzero stripes at that instant.
+package sharded
+
+import (
+	"fmt"
+
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// Config tunes the elasticity policy. The zero value of any field selects
+// the default noted on it.
+type Config struct {
+	// MaxStripes caps the active stripe set (rounded up to a power of
+	// two). Default: the smallest power of two >= the process count —
+	// more stripes than writers never reduces contention.
+	MaxStripes int
+
+	// GrowFailures is the in-operation trigger: an update that fails this
+	// many CASes doubles the active set immediately (default 3).
+	GrowFailures int
+
+	// Window is how many operations a process accumulates before acting
+	// on its observed CAS-failure rate (default 64).
+	Window int
+
+	// GrowRate is the failure-rate threshold (failures/ops within a
+	// window) that doubles the active set (default 0.125).
+	GrowRate float64
+
+	// CollapseWindows is how many consecutive failure-free windows a
+	// process must observe before it halves the active set (default 4).
+	CollapseWindows int
+}
+
+// defaults fills unset fields; procs sizes the stripe cap.
+func (c Config) defaults(procs int) Config {
+	if c.MaxStripes <= 0 {
+		c.MaxStripes = procs
+	}
+	c.MaxStripes = ceilPow2(c.MaxStripes)
+	if c.GrowFailures <= 0 {
+		c.GrowFailures = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.GrowRate <= 0 {
+		c.GrowRate = 0.125
+	}
+	if c.CollapseWindows <= 0 {
+		c.CollapseWindows = 4
+	}
+	return c
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// slot is one process's private elasticity state: the stripe probe, the
+// contention window, and the double-collect scratch buffers. A slot is
+// touched only by the goroutine driving its process id (the same
+// single-writer contract every per-process handle carries), so the fields
+// need no synchronization; the pad keeps neighboring slots off each
+// other's cache lines.
+type slot struct {
+	probe uint64 // current stripe preference, rehashed on CAS failure
+	ops   int    // operations in the current contention window
+	fails int    // contended operations in the current window
+	calm  int    // consecutive failure-free windows
+
+	// act caches the active stripe count so the uncontended update path
+	// pays no read of the shared active register (2 steps, matching the
+	// flat CAS counter). It is refreshed on the first CAS failure of an
+	// operation, after a grow, and at every window boundary. A stale
+	// cache is safe: act never exceeds the high watermark (active <= high
+	// always, and high never decreases), so a stale-targeted stripe is
+	// still inside every reader's collect range — staleness costs only
+	// locality, never counts.
+	act int64
+
+	// curr/prev are the double-collect scratch (capacity MaxStripes), so
+	// reads allocate nothing.
+	curr, prev []int64
+
+	_ [32]byte
+}
+
+// rehash advances the probe with an xorshift step so a process that keeps
+// colliding walks to a different stripe instead of retrying the same line.
+func (s *slot) rehash() {
+	x := s.probe
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.probe = x
+}
+
+// elastic is the machinery shared by Counter and MaxRegister: the stripe
+// arena, the active/high stripe-set registers, and the per-process policy
+// state.
+type elastic struct {
+	cfg     Config
+	stripes []*primitive.Register
+
+	// active is the stripe count new updates target: it doubles on
+	// observed contention and halves when contention drops, always a
+	// power of two in [1, cfg.MaxStripes].
+	active *primitive.Register
+
+	// high is the read watermark: the largest stripe set ever activated.
+	// It is raised strictly before active (so a reader that sees high=h
+	// knows stripes >= h have never been written) and never lowered
+	// (dormant stripes keep their residual values).
+	high *primitive.Register
+
+	slots []slot
+}
+
+func newElastic(pool *primitive.Pool, name string, procs int, cfg Config) (*elastic, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("sharded: nil pool")
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("sharded: processes must be >= 1, got %d", procs)
+	}
+	cfg = cfg.defaults(procs)
+	e := &elastic{
+		cfg:     cfg,
+		stripes: pool.NewSlice(name+".stripe", cfg.MaxStripes, 0),
+		active:  pool.New(name+".active", 1),
+		high:    pool.New(name+".high", 1),
+		slots:   make([]slot, procs),
+	}
+	for i := range e.slots {
+		e.slots[i].probe = uint64(i)*0x9e3779b97f4a7c15 + 1
+		e.slots[i].act = 1
+		e.slots[i].curr = make([]int64, cfg.MaxStripes)
+		e.slots[i].prev = make([]int64, cfg.MaxStripes)
+	}
+	return e, nil
+}
+
+// grow doubles the active stripe set (from the active value a the caller
+// observed), raising the high watermark first so readers never miss a
+// stripe: a reader that collects high=h twice knows no stripe >= h had
+// been written by the second read of high.
+func (e *elastic) grow(ctx primitive.Context, a int64) {
+	na := a * 2
+	if na > int64(e.cfg.MaxStripes) {
+		return
+	}
+	//tradeoffvet:casretry monotone raise of the high watermark: each failed CAS means another process raised it, so the loop runs at most log2(MaxStripes) times
+	for {
+		h := ctx.Read(e.high)
+		if h >= na {
+			break
+		}
+		ctx.CAS(e.high, h, na)
+	}
+	// A failed CAS here means another process already grew (or a collapse
+	// raced in); the next contended operation re-reads active and retries.
+	ctx.CAS(e.active, a, na)
+}
+
+// collapse halves the active stripe set. high stays: dormant stripes keep
+// their residual values, so only the write-side targeting narrows.
+func (e *elastic) collapse(ctx primitive.Context) {
+	a := ctx.Read(e.active)
+	if a > 1 {
+		ctx.CAS(e.active, a, a/2)
+	}
+}
+
+// window folds one finished operation into the process's contention window
+// and acts on the observed CAS-failure rate at window boundaries.
+func (e *elastic) window(ctx primitive.Context, s *slot, contended bool) {
+	s.ops++
+	if contended {
+		s.fails++
+	}
+	if s.ops < e.cfg.Window {
+		return
+	}
+	switch {
+	case s.fails == 0:
+		s.calm++
+		if s.calm >= e.cfg.CollapseWindows {
+			e.collapse(ctx)
+			s.calm = 0
+		}
+	default:
+		s.calm = 0
+		if float64(s.fails) >= e.cfg.GrowRate*float64(s.ops) {
+			e.grow(ctx, ctx.Read(e.active))
+		}
+	}
+	s.act = ctx.Read(e.active) // refresh the per-window cache
+	s.ops, s.fails = 0, 0
+}
+
+// collect reads the high watermark and then every stripe below it into
+// buf, returning the watermark. Reading high first is what makes a stable
+// pair of collects sound: high is raised before any stripe beyond the old
+// value is written, so two equal reads of high bracket an interval in
+// which stripes >= high were never touched.
+func (e *elastic) collect(ctx primitive.Context, buf []int64) int64 {
+	h := ctx.Read(e.high)
+	for i := int64(0); i < h; i++ {
+		buf[i] = ctx.Read(e.stripes[i])
+	}
+	return h
+}
+
+// stableCollect repeats collect until two consecutive collects agree on
+// the watermark and every stripe value, returning the stable vector. Each
+// stripe is monotone, so agreement pins an instant at which all collected
+// stripes simultaneously held the collected values (the double-collect
+// argument); the retry is obstruction-free, like the double-collect
+// snapshot's Scan.
+func (e *elastic) stableCollect(ctx primitive.Context, s *slot) []int64 {
+	curr, prev := s.curr, s.prev
+	h := e.collect(ctx, prev)
+	//tradeoffvet:casretry double collect: terminates as soon as no concurrent update lands between two collects (obstruction-free, the same progress condition as snapshot.DoubleCollect.Scan)
+	for {
+		nh := e.collect(ctx, curr)
+		if nh == h && equalPrefix(curr, prev, nh) {
+			return curr[:nh]
+		}
+		curr, prev = prev, curr
+		h = nh
+	}
+}
+
+func equalPrefix(a, b []int64, n int64) bool {
+	for i := int64(0); i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveStripes reports the stripe count new updates currently target.
+//
+//tradeoffvet:outofband monitoring accessor for tests and benchmarks; reads memory outside any process's step accounting
+func (e *elastic) ActiveStripes() int64 { return e.active.Load() }
+
+// HighStripes reports the read watermark: the largest stripe set ever
+// activated, which is the per-read collect cost.
+//
+//tradeoffvet:outofband monitoring accessor for tests and benchmarks; reads memory outside any process's step accounting
+func (e *elastic) HighStripes() int64 { return e.high.Load() }
+
+// Counter is the elastic striped counter.
+//
+//	CounterRead:      obstruction-free, 2(high+1) steps when no update
+//	                  races the collect (high = peak stripe count, 1 until
+//	                  the first growth).
+//	CounterIncrement: lock-free (NOT wait-free), 2 steps uncontended (the
+//	                  active stripe set is cached per process and refreshed
+//	                  once per window, so the fast path matches counter.CAS);
+//	                  a failed CAS rehashes to another stripe and feeds the
+//	                  elasticity policy.
+//
+// Like counter.CAS it trades the paper's wait-free worst case away; unlike
+// counter.CAS its contended retries spread across stripes instead of
+// re-serializing, which is the whole point of the E13 contention sweep.
+type Counter struct {
+	e *elastic
+}
+
+var _ counter.Counter = (*Counter)(nil)
+
+// New builds an elastic striped counter for procs processes. Sharded
+// counters are unbounded: restricted-use limits would make every update
+// pay a full O(stripes) collect to check the budget, exactly the read
+// cost sharding exists to avoid, so there is no limit parameter (the
+// facade rejects WithLimit for this implementation).
+func New(pool *primitive.Pool, procs int, cfg Config) (*Counter, error) {
+	e, err := newElastic(pool, "shardedctr", procs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{e: e}, nil
+}
+
+// Limit implements counter.Counter (always unbounded).
+func (c *Counter) Limit() int64 { return 0 }
+
+// Read implements counter.Counter: a stable double collect over the
+// stripes, summed.
+func (c *Counter) Read(ctx primitive.Context) int64 {
+	vec := c.e.stableCollect(ctx, &c.e.slots[ctx.ID()])
+	var sum int64
+	for _, v := range vec {
+		sum += v
+	}
+	return sum
+}
+
+// Increment implements counter.Counter.
+func (c *Counter) Increment(ctx primitive.Context) error {
+	return c.Add(ctx, 1)
+}
+
+// Add implements counter.Counter: the whole delta lands in one stripe
+// with one CAS, so batched deltas cost the same as single increments. On
+// CAS failure the process rehashes to another stripe; repeated failures
+// grow the active set.
+func (c *Counter) Add(ctx primitive.Context, delta int64) error {
+	if delta < 0 {
+		return &counter.NegativeDeltaError{Delta: delta}
+	}
+	if delta == 0 {
+		return nil
+	}
+	e := c.e
+	s := &e.slots[ctx.ID()]
+	a := s.act
+	idx := int(s.probe & uint64(a-1))
+	fails, contended := 0, false
+	//tradeoffvet:casretry deliberately lock-free, like counter.CAS: a failed CAS means another update landed; unlike the flat counter the retry rehashes to a different stripe and doubles the active set on repeated failure
+	for {
+		cur := ctx.Read(e.stripes[idx])
+		if ctx.CAS(e.stripes[idx], cur, cur+delta) {
+			break
+		}
+		fails++
+		if !contended {
+			contended = true
+			a = ctx.Read(e.active) // contention: drop the cached stripe set
+		}
+		s.rehash()
+		if fails >= e.cfg.GrowFailures {
+			e.grow(ctx, a)
+			a = ctx.Read(e.active)
+			fails = 0
+		}
+		idx = int(s.probe & uint64(a-1))
+	}
+	s.act = a
+	e.window(ctx, s, contended)
+	return nil
+}

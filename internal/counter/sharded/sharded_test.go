@@ -1,0 +1,496 @@
+package sharded
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/primitive"
+)
+
+// flakyCAS wraps Direct so tests can force the next *fails CAS calls to
+// fail, driving the elasticity policy deterministically on any hardware
+// (real CAS contention is not reproducible on a small CI box).
+type flakyCAS struct {
+	primitive.Direct
+	fails *int
+}
+
+func (f flakyCAS) CAS(r *primitive.Register, old, new int64) bool {
+	if *f.fails > 0 {
+		*f.fails--
+		return false
+	}
+	return f.Direct.CAS(r, old, new)
+}
+
+func TestShardedCounterSequential(t *testing.T) {
+	c, err := New(primitive.NewPadded(), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	if got := c.Read(ctx); got != 0 {
+		t.Fatalf("initial Read = %d, want 0", got)
+	}
+	var want int64
+	for i := 1; i <= 100; i++ {
+		if i%3 == 0 {
+			if err := c.Add(ctx, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+			want += int64(i)
+		} else {
+			if err := c.Increment(ctx); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+		if got := c.Read(ctx); got != want {
+			t.Fatalf("after op %d: Read = %d, want %d", i, got, want)
+		}
+	}
+	if c.Limit() != 0 {
+		t.Fatalf("Limit = %d, want 0 (unbounded)", c.Limit())
+	}
+}
+
+func TestShardedCounterRejectsNegativeDelta(t *testing.T) {
+	c, err := New(primitive.NewPadded(), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	err = c.Add(ctx, -1)
+	var negErr *counter.NegativeDeltaError
+	if !errors.As(err, &negErr) {
+		t.Fatalf("Add(-1) = %v, want NegativeDeltaError", err)
+	}
+	if err := c.Add(ctx, 0); err != nil {
+		t.Fatalf("Add(0) = %v, want nil", err)
+	}
+	if got := c.Read(ctx); got != 0 {
+		t.Fatalf("Read after rejected deltas = %d, want 0", got)
+	}
+}
+
+func TestShardedConstructorErrors(t *testing.T) {
+	if _, err := New(nil, 1, Config{}); err == nil {
+		t.Fatal("New(nil pool) succeeded, want error")
+	}
+	if _, err := New(primitive.NewPadded(), 0, Config{}); err == nil {
+		t.Fatal("New(procs=0) succeeded, want error")
+	}
+	if _, err := NewMax(nil, 1, 0, Config{}); err == nil {
+		t.Fatal("NewMax(nil pool) succeeded, want error")
+	}
+}
+
+// TestShardedGrowOnFailures forces GrowFailures consecutive CAS failures
+// through a flaky context and checks the active set doubles, with the high
+// watermark raised at least as far (the reader-soundness invariant).
+func TestShardedGrowOnFailures(t *testing.T) {
+	c, err := New(primitive.NewPadded(), 2, Config{MaxStripes: 8, GrowFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 2
+	ctx := flakyCAS{Direct: primitive.NewDirect(0), fails: &fails}
+	if err := c.Add(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveStripes(); got != 2 {
+		t.Fatalf("ActiveStripes after forced failures = %d, want 2", got)
+	}
+	if got := c.HighStripes(); got < c.ActiveStripes() {
+		t.Fatalf("HighStripes %d < ActiveStripes %d: readers could miss stripes", got, c.ActiveStripes())
+	}
+	if got := c.Read(primitive.NewDirect(0)); got != 5 {
+		t.Fatalf("Read after growth = %d, want 5", got)
+	}
+}
+
+// TestShardedGrowCapped checks growth saturates at MaxStripes.
+func TestShardedGrowCapped(t *testing.T) {
+	c, err := New(primitive.NewPadded(), 2, Config{MaxStripes: 2, GrowFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < 10; i++ {
+		fails := 1
+		ctx := flakyCAS{Direct: primitive.NewDirect(0), fails: &fails}
+		if err := c.Add(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if got := c.ActiveStripes(); got != 2 {
+		t.Fatalf("ActiveStripes = %d, want cap 2", got)
+	}
+	if got := c.HighStripes(); got != 2 {
+		t.Fatalf("HighStripes = %d, want cap 2", got)
+	}
+	if got := c.Read(primitive.NewDirect(0)); got != want {
+		t.Fatalf("Read = %d, want %d", got, want)
+	}
+}
+
+// TestShardedCollapseOnCalm grows the active set, then runs enough
+// failure-free windows to trigger collapse. The active set must shrink
+// while the high watermark (and the count) stay put.
+func TestShardedCollapseOnCalm(t *testing.T) {
+	// GrowRate 1 disarms the window-rate trigger (a single forced failure
+	// would otherwise re-grow the set at the first window boundary).
+	cfg := Config{MaxStripes: 4, GrowFailures: 1, Window: 4, GrowRate: 1, CollapseWindows: 2}
+	c, err := New(primitive.NewPadded(), 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+
+	fails := 1
+	if err := c.Add(flakyCAS{Direct: primitive.NewDirect(0), fails: &fails}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveStripes(); got != 2 {
+		t.Fatalf("ActiveStripes after growth = %d, want 2", got)
+	}
+
+	// The growth op above already opened a contended window; finish it and
+	// run CollapseWindows clean windows on top.
+	var want int64 = 1
+	for i := 0; i < cfg.Window*(cfg.CollapseWindows+1); i++ {
+		if err := c.Increment(ctx); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if got := c.ActiveStripes(); got != 1 {
+		t.Fatalf("ActiveStripes after calm = %d, want 1 (collapse)", got)
+	}
+	if got := c.HighStripes(); got != 2 {
+		t.Fatalf("HighStripes after collapse = %d, want 2 (never lowered)", got)
+	}
+	if got := c.Read(ctx); got != want {
+		t.Fatalf("Read after collapse = %d, want %d (residual stripes must stay counted)", got, want)
+	}
+}
+
+// TestShardedCounterConcurrent hammers the counter from procs goroutines
+// (one per process id, the single-writer contract) with a concurrent reader
+// checking monotonicity — the observable consequence of linearizability for
+// a monotone counter.
+func TestShardedCounterConcurrent(t *testing.T) {
+	const procs, opsPer = 8, 2000
+	c, err := New(primitive.NewPadded(), procs+1, Config{MaxStripes: 8, GrowFailures: 2, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	total := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ctx := primitive.NewDirect(p)
+			rng := rand.New(rand.NewSource(int64(p) + 1))
+			for i := 0; i < opsPer; i++ {
+				delta := int64(rng.Intn(3) + 1)
+				if err := c.Add(ctx, delta); err != nil {
+					t.Error(err)
+					return
+				}
+				total[p] += delta
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	go func() {
+		ctx := primitive.NewDirect(procs)
+		var last int64
+		for {
+			select {
+			case <-stop:
+				readerErr <- nil
+				return
+			default:
+			}
+			got := c.Read(ctx)
+			if got < last {
+				readerErr <- fmt.Errorf("non-monotone reads: %d after %d", got, last)
+				return
+			}
+			last = got
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+
+	var want int64
+	for _, v := range total {
+		want += v
+	}
+	if got := c.Read(primitive.NewDirect(procs)); got != want {
+		t.Fatalf("final Read = %d, want %d", got, want)
+	}
+}
+
+func TestShardedReadZeroAlloc(t *testing.T) {
+	c, err := New(primitive.NewPadded(), 2, Config{MaxStripes: 8, GrowFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 1
+	if err := c.Add(flakyCAS{Direct: primitive.NewDirect(0), fails: &fails}, 7); err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := c.Read(ctx); got != 7 {
+			t.Fatalf("Read = %d, want 7", got)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Read allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestShardedMaxSequential(t *testing.T) {
+	m, err := NewMax(primitive.NewPadded(), 4, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	if got := m.ReadMax(ctx); got != 0 {
+		t.Fatalf("initial ReadMax = %d, want 0", got)
+	}
+	if m.Bound() != 1000 {
+		t.Fatalf("Bound = %d, want 1000", m.Bound())
+	}
+	writes := []int64{5, 3, 17, 17, 2, 999}
+	var want int64
+	for _, v := range writes {
+		if err := m.WriteMax(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		if v > want {
+			want = v
+		}
+		if got := m.ReadMax(ctx); got != want {
+			t.Fatalf("after WriteMax(%d): ReadMax = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestShardedMaxRangeErrors(t *testing.T) {
+	m, err := NewMax(primitive.NewPadded(), 1, 10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := primitive.NewDirect(0)
+	var rangeErr *maxreg.RangeError
+	if err := m.WriteMax(ctx, -1); !errors.As(err, &rangeErr) {
+		t.Fatalf("WriteMax(-1) = %v, want RangeError", err)
+	}
+	if err := m.WriteMax(ctx, 10); !errors.As(err, &rangeErr) {
+		t.Fatalf("WriteMax(10) on bound 10 = %v, want RangeError", err)
+	}
+	if err := m.WriteMax(ctx, 9); err != nil {
+		t.Fatalf("WriteMax(9) = %v, want nil", err)
+	}
+
+	unbounded, err := NewMax(primitive.NewPadded(), 1, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unbounded.WriteMax(ctx, 1<<40); err != nil {
+		t.Fatalf("unbounded WriteMax(2^40) = %v, want nil", err)
+	}
+}
+
+// TestShardedMaxGrowAndCoveredWrite checks the forced-growth path and the
+// early exit: a WriteMax that finds its stripe already past v must finish
+// without a CAS.
+func TestShardedMaxGrowAndCoveredWrite(t *testing.T) {
+	m, err := NewMax(primitive.NewPadded(), 2, 0, Config{MaxStripes: 4, GrowFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 2
+	if err := m.WriteMax(flakyCAS{Direct: primitive.NewDirect(0), fails: &fails}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ActiveStripes(); got != 2 {
+		t.Fatalf("ActiveStripes after forced failures = %d, want 2", got)
+	}
+	if got := m.HighStripes(); got < m.ActiveStripes() {
+		t.Fatalf("HighStripes %d < ActiveStripes %d", got, m.ActiveStripes())
+	}
+	ctx := primitive.NewDirect(0)
+	if got := m.ReadMax(ctx); got != 50 {
+		t.Fatalf("ReadMax after growth = %d, want 50", got)
+	}
+	// Smaller write: covered, must not lower anything.
+	if err := m.WriteMax(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadMax(ctx); got != 50 {
+		t.Fatalf("ReadMax after covered write = %d, want 50", got)
+	}
+}
+
+// TestShardedMaxConcurrent runs concurrent writers with a monotone reader;
+// the final max must be the largest value written anywhere.
+func TestShardedMaxConcurrent(t *testing.T) {
+	const procs, opsPer = 8, 2000
+	m, err := NewMax(primitive.NewPadded(), procs+1, 0, Config{MaxStripes: 8, GrowFailures: 2, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	peak := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ctx := primitive.NewDirect(p)
+			rng := rand.New(rand.NewSource(int64(p) + 100))
+			for i := 0; i < opsPer; i++ {
+				v := int64(rng.Intn(1 << 20))
+				if err := m.WriteMax(ctx, v); err != nil {
+					t.Error(err)
+					return
+				}
+				if v > peak[p] {
+					peak[p] = v
+				}
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	go func() {
+		ctx := primitive.NewDirect(procs)
+		var last int64
+		for {
+			select {
+			case <-stop:
+				readerErr <- nil
+				return
+			default:
+			}
+			got := m.ReadMax(ctx)
+			if got < last {
+				readerErr <- fmt.Errorf("non-monotone ReadMax: %d after %d", got, last)
+				return
+			}
+			last = got
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+
+	var want int64
+	for _, v := range peak {
+		if v > want {
+			want = v
+		}
+	}
+	if got := m.ReadMax(primitive.NewDirect(procs)); got != want {
+		t.Fatalf("final ReadMax = %d, want %d", got, want)
+	}
+}
+
+// TestShardedGrowCollapseStress churns growth and collapse concurrently
+// with reads: tiny windows make the policy flip constantly while the
+// monotone reader and the final sum check linearizability held throughout.
+// This is the -race grow/collapse stress from the issue checklist.
+func TestShardedGrowCollapseStress(t *testing.T) {
+	const procs, opsPer = 4, 4000
+	cfg := Config{MaxStripes: 8, GrowFailures: 1, Window: 8, GrowRate: 0.01, CollapseWindows: 1}
+	c, err := New(primitive.NewPadded(), procs+1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	total := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Every 64th op runs through a flaky context to force a
+			// growth no matter how the scheduler interleaves; calm
+			// stretches in between drive collapses.
+			direct := primitive.NewDirect(p)
+			for i := 0; i < opsPer; i++ {
+				var ctx primitive.Context = direct
+				if i%64 == 0 {
+					fails := cfg.GrowFailures
+					ctx = flakyCAS{Direct: direct, fails: &fails}
+				}
+				if err := c.Add(ctx, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				total[p]++
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	go func() {
+		ctx := primitive.NewDirect(procs)
+		var last int64
+		for {
+			select {
+			case <-stop:
+				readerErr <- nil
+				return
+			default:
+			}
+			got := c.Read(ctx)
+			if got < last {
+				readerErr <- fmt.Errorf("non-monotone reads under churn: %d after %d", got, last)
+				return
+			}
+			last = got
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+
+	var want int64
+	for _, v := range total {
+		want += v
+	}
+	if got := c.Read(primitive.NewDirect(procs)); got != want {
+		t.Fatalf("final Read = %d, want %d", got, want)
+	}
+	if a, h := c.ActiveStripes(), c.HighStripes(); a > h {
+		t.Fatalf("ActiveStripes %d > HighStripes %d after churn", a, h)
+	}
+}

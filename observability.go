@@ -30,10 +30,11 @@ import (
 // is sharded per process id and merged at scrape time, so the hot path
 // pays only uncontended atomic adds. See docs/observability.md.
 type Observability struct {
-	mu      sync.Mutex
-	order   []string
-	byName  map[string]*obs.Collector
-	nextIdx map[string]int
+	mu       sync.Mutex
+	order    []string
+	byName   map[string]*obs.Collector
+	families map[string]string // name -> object family, for per-family aggregation
+	nextIdx  map[string]int
 
 	// flight is set when an object is constructed with both
 	// WithObservability and WithFlightRecorder: the registry's handlers
@@ -44,38 +45,83 @@ type Observability struct {
 // NewObservability returns an empty registry.
 func NewObservability() *Observability {
 	return &Observability{
-		byName:  make(map[string]*obs.Collector),
-		nextIdx: make(map[string]int),
+		byName:   make(map[string]*obs.Collector),
+		families: make(map[string]string),
+		nextIdx:  make(map[string]int),
 	}
 }
 
 // register creates the collector for one newly constructed object. An
-// empty name is auto-assigned family#k in construction order; the
-// resolved name is returned so a flight recorder attached to the same
-// object labels its tap identically.
+// empty name is auto-assigned family#k in construction order, skipping
+// names already taken via WithName (the same rule FlightRecorder.tap
+// follows, so an unnamed object never fails construction); the resolved
+// name is returned so a flight recorder attached to the same object
+// labels its tap identically.
 func (o *Observability) register(family, name string, processes int, pool *primitive.Pool) (*obs.Collector, string, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if name == "" {
-		name = fmt.Sprintf("%s#%d", family, o.nextIdx[family])
-		o.nextIdx[family]++
+		for {
+			name = fmt.Sprintf("%s#%d", family, o.nextIdx[family])
+			o.nextIdx[family]++
+			if _, taken := o.byName[name]; !taken {
+				break
+			}
+		}
 	}
 	if _, dup := o.byName[name]; dup {
 		return nil, "", fmt.Errorf("tradeoffs: observability object name %q already in use", name)
 	}
 	col := obs.NewCollector(processes, pool)
 	o.byName[name] = col
+	o.families[name] = family
 	o.order = append(o.order, name)
 	return col, name, nil
 }
 
+// familyUsage aggregates the live evidence for one object family across
+// every collector registered so far: total CAS traffic and per-operation
+// counts. It is the raw material WithAdaptiveBackend's policy sees.
+func (o *Observability) familyUsage(family string) (casAttempts, casFailures, reads, updates int64) {
+	o.mu.Lock()
+	cols := make([]*obs.Collector, 0, len(o.order))
+	for _, n := range o.order {
+		if o.families[n] == family {
+			cols = append(cols, o.byName[n])
+		}
+	}
+	o.mu.Unlock()
+
+	for _, col := range cols {
+		st := col.Snapshot()
+		casAttempts += st.CASAttempts
+		casFailures += st.CASFailures
+		for _, op := range st.Ops {
+			switch op.Name {
+			case "read", "scan":
+				reads += op.Steps.Count
+			default:
+				updates += op.Steps.Count
+			}
+		}
+	}
+	return casAttempts, casFailures, reads, updates
+}
+
 // unregister rolls back a registration whose object could not finish
 // construction (its flight tap failed), so the name is reusable and
-// gather stops exposing the dead collector.
-func (o *Observability) unregister(name string) {
+// gather stops exposing the dead collector. When the rolled-back name was
+// the most recently auto-assigned family#k, the index is reclaimed too —
+// otherwise auto-names would gap (counter#0 freed but the next object
+// named counter#1) and the two registries' numbering would drift apart.
+func (o *Observability) unregister(family, name string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	delete(o.byName, name)
+	delete(o.families, name)
+	if idx := o.nextIdx[family]; idx > 0 && name == fmt.Sprintf("%s#%d", family, idx-1) {
+		o.nextIdx[family] = idx - 1
+	}
 	for i, n := range o.order {
 		if n == name {
 			o.order = append(o.order[:i], o.order[i+1:]...)

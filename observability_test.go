@@ -108,3 +108,74 @@ func TestObservabilityComposesWithStepCounting(t *testing.T) {
 		t.Fatalf("instrumentation lost under step counting:\n%s", rec.Body.String())
 	}
 }
+
+// TestObservabilityAutoNameSkipsTakenNames pins the naming rule both
+// registries share: an explicitly named object may squat on a family#k
+// name, and a later unnamed object must skip past it instead of failing
+// construction (the rule FlightRecorder.tap always had).
+func TestObservabilityAutoNameSkipsTakenNames(t *testing.T) {
+	o := NewObservability()
+	if _, err := NewCounter(WithObservability(o), WithName("counter#0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCounter(WithObservability(o), WithName("counter#1")); err != nil {
+		t.Fatal(err)
+	}
+	// Unnamed: the auto-assigner must skip the two squatted names and
+	// land on counter#2, not error out.
+	if _, err := NewCounter(WithObservability(o)); err != nil {
+		t.Fatalf("unnamed counter construction failed against squatted auto-names: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	o.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `object="counter#2"`) {
+		t.Fatal("metrics lack counter#2: unnamed object did not skip to the next free auto-name")
+	}
+}
+
+// TestRollbackReclaimsAutoName covers the registerObsAndFlight rollback
+// path: a construction whose flight tap fails must leave both registries
+// exactly as before — including the auto-name index, so the next unnamed
+// object reuses the freed family#k name in both.
+func TestRollbackReclaimsAutoName(t *testing.T) {
+	o := NewObservability()
+	f1 := NewFlightRecorder(FlightConfig{SampleEvery: 1})
+	f2 := NewFlightRecorder(FlightConfig{SampleEvery: 1})
+
+	// Link o to f1.
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(f1), WithName("linked")); err != nil {
+		t.Fatal(err)
+	}
+	// Rolled-back construction: obs registration succeeds (auto-name
+	// counter#0), then the tap fails because o is already linked to f1.
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(f2)); err == nil {
+		t.Fatal("construction against a second flight recorder succeeded, want error")
+	}
+	// The freed name must be reusable by the next unnamed object, in the
+	// observability registry and the flight recorder alike.
+	if _, err := NewCounter(WithObservability(o), WithFlightRecorder(f1)); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	o.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `object="counter#0"`) {
+		t.Fatal("metrics lack counter#0: rollback burned the auto-name index")
+	}
+	if strings.Contains(body, `object="counter#1"`) {
+		t.Fatal("metrics show counter#1: the rolled-back registration left a gap")
+	}
+	var tapped []string
+	for _, tap := range f1.Stats().Taps {
+		tapped = append(tapped, tap.Object)
+	}
+	found := false
+	for _, name := range tapped {
+		if name == "counter#0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flight taps %v lack counter#0: the two registries disagree on the reused name", tapped)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"github.com/restricteduse/tradeoffs/internal/core"
 	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/counter/sharded"
 	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
 	"github.com/restricteduse/tradeoffs/internal/obs"
@@ -81,6 +82,14 @@ const (
 	// CounterSnapshot is Corollary 1's reduction over the constant-scan
 	// snapshot: O(1) Read, O(log N) Increment. Requires a limit.
 	CounterSnapshot
+
+	// CounterSharded is the elastic striped counter: lock-free O(1)
+	// Increment that spreads contended retries across cache-line-padded
+	// stripes (growing the stripe set on observed CAS-failure rate,
+	// collapsing it when contention drops), obstruction-free O(stripes)
+	// Read. The update-optimal end of the tradeoff at real-hardware
+	// scale; unbounded only (WithLimit is rejected).
+	CounterSharded
 )
 
 // SnapshotImpl selects a snapshot implementation.
@@ -115,6 +124,11 @@ type config struct {
 	maxRegImpl   MaxRegisterImpl
 	counterImpl  CounterImpl
 	snapshotImpl SnapshotImpl
+
+	// adaptive, when non-nil, resolves the counter implementation (and
+	// optionally the batching window) from a BackendObservation at
+	// construction time — see WithAdaptiveBackend.
+	adaptive AdaptivePolicy
 }
 
 // validate checks the option values every constructor shares. Negative
@@ -214,6 +228,12 @@ var ErrLimitRequired = errors.New("tradeoffs: implementation requires WithLimit"
 // ErrBoundRequired is returned when MaxRegisterAAC is selected without
 // WithBound.
 var ErrBoundRequired = errors.New("tradeoffs: implementation requires WithBound")
+
+// ErrLimitUnsupported is returned when WithLimit is combined with an
+// implementation that cannot enforce a restricted-use budget
+// (CounterSharded: checking a limit would cost a full O(stripes) collect
+// per update, exactly the read cost sharding exists to avoid).
+var ErrLimitUnsupported = errors.New("tradeoffs: implementation does not support WithLimit")
 
 func buildConfig(opts []Option) config {
 	c := config{
@@ -401,6 +421,7 @@ func (h *MaxRegisterHandle) Write(v int64) error {
 // Counter is a linearizable shared counter. Construct with NewCounter.
 type Counter struct {
 	impl      counter.Counter
+	which     CounterImpl
 	processes int
 	counting  bool
 	batch     int
@@ -413,6 +434,20 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	c := buildConfig(opts)
 	if err := c.validate(); err != nil {
 		return nil, err
+	}
+	if c.adaptive != nil {
+		// Backend selection is a config-resolution layer: the policy sees
+		// the live evidence and rewrites the implementation (and batching
+		// window) before construction, so everything downstream — handles,
+		// observability, flight taps — composes identically to an explicit
+		// WithCounterImpl.
+		choice := c.adaptive(c.backendObservation())
+		if choice.Impl != 0 {
+			c.counterImpl = choice.Impl
+		}
+		if choice.BatchWindow > 0 {
+			c.batch = choice.BatchWindow
+		}
 	}
 	pool := primitive.NewPadded()
 	var (
@@ -438,6 +473,11 @@ func NewCounter(opts ...Option) (*Counter, error) {
 		if err == nil {
 			impl = counter.NewFromSnapshot(snap)
 		}
+	case CounterSharded:
+		if c.limit > 0 {
+			return nil, ErrLimitUnsupported
+		}
+		impl, err = sharded.New(pool, c.processes, sharded.Config{})
 	default:
 		return nil, fmt.Errorf("tradeoffs: unknown counter implementation %d", c.counterImpl)
 	}
@@ -448,11 +488,16 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Counter{impl: impl, processes: c.processes, counting: c.counting, batch: c.batch, col: col, ftap: tap}, nil
+	return &Counter{impl: impl, which: c.counterImpl, processes: c.processes, counting: c.counting, batch: c.batch, col: col, ftap: tap}, nil
 }
 
 // Processes returns the number of process slots.
 func (c *Counter) Processes() int { return c.processes }
+
+// Impl returns the counter implementation actually constructed — the
+// WithCounterImpl selection, or whatever WithAdaptiveBackend's policy
+// resolved it to.
+func (c *Counter) Impl() CounterImpl { return c.which }
 
 // BatchWindow returns the WithBatching window, or 0 if batching is off.
 func (c *Counter) BatchWindow() int {
@@ -489,22 +534,29 @@ type CounterHandle struct {
 
 	// window is the WithBatching window (<= 1: batching off). pending is
 	// the coalesced delta not yet propagated; buffered counts the calls
-	// coalesced since the last flush.
-	window   int
-	pending  int64
-	buffered int
+	// coalesced since the last flush. lastFlushErr remembers the most
+	// recent flush attempt's outcome so callers can tell a stuck handle
+	// (failed flush, deltas kept) from a merely unflushed one.
+	window       int
+	pending      int64
+	buffered     int
+	lastFlushErr error
 }
 
 // Read returns the number of increments that linearized before it. On a
 // batching handle it first flushes the handle's own pending deltas
 // (read-your-writes); deltas buffered on other handles stay invisible until
 // those handles flush.
+//
+// When that implicit flush fails (e.g. a restricted-use LimitError), Read
+// keeps its error-free signature and reports the stale propagated count —
+// check Pending() > 0 to detect the stuck state and LastFlushErr for its
+// cause.
 func (h *CounterHandle) Read() int64 {
 	if h.pending > 0 {
-		// A failed flush (e.g. a restricted-use LimitError) keeps the
-		// deltas buffered; the error stays visible through Flush/Add, while
-		// Read keeps its error-free signature and reports the propagated
-		// count.
+		// A failed flush keeps the deltas buffered; the error stays
+		// visible through Flush/LastFlushErr, while Read reports the
+		// propagated count.
 		_ = h.Flush()
 	}
 	tok := h.beginFlight()
@@ -589,6 +641,7 @@ func (h *CounterHandle) Add(delta int64) error {
 func (h *CounterHandle) Flush() error {
 	if h.pending == 0 {
 		h.buffered = 0
+		h.lastFlushErr = nil
 		return nil
 	}
 	// The coalesced delta lands as one update, so the flight recorder
@@ -607,16 +660,27 @@ func (h *CounterHandle) Flush() error {
 	}
 	if err != nil {
 		h.abortFlight(tok)
+		h.lastFlushErr = err
 		return err
 	}
 	h.endFlight(tok, history.KindIncrement, delta, 0)
 	h.pending, h.buffered = 0, 0
+	h.lastFlushErr = nil
 	return nil
 }
 
 // Pending returns the delta coalesced on this handle and not yet
-// propagated (0 on a non-batching handle).
+// propagated (0 on a non-batching handle). Pending() > 0 after a Read is
+// the signal that the handle is stuck: its flush failed and the reported
+// count is stale — LastFlushErr says why.
 func (h *CounterHandle) Pending() int64 { return h.pending }
+
+// LastFlushErr returns the error from the handle's most recent flush
+// attempt — explicit, window-triggered, or read-triggered — or nil if it
+// succeeded or none has run. It is the diagnostic companion to Pending:
+// Read cannot report flush failures itself, so a handle over its
+// restricted-use budget would otherwise look merely unflushed.
+func (h *CounterHandle) LastFlushErr() error { return h.lastFlushErr }
 
 // Snapshot is a linearizable single-writer atomic snapshot. Construct with
 // NewSnapshot.
