@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race race-sim race-flight vet lint bench bench-json explore-bench contention-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
+.PHONY: all test race race-sim race-flight vet lint vet-json bounds bench bench-json explore-bench contention-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
 
 all: vet lint test
 
@@ -42,9 +42,21 @@ vet:
 	$(GO) vet ./...
 
 # Step-accounting static analysis (modelstep, poolalloc, ctxflow,
-# boundedloop) — see docs/static-analysis.md.
+# boundedloop, stepbound, atomicprotocol, padalign) — see
+# docs/static-analysis.md. The second invocation also fails on
+# tradeoffvet: annotations that no analyzer consulted.
 lint:
-	$(GO) run ./cmd/tradeoffvet ./...
+	$(GO) run ./cmd/tradeoffvet -unused-suppressions ./...
+
+# Machine-readable lint report for CI artifacts, plus the certified
+# step-bound table (exit 1 if any declared bound fails to certify).
+VET_JSON_OUT ?= tradeoffvet.json
+vet-json:
+	$(GO) run ./cmd/tradeoffvet -unused-suppressions -format json -out $(VET_JSON_OUT) ./...
+
+# Declared-vs-derived step bound table (tradeoffvet -bounds).
+bounds:
+	$(GO) run ./cmd/tradeoffvet -bounds ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -231,6 +231,7 @@ func runExplore(cfg traceConfig, out io.Writer) error {
 // runWorkload is the classic mode: a seeded random workload under a random
 // or round-robin scheduler.
 func runWorkload(cfg traceConfig, out io.Writer) error {
+	//tradeoffvet:unpadded deterministic simulator: one scheduler serializes every access, padding only wastes memory
 	pool := primitive.NewPool()
 	programs, err := buildPrograms(cfg, pool)
 	if err != nil {

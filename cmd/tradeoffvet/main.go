@@ -1,18 +1,32 @@
 // Command tradeoffvet runs the repository's step-accounting static
 // analysis suite (internal/analysis) over module packages: modelstep,
-// poolalloc, ctxflow and boundedloop. It is the machine check behind the
-// convention the whole reproduction rests on — that a "step" (Hendler &
-// Khait, Section 2) is exactly one primitive.Context event.
+// poolalloc, ctxflow, boundedloop, stepbound, atomicprotocol and padalign.
+// It is the machine check behind the convention the whole reproduction
+// rests on — that a "step" (Hendler & Khait, Section 2) is exactly one
+// primitive.Context event — and, via stepbound, certifies that declared
+// per-operation step bounds hold along the whole call graph.
 //
 // Usage:
 //
-//	go run ./cmd/tradeoffvet [packages]   # default ./...
-//	go run ./cmd/tradeoffvet -list        # describe the analyzers
+//	go run ./cmd/tradeoffvet [flags] [packages]   # default ./...
+//	go run ./cmd/tradeoffvet -list                # describe the analyzers
+//	go run ./cmd/tradeoffvet -bounds              # print the certified-bound table
 //
-// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
-// load or typecheck failure. Intentional out-of-band accesses are
-// annotated in source with //tradeoffvet:outofband (step-model passes) or
-// //tradeoffvet:casretry (boundedloop); see docs/static-analysis.md.
+// Flags:
+//
+//	-format text|json|sarif   output format (default text)
+//	-out FILE                 write the report to FILE instead of stdout
+//	-baseline FILE            drop findings recorded in FILE (gradual adoption)
+//	-write-baseline FILE      record current findings as the baseline and exit 0
+//	-unused-suppressions      also fail on tradeoffvet: annotations nothing consulted
+//	-bounds                   print declared-vs-derived step bounds and exit
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported (or a
+// declared bound fails), 2 on a load or typecheck failure. Intentional
+// escapes are annotated in source: //tradeoffvet:outofband (step-model
+// passes), //tradeoffvet:casretry (boundedloop), //tradeoffvet:seqlock
+// (atomicprotocol), //tradeoffvet:unpadded (padalign); see
+// docs/static-analysis.md.
 package main
 
 import (
@@ -32,8 +46,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tradeoffvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	bounds := fs.Bool("bounds", false, "print the declared-vs-derived step bound table and exit")
+	format := fs.String("format", "text", "output format: text, json or sarif")
+	out := fs.String("out", "", "write the report to this file instead of stdout")
+	baseline := fs.String("baseline", "", "drop findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	unusedSuppressions := fs.Bool("unused-suppressions", false, "also report tradeoffvet: annotations that no analyzer consulted")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tradeoffvet [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: tradeoffvet [-list] [-bounds] [-format text|json|sarif] [-out file] [-baseline file] [-write-baseline file] [-unused-suppressions] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -42,26 +62,109 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "tradeoffvet: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
+	}
 
-	pkgs, err := analysis.LoadPatterns(fs.Args())
+	// Report on the matched packages, but derive step summaries over the
+	// whole module: stepbound is interprocedural, and a single-package run
+	// must still resolve calls into the packages not under report.
+	pkgs, all, root, err := analysis.LoadModule(fs.Args())
 	if err != nil {
 		fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
 		return 2
 	}
-	diags, err := analysis.RunAll(pkgs)
+	prog := analysis.NewProgram(all)
+
+	if *bounds {
+		return printBounds(stdout, stderr, pkgs, prog)
+	}
+
+	diags, err := analysis.RunAllIn(pkgs, prog)
 	if err != nil {
 		fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *unusedSuppressions {
+		// The full suite just ran, so every load-bearing annotation is
+		// marked; whatever is left is stale.
+		diags = append(diags, analysis.StaleAnnotations(pkgs)...)
+	}
+	analysis.Relativize(diags, root)
+
+	if *baseline != "" {
+		base, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+			return 2
+		}
+		var suppressed int
+		diags, suppressed = analysis.FilterBaseline(diags, base)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "tradeoffvet: %d finding(s) matched the baseline\n", suppressed)
+		}
+	}
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "tradeoffvet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	w := io.Writer(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = analysis.WriteJSON(w, diags)
+	case "sarif":
+		err = analysis.WriteSARIF(w, diags)
+	default:
+		err = analysis.WriteText(w, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "tradeoffvet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// printBounds derives every declared //tradeoffvet:bound and prints the
+// comparison table. Exit 1 if any bound fails.
+func printBounds(stdout, stderr io.Writer, pkgs []*analysis.Package, prog *analysis.Program) int {
+	rows := analysis.BoundTable(pkgs, prog)
+	failed := 0
+	fmt.Fprintf(stdout, "%-40s %-12s %-8s %-12s %-28s %s\n", "OPERATION", "MODE", "CLASS", "DECLARED", "DERIVED", "STATUS")
+	for _, r := range rows {
+		status := "ok"
+		if !r.OK {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(stdout, "%-40s %-12s %-8s %-12s %-28s %s\n", r.Func, r.Mode, r.Class, r.Declared, r.Derived, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "tradeoffvet: %d bound(s) failed\n", failed)
 		return 1
 	}
 	return 0

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -17,6 +20,47 @@ func TestCleanTree(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("tradeoffvet ./... exited %d, want 0\nstdout:\n%sstderr:\n%s", code, &stdout, &stderr)
+	}
+}
+
+// TestUnusedSuppressionsClean is the companion gate: every tradeoffvet:
+// annotation in the real tree must be load-bearing — consulted by the
+// analyzer it exists for — or the build fails.
+func TestUnusedSuppressionsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-unused-suppressions", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("tradeoffvet -unused-suppressions ./... exited %d, want 0\nstdout:\n%sstderr:\n%s", code, &stdout, &stderr)
+	}
+}
+
+// TestDefaultPackagesIncludeExamplesAndCmd pins the default package set:
+// the suite must cover examples/ and cmd/ — where register arenas are
+// allocated and contexts handed out — not just internal/.
+func TestDefaultPackagesIncludeExamplesAndCmd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	pkgs, _, err := analysis.LoadPatterns(nil)
+	if err != nil {
+		t.Fatalf("LoadPatterns(nil): %v", err)
+	}
+	want := map[string]bool{
+		"github.com/restricteduse/tradeoffs/cmd/tradeoffvet":    false,
+		"github.com/restricteduse/tradeoffs/cmd/simtrace":       false,
+		"github.com/restricteduse/tradeoffs/examples/consensus": false,
+	}
+	for _, p := range pkgs {
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("default package set omits %s", path)
+		}
 	}
 }
 
@@ -36,6 +80,126 @@ func TestNoMatchingPackages(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("tradeoffvet ./no/such/dir exited %d, want 2", code)
+	}
+}
+
+// writeTree materializes a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// scratchModule is a minimal module whose one model function declares a
+// bound one step tighter than its body: the acceptance case for stepbound
+// failing a build.
+var scratchModule = map[string]string{
+	"go.mod": "module example.fix\n\ngo 1.22\n",
+	"internal/primitive/primitive.go": `// Package primitive is a scratch stand-in for the real base objects.
+package primitive
+
+// Register is one shared word.
+type Register struct{ v int64 }
+
+// Pool allocates registers.
+type Pool struct{}
+
+// NewPadded returns a padded arena.
+func NewPadded() *Pool { return &Pool{} }
+
+// New allocates one register.
+func (p *Pool) New(name string, init int64) *Register { return &Register{v: init} }
+
+// Context issues counted steps.
+type Context interface {
+	ID() int
+	Read(r *Register) int64
+	Write(r *Register, v int64)
+	CAS(r *Register, old, new int64) bool
+}
+`,
+	"internal/core/core.go": `// Package core under-declares a step bound.
+package core
+
+import "example.fix/internal/primitive"
+
+// R is a one-cell register.
+type R struct{ cell *primitive.Register }
+
+// Two issues two steps but declares one.
+//
+//tradeoffvet:bound steps<=1
+func (r *R) Two(ctx primitive.Context) {
+	_ = ctx.Read(r.cell)
+	ctx.Write(r.cell, 1)
+}
+`,
+}
+
+// TestTightenedBoundFailsEndToEnd drives the CLI against a scratch module
+// whose declared bound is one step too tight: text mode must exit 1 with
+// the stepbound diagnostic, JSON mode must report it deterministically
+// with module-root-relative paths, and recording the finding as a baseline
+// must turn the same run clean.
+func TestTightenedBoundFailsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks a scratch module from source")
+	}
+	dir := t.TempDir()
+	writeTree(t, dir, scratchModule)
+	t.Chdir(dir)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("tightened bound exited %d, want 1\nstdout:\n%sstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "derived worst-case steps cost 2 exceeds declared bound 1") {
+		t.Errorf("missing stepbound diagnostic:\n%s", &stdout)
+	}
+
+	var json1, json2 bytes.Buffer
+	if code := run([]string{"-format", "json", "./..."}, &json1, &stderr); code != 1 {
+		t.Fatalf("json mode exited %d, want 1", code)
+	}
+	if code := run([]string{"-format", "json", "./..."}, &json2, &stderr); code != 1 {
+		t.Fatalf("second json run exited %d, want 1", code)
+	}
+	if json1.String() != json2.String() {
+		t.Errorf("json output is not deterministic:\n%s\nvs:\n%s", &json1, &json2)
+	}
+	var report struct {
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Analyzer string `json:"analyzer"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(json1.Bytes(), &report); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, &json1)
+	}
+	if len(report.Diagnostics) != 1 {
+		t.Fatalf("json reported %d diagnostics, want 1:\n%s", len(report.Diagnostics), &json1)
+	}
+	if d := report.Diagnostics[0]; d.File != "internal/core/core.go" || d.Analyzer != "stepbound" {
+		t.Errorf("json diagnostic is %+v, want module-relative internal/core/core.go from stepbound", d)
+	}
+
+	base := filepath.Join(dir, "baseline.json")
+	if code := run([]string{"-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exited %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-baseline exited %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "matched the baseline") {
+		t.Errorf("baseline run did not report the suppressed finding:\n%s", &stderr)
 	}
 }
 

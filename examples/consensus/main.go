@@ -50,8 +50,9 @@ func run(proposers, epochs int) error {
 		return err
 	}
 
-	// One consensus instance per epoch, all from one register pool.
-	pool := primitive.NewPool()
+	// One consensus instance per epoch, all from one cache-line padded
+	// arena: epoch slots are hit by every proposer concurrently.
+	pool := primitive.NewPadded()
 	slots := make([]*consensus.Consensus, epochs+1)
 	for e := 1; e <= epochs; e++ {
 		c, err := consensus.NewConsensus(pool, proposers, 64)

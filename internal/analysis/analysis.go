@@ -60,6 +60,10 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Prog is the interprocedural view over every package loaded together
+	// with this one; stepbound resolves cross-package calls through it.
+	Prog *Program
+
 	pkg    *Package
 	report func(Diagnostic)
 }
@@ -164,12 +168,20 @@ func (p *Pass) primitiveNamed(name string) types.Type {
 
 // Analyzers returns the full suite in the order the multichecker runs it.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Modelstep, Poolalloc, Ctxflow, Boundedloop}
+	return []*Analyzer{Modelstep, Poolalloc, Ctxflow, Boundedloop, Stepbound, Atomicprotocol, Padalign}
 }
 
 // RunAnalyzer applies one analyzer to one loaded package and returns its
-// diagnostics sorted by position.
+// diagnostics sorted by position. The interprocedural program covers only
+// that package; use RunAnalyzerIn when calls cross package boundaries.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunAnalyzerIn(a, pkg, NewProgram([]*Package{pkg}))
+}
+
+// RunAnalyzerIn applies one analyzer to one package with an explicit
+// interprocedural program (typically covering every package loaded
+// together, so stepbound can chase calls across package boundaries).
+func RunAnalyzerIn(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -178,6 +190,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Prog:     prog,
 		pkg:      pkg,
 		report:   func(d Diagnostic) { diags = append(diags, d) },
 	}
@@ -189,12 +202,20 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 }
 
 // RunAll applies the whole suite to every package and returns the merged,
-// position-sorted diagnostics.
+// position-sorted diagnostics. All packages share one interprocedural
+// program, so per-function summaries are derived once.
 func RunAll(pkgs []*Package) ([]Diagnostic, error) {
+	return RunAllIn(pkgs, NewProgram(pkgs))
+}
+
+// RunAllIn is RunAll with an explicit interprocedural program, so the
+// CLI can report on a subset of packages while stepbound summaries are
+// derived over the whole module.
+func RunAllIn(pkgs []*Package, prog *Program) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range Analyzers() {
-			ds, err := RunAnalyzer(a, pkg)
+			ds, err := RunAnalyzerIn(a, pkg, prog)
 			if err != nil {
 				return nil, err
 			}
@@ -205,6 +226,28 @@ func RunAll(pkgs []*Package) ([]Diagnostic, error) {
 	return diags, nil
 }
 
+// StaleAnnotations reports every tradeoffvet annotation nothing consulted,
+// as diagnostics under the pseudo-analyzer "suppressions". Call it only
+// after running the full suite (e.g. via RunAll) over the same packages:
+// staleness is defined against the analyses that actually ran.
+func StaleAnnotations(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range pkg.staleAnnotations() {
+			diags = append(diags, Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: "suppressions",
+				Message:  fmt.Sprintf("stale annotation //tradeoffvet:%s: no analyzer consulted it; remove it or fix the spelling", a.Name),
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders diagnostics deterministically — file, line,
+// column, analyzer, then message — so text, JSON and SARIF output is
+// stable run-to-run regardless of package iteration order.
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -217,6 +260,9 @@ func sortDiagnostics(diags []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }

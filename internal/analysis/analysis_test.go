@@ -80,6 +80,40 @@ func TestDocClaimsWaitFree(t *testing.T) {
 	}
 }
 
+// TestSortDiagnostics pins the deterministic report order — file, line,
+// column, analyzer, message — which is what makes JSON/SARIF artifacts and
+// baselines stable run-to-run.
+func TestSortDiagnostics(t *testing.T) {
+	d := func(file string, line, col int, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: analyzer,
+			Message:  msg,
+		}
+	}
+	want := []Diagnostic{
+		d("a.go", 1, 1, "padalign", "m1"),
+		d("a.go", 1, 1, "stepbound", "m1"),
+		d("a.go", 1, 1, "stepbound", "m2"),
+		d("a.go", 1, 9, "stepbound", "m1"),
+		d("a.go", 2, 1, "atomicprotocol", "m1"),
+		d("b.go", 1, 1, "atomicprotocol", "m1"),
+	}
+	// Feed every rotation: each starts from a different permutation, and
+	// all must sort to the same order.
+	for shift := range want {
+		got := make([]Diagnostic, 0, len(want))
+		got = append(got, want[shift:]...)
+		got = append(got, want[:shift]...)
+		sortDiagnostics(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rotation %d: position %d = %v, want %v", shift, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestAnnotationNames(t *testing.T) {
 	cg := &ast.CommentGroup{List: []*ast.Comment{
 		{Text: "// Ordinary prose."},

@@ -143,3 +143,49 @@ func TestCtxflow(t *testing.T) {
 func TestBoundedloop(t *testing.T) {
 	runFixture(t, Boundedloop, "boundedloop", "example.test/internal/maxreg")
 }
+
+func TestStepbound(t *testing.T) {
+	runFixture(t, Stepbound, "stepbound", "example.test/internal/counter")
+}
+
+func TestAtomicprotocol(t *testing.T) {
+	runFixture(t, Atomicprotocol, "atomicprotocol", "example.test/internal/obs")
+}
+
+func TestPadalign(t *testing.T) {
+	runFixture(t, Padalign, "padalign", "example.test/pkg/app")
+}
+
+// TestStaleAnnotationsFixture runs the full suite over the suppressions
+// fixture and checks that exactly the unconsulted annotation is reported:
+// the one padalign consumed must not be.
+func TestStaleAnnotationsFixture(t *testing.T) {
+	fixDir := filepath.Join("testdata", "suppressions")
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		path := filepath.Join(fixDir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		files[path] = string(src)
+	}
+	pkg, err := sharedLoader.Source("example.test/pkg/app", files)
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	if _, err := RunAll([]*Package{pkg}); err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	stale := StaleAnnotations([]*Package{pkg})
+	if len(stale) != 1 {
+		t.Fatalf("StaleAnnotations reported %d diagnostics, want 1:\n%v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "tradeoffvet:outofband") {
+		t.Errorf("stale diagnostic names the wrong annotation: %s", stale[0])
+	}
+}

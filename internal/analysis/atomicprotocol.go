@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicprotocol checks the concurrency protocols of the non-model
+// infrastructure (flight rings, obs shards, parallel exploration), where
+// raw sync/atomic is legal but easy to misuse:
+//
+//   - an atomic.Int64/Bool/Pointer value must only be touched through its
+//     methods — copying it (assignment, argument, range value) forks the
+//     cell and silently drops concurrent updates;
+//   - a location accessed with the function-style atomic API
+//     (atomic.AddInt64(&x) ...) must not also be written plainly;
+//   - structs carrying an atomic field named "seq" follow the flight-ring
+//     seqlock discipline: writers store seq=0 before touching sibling
+//     fields and store the new sequence after; readers load seq before and
+//     after the field loads so torn reads are detected and retried.
+//
+// The suppressor is "seqlock": an annotated line opts out where the
+// protocol is deliberately bent (e.g. a single-goroutine initializer).
+var Atomicprotocol = &Analyzer{
+	Name: "atomicprotocol",
+	Doc: "flag fields accessed both atomically and plainly, atomic values used " +
+		"without their atomic API, and seqlock acquire/release/revalidation " +
+		"violations in flight-ring style structs (suppressor: seqlock)",
+	Suppressor: "seqlock",
+	Run:        runAtomicprotocol,
+}
+
+func runAtomicprotocol(pass *Pass) error {
+	checkAtomicCopies(pass)
+	checkMixedAccess(pass)
+	checkSeqlock(pass)
+	return nil
+}
+
+// isAtomicNamed reports whether t is one of sync/atomic's value types
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkAtomicCopies flags atomic-typed fields and elements used as plain
+// values. Method-call receivers and address-taking are the sanctioned
+// uses; anything else copies the cell.
+func checkAtomicCopies(pass *Pass) {
+	for _, file := range pass.Files {
+		sanctioned := map[ast.Node]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					sanctioned[sel.X] = true // receiver of a method call
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					sanctioned[n.X] = true // &x.f keeps the cell shared
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypeOf(n.Value); t != nil && isAtomicNamed(t) {
+						pass.Reportf(n.Value.Pos(), "ranging with a value variable copies each %s: iterate by index and use the element's atomic methods", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.SelectorExpr:
+				return checkAtomicValueUse(pass, n, sanctioned)
+			case *ast.IndexExpr:
+				return checkAtomicValueUse(pass, n, sanctioned)
+			}
+			return true
+		})
+	}
+}
+
+func checkAtomicValueUse(pass *Pass, expr ast.Expr, sanctioned map[ast.Node]bool) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || !tv.IsValue() || sanctioned[expr] {
+		return true
+	}
+	if isAtomicNamed(tv.Type) {
+		pass.Reportf(expr.Pos(), "%s is used as a plain value: copying an atomic cell forks it and drops concurrent updates; call its atomic methods on the shared cell", types.ExprString(expr))
+		return false
+	}
+	return true
+}
+
+// checkMixedAccess flags locations accessed through the function-style
+// atomic API (atomic.AddInt64(&x), ...) and also written plainly: the
+// plain write races with every atomic access.
+func checkMixedAccess(pass *Pass) {
+	atomicTargets := map[types.Object]token.Position{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := referencedObject(pass, addr.X); obj != nil {
+				atomicTargets[obj] = pass.Fset.Position(call.Pos())
+			}
+			return true
+		})
+	}
+	if len(atomicTargets) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportPlainWrite(pass, lhs, atomicTargets)
+				}
+			case *ast.IncDecStmt:
+				reportPlainWrite(pass, n.X, atomicTargets)
+			}
+			return true
+		})
+	}
+}
+
+func referencedObject(pass *Pass, expr ast.Expr) types.Object {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[expr]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[expr.Sel]
+	}
+	return nil
+}
+
+func reportPlainWrite(pass *Pass, lhs ast.Expr, atomicTargets map[types.Object]token.Position) {
+	obj := referencedObject(pass, lhs)
+	if obj == nil {
+		return
+	}
+	if at, ok := atomicTargets[obj]; ok {
+		pass.Reportf(lhs.Pos(), "%s is written plainly but accessed atomically at %s:%d: the plain write races with every atomic access", obj.Name(), pathTail(at.Filename), at.Line)
+	}
+}
+
+// --- seqlock protocol ---
+
+type seqOpKind int
+
+const (
+	opSeqAcquire seqOpKind = iota // seq.Store(0)
+	opSeqRelease                  // seq.Store(nonzero)
+	opSeqLoad                     // seq.Load()
+	opFieldStore                  // sibling field Store/Swap/Add/CompareAndSwap
+	opFieldLoad                   // sibling field Load
+)
+
+type seqOp struct {
+	kind  seqOpKind
+	pos   token.Pos
+	field string
+}
+
+// checkSeqlock enforces the flight-ring discipline on every struct that
+// declares an atomic field named "seq": per function and per base
+// expression, writers bracket sibling stores with seq.Store(0) ...
+// seq.Store(n), and readers revalidate (a seq load before and after the
+// field loads).
+func checkSeqlock(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			groups := map[string][]seqOp{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				base, op, ok := classifySeqOp(pass, call)
+				if ok {
+					groups[base] = append(groups[base], op)
+				}
+				return true
+			})
+			for _, base := range sortedKeys(groups) {
+				ops := groups[base]
+				sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+				checkSeqWriter(pass, base, ops)
+				checkSeqReader(pass, base, ops)
+			}
+		}
+	}
+}
+
+// classifySeqOp recognizes a method call on an atomic field of a
+// seqlock-carrying struct and returns the base expression plus op kind.
+func classifySeqOp(pass *Pass, call *ast.CallExpr) (string, seqOp, bool) {
+	method, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", seqOp{}, false
+	}
+	fieldSel, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", seqOp{}, false
+	}
+	recvType := pass.TypeOf(fieldSel.X)
+	if recvType == nil {
+		return "", seqOp{}, false
+	}
+	if ptr, ok := recvType.Underlying().(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	if !hasAtomicSeqField(recvType) {
+		return "", seqOp{}, false
+	}
+	field := fieldSel.Sel.Name
+	op := seqOp{pos: call.Pos(), field: field}
+	switch {
+	case field == "seq" && method.Sel.Name == "Store":
+		if len(call.Args) == 1 && isConstZero(pass, call.Args[0]) {
+			op.kind = opSeqAcquire
+		} else {
+			op.kind = opSeqRelease
+		}
+	case field == "seq" && method.Sel.Name == "Load":
+		op.kind = opSeqLoad
+	case field == "seq":
+		return "", seqOp{}, false
+	case method.Sel.Name == "Load":
+		op.kind = opFieldLoad
+	case method.Sel.Name == "Store" || method.Sel.Name == "Swap" ||
+		method.Sel.Name == "Add" || method.Sel.Name == "CompareAndSwap":
+		op.kind = opFieldStore
+	default:
+		return "", seqOp{}, false
+	}
+	return types.ExprString(fieldSel.X), op, true
+}
+
+// hasAtomicSeqField reports whether the struct type declares an atomic
+// field named "seq" — the marker that the seqlock protocol applies.
+func hasAtomicSeqField(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "seq" && isAtomicNamed(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isConstZero(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
+}
+
+// checkSeqWriter verifies, in source order, that every sibling-field store
+// sits between a seq.Store(0) acquire and a seq.Store(n) release.
+func checkSeqWriter(pass *Pass, base string, ops []seqOp) {
+	anyStore := false
+	for _, op := range ops {
+		if op.kind == opFieldStore {
+			anyStore = true
+		}
+	}
+	if !anyStore {
+		return
+	}
+	inside := false
+	for _, op := range ops {
+		switch op.kind {
+		case opSeqAcquire:
+			inside = true
+		case opSeqRelease:
+			if !inside {
+				pass.Reportf(op.pos, "seqlock release on %s without a preceding seq.Store(0) acquire", base)
+			}
+			inside = false
+		case opFieldStore:
+			if !inside {
+				pass.Reportf(op.pos, "store to %s.%s outside the seqlock critical section: bracket sibling stores with %s.seq.Store(0) ... %s.seq.Store(n)", base, op.field, base, base)
+			}
+		}
+	}
+	if inside {
+		pass.Reportf(ops[len(ops)-1].pos, "seqlock on %s is acquired but never released: readers would spin forever on seq==0", base)
+	}
+}
+
+// checkSeqReader verifies that sibling-field loads are revalidated: a seq
+// load before the first field load and another after the last.
+func checkSeqReader(pass *Pass, base string, ops []seqOp) {
+	firstLoad, lastLoad := token.NoPos, token.NoPos
+	for _, op := range ops {
+		if op.kind == opFieldLoad {
+			if firstLoad == token.NoPos {
+				firstLoad = op.pos
+			}
+			lastLoad = op.pos
+		}
+	}
+	if firstLoad == token.NoPos {
+		return
+	}
+	firstSeq, lastSeq := token.NoPos, token.NoPos
+	nSeq := 0
+	for _, op := range ops {
+		if op.kind == opSeqLoad {
+			nSeq++
+			if firstSeq == token.NoPos {
+				firstSeq = op.pos
+			}
+			lastSeq = op.pos
+		}
+	}
+	if nSeq < 2 || firstSeq > firstLoad || lastSeq < lastLoad {
+		pass.Reportf(firstLoad, "loads of %s fields lack seqlock revalidation: load %s.seq before and after the field loads and retry on change", base, base)
+	}
+}
+
+func sortedKeys(m map[string][]seqOp) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

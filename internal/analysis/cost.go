@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cost is a symbolic step count: a polynomial with non-negative integer
+// coefficients over named size parameters ("n", "k", "logn", ...), or the
+// distinguished unbounded value (an unbounded retry loop, a dynamic call).
+//
+// Monomials are keyed by their sorted symbol product ("" for the constant
+// term, "n" for a linear term, "n*r" for a product). All symbols denote
+// non-negative quantities, so coefficient-wise comparison and
+// coefficient-wise max are sound pointwise bounds.
+type Cost struct {
+	terms     map[string]int64
+	unbounded bool
+	reason    string // why unbounded, e.g. "unbounded retry loop"
+}
+
+func zeroCost() Cost { return Cost{} }
+
+func constCost(c int64) Cost {
+	if c == 0 {
+		return Cost{}
+	}
+	return Cost{terms: map[string]int64{"": c}}
+}
+
+func symbolCost(sym string) Cost {
+	return Cost{terms: map[string]int64{sym: 1}}
+}
+
+func unboundedCost(reason string) Cost {
+	return Cost{unbounded: true, reason: reason}
+}
+
+// IsZero reports a cost of exactly zero steps.
+func (c Cost) IsZero() bool { return !c.unbounded && len(c.terms) == 0 }
+
+// IsUnbounded reports the distinguished infinite cost.
+func (c Cost) IsUnbounded() bool { return c.unbounded }
+
+// UnboundedReason returns why the cost is unbounded ("" if it is not).
+func (c Cost) UnboundedReason() string { return c.reason }
+
+func addCost(a, b Cost) Cost {
+	if a.unbounded {
+		return a
+	}
+	if b.unbounded {
+		return b
+	}
+	if len(b.terms) == 0 {
+		return a
+	}
+	out := Cost{terms: map[string]int64{}}
+	for k, v := range a.terms {
+		out.terms[k] = v
+	}
+	for k, v := range b.terms {
+		out.terms[k] += v
+	}
+	return out
+}
+
+// mulCost multiplies two polynomials (used for loop-bound x body). The
+// product of a monomial pair concatenates their symbol multisets.
+// Unbounded times zero is zero: a loop with a zero-cost body costs nothing
+// no matter how often it runs.
+func mulCost(a, b Cost) Cost {
+	if a.IsZero() || b.IsZero() {
+		return Cost{}
+	}
+	if a.unbounded {
+		return a
+	}
+	if b.unbounded {
+		return b
+	}
+	out := Cost{terms: map[string]int64{}}
+	for ka, va := range a.terms {
+		for kb, vb := range b.terms {
+			out.terms[mulMonomial(ka, kb)] += va * vb
+		}
+	}
+	return out
+}
+
+func mulMonomial(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	syms := append(strings.Split(a, "*"), strings.Split(b, "*")...)
+	sort.Strings(syms)
+	return strings.Join(syms, "*")
+}
+
+// maxCost is a coefficient-wise upper bound of both arguments, used to join
+// branches. It can overshoot (max(2n, 3) = 2n+3 would be tighter as a
+// piecewise max, but coefficient-wise max gives 2n+3 -> actually
+// max-per-monomial = 2n and 3), and is sound because every symbol is
+// non-negative.
+func maxCost(a, b Cost) Cost {
+	if a.unbounded {
+		return a
+	}
+	if b.unbounded {
+		return b
+	}
+	if len(b.terms) == 0 {
+		return a
+	}
+	if len(a.terms) == 0 {
+		return b
+	}
+	out := Cost{terms: map[string]int64{}}
+	for k, v := range a.terms {
+		out.terms[k] = v
+	}
+	for k, v := range b.terms {
+		if v > out.terms[k] {
+			out.terms[k] = v
+		}
+	}
+	return out
+}
+
+// leqCost reports whether a <= b for every non-negative assignment of the
+// symbols, by coefficient-wise comparison. It is sound but not complete:
+// 2n <= n+n passes, n <= 2logn+5 fails even where it might hold
+// numerically. Declared bounds are written in the derived shape, so
+// incompleteness only ever makes the checker stricter.
+func leqCost(a, b Cost) bool {
+	if b.unbounded {
+		return true
+	}
+	if a.unbounded {
+		return false
+	}
+	for k, v := range a.terms {
+		if v > b.terms[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial with monomials ordered by descending degree
+// and then lexicographically: "2n + 8logn + 5", "inf (reason)".
+func (c Cost) String() string {
+	if c.unbounded {
+		if c.reason != "" {
+			return "inf (" + c.reason + ")"
+		}
+		return "inf"
+	}
+	if len(c.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(c.terms))
+	for k, v := range c.terms {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return "0"
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := monomialDegree(keys[i]), monomialDegree(keys[j])
+		if di != dj {
+			return di > dj
+		}
+		return keys[i] < keys[j]
+	})
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		v := c.terms[k]
+		switch {
+		case k == "":
+			fmt.Fprintf(&b, "%d", v)
+		case v == 1:
+			b.WriteString(k)
+		default:
+			fmt.Fprintf(&b, "%d%s", v, k)
+		}
+	}
+	return b.String()
+}
+
+func monomialDegree(key string) int {
+	if key == "" {
+		return 0
+	}
+	return strings.Count(key, "*") + 1
+}
+
+// parseCostExpr parses a bound expression:
+//
+//	expr   := term { "+" term }
+//	term   := factor { "*" factor }
+//	factor := INT [ SYMBOL ] | SYMBOL | "(" expr ")" | "inf"
+//
+// An integer directly followed by a symbol multiplies them ("2n", "8logn").
+// Symbols are lowercase identifiers ([a-z][a-z0-9]*). The whole expression
+// must be free of whitespace (it is one annotation token).
+func parseCostExpr(s string) (Cost, error) {
+	p := &costParser{src: s}
+	c, err := p.parseExpr()
+	if err != nil {
+		return Cost{}, err
+	}
+	if p.pos != len(p.src) {
+		return Cost{}, fmt.Errorf("unexpected %q in cost expression %q", p.src[p.pos:], s)
+	}
+	return c, nil
+}
+
+type costParser struct {
+	src string
+	pos int
+}
+
+func (p *costParser) parseExpr() (Cost, error) {
+	c, err := p.parseTerm()
+	if err != nil {
+		return Cost{}, err
+	}
+	for p.peek() == '+' {
+		p.pos++
+		t, err := p.parseTerm()
+		if err != nil {
+			return Cost{}, err
+		}
+		c = addCost(c, t)
+	}
+	return c, nil
+}
+
+func (p *costParser) parseTerm() (Cost, error) {
+	c, err := p.parseFactor()
+	if err != nil {
+		return Cost{}, err
+	}
+	for p.peek() == '*' {
+		p.pos++
+		f, err := p.parseFactor()
+		if err != nil {
+			return Cost{}, err
+		}
+		c = mulCost(c, f)
+	}
+	return c, nil
+}
+
+func (p *costParser) parseFactor() (Cost, error) {
+	switch ch := p.peek(); {
+	case ch == '(':
+		p.pos++
+		c, err := p.parseExpr()
+		if err != nil {
+			return Cost{}, err
+		}
+		if p.peek() != ')' {
+			return Cost{}, fmt.Errorf("missing ) in cost expression %q", p.src)
+		}
+		p.pos++
+		return c, nil
+	case ch >= '0' && ch <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		var n int64
+		if _, err := fmt.Sscanf(p.src[start:p.pos], "%d", &n); err != nil {
+			return Cost{}, fmt.Errorf("bad integer in cost expression %q", p.src)
+		}
+		c := constCost(n)
+		// Implicit product: an integer directly followed by a symbol.
+		if sym := p.trymSymbol(); sym != "" {
+			c = mulCost(c, symbolCost(sym))
+		}
+		return c, nil
+	case ch >= 'a' && ch <= 'z':
+		sym := p.trymSymbol()
+		if sym == "inf" {
+			return unboundedCost("declared unbounded"), nil
+		}
+		return symbolCost(sym), nil
+	default:
+		return Cost{}, fmt.Errorf("unexpected character %q in cost expression %q", string(ch), p.src)
+	}
+}
+
+// trymSymbol consumes a lowercase identifier, or returns "".
+func (p *costParser) trymSymbol() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if (ch >= 'a' && ch <= 'z') || (p.pos > start && ch >= '0' && ch <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *costParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// A CostVec is a per-step-class cost: reads, writes, and CAS steps are
+// accounted separately so declared bounds can constrain each class
+// (Theorem 1 prices reads against updates, not a single total).
+type CostVec struct {
+	Reads, Writes, CAS Cost
+}
+
+func zeroVec() CostVec { return CostVec{} }
+
+func unboundedVec(reason string) CostVec {
+	u := unboundedCost(reason)
+	return CostVec{Reads: u, Writes: u, CAS: u}
+}
+
+func addVec(a, b CostVec) CostVec {
+	return CostVec{
+		Reads:  addCost(a.Reads, b.Reads),
+		Writes: addCost(a.Writes, b.Writes),
+		CAS:    addCost(a.CAS, b.CAS),
+	}
+}
+
+func maxVec(a, b CostVec) CostVec {
+	return CostVec{
+		Reads:  maxCost(a.Reads, b.Reads),
+		Writes: maxCost(a.Writes, b.Writes),
+		CAS:    maxCost(a.CAS, b.CAS),
+	}
+}
+
+// scaleVec multiplies every class by the loop bound.
+func scaleVec(bound Cost, v CostVec) CostVec {
+	return CostVec{
+		Reads:  mulCost(bound, v.Reads),
+		Writes: mulCost(bound, v.Writes),
+		CAS:    mulCost(bound, v.CAS),
+	}
+}
+
+func (v CostVec) isZero() bool {
+	return v.Reads.IsZero() && v.Writes.IsZero() && v.CAS.IsZero()
+}
+
+// Steps is the total over all classes (the paper's step complexity).
+func (v CostVec) Steps() Cost { return addCost(addCost(v.Reads, v.Writes), v.CAS) }
+
+// Updates is the write-type total (writes + CAS), the class Theorems 1-3
+// price against reads.
+func (v CostVec) Updates() Cost { return addCost(v.Writes, v.CAS) }
+
+// Class projects a bound-clause class name onto the vector.
+func (v CostVec) Class(name string) (Cost, bool) {
+	switch name {
+	case "steps":
+		return v.Steps(), true
+	case "reads":
+		return v.Reads, true
+	case "writes":
+		return v.Writes, true
+	case "cas":
+		return v.CAS, true
+	case "updates":
+		return v.Updates(), true
+	}
+	return Cost{}, false
+}
+
+// A boundClause is one "class<=expr" obligation of a bound annotation.
+type boundClause struct {
+	class string // steps | reads | writes | cas | updates
+	bound Cost
+	expr  string // source text, for diagnostics
+}
+
+// A boundDecl is a parsed //tradeoffvet:bound annotation: one or more
+// clauses plus an optional "uncontended" qualifier selecting the evaluation
+// mode (every CAS succeeds, every retry loop exits after one iteration).
+type boundDecl struct {
+	clauses     []boundClause
+	uncontended bool
+}
+
+// parseBoundDecl parses the argument list of a bound annotation, e.g.
+// "reads<=2n+2 updates<=2 uncontended".
+func parseBoundDecl(args string) (boundDecl, error) {
+	var d boundDecl
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return d, fmt.Errorf("empty bound annotation: want class<=expr clauses")
+	}
+	for i, f := range fields {
+		if f == "uncontended" {
+			if i != len(fields)-1 {
+				return d, fmt.Errorf("bound qualifier %q must come last", f)
+			}
+			d.uncontended = true
+			continue
+		}
+		class, expr, ok := strings.Cut(f, "<=")
+		if !ok {
+			return d, fmt.Errorf("bound clause %q is not class<=expr", f)
+		}
+		if !validBoundClass(class) {
+			return d, fmt.Errorf("unknown bound class %q (want steps, reads, writes, cas, or updates)", class)
+		}
+		c, err := parseCostExpr(expr)
+		if err != nil {
+			return d, fmt.Errorf("bound clause %q: %v", f, err)
+		}
+		d.clauses = append(d.clauses, boundClause{class: class, bound: c, expr: expr})
+	}
+	if len(d.clauses) == 0 {
+		return d, fmt.Errorf("bound annotation has no class<=expr clauses")
+	}
+	return d, nil
+}
+
+func validBoundClass(name string) bool {
+	switch name {
+	case "steps", "reads", "writes", "cas", "updates":
+		return true
+	}
+	return false
+}

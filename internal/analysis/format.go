@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Relativize rewrites diagnostic filenames to be module-root relative with
+// forward slashes, so JSON/SARIF artifacts and baselines are stable across
+// checkouts and operating systems.
+func Relativize(diags []Diagnostic, root string) {
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(root, diags[i].Pos.Filename)
+	}
+}
+
+func relPath(root, filename string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// jsonDiagnostic is the stable shape of one finding in -format json output
+// and in baseline files.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func toJSONDiagnostics(diags []Diagnostic) []jsonDiagnostic {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON emits the machine-readable report consumed by CI:
+// {"diagnostics": [...]} with diagnostics in deterministic order.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{toJSONDiagnostics(diags)})
+}
+
+// SARIF 2.1.0, minimally: one run, one rule per analyzer, one result per
+// diagnostic. Enough for code-scanning upload without pulling in a SARIF
+// dependency.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription map[string]string `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string            `json:"ruleId"`
+	Level     string            `json:"level"`
+	Message   map[string]string `json:"message"`
+	Locations []sarifLocation   `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the diagnostics as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	rules := []sarifRule{}
+	seen := map[string]bool{}
+	addRule := func(name, doc string) {
+		if !seen[name] {
+			seen[name] = true
+			rules = append(rules, sarifRule{ID: name, ShortDescription: map[string]string{"text": doc}})
+		}
+	}
+	for _, a := range Analyzers() {
+		addRule(a.Name, a.Doc)
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		addRule(d.Analyzer, d.Analyzer) // covers pseudo-analyzers like "suppressions"
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: map[string]string{"text": d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "tradeoffvet", Rules: rules}},
+			Results: results,
+		}},
+	})
+}
+
+// WriteText emits the human-readable one-line-per-finding form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A baseline is a multiset of accepted findings keyed by (file, analyzer,
+// message) — line numbers are deliberately excluded so unrelated edits
+// don't invalidate entries.
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+// WriteBaseline persists the diagnostics as a baseline file.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(toJSONDiagnostics(diags))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadBaseline reads a baseline file into a multiset.
+func LoadBaseline(path string) (map[baselineKey]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []jsonDiagnostic
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := map[baselineKey]int{}
+	for _, e := range entries {
+		base[baselineKey{File: e.File, Analyzer: e.Analyzer, Message: e.Message}]++
+	}
+	return base, nil
+}
+
+// FilterBaseline drops diagnostics matched by the baseline multiset and
+// returns the survivors plus the number suppressed.
+func FilterBaseline(diags []Diagnostic, base map[baselineKey]int) (kept []Diagnostic, suppressed int) {
+	remaining := map[baselineKey]int{}
+	for k, v := range base {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		k := baselineKey{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

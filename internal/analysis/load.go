@@ -133,40 +133,53 @@ func (l *Loader) Source(importPath string, files map[string]string) (*Package, e
 // ("./..." for everything, "./dir/..." for a subtree, "./dir" for one
 // package), resolving the module root by walking up from the current
 // directory. testdata directories and hidden/underscore directories are
-// skipped, matching the go tool.
-func LoadPatterns(patterns []string) ([]*Package, error) {
+// skipped, matching the go tool. The default package set is the whole
+// module — examples/ and cmd/ included, so migrated callers cannot
+// quietly regress onto raw sync/atomic or unpadded pools. The returned
+// root is the module root directory, for relativizing diagnostic paths.
+func LoadPatterns(patterns []string) (pkgs []*Package, root string, err error) {
+	pkgs, _, root, err = LoadModule(patterns)
+	return pkgs, root, err
+}
+
+// LoadModule loads every package in the module and returns both the
+// subset matched by patterns (the packages under report) and the full
+// set. Step summaries are interprocedural: even when only one package is
+// being reported on, stepbound must chase calls through the whole module
+// call graph, so callers build the Program from all and report on
+// matched.
+func LoadModule(patterns []string) (matched, all []*Package, root string, err error) {
 	root, modPath, err := findModule()
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	dirs, err := packageDirs(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	loader := NewLoader()
-	var pkgs []*Package
 	for _, rel := range dirs {
-		if !matchesAny(rel, patterns, modPath) {
-			continue
-		}
 		importPath := modPath
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
 		pkg, err := loader.Dir(filepath.Join(root, rel), importPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, "", err
 		}
-		pkgs = append(pkgs, pkg)
+		all = append(all, pkg)
+		if matchesAny(rel, patterns, modPath) {
+			matched = append(matched, pkg)
+		}
 	}
-	if len(pkgs) == 0 {
-		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	if len(matched) == 0 {
+		return nil, nil, "", fmt.Errorf("analysis: no packages match %v", patterns)
 	}
-	return pkgs, nil
+	return matched, all, root, nil
 }
 
 // findModule walks up from the working directory to go.mod and returns the
@@ -266,20 +279,53 @@ func matchesAny(rel string, patterns []string, modPath string) bool {
 	return false
 }
 
-// annotationIndex records where //tradeoffvet:NAME annotations appear, so
+// An Annotation is one //tradeoffvet:NAME [args...] comment. Suppressors
+// (outofband, casretry, seqlock, unpadded) silence diagnostics; directive
+// annotations (bound, loopbound, param, cost) feed the stepbound
+// interpreter. Every annotation tracks whether anything consulted it, so
+// tradeoffvet -unused-suppressions can flag stale escape hatches.
+type Annotation struct {
+	Name string
+	Args string // everything after the name, trimmed
+	Pos  token.Position
+
+	used bool
+}
+
+// markUsed records that the annotation influenced an analysis result.
+func (a *Annotation) markUsed() { a.used = true }
+
+// annotationIndex records where //tradeoffvet: annotations appear, so
 // Pass.Reportf can honor the escape hatches: an annotation suppresses a
 // diagnostic on its own line, on the line directly below, or anywhere
 // inside the top-level declaration whose doc comment carries it.
 type annotationIndex struct {
-	// lines maps filename -> line -> annotation names on that line.
-	lines map[string]map[int][]string
+	// all holds every annotation, in file order.
+	all []*Annotation
+	// lines maps filename -> line -> annotations on that line.
+	lines map[string]map[int][]*Annotation
 	// decls maps filename -> declaration ranges annotated via doc comment.
 	decls map[string][]annotatedRange
 }
 
 type annotatedRange struct {
 	from, to int
-	names    []string
+	anns     []*Annotation
+}
+
+// parseAnnotationComment extracts the annotation from a single comment, or
+// returns nil ("//tradeoffvet:outofband reason..." -> {outofband, "reason..."}).
+func parseAnnotationComment(c *ast.Comment) *Annotation {
+	text := strings.TrimPrefix(c.Text, "//")
+	rest, ok := strings.CutPrefix(text, "tradeoffvet:")
+	if !ok {
+		return nil
+	}
+	name, args, _ := strings.Cut(rest, " ")
+	if name = strings.TrimSpace(name); name == "" {
+		return nil
+	}
+	return &Annotation{Name: name, Args: strings.TrimSpace(args)}
 }
 
 // annotationNames extracts tradeoffvet annotation names from one comment
@@ -290,14 +336,8 @@ func annotationNames(cg *ast.CommentGroup) []string {
 	}
 	var names []string
 	for _, c := range cg.List {
-		text := strings.TrimPrefix(c.Text, "//")
-		rest, ok := strings.CutPrefix(text, "tradeoffvet:")
-		if !ok {
-			continue
-		}
-		name, _, _ := strings.Cut(rest, " ")
-		if name = strings.TrimSpace(name); name != "" {
-			names = append(names, name)
+		if a := parseAnnotationComment(c); a != nil {
+			names = append(names, a.Name)
 		}
 	}
 	return names
@@ -305,23 +345,28 @@ func annotationNames(cg *ast.CommentGroup) []string {
 
 func buildAnnotationIndex(fset *token.FileSet, files []*ast.File) *annotationIndex {
 	idx := &annotationIndex{
-		lines: map[string]map[int][]string{},
+		lines: map[string]map[int][]*Annotation{},
 		decls: map[string][]annotatedRange{},
 	}
+	// byComment lets the decl ranges share Annotation values with the line
+	// index, so a use through either lookup marks the same annotation.
+	byComment := map[*ast.Comment]*Annotation{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names := annotationNames(&ast.CommentGroup{List: []*ast.Comment{c}})
-				if len(names) == 0 {
+				a := parseAnnotationComment(c)
+				if a == nil {
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				byLine := idx.lines[pos.Filename]
+				a.Pos = fset.Position(c.Pos())
+				byComment[c] = a
+				idx.all = append(idx.all, a)
+				byLine := idx.lines[a.Pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]string{}
-					idx.lines[pos.Filename] = byLine
+					byLine = map[int][]*Annotation{}
+					idx.lines[a.Pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[a.Pos.Line] = append(byLine[a.Pos.Line], a)
 			}
 		}
 		for _, decl := range f.Decls {
@@ -332,44 +377,118 @@ func buildAnnotationIndex(fset *token.FileSet, files []*ast.File) *annotationInd
 			case *ast.GenDecl:
 				doc = d.Doc
 			}
-			names := annotationNames(doc)
-			if len(names) == 0 {
+			if doc == nil {
+				continue
+			}
+			var anns []*Annotation
+			for _, c := range doc.List {
+				if a := byComment[c]; a != nil {
+					anns = append(anns, a)
+				}
+			}
+			if len(anns) == 0 {
 				continue
 			}
 			from := fset.Position(decl.Pos())
 			to := fset.Position(decl.End())
 			idx.decls[from.Filename] = append(idx.decls[from.Filename], annotatedRange{
-				from:  from.Line,
-				to:    to.Line,
-				names: names,
+				from: from.Line,
+				to:   to.Line,
+				anns: anns,
 			})
 		}
 	}
 	return idx
 }
 
-// suppressed reports whether an annotation named name covers the position.
+// suppressed reports whether an annotation named name covers the position,
+// marking any matching annotation as used.
 func (p *Package) suppressed(name string, pos token.Position) bool {
 	if p.ann == nil || name == "" {
 		return false
 	}
+	hit := false
 	if byLine := p.ann.lines[pos.Filename]; byLine != nil {
 		for _, l := range []int{pos.Line, pos.Line - 1} {
-			for _, n := range byLine[l] {
-				if n == name {
-					return true
+			for _, a := range byLine[l] {
+				if a.Name == name {
+					a.markUsed()
+					hit = true
 				}
 			}
 		}
 	}
 	for _, r := range p.ann.decls[pos.Filename] {
 		if pos.Line >= r.from && pos.Line <= r.to {
-			for _, n := range r.names {
-				if n == name {
-					return true
+			for _, a := range r.anns {
+				if a.Name == name {
+					a.markUsed()
+					hit = true
 				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// annotationAt returns the annotation named name on the given line or the
+// line directly above, marking it used. The stepbound interpreter uses it
+// to find loopbound and cost directives at the statement they govern.
+func (p *Package) annotationAt(name, filename string, line int) *Annotation {
+	if p.ann == nil {
+		return nil
+	}
+	byLine := p.ann.lines[filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, a := range byLine[l] {
+			if a.Name == name {
+				a.markUsed()
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// funcAnnotations returns the annotations named name attached to a
+// function declaration: in its doc comment or on the line directly above.
+// The returned annotations are not marked used; the caller marks them as
+// it consumes them.
+func (p *Package) funcAnnotations(name string, fset *token.FileSet, fn *ast.FuncDecl) []*Annotation {
+	if p.ann == nil {
+		return nil
+	}
+	declPos := fset.Position(fn.Pos())
+	from := declPos.Line - 1
+	if fn.Doc != nil {
+		from = fset.Position(fn.Doc.Pos()).Line
+	}
+	var anns []*Annotation
+	for _, a := range p.ann.all {
+		if a.Name == name && a.Pos.Filename == declPos.Filename &&
+			a.Pos.Line >= from && a.Pos.Line < declPos.Line {
+			anns = append(anns, a)
+		}
+	}
+	return anns
+}
+
+// staleAnnotations returns the package's annotations that no analyzer
+// consulted: suppressors that silence nothing and stepbound directives
+// nothing reads. Run the full suite first; staleness is defined against
+// the analyses that actually ran.
+func (p *Package) staleAnnotations() []*Annotation {
+	if p.ann == nil {
+		return nil
+	}
+	var stale []*Annotation
+	for _, a := range p.ann.all {
+		if !a.used {
+			stale = append(stale, a)
+		}
+	}
+	return stale
 }

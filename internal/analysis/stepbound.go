@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Stepbound certifies declared step-complexity bounds: a function carrying
+// //tradeoffvet:bound class<=expr... has its worst-case (or, with the
+// "uncontended" qualifier, solo-execution) step cost derived by the
+// interprocedural summary interpreter and checked against each clause.
+// This turns the paper's tradeoff table — O(1) reads vs Omega(n) scans,
+// the max register's O(log n) WriteMax, the sharded counter's 2-step
+// uncontended update — into machine-checked properties of the actual code.
+var Stepbound = &Analyzer{
+	Name: "stepbound",
+	Doc: "certify //tradeoffvet:bound step-complexity declarations: derive each " +
+		"annotated function's per-class step cost (reads/writes/cas, parameterized " +
+		"over n/k/logn) through the cross-package call graph and report any " +
+		"operation whose derived cost exceeds its declared bound",
+	Run: runStepbound,
+}
+
+func runStepbound(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, ann := range pass.pkg.funcAnnotations("bound", pass.Fset, fn) {
+				ann.markUsed()
+				checkBound(pass, fn, ann.Args)
+			}
+		}
+	}
+	return nil
+}
+
+func checkBound(pass *Pass, fn *ast.FuncDecl, args string) {
+	decl, err := parseBoundDecl(args)
+	if err != nil {
+		pass.Reportf(fn.Pos(), "%s: bad bound annotation: %v", funcDisplay(fn), err)
+		return
+	}
+	pf := pass.Prog.funcFor(pass.pkg, fn)
+	if pf == nil {
+		pass.Reportf(fn.Pos(), "%s: bound annotation on an unindexed declaration", funcDisplay(fn))
+		return
+	}
+	mode := modeWorst
+	if decl.uncontended {
+		mode = modeUncontended
+	}
+	derived := pass.Prog.Summary(pf, mode)
+	for _, cl := range decl.clauses {
+		got, ok := derived.Class(cl.class)
+		if !ok {
+			continue // parseBoundDecl already validated the class name
+		}
+		if !leqCost(got, cl.bound) {
+			pass.Reportf(fn.Pos(), "%s: derived %s %s cost %s exceeds declared bound %s",
+				funcDisplay(fn), mode, cl.class, got, cl.expr)
+		}
+	}
+}
+
+func funcDisplay(fn *ast.FuncDecl) string {
+	if fn.Recv != nil {
+		if recv := recvTypeName(fn); recv != "" {
+			return recv + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+// A BoundRow is one clause of the certified-bound table printed by
+// tradeoffvet -bounds: the declared obligation next to the derived cost.
+type BoundRow struct {
+	Pos      token.Position
+	Func     string // Pkg.Recv.Name display form
+	Mode     string // "worst-case" or "uncontended"
+	Class    string
+	Declared string
+	Derived  string
+	OK       bool
+}
+
+// BoundTable derives every declared bound in the given packages and
+// returns the comparison table, ordered by position. It marks the bound
+// annotations used, exactly as the stepbound pass does.
+func BoundTable(pkgs []*Package, prog *Program) []BoundRow {
+	var rows []BoundRow
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				for _, ann := range pkg.funcAnnotations("bound", pkg.Fset, fn) {
+					ann.markUsed()
+					rows = append(rows, boundRows(pkg, prog, fn, ann.Args)...)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+func boundRows(pkg *Package, prog *Program, fn *ast.FuncDecl, args string) []BoundRow {
+	pos := pkg.Fset.Position(fn.Pos())
+	name := pkg.Types.Name() + "." + funcDisplay(fn)
+	decl, err := parseBoundDecl(args)
+	if err != nil {
+		return []BoundRow{{Pos: pos, Func: name, Class: "?", Declared: args, Derived: "parse error: " + err.Error()}}
+	}
+	pf := prog.funcFor(pkg, fn)
+	if pf == nil {
+		return []BoundRow{{Pos: pos, Func: name, Class: "?", Declared: args, Derived: "unindexed declaration"}}
+	}
+	mode := modeWorst
+	if decl.uncontended {
+		mode = modeUncontended
+	}
+	derived := prog.Summary(pf, mode)
+	var rows []BoundRow
+	for _, cl := range decl.clauses {
+		got, _ := derived.Class(cl.class)
+		rows = append(rows, BoundRow{
+			Pos:      pos,
+			Func:     name,
+			Mode:     mode.String(),
+			Class:    cl.class,
+			Declared: cl.expr,
+			Derived:  got.String(),
+			OK:       leqCost(got, cl.bound),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,103 @@
+// Package obs is an atomicprotocol fixture: compliant seqlock writers and
+// readers stay silent; stores outside the critical section, unpaired
+// acquire/release, missing reader revalidation, atomic value copies and
+// mixed atomic/plain access are all flagged.
+package obs
+
+import "sync/atomic"
+
+// ring follows the flight-ring seqlock discipline: the atomic field named
+// seq marks the protocol.
+type ring struct {
+	seq  atomic.Uint64
+	data atomic.Int64
+	aux  atomic.Int64
+}
+
+// goodWriter brackets every sibling store with acquire and release.
+func goodWriter(r *ring, v int64) {
+	r.seq.Store(0)
+	r.data.Store(v)
+	r.aux.Store(v)
+	r.seq.Store(2)
+}
+
+// goodReader loads seq before and after the field loads and retries.
+func goodReader(r *ring) int64 {
+	for {
+		s1 := r.seq.Load()
+		v := r.data.Load()
+		if r.seq.Load() == s1 && s1 != 0 {
+			return v
+		}
+	}
+}
+
+// badWriter stores a sibling field before acquiring.
+func badWriter(r *ring, v int64) {
+	r.data.Store(v) // want "outside the seqlock critical section"
+	r.seq.Store(0)
+	r.aux.Store(v)
+	r.seq.Store(2)
+}
+
+// releaseOnly publishes a sequence it never acquired.
+func releaseOnly(r *ring, v int64) {
+	r.seq.Store(2)  // want "without a preceding seq.Store(0) acquire"
+	r.data.Store(v) // want "outside the seqlock critical section"
+}
+
+// neverReleased leaves readers spinning on seq==0.
+func neverReleased(r *ring, v int64) {
+	r.seq.Store(0)
+	r.data.Store(v) // want "acquired but never released"
+}
+
+// unvalidatedReader could return a torn read.
+func unvalidatedReader(r *ring) int64 {
+	return r.data.Load() // want "lack seqlock revalidation"
+}
+
+// initRing deliberately bends the protocol: single-goroutine setup.
+func initRing(r *ring, v int64) {
+	//tradeoffvet:seqlock fixture: single-goroutine initializer, no concurrent readers yet
+	r.data.Store(v)
+}
+
+// counters is an atomic cell outside any seqlock protocol.
+type counters struct {
+	n atomic.Int64
+}
+
+// copyValue forks the cell.
+func copyValue(c *counters) int64 {
+	v := c.n // want "used as a plain value"
+	return v.Load()
+}
+
+// useShared is the sanctioned access: methods on the shared cell.
+func useShared(c *counters) int64 {
+	return c.n.Load()
+}
+
+// rangeValue copies each element into the loop variable.
+func rangeValue(cs []atomic.Int64) int64 {
+	var sum int64
+	for _, c := range cs { // want "ranging with a value variable copies"
+		sum += c.Load()
+	}
+	return sum
+}
+
+// hits is accessed with the function-style atomic API.
+var hits int64
+
+// bump is the atomic side.
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// reset races with every atomic access.
+func reset() {
+	hits = 0 // want "written plainly but accessed atomically"
+}

@@ -1,0 +1,22 @@
+// Package app is a padalign fixture: dense pool allocation outside the
+// exempt packages is flagged; the padded arena and the annotated opt-out
+// stay silent.
+package app
+
+import "github.com/restricteduse/tradeoffs/internal/primitive"
+
+// Bad allocates an unpadded arena for hot-path registers.
+func Bad() *primitive.Pool {
+	return primitive.NewPool() // want "false-share"
+}
+
+// Good uses the cache-line padded arena.
+func Good() *primitive.Pool {
+	return primitive.NewPadded()
+}
+
+// Deliberate documents why the dense layout is wanted.
+func Deliberate() *primitive.Pool {
+	//tradeoffvet:unpadded fixture: dense layout is deliberate here
+	return primitive.NewPool()
+}

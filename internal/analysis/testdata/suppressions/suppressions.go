@@ -1,0 +1,16 @@
+// Package app is the stale-suppression fixture: one annotation padalign
+// actually consults, one annotation nothing consults.
+package app
+
+import "github.com/restricteduse/tradeoffs/internal/primitive"
+
+// Live carries an annotation the padalign pass consumes.
+func Live() *primitive.Pool {
+	//tradeoffvet:unpadded fixture: consulted by padalign
+	return primitive.NewPool()
+}
+
+// Dead carries an annotation no analyzer ever consults.
+//
+//tradeoffvet:outofband fixture: nothing reports here, so this is stale
+func Dead() {}

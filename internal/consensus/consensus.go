@@ -64,9 +64,9 @@ func (g Grade) String() string {
 type CommitAdopt struct {
 	n int
 	// round1[i] holds process i's announced input (0 = not yet).
-	round1 []*primitive.Register
+	round1 []*primitive.Register //tradeoffvet:param n one announce register per process
 	// round2[i] holds process i's graded report: value<<1 | cleanBit.
-	round2 []*primitive.Register
+	round2 []*primitive.Register //tradeoffvet:param n one report register per process
 }
 
 // maxValue is the largest proposable value (one bit is used for the grade).
@@ -86,6 +86,8 @@ func NewCommitAdopt(pool *primitive.Pool, n int) (*CommitAdopt, error) {
 
 // Propose runs the two announce-and-collect rounds. Each process may call
 // it at most once per object. 2 + 2N steps.
+//
+//tradeoffvet:bound steps<=2n+2 reads<=2n writes<=2
 func (ca *CommitAdopt) Propose(ctx primitive.Context, v int64) (Grade, int64, error) {
 	id := ctx.ID()
 	if id < 0 || id >= ca.n {
@@ -156,7 +158,7 @@ var ErrRoundsExhausted = errors.New("consensus: round budget exhausted")
 // max register, which is observability only).
 type Consensus struct {
 	n         int
-	maxRounds int
+	maxRounds int //tradeoffvet:param r construction-time round budget (restricted use)
 	rounds    []*CommitAdopt
 	decided   *primitive.Register
 	highRound *core.MaxRegister
@@ -199,6 +201,8 @@ func NewConsensus(pool *primitive.Pool, n, maxRounds int) (*Consensus, error) {
 // agreement — so a caller may return ErrRoundsExhausted under extreme
 // contention; retrying with backoff is the standard obstruction-free
 // remedy.
+//
+//tradeoffvet:bound steps<=r*(2n+4rf*logn+4)+1
 func (c *Consensus) Propose(ctx primitive.Context, v int64) (int64, error) {
 	if d := ctx.Read(c.decided); d != 0 {
 		return d, nil
@@ -226,12 +230,16 @@ func (c *Consensus) Propose(ctx primitive.Context, v int64) (int64, error) {
 }
 
 // Decided returns the decided value, or 0 if undecided so far. One step.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (c *Consensus) Decided(ctx primitive.Context) int64 {
 	return ctx.Read(c.decided)
 }
 
 // HighRound returns the highest round any process has finished without a
 // commit: a contention gauge. One step (Algorithm A read).
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (c *Consensus) HighRound(ctx primitive.Context) int64 {
 	return c.highRound.ReadMax(ctx)
 }

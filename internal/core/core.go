@@ -45,7 +45,7 @@ type MaxRegister struct {
 	bound int64
 	// refreshes is the number of read-compute-CAS rounds per level in
 	// Propagate: 2 for the real algorithm, 1 for the ablation variant.
-	refreshes int
+	refreshes int //tradeoffvet:param rf refresh rounds per level (2 for Algorithm A)
 
 	tree *b1tree.Tree
 	// values[k] is the register of tree.Nodes[k].
@@ -148,13 +148,18 @@ func (m *MaxRegister) Processes() int { return m.n }
 
 // ReadMax implements maxreg.MaxRegister in exactly one shared-memory step
 // (paper Algorithm A, line 2).
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (m *MaxRegister) ReadMax(ctx primitive.Context) int64 {
 	return ctx.Read(m.values[m.tree.Root.Index])
 }
 
 // WriteMax implements maxreg.MaxRegister (paper Algorithm A, lines 10-18).
 // It issues O(min(log N, log v)) steps: at most 2 at the leaf plus 8 per
-// tree level on the leaf-to-root path.
+// tree level on the leaf-to-root path (logn = leaf depth, rf = 2 refreshes
+// per level, so 4rf*logn+2 = 8logn+2).
+//
+//tradeoffvet:bound steps<=4rf*logn+2 reads<=3rf*logn+1 writes<=1 cas<=rf*logn
 func (m *MaxRegister) WriteMax(ctx primitive.Context, v int64) error {
 	if v < 0 || (m.bound > 0 && v >= m.bound) {
 		return &maxreg.RangeError{Value: v, Bound: m.bound}
@@ -188,6 +193,7 @@ func (m *MaxRegister) WriteMax(ctx primitive.Context, v int64) error {
 // means a concurrent successful CAS, and the second failure's winner must
 // have read the children after our child value was in place.
 func (m *MaxRegister) propagate(ctx primitive.Context, n *b1tree.Node) {
+	//tradeoffvet:loopbound logn leaf-to-root walk: one iteration per tree level
 	for node := n.Parent; node != nil; node = node.Parent {
 		cell := m.values[node.Index]
 		left := m.values[node.Left.Index]

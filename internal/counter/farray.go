@@ -36,11 +36,15 @@ func NewFArray(pool *primitive.Pool, n int) (*FArray, error) {
 func (c *FArray) Limit() int64 { return 0 }
 
 // Read implements Counter in exactly one step.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (c *FArray) Read(ctx primitive.Context) int64 {
 	return c.fa.Read(ctx)
 }
 
 // Increment implements Counter in O(log N) steps.
+//
+//tradeoffvet:bound steps<=8logn+2 updates<=2logn+1
 func (c *FArray) Increment(ctx primitive.Context) error {
 	return c.Add(ctx, 1)
 }
@@ -48,6 +52,8 @@ func (c *FArray) Increment(ctx primitive.Context) error {
 // Add implements Counter: delta increments land as one O(log N) update
 // (the f-array's slot write plus a single leaf-to-root refresh), which is
 // what makes batched increments amortize to O(log N / window) steps each.
+//
+//tradeoffvet:bound steps<=8logn+2 updates<=2logn+1
 func (c *FArray) Add(ctx primitive.Context, delta int64) error {
 	if delta < 0 {
 		return &NegativeDeltaError{Delta: delta}
@@ -95,17 +101,23 @@ func NewCAS(pool *primitive.Pool, limit int64) (*CAS, error) {
 func (c *CAS) Limit() int64 { return c.limit }
 
 // Read implements Counter in exactly one step.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (c *CAS) Read(ctx primitive.Context) int64 {
 	return ctx.Read(c.cell)
 }
 
 // Increment implements Counter with a CAS retry loop.
+//
+//tradeoffvet:bound steps<=2 uncontended
 func (c *CAS) Increment(ctx primitive.Context) error {
 	return c.Add(ctx, 1)
 }
 
 // Add implements Counter: one CAS applies the whole delta, so a batched
 // delta costs the same 2 uncontended steps as a single increment.
+//
+//tradeoffvet:bound steps<=2 uncontended
 func (c *CAS) Add(ctx primitive.Context, delta int64) error {
 	if delta < 0 {
 		return &NegativeDeltaError{Delta: delta}

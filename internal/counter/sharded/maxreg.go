@@ -43,6 +43,8 @@ func (m *MaxRegister) Bound() int64 { return m.bound }
 
 // ReadMax implements maxreg.MaxRegister: the maximum over a stable double
 // collect (0 if nothing has been written).
+//
+//tradeoffvet:bound steps<=2k+2 reads<=2k+2 uncontended
 func (m *MaxRegister) ReadMax(ctx primitive.Context) int64 {
 	vec := m.e.stableCollect(ctx, &m.e.slots[ctx.ID()])
 	var max int64
@@ -57,6 +59,8 @@ func (m *MaxRegister) ReadMax(ctx primitive.Context) int64 {
 // WriteMax implements maxreg.MaxRegister: CAS one stripe up to v. The
 // global maximum is the maximum over stripes, so raising any single
 // stripe to v (or finding one already past it) makes v covered.
+//
+//tradeoffvet:bound steps<=2 uncontended
 func (m *MaxRegister) WriteMax(ctx primitive.Context, v int64) error {
 	if v < 0 || (m.bound > 0 && v >= m.bound) {
 		return &maxreg.RangeError{Value: v, Bound: m.bound}
@@ -89,6 +93,7 @@ func (m *MaxRegister) WriteMax(ctx primitive.Context, v int64) error {
 		idx = int(s.probe & uint64(a-1))
 	}
 	s.act = a
+	//tradeoffvet:cost 0 amortized: the elasticity policy touches shared memory once per Window operations
 	e.window(ctx, s, contended)
 	return nil
 }

@@ -249,6 +249,7 @@ func (e *elastic) window(ctx primitive.Context, s *slot, contended bool) {
 // which stripes >= high were never touched.
 func (e *elastic) collect(ctx primitive.Context, buf []int64) int64 {
 	h := ctx.Read(e.high)
+	//tradeoffvet:loopbound k high-water stripe count: the read-side collect range
 	for i := int64(0); i < h; i++ {
 		buf[i] = ctx.Read(e.stripes[i])
 	}
@@ -333,6 +334,8 @@ func (c *Counter) Limit() int64 { return 0 }
 
 // Read implements counter.Counter: a stable double collect over the
 // stripes, summed.
+//
+//tradeoffvet:bound steps<=2k+2 reads<=2k+2 uncontended
 func (c *Counter) Read(ctx primitive.Context) int64 {
 	vec := c.e.stableCollect(ctx, &c.e.slots[ctx.ID()])
 	var sum int64
@@ -343,6 +346,8 @@ func (c *Counter) Read(ctx primitive.Context) int64 {
 }
 
 // Increment implements counter.Counter.
+//
+//tradeoffvet:bound steps<=2 uncontended
 func (c *Counter) Increment(ctx primitive.Context) error {
 	return c.Add(ctx, 1)
 }
@@ -351,6 +356,8 @@ func (c *Counter) Increment(ctx primitive.Context) error {
 // with one CAS, so batched deltas cost the same as single increments. On
 // CAS failure the process rehashes to another stripe; repeated failures
 // grow the active set.
+//
+//tradeoffvet:bound steps<=2 uncontended
 func (c *Counter) Add(ctx primitive.Context, delta int64) error {
 	if delta < 0 {
 		return &counter.NegativeDeltaError{Delta: delta}
@@ -383,6 +390,7 @@ func (c *Counter) Add(ctx primitive.Context, delta int64) error {
 		idx = int(s.probe & uint64(a-1))
 	}
 	s.act = a
+	//tradeoffvet:cost 0 amortized: the elasticity policy touches shared memory once per Window operations
 	e.window(ctx, s, contended)
 	return nil
 }

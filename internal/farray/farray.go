@@ -156,11 +156,15 @@ func (f *FArray) Slots() int { return f.n }
 func (f *FArray) AggregateKind() Aggregate { return f.agg }
 
 // Read returns the aggregate over all slots in exactly one step.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (f *FArray) Read(ctx primitive.Context) int64 {
 	return ctx.Read(f.values[f.tree.Root.Index])
 }
 
 // ReadSlot returns the current value of slot i in one step.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (f *FArray) ReadSlot(ctx primitive.Context, i int) (int64, error) {
 	if i < 0 || i >= f.n {
 		return 0, fmt.Errorf("farray: slot %d out of range [0,%d)", i, f.n)
@@ -176,6 +180,8 @@ func (f *FArray) ReadSlot(ctx primitive.Context, i int) (int64, error) {
 // value for Sum/Max, <= for Min); Update is single-writer, so the owning
 // process always knows the current value and well-behaved callers never
 // trip the MonotonicityError.
+//
+//tradeoffvet:bound steps<=8logn+2 reads<=6logn+1 writes<=1 cas<=2logn
 func (f *FArray) Update(ctx primitive.Context, v int64) error {
 	i := ctx.ID()
 	if i < 0 || i >= f.n {
@@ -197,6 +203,8 @@ func (f *FArray) Update(ctx primitive.Context, v int64) error {
 
 // Add increases the calling process's slot by delta >= 0 and returns the
 // slot's new value. O(log n) steps. Sum and Max aggregates only.
+//
+//tradeoffvet:bound steps<=8logn+2 reads<=6logn+1 writes<=1 cas<=2logn
 func (f *FArray) Add(ctx primitive.Context, delta int64) (int64, error) {
 	if delta < 0 {
 		return 0, fmt.Errorf("farray: negative delta %d", delta)
@@ -220,6 +228,7 @@ func (f *FArray) Add(ctx primitive.Context, delta int64) (int64, error) {
 
 // refreshPath applies the double refresh at every ancestor of leaf.
 func (f *FArray) refreshPath(ctx primitive.Context, leaf *b1tree.Node) {
+	//tradeoffvet:loopbound logn leaf-to-root walk: one iteration per tree level
 	for node := leaf.Parent; node != nil; node = node.Parent {
 		cell := f.values[node.Index]
 		left := f.values[node.Left.Index]

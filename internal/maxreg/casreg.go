@@ -41,11 +41,15 @@ func NewCASRegister(pool *primitive.Pool, bound int64) (*CASRegister, error) {
 func (m *CASRegister) Bound() int64 { return m.bound }
 
 // ReadMax implements MaxRegister in exactly one step.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (m *CASRegister) ReadMax(ctx primitive.Context) int64 {
 	return ctx.Read(m.cell)
 }
 
 // WriteMax implements MaxRegister with a CAS retry loop (lock-free).
+//
+//tradeoffvet:bound steps<=2 uncontended
 func (m *CASRegister) WriteMax(ctx primitive.Context, v int64) error {
 	if err := checkRange(v, m.bound); err != nil {
 		return err

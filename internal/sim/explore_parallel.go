@@ -62,7 +62,8 @@ type Build func(rec *Recycler) (*System, error)
 // workers and is returned alongside the number of executions counted so
 // far.
 //
-//tradeoffvet:outofband the worker pool is scheduler-side concurrency: real goroutines exploring simulated schedules, outside the paper's step accounting
+// The worker pool is scheduler-side concurrency: real goroutines exploring
+// simulated schedules, outside the paper's step accounting.
 func ExploreParallel(build Build, check func(*System) error, opts Options) (int, error) {
 	workers := opts.Workers
 	if workers <= 0 {

@@ -15,7 +15,7 @@ import (
 // A Recycler is NOT safe for concurrent use. ExploreParallel gives each
 // worker its own.
 //
-//tradeoffvet:outofband scheduler-side scaffolding reuse; no model step is involved
+// A Recycler is scheduler-side scaffolding reuse; no model step is involved.
 type Recycler struct {
 	shells []systemShell
 	procs  []*proc

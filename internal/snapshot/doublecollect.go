@@ -22,7 +22,7 @@ const maxDCValue = 1<<31 - 1
 // updates.
 type DoubleCollect struct {
 	n    int
-	segs []*primitive.Register
+	segs []*primitive.Register //tradeoffvet:param n one single-writer segment per process
 
 	// scratch[i] is process i's private collect buffers, reused across
 	// Scans so the hot path stays allocation-free. The single-writer
@@ -61,6 +61,8 @@ func (s *DoubleCollect) Components() int { return s.n }
 
 // Update implements Snapshot in exactly 2 steps. Values must be in
 // [0, 2^31).
+//
+//tradeoffvet:bound steps<=2 reads<=1 writes<=1
 func (s *DoubleCollect) Update(ctx primitive.Context, v int64) error {
 	id, err := checkID(ctx, s.n)
 	if err != nil {
@@ -80,6 +82,8 @@ func (s *DoubleCollect) Update(ctx primitive.Context, v int64) error {
 // The returned slice is freshly allocated (caller-owned, per the Snapshot
 // contract); the collects themselves reuse per-process scratch. Use
 // ScanInto or ScanView for a fully allocation-free read.
+//
+//tradeoffvet:bound steps<=2n reads<=2n uncontended
 func (s *DoubleCollect) Scan(ctx primitive.Context) []int64 {
 	out := make([]int64, 0, s.n)
 	return s.ScanInto(ctx, out)
@@ -89,6 +93,8 @@ func (s *DoubleCollect) Scan(ctx primitive.Context) []int64 {
 // caller-reused dst of capacity >= Components(), the whole read is
 // allocation-free. It returns the filled slice (reallocated only if dst was
 // too small).
+//
+//tradeoffvet:bound steps<=2n reads<=2n uncontended
 func (s *DoubleCollect) ScanInto(ctx primitive.Context, dst []int64) []int64 {
 	dst = dst[:0]
 	for _, w := range s.scanWords(ctx) {
@@ -100,6 +106,8 @@ func (s *DoubleCollect) ScanInto(ctx primitive.Context, dst []int64) []int64 {
 // ScanView implements Viewer: the view is the process's scratch buffer,
 // valid only until its next Scan/ScanInto/ScanView and never to be
 // modified. Scanners with ids outside [0, Components()) allocate instead.
+//
+//tradeoffvet:bound steps<=2n reads<=2n uncontended
 func (s *DoubleCollect) ScanView(ctx primitive.Context) []int64 {
 	words := s.scanWords(ctx)
 	// Decode into a third buffer: words doubles as the next collect's

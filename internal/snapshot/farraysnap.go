@@ -78,6 +78,8 @@ func (s *FArray) Components() int { return s.n }
 // Scan implements Snapshot in exactly one shared-memory step. The returned
 // slice is a fresh copy (caller-owned, per the Snapshot contract); ScanView
 // reads the same cut without copying.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (s *FArray) Scan(ctx primitive.Context) []int64 {
 	view := s.ScanView(ctx)
 	out := make([]int64, len(view))
@@ -91,6 +93,8 @@ func (s *FArray) Scan(ctx primitive.Context) []int64 {
 // slots that are never modified after publication, so the slice may be
 // retained — but must never be written. (The degenerate single-leaf tree
 // has no arena view and synthesizes a one-element slice.)
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (s *FArray) ScanView(ctx primitive.Context) []int64 {
 	root := s.tree.Root
 	if root.IsLeaf() {
@@ -102,6 +106,8 @@ func (s *FArray) ScanView(ctx primitive.Context) []int64 {
 // ScanInto is Scan appending into dst (reset to length zero): with a
 // caller-reused dst of capacity >= Components(), the whole read is
 // allocation-free even for single-leaf trees.
+//
+//tradeoffvet:bound steps<=1 reads<=1
 func (s *FArray) ScanInto(ctx primitive.Context, dst []int64) []int64 {
 	dst = dst[:0]
 	root := s.tree.Root
@@ -111,7 +117,10 @@ func (s *FArray) ScanInto(ctx primitive.Context, dst []int64) []int64 {
 	return append(dst, *s.views.get(ctx.Read(s.regs[root.Index]))...)
 }
 
-// Update implements Snapshot in O(log N) steps.
+// Update implements Snapshot in O(log N) steps: one leaf write plus two
+// read-merge-CAS refreshes per level, each merge reading both children.
+//
+//tradeoffvet:bound steps<=8logn+1 reads<=6logn writes<=1 cas<=2logn
 func (s *FArray) Update(ctx primitive.Context, v int64) error {
 	id, err := checkID(ctx, s.n)
 	if err != nil {
@@ -120,6 +129,7 @@ func (s *FArray) Update(ctx primitive.Context, v int64) error {
 	leaf := s.tree.Leaves[id]
 	ctx.Write(s.regs[leaf.Index], v)
 
+	//tradeoffvet:loopbound logn leaf-to-root walk: one iteration per tree level
 	for node := leaf.Parent; node != nil; node = node.Parent {
 		cell := s.regs[node.Index]
 		for attempt := 0; attempt < 2; attempt++ {
