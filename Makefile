@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race race-sim race-flight vet lint vet-json bounds bench bench-json explore-bench contention-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
+.PHONY: all test race race-sim race-flight vet lint vet-json bounds bench bench-json explore-bench contention-bench dpor-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
 
 all: vet lint test
 
@@ -12,9 +12,20 @@ race:
 
 # Targeted race pass over the simulator: the work-stealing exploration
 # engine and recycler are the repo's only scheduler-side concurrency, so
-# this is the fast smoke CI runs on every push.
+# this is the fast smoke CI runs on every push. The simtrace invocations
+# run the DPOR coverage cross-check (sim.CrossCheckReduction) at smoke
+# size on every config: reduced and unreduced exploration must visit the
+# same set of Mazurkiewicz trace classes — see docs/exploration.md.
+# The counter seeds are chosen so the random workloads draw increments,
+# not just reads (the default seed happens to draw all-reads at n=2
+# ops=2, which collapses to one trace class and checks nothing): seed 2
+# on cas is full=56 reduced=19 classes=16, seed 4 on farray is full=78
+# reduced=6 classes=6, and algorithm-a is full=210 reduced=6 (35x).
 race-sim:
 	$(GO) test -race ./internal/sim/...
+	$(GO) run ./cmd/simtrace -object counter -impl cas -n 2 -ops 2 -seed 2 -crosscheck
+	$(GO) run ./cmd/simtrace -object counter -impl farray -n 2 -ops 2 -seed 4 -crosscheck
+	$(GO) run ./cmd/simtrace -object maxreg -impl algorithm-a -n 2 -ops 2 -crosscheck
 
 # Targeted race pass over the flight recorder: the seqlock rings, hybrid
 # clock, and monitor goroutine are the observability layer's only
@@ -91,6 +102,16 @@ contention-bench:
 	$(GO) run ./cmd/benchjson -suite contention -out $(CONTENTION_BENCH_OUT) -pretty $(CONTENTION_BENCH_FLAGS)
 	$(GO) run ./cmd/benchjson -check $(CONTENTION_BENCH_OUT)
 
+# Dynamic partial-order reduction suite (the E14 experiment): unreduced
+# sim.Explore vs sleep-set sim.ExploreReduced vs parallel reduced engines
+# over the reference workloads -> $(DPOR_BENCH_OUT). Shrink with e.g.
+# DPOR_BENCH_FLAGS="-procs 2 -steps 2 -workers 1".
+DPOR_BENCH_OUT ?= DPOR_BENCH.json
+DPOR_BENCH_FLAGS ?=
+dpor-bench:
+	$(GO) run ./cmd/benchjson -suite dpor -out $(DPOR_BENCH_OUT) -pretty $(DPOR_BENCH_FLAGS)
+	$(GO) run ./cmd/benchjson -check $(DPOR_BENCH_OUT)
+
 # --- Continuous perf tracking (see docs/benchmarking.md) ---------------
 
 # CI-sized workloads: must match the committed baselines in dev/bench/ci/
@@ -98,6 +119,10 @@ contention-bench:
 BENCH_CI_THROUGHPUT_FLAGS = -procs 4 -ops 500
 BENCH_CI_EXPLORE_FLAGS = -procs 2 -steps 2 -workers 1,2
 BENCH_CI_CONTENTION_FLAGS = -workers 1,2,4,8 -ops 500
+# The dpor suite gates one process AND one step beyond the explore smoke
+# (3x3 vs 2x2): reduction is what makes the bigger model-check config
+# affordable in CI, and gating it at that size keeps the claim honest.
+BENCH_CI_DPOR_FLAGS = -procs 3 -steps 3 -workers 1,2
 
 # Gate thresholds for CI-sized runs: wall-clock metrics are mostly noise
 # at smoke size (the flight-overhead ratio was observed anywhere from
@@ -127,6 +152,9 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -suite contention $(BENCH_CI_CONTENTION_FLAGS) \
 		-gate dev/bench/ci/contention.json $(BENCH_GATE_FLAGS) \
 		-out contention-ci.json -delta contention-ci-delta.json
+	$(GO) run ./cmd/benchjson -suite dpor $(BENCH_CI_DPOR_FLAGS) \
+		-gate dev/bench/ci/dpor.json $(BENCH_GATE_FLAGS) \
+		-out dpor-ci.json -delta dpor-ci-delta.json
 
 # Profiled CI-sized runs of both suites: CPU pprof + execution trace per
 # suite into bench-profiles/ (reports land there too, so the profile can
@@ -138,6 +166,8 @@ bench-profile:
 		-out bench-profiles/explore.json -profile bench-profiles
 	$(GO) run ./cmd/benchjson -suite contention $(BENCH_CI_CONTENTION_FLAGS) \
 		-out bench-profiles/contention.json -profile bench-profiles
+	$(GO) run ./cmd/benchjson -suite dpor $(BENCH_CI_DPOR_FLAGS) \
+		-out bench-profiles/dpor.json -profile bench-profiles
 
 # Refresh the committed CI baselines after an intentional perf change
 # (the "bless" step — commit the result together with the change that
@@ -149,6 +179,8 @@ bench-ci-baselines:
 		-out dev/bench/ci/explore.json -pretty -commit "$$(git rev-parse HEAD)"
 	$(GO) run ./cmd/benchjson -suite contention $(BENCH_CI_CONTENTION_FLAGS) \
 		-out dev/bench/ci/contention.json -pretty -commit "$$(git rev-parse HEAD)"
+	$(GO) run ./cmd/benchjson -suite dpor $(BENCH_CI_DPOR_FLAGS) \
+		-out dev/bench/ci/dpor.json -pretty -commit "$$(git rev-parse HEAD)"
 
 # Full-size runs of both suites, appended to the committed time-series at
 # the current HEAD (refreshing the top-level baseline files so they stay
@@ -159,6 +191,8 @@ bench-append:
 	$(GO) run ./cmd/benchjson -suite explore -out EXPLORE_BENCH.json -pretty \
 		-append dev/bench/data.json -commit "$$(git rev-parse HEAD)"
 	$(GO) run ./cmd/benchjson -suite contention -out CONTENTION_BENCH.json -pretty \
+		-append dev/bench/data.json -commit "$$(git rev-parse HEAD)"
+	$(GO) run ./cmd/benchjson -suite dpor -out DPOR_BENCH.json -pretty \
 		-append dev/bench/data.json -commit "$$(git rev-parse HEAD)"
 	$(MAKE) bench-dash
 

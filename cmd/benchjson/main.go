@@ -2,8 +2,9 @@
 // report (BENCH_PR2.json by default), the artifact `make bench-json`
 // produces. -suite picks the throughput suite (default), the
 // schedule-exploration scaling suite (`explore`, behind
-// `make explore-bench`), or the flat-vs-sharded counter contention
-// sweep (`contention`, behind `make contention-bench`).
+// `make explore-bench`), the flat-vs-sharded counter contention
+// sweep (`contention`, behind `make contention-bench`), or the
+// partial-order-reduction suite (`dpor`, behind `make dpor-bench`).
 //
 // On top of the one-shot report it drives the continuous perf-tracking
 // layer (docs/benchmarking.md):
@@ -52,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		out     = fs.String("out", "BENCH_PR2.json", "output path, or - for stdout")
-		suite   = fs.String("suite", "throughput", "suite to run: throughput, explore, or contention")
+		suite   = fs.String("suite", "throughput", "suite to run: throughput, explore, contention, or dpor")
 		procs   = fs.Int("procs", 0, "processes per workload; 0 = suite default (8 throughput, 3 explore)")
 		ops     = fs.Int("ops", 0, "operations per process (throughput/contention); 0 = 20000")
 		steps   = fs.Int("steps", 0, "events per simulated process (explore); 0 = 4")
@@ -261,9 +262,23 @@ func freshReport(fs *flag.FlagSet, against, suite string, procs, ops, steps int,
 				Seed:         seed,
 			})
 		}
+	case bench.SuiteDpor:
+		if workers == "" {
+			workers = "1,2,4"
+		}
+		var ws []int
+		ws, err = bench.ParseWorkers(workers)
+		if err == nil {
+			rep, err = bench.RunDpor(bench.DporConfig{
+				Procs:   procs,
+				Steps:   steps,
+				Workers: ws,
+				Budget:  budget,
+			})
+		}
 	default:
-		err = fmt.Errorf("unknown suite %q (want %s, %s, or %s)",
-			suite, bench.SuiteThroughput, bench.SuiteExplore, bench.SuiteContention)
+		err = fmt.Errorf("unknown suite %q (want %s, %s, %s, or %s)",
+			suite, bench.SuiteThroughput, bench.SuiteExplore, bench.SuiteContention, bench.SuiteDpor)
 	}
 	if stopProfiles != nil {
 		if perr := stopProfiles(); perr != nil && err == nil {

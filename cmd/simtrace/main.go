@@ -37,6 +37,13 @@
 // EVERY schedule of the workload via sim.ExploreParallel: -workers sets the
 // work-stealing pool size (0 = GOMAXPROCS) and -budget caps the number of
 // complete executions. Keep -n and -ops tiny; the tree grows factorially.
+//
+// -dpor (with -explore) turns on dynamic partial-order reduction: the
+// engine visits one representative per Mazurkiewicz trace class instead of
+// every interleaving (sim.Options.Reduce). -crosscheck instead runs BOTH
+// engines and verifies the reduced run covered every trace class of the
+// full run (sim.CrossCheckReduction) — the soundness check `make race-sim`
+// executes at smoke size. See docs/exploration.md.
 package main
 
 import (
@@ -79,6 +86,8 @@ type traceConfig struct {
 	format      string
 	quiet       bool
 	explore     bool
+	dpor        bool
+	crosscheck  bool
 	workers     int
 	budget      int
 	fromHistory string
@@ -96,6 +105,8 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.format, "format", "text", "output format: text or trace-json (Chrome trace events for Perfetto)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-event log (text format)")
 	fs.BoolVar(&cfg.explore, "explore", false, "exhaustively explore EVERY schedule of the workload instead of running one")
+	fs.BoolVar(&cfg.dpor, "dpor", false, "with -explore: dynamic partial-order reduction (one representative per trace class)")
+	fs.BoolVar(&cfg.crosscheck, "crosscheck", false, "run reduced AND unreduced exploration and verify trace-class coverage (implies -explore)")
 	fs.IntVar(&cfg.workers, "workers", 0, "exploration worker goroutines (-explore); 0 = GOMAXPROCS")
 	fs.IntVar(&cfg.budget, "budget", 1_000_000, "max complete executions before -explore aborts")
 	fs.StringVar(&cfg.fromHistory, "from-history", "", "render a flight-recorder history dump (tradeoffs/flight/v1 JSON; \"-\" = stdin) instead of simulating")
@@ -109,6 +120,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q (want text or trace-json)", cfg.format)
 	}
 
+	if cfg.crosscheck {
+		cfg.explore = true
+	}
+	if cfg.dpor && !cfg.explore {
+		return fmt.Errorf("-dpor requires -explore (reduction applies to exhaustive exploration)")
+	}
 	if cfg.fromHistory != "" {
 		if cfg.explore || cfg.sched == "theorem1" {
 			return fmt.Errorf("-from-history renders an existing dump; it is incompatible with -explore and -sched theorem1")
@@ -192,8 +209,13 @@ func runFromHistory(cfg traceConfig, out io.Writer) error {
 // runExplore exhaustively enumerates every schedule of the configured
 // workload through the work-stealing parallel engine, reporting the tree
 // size and exploration throughput. The per-process programs are the same
-// seeded random workloads runWorkload executes once.
+// seeded random workloads runWorkload executes once. -dpor switches the
+// engine to sleep-set partial-order reduction; -crosscheck runs reduced and
+// unreduced exploration and verifies trace-class coverage.
 func runExplore(cfg traceConfig, out io.Writer) error {
+	if cfg.crosscheck {
+		return runCrossCheck(cfg, out)
+	}
 	build := func(rec *sim.Recycler) (*sim.System, error) {
 		pool := rec.Pool()
 		programs, err := buildPrograms(cfg, pool)
@@ -210,7 +232,7 @@ func runExplore(cfg traceConfig, out io.Writer) error {
 	}
 	began := time.Now()
 	execs, err := sim.ExploreParallel(build, func(*sim.System) error { return nil },
-		sim.Options{Workers: cfg.workers, Budget: cfg.budget})
+		sim.Options{Workers: cfg.workers, Budget: cfg.budget, Reduce: cfg.dpor})
 	elapsed := time.Since(began)
 	if err != nil {
 		var be *sim.BudgetError
@@ -223,8 +245,45 @@ func runExplore(cfg traceConfig, out io.Writer) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Fprintf(out, "explored %d complete executions in %v (%.0f execs/sec, %d workers)\n",
-		execs, elapsed.Round(time.Millisecond), float64(execs)/elapsed.Seconds(), workers)
+	engine := "unreduced"
+	if cfg.dpor {
+		engine = "sleep-set reduced"
+	}
+	fmt.Fprintf(out, "explored %d complete executions in %v (%.0f execs/sec, %d workers, %s)\n",
+		execs, elapsed.Round(time.Millisecond), float64(execs)/elapsed.Seconds(), workers, engine)
+	return nil
+}
+
+// runCrossCheck runs both engines over the workload and verifies the
+// reduced exploration covered every Mazurkiewicz trace class of the full
+// one — the coverage soundness check behind `make race-sim`.
+func runCrossCheck(cfg traceConfig, out io.Writer) error {
+	build := func() (*sim.System, error) {
+		//tradeoffvet:unpadded deterministic simulator: one scheduler serializes every access, padding only wastes memory
+		pool := primitive.NewPool()
+		programs, err := buildPrograms(cfg, pool)
+		if err != nil {
+			return nil, err
+		}
+		s := sim.NewSystem()
+		for id, p := range programs {
+			if err := s.Spawn(id, p); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	began := time.Now()
+	stats, err := sim.CrossCheckReduction(build, cfg.budget)
+	elapsed := time.Since(began)
+	if err != nil {
+		var be *sim.BudgetError
+		if errors.As(err, &be) {
+			return fmt.Errorf("%w\n(shrink -n/-ops or raise -budget; the cross-check pays for BOTH explorations)", err)
+		}
+		return fmt.Errorf("cross-check FAILED: %w", err)
+	}
+	fmt.Fprintf(out, "cross-check passed in %v: %v\n", elapsed.Round(time.Millisecond), stats)
 	return nil
 }
 

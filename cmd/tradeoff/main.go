@@ -50,11 +50,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
 	var (
-		runList    = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10,e12 or all")
+		runList    = fs.String("run", "all", "comma-separated experiments to run: e1,e2,e3,e4,e5,e7,e9,e10,e12,e14 or all")
 		format     = fs.String("format", "text", "output format: text, markdown, or csv")
 		nsFlag     = fs.String("ns", "", "override process-count sweep for e1/e2/e5 (comma-separated)")
 		ksFlag     = fs.String("ks", "", "override K sweep for e3 (comma-separated)")
 		workersFlg = fs.String("workers", "1,2,4,8", "ExploreParallel worker-count sweep for e12 (comma-separated, counts >= 1)")
+		dporFlag   = fs.Bool("dpor", false, "run e12's exploration sweep under dynamic partial-order reduction (sleep sets)")
 		flightFlag = fs.Bool("flight", false, "also run the live flight-recorder experiment (fails on any linearizability violation)")
 		flightSmpl = fs.Int("flight-sample", 64, "flight recorder sampling rate: record 1 in N operations per process (1 = exact)")
 		flightWin  = fs.Int("flight-window", 1024, "flight recorder per-process ring capacity, in records")
@@ -140,7 +141,21 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return nil, fmt.Errorf("-workers: %w", err)
 			}
-			return bench.E12ExploreScaling(bench.ExploreConfig{Workers: workers})
+			return bench.E12ExploreScaling(bench.ExploreConfig{Workers: workers, Reduce: *dporFlag})
+		},
+		"e14": func() ([]*bench.Table, error) {
+			// The DPOR suite sweeps its own smaller default worker axis
+			// unless -workers overrides it; the unreduced baseline row pays
+			// for the full tree, so dimensions stay at the suite defaults.
+			var workers []int
+			if *workersFlg != "1,2,4,8" { // only honor an explicit override
+				var err error
+				workers, err = bench.ParseWorkers(*workersFlg)
+				if err != nil {
+					return nil, fmt.Errorf("-workers: %w", err)
+				}
+			}
+			return bench.E14DporReduction(bench.DporConfig{Workers: workers})
 		},
 	}
 	experiments["flight"] = func() ([]*bench.Table, error) {
@@ -149,7 +164,7 @@ func run(args []string, out io.Writer) error {
 			Window:      *flightWin,
 		})
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e7", "e9", "e10", "e12"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e7", "e9", "e10", "e12", "e14"}
 
 	var selected []string
 	if *runList == "all" {
@@ -158,7 +173,7 @@ func run(args []string, out io.Writer) error {
 		for _, name := range strings.Split(*runList, ",") {
 			name = strings.ToLower(strings.TrimSpace(name))
 			if _, ok := experiments[name]; !ok {
-				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10,e12,flight)", name)
+				return fmt.Errorf("unknown experiment %q (want e1,e2,e3,e4,e5,e7,e9,e10,e12,e14,flight)", name)
 			}
 			selected = append(selected, name)
 		}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDporProducesValidReport(t *testing.T) {
+	rep, err := RunDpor(DporConfig{Procs: 2, Steps: 2, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suite != SuiteDpor {
+		t.Fatalf("suite %q, want %q", rep.Suite, SuiteDpor)
+	}
+	if rep.Host == nil || rep.Host.GoMaxProcs < 1 {
+		t.Fatalf("host block missing gomaxprocs: %+v", rep.Host)
+	}
+	res := indexResults(rep)
+	for _, wl := range []string{"writers", "casinc", "mixed"} {
+		full, ok := res["dpor/"+wl+"/full"]
+		if !ok {
+			t.Fatalf("missing row dpor/%s/full", wl)
+		}
+		reduced, ok := res["dpor/"+wl+"/reduced"]
+		if !ok {
+			t.Fatalf("missing row dpor/%s/reduced", wl)
+		}
+		if reduced.Ops > full.Ops {
+			t.Errorf("%s: reduced visited %d executions, full visited %d", wl, reduced.Ops, full.Ops)
+		}
+		for _, w := range []string{"rw1", "rw2"} {
+			par, ok := res["dpor/"+wl+"/"+w]
+			if !ok {
+				t.Fatalf("missing row dpor/%s/%s", wl, w)
+			}
+			if par.Ops != reduced.Ops {
+				t.Errorf("%s/%s: parallel reduced visited %d executions, sequential reduced %d",
+					wl, w, par.Ops, reduced.Ops)
+			}
+		}
+	}
+	// Independent writers collapse to a single representative execution.
+	if got := res["dpor/writers/reduced"].Ops; got != 1 {
+		t.Errorf("writers reduced to %d executions, want 1", got)
+	}
+	if res["dpor/writers/full"].Ops != 6 { // C(4,2) interleavings of 2x2 writes
+		t.Errorf("writers full = %d executions, want 6", res["dpor/writers/full"].Ops)
+	}
+}
+
+func TestE14DporReductionTable(t *testing.T) {
+	tables, err := E14DporReduction(DporConfig{Procs: 2, Steps: 2, Workers: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E14" {
+		t.Fatalf("tables %+v, want one E14 table", tables)
+	}
+	tab := tables[0]
+	// 3 workloads x (full + reduced + rw1).
+	if len(tab.Rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(tab.Rows))
+	}
+	var sawCollapse bool
+	for _, row := range tab.Rows {
+		if row[0] == "writers" && row[1] == "reduced" {
+			if !strings.HasSuffix(row[3], "x") {
+				t.Fatalf("writers/reduced reduction column %v not a factor", row[3])
+			}
+			if row[3] != "6.0x" {
+				t.Fatalf("writers/reduced reduction = %v, want 6.0x", row[3])
+			}
+			sawCollapse = true
+		}
+	}
+	if !sawCollapse {
+		t.Fatal("no writers/reduced row in E14 table")
+	}
+}

@@ -67,6 +67,12 @@ type ExploreConfig struct {
 	Workers []int
 	// Budget caps complete executions per exploration (default 10,000,000).
 	Budget int
+	// Reduce switches every engine to dynamic partial-order reduction: the
+	// seq row becomes sim.ExploreReduced and the wN rows run ExploreParallel
+	// with Options.Reduce — the sweep then measures the reduced tree's
+	// scaling (cmd/tradeoff -run e12 -dpor). The dedicated dpor suite
+	// (RunDpor) measures reduced against unreduced instead.
+	Reduce bool
 }
 
 // exploreWorkload spawns one reference configuration's programs into s,
@@ -223,7 +229,11 @@ func RunExplore(cfg ExploreConfig) (*Report, error) {
 		var runErr error
 		m := labeled("explore/"+wl.name+"/seq", func() measurement {
 			return measure(func() {
-				seqExecs, runErr = sim.Explore(seqBuild, tally.check, cfg.Budget)
+				if cfg.Reduce {
+					seqExecs, runErr = sim.ExploreReduced(seqBuild, tally.check, cfg.Budget)
+				} else {
+					seqExecs, runErr = sim.Explore(seqBuild, tally.check, cfg.Budget)
+				}
 			})
 		})
 		if runErr != nil {
@@ -238,7 +248,7 @@ func RunExplore(cfg ExploreConfig) (*Report, error) {
 			m := labeled(fmt.Sprintf("explore/%s/w%d", wl.name, workers), func() measurement {
 				return measure(func() {
 					execs, runErr = sim.ExploreParallel(parBuild, tally.check,
-						sim.Options{Workers: workers, Budget: cfg.Budget})
+						sim.Options{Workers: workers, Budget: cfg.Budget, Reduce: cfg.Reduce})
 				})
 			})
 			if runErr != nil {
@@ -268,15 +278,23 @@ func E12ExploreScaling(cfg ExploreConfig) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	title := fmt.Sprintf("exhaustive exploration scaling (procs=%d steps=%d)", rep.Procs, rep.OpsPerProc)
+	if cfg.Reduce {
+		title = fmt.Sprintf("reduced exploration scaling (procs=%d steps=%d, sleep-set DPOR)", rep.Procs, rep.OpsPerProc)
+	}
 	t := &Table{
 		ID:      "E12",
-		Title:   fmt.Sprintf("exhaustive exploration scaling (procs=%d steps=%d)", rep.Procs, rep.OpsPerProc),
+		Title:   title,
 		Columns: []string{"workload", "engine", "executions", "wall_ms", "execs_per_sec", "speedup_vs_seq", "allocs_per_exec"},
 		Notes: []string{
 			"seq is the single-core reference sim.Explore; wN is ExploreParallel with N workers",
 			"the seq->w1 gap isolates replay reuse (recycled scaffolding + last-branch continuation) from parallelism",
 			fmt.Sprintf("measured at GOMAXPROCS=%d; on a single-core host the wN rows collapse onto w1 and the speedup is the replay-reuse ablation alone", rep.GoMaxProcs),
 		},
+	}
+	if cfg.Reduce {
+		t.Notes[0] = "seq is the single-core reduced reference sim.ExploreReduced; wN is ExploreParallel with N workers and Options.Reduce"
+		t.Notes = append(t.Notes, "every engine visits the sleep-set-pruned tree (one representative per Mazurkiewicz trace class); E14 measures reduced against unreduced")
 	}
 	seqWall := make(map[string]float64)
 	for _, r := range rep.Results {

@@ -98,8 +98,12 @@ type Delta struct {
 	// is apples to oranges and fails the gate outright.
 	ConfigMismatch bool   `json:"config_mismatch,omitempty"`
 	ConfigNote     string `json:"config_note,omitempty"`
-	Regressions    int    `json:"regressions"`
-	Pass           bool   `json:"pass"`
+	// Warnings flag measurement conditions that weaken the verdict without
+	// invalidating it — e.g. a parallelism-sensitive suite gated from a
+	// single-core host. Warnings never count as regressions.
+	Warnings    []string `json:"warnings,omitempty"`
+	Regressions int      `json:"regressions"`
+	Pass        bool     `json:"pass"`
 }
 
 // Flight-recorder row pair gated by MaxFlightOverhead.
@@ -123,6 +127,9 @@ func Gate(base, cur *Report, th Thresholds) *Delta {
 		d.ConfigMismatch = true
 		d.ConfigNote = note
 		d.Regressions++
+	}
+	if w := hostParallelismWarning(cur); w != "" {
+		d.Warnings = append(d.Warnings, w)
 	}
 
 	baseRows := make(map[string]Result, len(base.Results))
@@ -221,6 +228,33 @@ func configMismatch(base, cur *Report) string {
 	return ""
 }
 
+// hostParallelismWarning flags parallelism-sensitive suites measured
+// without parallelism: contention rows exist to show scaling across
+// workers, and explore/dpor worker-count ablations degenerate when every
+// worker shares one core. The comparison stays valid (same-machine noise
+// bounds still apply), so this is a warning, never a failure — but a
+// human reading the verdict should know the parallel rows measured
+// time-slicing, not concurrency. Empty when the condition does not hold
+// or the report predates host metadata.
+func hostParallelismWarning(cur *Report) string {
+	switch cur.Suite {
+	case SuiteExplore, SuiteContention, SuiteDpor:
+	default:
+		return ""
+	}
+	h := cur.Host
+	if h == nil {
+		return ""
+	}
+	if h.CPUs == 1 {
+		return fmt.Sprintf("suite %q gated from a single-core host (cpus=1): parallel rows measured time-slicing, not concurrency", cur.Suite)
+	}
+	if h.GoMaxProcs == 1 {
+		return fmt.Sprintf("suite %q gated with GOMAXPROCS=1 (cpus=%d): parallel rows measured time-slicing, not concurrency", cur.Suite, h.CPUs)
+	}
+	return ""
+}
+
 // flightOverheadDelta computes the sampled-recorder tax inside cur (and
 // the baseline's own tax for reference). Nil when cur lacks the row pair
 // (the explore suite, trimmed runs). rel < 0 disables the verdict.
@@ -260,6 +294,9 @@ func (d *Delta) Summary(w io.Writer) {
 		verdict = "FAIL"
 	}
 	fmt.Fprintf(w, "benchjson: gate %s (%d regression(s))\n", verdict, d.Regressions)
+	for _, warn := range d.Warnings {
+		fmt.Fprintf(w, "  ~ warning: %s\n", warn)
+	}
 	if d.ConfigMismatch {
 		fmt.Fprintf(w, "  ! config mismatch: %s (baseline and report measure different workloads)\n", d.ConfigNote)
 	}

@@ -38,6 +38,57 @@ func TestGateIdenticalReportsPass(t *testing.T) {
 	}
 }
 
+func TestGateWarnsOnSingleCoreParallelSuite(t *testing.T) {
+	// A parallelism-sensitive suite gated from a single-core host (or with
+	// GOMAXPROCS forced to 1) warns without failing; throughput and reports
+	// lacking host metadata stay silent.
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		warn   bool
+	}{
+		{"explore single core", func(r *Report) {
+			r.Suite = SuiteExplore
+			r.Host = &Host{CPUs: 1, GoMaxProcs: 1, OS: "linux", Arch: "amd64"}
+		}, true},
+		{"dpor gomaxprocs 1", func(r *Report) {
+			r.Suite = SuiteDpor
+			r.Host = &Host{CPUs: 8, GoMaxProcs: 1, OS: "linux", Arch: "amd64"}
+		}, true},
+		{"contention multicore", func(r *Report) {
+			r.Suite = SuiteContention
+			r.Host = &Host{CPUs: 8, GoMaxProcs: 8, OS: "linux", Arch: "amd64"}
+		}, false},
+		{"throughput single core", func(r *Report) {
+			r.Host = &Host{CPUs: 1, GoMaxProcs: 1, OS: "linux", Arch: "amd64"}
+		}, false},
+		{"explore no host block", func(r *Report) {
+			r.Suite = SuiteExplore
+			r.Host = nil
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := synthReport("aaa", tc.mutate)
+			cur := synthReport("bbb", tc.mutate)
+			d := gateOne(t, base, cur, DefaultThresholds())
+			if !d.Pass {
+				var buf bytes.Buffer
+				d.Summary(&buf)
+				t.Fatalf("warning condition must never fail the gate:\n%s", buf.String())
+			}
+			if got := len(d.Warnings) > 0; got != tc.warn {
+				t.Fatalf("warnings = %v, want warn=%v", d.Warnings, tc.warn)
+			}
+			var buf bytes.Buffer
+			d.Summary(&buf)
+			if printed := bytes.Contains(buf.Bytes(), []byte("~ warning")); printed != tc.warn {
+				t.Fatalf("summary warning line = %v, want %v:\n%s", printed, tc.warn, buf.String())
+			}
+		})
+	}
+}
+
 // findMetric returns the named metric of the named row, failing if absent.
 func findMetric(t *testing.T, d *Delta, row, metric string) MetricDelta {
 	t.Helper()

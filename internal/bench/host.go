@@ -19,18 +19,24 @@ type Host struct {
 	// CPUModel is the first "model name" line of /proc/cpuinfo, empty when
 	// unreadable (non-Linux, restricted container).
 	CPUModel string `json:"cpu_model,omitempty"`
-	OS       string `json:"os"`
-	Arch     string `json:"arch"`
+	// GoMaxProcs is runtime.GOMAXPROCS at measurement time — the parallelism
+	// the Go scheduler actually granted, which on cgroup-limited CI runners
+	// is often lower than CPUs. The gate warns when parallelism-sensitive
+	// suites (explore, contention, dpor) were measured at 1.
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
 }
 
 // ReadHost collects the current machine's Host block. It never fails:
 // unreadable fields are left zero.
 func ReadHost() *Host {
 	return &Host{
-		CPUs:     runtime.NumCPU(),
-		CPUModel: cpuModel(),
-		OS:       runtime.GOOS,
-		Arch:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
 	}
 }
 

@@ -84,7 +84,8 @@ func (s *Series) Validate() error {
 		if e.Commit == "" {
 			return fmt.Errorf("bench: series entry %d has no commit", i)
 		}
-		if e.Suite != SuiteThroughput && e.Suite != SuiteExplore && e.Suite != SuiteContention {
+		if e.Suite != SuiteThroughput && e.Suite != SuiteExplore &&
+			e.Suite != SuiteContention && e.Suite != SuiteDpor {
 			return fmt.Errorf("bench: series entry %d: unknown suite %q", i, e.Suite)
 		}
 		ts, err := time.Parse(time.RFC3339, e.Timestamp)
@@ -120,7 +121,8 @@ func (s *Series) Append(e SeriesEntry) error {
 	if e.Commit == "" {
 		return fmt.Errorf("bench: series entry needs a commit (use \"unknown\" to track anyway)")
 	}
-	if e.Suite != SuiteThroughput && e.Suite != SuiteExplore && e.Suite != SuiteContention {
+	if e.Suite != SuiteThroughput && e.Suite != SuiteExplore &&
+		e.Suite != SuiteContention && e.Suite != SuiteDpor {
 		return fmt.Errorf("bench: series entry: unknown suite %q", e.Suite)
 	}
 	ts, err := time.Parse(time.RFC3339, e.Timestamp)

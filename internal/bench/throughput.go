@@ -88,6 +88,7 @@ const (
 	SuiteThroughput = "throughput"
 	SuiteExplore    = "explore"
 	SuiteContention = "contention"
+	SuiteDpor       = "dpor"
 )
 
 // Report is the bench-json document.
@@ -120,9 +121,10 @@ func (r *Report) Validate() error {
 	if r.Schema != ReportSchema && r.Schema != ReportSchemaV1 {
 		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)", r.Schema, ReportSchema, ReportSchemaV1)
 	}
-	if r.Suite != "" && r.Suite != SuiteThroughput && r.Suite != SuiteExplore && r.Suite != SuiteContention {
-		return fmt.Errorf("bench: unknown suite %q (want %q, %q, or %q)",
-			r.Suite, SuiteThroughput, SuiteExplore, SuiteContention)
+	if r.Suite != "" && r.Suite != SuiteThroughput && r.Suite != SuiteExplore &&
+		r.Suite != SuiteContention && r.Suite != SuiteDpor {
+		return fmt.Errorf("bench: unknown suite %q (want %q, %q, %q, or %q)",
+			r.Suite, SuiteThroughput, SuiteExplore, SuiteContention, SuiteDpor)
 	}
 	if r.Timestamp != "" {
 		if _, err := time.Parse(time.RFC3339, r.Timestamp); err != nil {

@@ -4,10 +4,16 @@ import (
 	"fmt"
 )
 
-// BudgetError reports that an exploration visited more complete executions
+// BudgetError reports that an exploration reached more complete executions
 // than its budget allows. Prefix is the full schedule of the first
 // over-budget execution — the witness callers need to shrink a
 // configuration or raise the budget deliberately instead of guessing.
+//
+// The over-budget execution itself is neither counted nor checked: every
+// engine (Explore, ExploreReduced, ExploreParallel) guarantees that the
+// returned execution count equals the number of executions check ran on, so
+// the execution landing exactly on the budget boundary is always checked
+// before the error surfaces.
 type BudgetError struct {
 	Budget int
 	Prefix []int
@@ -28,13 +34,17 @@ func (e *BudgetError) Error() string {
 // registers) — the same requirement the adversary's erase-and-replay
 // surgery imposes.
 //
-// budget caps the number of complete executions; exceeding it returns a
-// *BudgetError carrying the offending schedule (exhaustive exploration
-// grows combinatorially, so configurations must be chosen small).
+// budget caps the number of complete executions; reaching another one
+// beyond the cap returns a *BudgetError carrying the offending schedule
+// (exhaustive exploration grows combinatorially, so configurations must be
+// chosen small). The execution that lands exactly on the budget boundary is
+// still checked and counted before the error can surface — the returned
+// count always equals the number of check calls, matching ExploreParallel.
 //
 // Explore is the single-core reference implementation; ExploreParallel
 // visits the identical execution set across a work-stealing worker pool
-// with replay reuse.
+// with replay reuse, and ExploreReduced visits one representative per
+// Mazurkiewicz trace equivalence class instead of every interleaving.
 func Explore(build func() (*System, error), check func(*System) error, budget int) (int, error) {
 	executions := 0
 
@@ -52,10 +62,14 @@ func Explore(build func() (*System, error), check func(*System) error, budget in
 		if active := s.Active(); len(active) != 0 {
 			return active, nil
 		}
-		executions++
-		if executions > budget {
+		// Budget test BEFORE counting: the first over-budget execution is
+		// the error witness, not a visited execution — it is neither counted
+		// nor checked, so the boundary execution (number == budget) always
+		// had check run on it before the error returns.
+		if executions >= budget {
 			return nil, &BudgetError{Budget: budget, Prefix: append([]int(nil), prefix...)}
 		}
+		executions++
 		if err := check(s); err != nil {
 			return nil, fmt.Errorf("sim: schedule %v: %w", prefix, err)
 		}

@@ -18,10 +18,22 @@ type Options struct {
 	Workers int
 
 	// Budget caps the number of complete executions, exactly like Explore's
-	// budget argument: visiting more aborts the exploration with a
-	// *BudgetError. Workers race toward the cap, so a handful of executions
-	// beyond Budget may have been visited by the time the error surfaces.
+	// budget argument: reaching one beyond the cap aborts the exploration
+	// with a *BudgetError. Workers race toward the cap, so executions beyond
+	// Budget may transiently be reached, but — matching the sequential
+	// engines — over-budget executions are neither counted nor checked: the
+	// returned count equals the number of check calls.
 	Budget int
+
+	// Reduce switches the engine to dynamic partial-order reduction: the
+	// work-stealing deques carry per-node sleep sets and the visited
+	// execution set shrinks from every interleaving to (at least) one
+	// representative per Mazurkiewicz trace equivalence class — the same
+	// set ExploreReduced visits sequentially. See ExploreReduced and
+	// docs/exploration.md; CrossCheckReduction verifies class coverage
+	// mechanically. With Reduce set, the execution count is compared
+	// against ExploreReduced, not Explore.
+	Reduce bool
 }
 
 // Build constructs one replay instance for parallel exploration. It must be
@@ -52,8 +64,11 @@ type Build func(rec *Recycler) (*System, error)
 // the number of tree nodes.
 //
 // The visited execution set is identical to Explore's (the tree is a
-// property of the programs, not of the workers); only the visit order
-// differs, so check must be order-insensitive. check runs concurrently on
+// property of the programs, not of the workers) — or, with Options.Reduce,
+// to ExploreReduced's: the sleep-set-pruned tree is likewise fixed by the
+// programs and the ascending sibling order, so reduction and work stealing
+// compose without changing what is visited. Only the visit order differs,
+// so check must be order-insensitive. check runs concurrently on
 // different workers (each call receives a different *System) and must not
 // retain the system, its events, or its schedule beyond the call — the
 // worker recycles them immediately after.
@@ -73,15 +88,16 @@ func ExploreParallel(build Build, check func(*System) error, opts Options) (int,
 		build:  build,
 		check:  check,
 		budget: opts.Budget,
+		reduce: opts.Reduce,
 		pool:   make([]*exploreWorker, workers),
 	}
 	for i := range e.pool {
 		e.pool[i] = &exploreWorker{rec: NewRecycler()}
 	}
 
-	// Seed worker 0 with the root prefix (the empty schedule).
+	// Seed worker 0 with the root node (the empty schedule, empty sleep set).
 	e.outstanding.Store(1)
-	e.pool[0].push(nil)
+	e.pool[0].push(frontierNode{})
 
 	var wg sync.WaitGroup
 	for i := range e.pool {
@@ -106,57 +122,66 @@ type exploreEngine struct {
 	build  Build
 	check  func(*System) error
 	budget int
+	reduce bool // sleep-set DPOR (Options.Reduce)
 
 	pool        []*exploreWorker
-	execs       atomic.Int64 // complete executions visited
-	outstanding atomic.Int64 // frontier prefixes queued or in flight
+	execs       atomic.Int64 // complete executions visited (and checked)
+	outstanding atomic.Int64 // frontier nodes queued or in flight
 	stop        atomic.Bool  // first-error (or budget) cancellation
 
 	errMu sync.Mutex
 	err   error
 }
 
-// exploreWorker owns one deque of frontier prefixes and one recycler. The
+// frontierNode is one queued subtree root: the schedule prefix reaching it
+// and — in reduced mode — the sleep set it was entered with (ascending
+// process ids; always nil when the engine is not reducing).
+type frontierNode struct {
+	prefix []int
+	sleep  []int
+}
+
+// exploreWorker owns one deque of frontier nodes and one recycler. The
 // deque is mutex-guarded: the owner touches it once per interior node and
 // thieves only when idle, so contention is negligible next to the channel
 // rendezvous of replaying a prefix.
 type exploreWorker struct {
 	mu    sync.Mutex
-	deque [][]int
+	deque []frontierNode
 	rec   *Recycler
 }
 
-// push appends a prefix at the owner's (tail) end.
-func (w *exploreWorker) push(prefix []int) {
+// push appends a node at the owner's (tail) end.
+func (w *exploreWorker) push(node frontierNode) {
 	w.mu.Lock()
-	w.deque = append(w.deque, prefix)
+	w.deque = append(w.deque, node)
 	w.mu.Unlock()
 }
 
-// pop removes the most recently pushed prefix (tail: depth-first).
-func (w *exploreWorker) pop() ([]int, bool) {
+// pop removes the most recently pushed node (tail: depth-first).
+func (w *exploreWorker) pop() (frontierNode, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := len(w.deque)
 	if n == 0 {
-		return nil, false
+		return frontierNode{}, false
 	}
 	p := w.deque[n-1]
-	w.deque[n-1] = nil
+	w.deque[n-1] = frontierNode{}
 	w.deque = w.deque[:n-1]
 	return p, true
 }
 
-// stealFrom removes the oldest prefix (head: the shallowest subtree, so a
+// stealFrom removes the oldest node (head: the shallowest subtree, so a
 // thief walks away with as much work as one handoff can carry).
-func (w *exploreWorker) stealFrom() ([]int, bool) {
+func (w *exploreWorker) stealFrom() (frontierNode, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.deque) == 0 {
-		return nil, false
+		return frontierNode{}, false
 	}
 	p := w.deque[0]
-	w.deque[0] = nil
+	w.deque[0] = frontierNode{}
 	w.deque = w.deque[1:]
 	return p, true
 }
@@ -169,9 +194,9 @@ func (e *exploreEngine) run(idx int) {
 		if e.stop.Load() {
 			return
 		}
-		prefix, ok := w.pop()
+		node, ok := w.pop()
 		if !ok {
-			prefix, ok = e.steal(idx)
+			node, ok = e.steal(idx)
 		}
 		if !ok {
 			if e.outstanding.Load() == 0 {
@@ -183,37 +208,43 @@ func (e *exploreEngine) run(idx int) {
 			time.Sleep(10 * time.Microsecond)
 			continue
 		}
-		e.descend(w, prefix)
+		e.descend(w, node)
 		e.outstanding.Add(-1)
 	}
 }
 
-// steal scans the other workers round-robin for a prefix to take.
-func (e *exploreEngine) steal(idx int) ([]int, bool) {
+// steal scans the other workers round-robin for a node to take.
+func (e *exploreEngine) steal(idx int) (frontierNode, bool) {
 	for i := 1; i < len(e.pool); i++ {
 		victim := e.pool[(idx+i)%len(e.pool)]
 		if p, ok := victim.stealFrom(); ok {
 			return p, ok
 		}
 	}
-	return nil, false
+	return frontierNode{}, false
 }
 
-// descend rebuilds a system, replays prefix, and drives the live system all
-// the way to a complete execution, pushing every non-final child
-// encountered on the way down as new frontier prefixes (last-branch
-// continuation: one rebuild per leaf, not per node).
-func (e *exploreEngine) descend(w *exploreWorker, prefix []int) {
+// descend rebuilds a system, replays the node's prefix, and drives the live
+// system all the way to a complete execution, pushing every non-final child
+// encountered on the way down as new frontier nodes (last-branch
+// continuation: one rebuild per leaf, not per node). In reduced mode the
+// children are the non-sleeping processes and each pushed node carries the
+// sleep set it must be entered with; which child the worker continues into
+// does not matter, because a child's sleep set depends only on the fixed
+// ascending sibling order, never on exploration order — that is what makes
+// sleep sets safe to partition across thieves.
+func (e *exploreEngine) descend(w *exploreWorker, node frontierNode) {
 	s, err := e.build(w.rec)
 	if err != nil {
 		e.fail(fmt.Errorf("sim: explore build: %w", err))
 		return
 	}
 	defer w.rec.Release(s)
-	if err := s.Run(prefix); err != nil {
+	if err := s.Run(node.prefix); err != nil {
 		e.fail(fmt.Errorf("sim: explore replay: %w", err))
 		return
 	}
+	sleep := node.sleep
 
 	for {
 		if e.stop.Load() {
@@ -221,8 +252,12 @@ func (e *exploreEngine) descend(w *exploreWorker, prefix []int) {
 		}
 		active := s.Active()
 		if len(active) == 0 {
+			// Budget test mirroring the sequential engines: the execution
+			// that would exceed the cap is un-counted again and reported,
+			// so the final count equals the number of check calls.
 			execs := e.execs.Add(1)
 			if execs > int64(e.budget) {
+				e.execs.Add(-1)
 				e.fail(&BudgetError{Budget: e.budget, Prefix: append([]int(nil), s.Schedule()...)})
 				return
 			}
@@ -231,17 +266,37 @@ func (e *exploreEngine) descend(w *exploreWorker, prefix []int) {
 			}
 			return
 		}
-		if len(active) > 1 {
+
+		next := active
+		var fps map[int]Footprint
+		if e.reduce {
+			next = removeSleeping(active, sleep)
+			if len(next) == 0 {
+				// Sleep-set blocked: every continuation commutes into an
+				// already-explored subtree. Not an execution; abandon.
+				return
+			}
+			fps = pendingFootprints(s, active)
+		}
+		if len(next) > 1 {
 			cur := s.Schedule()
-			for _, id := range active[:len(active)-1] {
+			for i, id := range next[:len(next)-1] {
 				child := make([]int, len(cur)+1)
 				copy(child, cur)
 				child[len(cur)] = id
+				var childSleep []int
+				if e.reduce {
+					childSleep = sleepAfter(sleep, next[:i], fps, id)
+				}
 				e.outstanding.Add(1)
-				w.push(child)
+				w.push(frontierNode{prefix: child, sleep: childSleep})
 			}
 		}
-		if _, err := s.Step(active[len(active)-1]); err != nil {
+		last := next[len(next)-1]
+		if e.reduce {
+			sleep = sleepAfter(sleep, next[:len(next)-1], fps, last)
+		}
+		if _, err := s.Step(last); err != nil {
 			e.fail(fmt.Errorf("sim: explore step: %w", err))
 			return
 		}

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 )
@@ -160,6 +162,66 @@ func TestExploreParallelBudget(t *testing.T) {
 	// The witness is a complete execution of the two 4-step writers.
 	if len(be.Prefix) != 8 {
 		t.Fatalf("BudgetError.Prefix = %v, want a complete 8-event schedule", be.Prefix)
+	}
+}
+
+func TestExploreParallelBudgetErrorShutdown(t *testing.T) {
+	// A budget overrun mid-exploration must (a) surface as the typed
+	// *BudgetError whose Prefix is a real, replayable complete schedule,
+	// (b) keep the count == checks invariant despite workers racing toward
+	// the cap, and (c) shut every worker and simulated-process goroutine
+	// down — no leaks for the race detector to chase.
+	before := runtime.NumGoroutine()
+
+	var checked atomic64
+	execs, err := ExploreParallel(buildTwoWritersRecycled(4), func(*System) error {
+		checked.inc()
+		return nil
+	}, Options{Workers: 8, Budget: 10})
+
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("budget overrun not reported as *BudgetError: %v", err)
+	}
+	if be.Budget != 10 {
+		t.Fatalf("BudgetError.Budget = %d, want 10", be.Budget)
+	}
+	if int64(execs) != checked.load() {
+		t.Fatalf("count %d != %d check calls — over-budget executions must be neither counted nor checked",
+			execs, checked.load())
+	}
+	if execs > 10 {
+		t.Fatalf("count %d exceeds the budget of 10", execs)
+	}
+
+	// The witness prefix must replay to a complete execution on a fresh
+	// system — a valid offending schedule, not a torn snapshot.
+	s, err := buildTwoWriters(4)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	if err := s.Run(be.Prefix); err != nil {
+		t.Fatalf("BudgetError.Prefix %v does not replay: %v", be.Prefix, err)
+	}
+	if len(s.Active()) != 0 || len(s.Events()) != 8 {
+		t.Fatalf("BudgetError.Prefix %v replayed to %d events with active %v, want a complete 8-event execution",
+			be.Prefix, len(s.Events()), s.Active())
+	}
+
+	// Worker pool and simulated processes must all have exited. Goroutine
+	// teardown is asynchronous after Shutdown returns the channels, so poll
+	// briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after budget shutdown: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

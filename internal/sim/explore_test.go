@@ -55,6 +55,43 @@ func TestExploreBudget(t *testing.T) {
 	}
 }
 
+func TestExploreBudgetBoundaryChecksEveryCountedExecution(t *testing.T) {
+	// Regression test for the budget boundary: the returned count must equal
+	// the number of check calls, and the first over-budget execution must be
+	// neither counted nor checked. The old code counted the over-budget
+	// execution before testing the cap, returning budget+1 with only budget
+	// checks — this test fails against that behavior.
+	checked := 0
+	execs, err := Explore(buildTwoWriters(4), func(*System) error {
+		checked++
+		return nil
+	}, 10)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("budget overrun not reported as *BudgetError: %v", err)
+	}
+	if execs != 10 {
+		t.Fatalf("returned count %d, want exactly the budget (10)", execs)
+	}
+	if checked != execs {
+		t.Fatalf("check ran %d times but count is %d — they must be equal", checked, execs)
+	}
+
+	// An exactly-fitting budget is not an overrun: the boundary execution is
+	// counted, checked, and no error surfaces.
+	checked = 0
+	execs, err = Explore(buildTwoWriters(3), func(*System) error {
+		checked++
+		return nil
+	}, 20)
+	if err != nil {
+		t.Fatalf("exact-fit budget reported an error: %v", err)
+	}
+	if execs != 20 || checked != 20 {
+		t.Fatalf("exact-fit budget: execs=%d checked=%d, want 20", execs, checked)
+	}
+}
+
 func TestExplorePropagatesCheckError(t *testing.T) {
 	sentinel := errors.New("boom")
 	_, err := Explore(buildTwoWriters(1), func(*System) error { return sentinel }, 100)

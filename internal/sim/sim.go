@@ -67,6 +67,7 @@ type Event struct {
 	Proc    int // issuing process
 	Kind    OpKind
 	Reg     *primitive.Register
+	RegID   int   // pool identifier of Reg, recorded at Step time (the access footprint's register index)
 	Value   int64 // write operand
 	Old     int64 // CAS expected value
 	New     int64 // CAS new value
@@ -74,6 +75,23 @@ type Event struct {
 	After   int64 // register value after the event
 	Changed bool  // After != Before (the paper's "non-trivial")
 	CASOK   bool  // CAS success (meaningless for read/write)
+}
+
+// Footprint is the shared-memory access a step performed: the register
+// index, the primitive applied, and — for CAS — whether it succeeded. It is
+// the per-step record the dynamic partial-order reduction machinery
+// (explore_dpor.go) computes independence from: a failed CAS did not write,
+// so the trace-equivalence relation may treat it as a read.
+func (e Event) Footprint() Footprint {
+	return Footprint{Reg: e.RegID, Kind: e.Kind, Wrote: e.Kind == OpWrite || (e.Kind == OpCAS && e.CASOK)}
+}
+
+// Footprint returns the access the pending event will apply. Whether a
+// pending CAS will succeed depends on memory it has not read yet, so its
+// footprint conservatively counts as a write (Wrote true) — the sound
+// direction for pruning decisions taken before the step executes.
+func (p Pending) Footprint() Footprint {
+	return Footprint{Reg: p.Reg.ID(), Kind: p.Kind, Wrote: p.Kind != OpRead}
 }
 
 // Program is the code a simulated process runs. It must be deterministic
@@ -280,6 +298,7 @@ func (s *System) Step(id int) (Event, error) {
 		Proc:    id,
 		Kind:    pd.Kind,
 		Reg:     pd.Reg,
+		RegID:   pd.Reg.ID(),
 		Value:   pd.Value,
 		Old:     pd.Old,
 		New:     pd.New,
