@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race race-sim race-flight vet lint vet-json bounds bench bench-json explore-bench contention-bench dpor-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
+.PHONY: all test race race-sim race-flight vet lint vet-json bounds bounds-json bounds-check bounds-smoke bench bench-json explore-bench contention-bench dpor-bench bench-gate bench-profile bench-append bench-dash bench-ci-baselines experiments flight-smoke fuzz fuzz-smoke clean
 
 all: vet lint test
 
@@ -33,7 +33,7 @@ race-sim:
 # /metrics and /debug/history while a recorded workload runs.
 race-flight:
 	$(GO) test -race ./internal/obs/flight/... ./internal/bench/flightlive/...
-	$(GO) test -race -run TestFlight .
+	$(GO) test -race -run 'TestFlight|TestBound' .
 
 # Short live run with the flight recorder attached at the default 1/64
 # sampling rate: a concurrent workload over all four object families
@@ -55,8 +55,9 @@ vet:
 # Step-accounting static analysis (modelstep, poolalloc, ctxflow,
 # boundedloop, stepbound, atomicprotocol, padalign) — see
 # docs/static-analysis.md. The second invocation also fails on
-# tradeoffvet: annotations that no analyzer consulted.
-lint:
+# tradeoffvet: annotations that no analyzer consulted. Also fails when
+# the committed bound table is stale (bounds-check).
+lint: bounds-check
 	$(GO) run ./cmd/tradeoffvet -unused-suppressions ./...
 
 # Machine-readable lint report for CI artifacts, plus the certified
@@ -68,6 +69,34 @@ vet-json:
 # Declared-vs-derived step bound table (tradeoffvet -bounds).
 bounds:
 	$(GO) run ./cmd/tradeoffvet -bounds ./...
+
+# Regenerate the committed machine-readable bound table that the runtime
+# conformance layer embeds (internal/obs/bounds reads this at startup).
+# Run after any //tradeoffvet:bound or cost-model change, and commit the
+# result with the change that explains it.
+bounds-json:
+	$(GO) run ./cmd/tradeoffvet -bounds -format json -out dev/bounds/bounds.json ./...
+
+# Freshness gate for the committed bound table: regenerate to a temp
+# file and compare byte-for-byte (the generator is deterministic). Fails
+# when an annotation change landed without `make bounds-json`, which
+# would leave the runtime checking bounds the analyzer no longer
+# certifies.
+bounds-check:
+	@tmp="$$(mktemp)"; \
+	$(GO) run ./cmd/tradeoffvet -bounds -format json -out "$$tmp" ./... || { rm -f "$$tmp"; exit 1; }; \
+	if ! cmp -s "$$tmp" dev/bounds/bounds.json; then \
+		echo "dev/bounds/bounds.json is stale; run 'make bounds-json' and commit the result"; \
+		rm -f "$$tmp"; exit 1; \
+	fi; \
+	rm -f "$$tmp"
+
+# Live bound-conformance smoke: drive all four object families (plus the
+# sharded/batched/adaptive counter backends) through the public facade
+# and fail on any unexplained exceedance or worst-case violation, then
+# round-trip the planted-violation exemplar (latch, dump, re-check).
+bounds-smoke:
+	$(GO) test -count=1 -run TestBound .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -134,7 +163,7 @@ BENCH_CI_DPOR_FLAGS = -procs 3 -steps 3 -workers 1,2
 # millisecond-scale explore smoke swings several-fold under scheduler
 # noise). Allocs keep their defaults — they are deterministic. Tight
 # thresholds belong to full-size local runs (see docs/benchmarking.md).
-BENCH_GATE_FLAGS ?= -gate-ns 9.0 -gate-steps 0.25 -gate-flight 9.0 -gate-execs 0.1
+BENCH_GATE_FLAGS ?= -gate-ns 9.0 -gate-steps 0.25 -gate-flight 9.0 -gate-bounds 9.0 -gate-execs 0.1
 
 # Run both suites at the CI-sized config, gate each against its committed
 # baseline, and emit machine-readable delta JSON. Exits nonzero on any

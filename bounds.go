@@ -1,0 +1,201 @@
+package tradeoffs
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"github.com/restricteduse/tradeoffs/internal/consensus"
+	"github.com/restricteduse/tradeoffs/internal/core"
+	"github.com/restricteduse/tradeoffs/internal/counter"
+	"github.com/restricteduse/tradeoffs/internal/counter/sharded"
+	"github.com/restricteduse/tradeoffs/internal/maxreg"
+	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/bounds"
+	"github.com/restricteduse/tradeoffs/internal/obs/flight"
+	"github.com/restricteduse/tradeoffs/internal/snapshot"
+)
+
+// Bound-conformance wiring: WithObservability arms each constructed
+// object's operations with the certified step budgets of its actual
+// implementation, instantiated from the committed bound table
+// (dev/bounds/bounds.json, the machine-readable output of
+// `tradeoffvet -bounds -format json`) at the object's concrete
+// parameters. From then on every completed operation is scored against
+// its budget — margin histograms, uncontended-exceedance counters, and
+// a latched re-checkable exemplar on a worst-case violation — with no
+// further configuration. Implementations with no certified bounds
+// (AAC, Afek, snapshot-backed counters) simply record nothing.
+
+// WithBoundTableJSON replaces the embedded certified-bound table with a
+// tradeoffs/bounds/v1 document — a regenerated dev/bounds/bounds.json,
+// or a deliberately altered table in tests. A parse failure surfaces as
+// a construction error.
+func WithBoundTableJSON(data []byte) Option {
+	return optionFunc(func(c *config) {
+		c.boundTable, c.boundTableErr = bounds.ParseTable(data)
+	})
+}
+
+// opBoundSpec maps one facade operation name to the certified methods
+// backing it. Multiple methods (the Scan variants) fold via OpBound.Max.
+type opBoundSpec struct {
+	op      string
+	methods []string
+}
+
+// applyOpBounds instantiates and arms the step budgets for one freshly
+// constructed object: implKey is the bound table's family key
+// ("counter.FArray"), p the object's concrete parameters, and name the
+// Observability-resolved object label used on exemplars. A nil
+// collector (no WithObservability) is a no-op.
+func applyOpBounds(c config, col *obs.Collector, family, name, implKey string, specs []opBoundSpec, p bounds.Params) error {
+	if col == nil || implKey == "" {
+		return nil
+	}
+	table := c.boundTable
+	if table == nil {
+		table = bounds.Default()
+	}
+	for _, spec := range specs {
+		var b bounds.OpBound
+		for _, m := range spec.methods {
+			ob, err := table.StepBound(implKey, m, p)
+			if err != nil {
+				return fmt.Errorf("tradeoffs: %w", err)
+			}
+			b = b.Max(ob)
+		}
+		if !b.Declared() {
+			continue
+		}
+		b.Op, b.Params = spec.op, p
+		cfg := obs.OpBoundConfig{
+			Worst:           b.Worst,
+			Uncontended:     b.Uncontended,
+			WorstExpr:       b.WorstExpr,
+			UncontendedExpr: b.UncontendedExpr,
+		}
+		// The exceedance threshold is the uncontended budget when one
+		// exists; carry that clause's amortization flag.
+		if b.Uncontended > 0 {
+			cfg.Amortized = b.UncontendedAmortized
+		} else {
+			cfg.Amortized = b.WorstAmortized
+		}
+		if c.obs != nil {
+			bound, fr := b, c.flight
+			reg := c.obs
+			cfg.OnViolation = func(v obs.BoundViolation) {
+				reg.captureBoundExemplar(family, name, bound, v, fr)
+			}
+		}
+		col.SetOpBound(spec.op, cfg)
+	}
+	return nil
+}
+
+// captureBoundExemplar builds and latches the re-checkable exemplar for
+// the first worst-case bound violation of one operation. It runs on the
+// violating process's goroutine, at most once per op (the obs layer
+// latches first), so the flight-window snapshot and artifact write are
+// one-time costs. With a linked flight recorder the exemplar embeds the
+// object's current recorder window and, when the recorder writes
+// artifacts, lands next to them as <object>-bound-violation.json.
+func (o *Observability) captureBoundExemplar(family, name string, b bounds.OpBound, v obs.BoundViolation, fr *FlightRecorder) {
+	e := &bounds.Exemplar{
+		Schema:   bounds.ExemplarSchema,
+		Object:   name,
+		Family:   family,
+		Op:       v.Op,
+		Process:  v.Process,
+		Observed: v.Observed,
+		Expr:     b.WorstExpr,
+		Params:   b.Params.Env(),
+		Bound:    v.Bound,
+		Time:     time.Now(),
+	}
+	if fr != nil {
+		for _, d := range fr.rec.Dumps() {
+			if d.Name == name {
+				e.Dump = d
+				break
+			}
+		}
+		if dir := fr.rec.ArtifactDir(); dir != "" {
+			path := filepath.Join(dir, flight.SanitizeName(name)+"-bound-violation.json")
+			_ = e.WriteFile(path) // best-effort, like the recorder's own artifacts
+		}
+	}
+	o.addBoundExemplar(e)
+}
+
+// maxRegBoundKey resolves a max register implementation to its bound
+// table key and concrete parameters.
+func maxRegBoundKey(impl maxreg.MaxRegister, procs int) (string, bounds.Params) {
+	switch m := impl.(type) {
+	case *core.MaxRegister:
+		return "core.MaxRegister", bounds.Params{
+			N: int64(procs), LogN: int64(m.MaxDepth()), RF: int64(m.Refreshes()),
+		}
+	case *maxreg.CASRegister:
+		return "maxreg.CASRegister", bounds.Params{N: int64(procs)}
+	}
+	return "", bounds.Params{}
+}
+
+var maxRegBoundSpecs = []opBoundSpec{
+	{op: "read", methods: []string{"ReadMax"}},
+	{op: "write", methods: []string{"WriteMax"}},
+}
+
+// counterBoundKey resolves a counter implementation to its bound table
+// key and concrete parameters.
+func counterBoundKey(impl counter.Counter, procs int) (string, bounds.Params) {
+	switch ctr := impl.(type) {
+	case *counter.FArray:
+		return "counter.FArray", bounds.Params{N: int64(procs), LogN: int64(ctr.Depth())}
+	case *counter.CAS:
+		return "counter.CAS", bounds.Params{N: int64(procs)}
+	case *sharded.Counter:
+		return "sharded.Counter", bounds.Params{N: int64(procs), K: int64(ctr.MaxStripes())}
+	}
+	return "", bounds.Params{}
+}
+
+var counterBoundSpecs = []opBoundSpec{
+	{op: "read", methods: []string{"Read"}},
+	{op: "increment", methods: []string{"Increment"}},
+	{op: "add", methods: []string{"Add"}},
+}
+
+// snapshotBoundKey resolves a snapshot implementation to its bound
+// table key and concrete parameters.
+func snapshotBoundKey(impl snapshot.Snapshot, procs int) (string, bounds.Params) {
+	switch s := impl.(type) {
+	case *snapshot.FArray:
+		return "snapshot.FArray", bounds.Params{N: int64(procs), LogN: int64(s.Depth())}
+	case *snapshot.DoubleCollect:
+		return "snapshot.DoubleCollect", bounds.Params{N: int64(procs)}
+	}
+	return "", bounds.Params{}
+}
+
+var snapshotBoundSpecs = []opBoundSpec{
+	{op: "scan", methods: []string{"Scan", "ScanView", "ScanInto"}},
+	{op: "update", methods: []string{"Update"}},
+}
+
+// consensusBoundKey resolves the consensus object's bound parameters.
+func consensusBoundKey(impl *consensus.Consensus, procs int) (string, bounds.Params) {
+	return "consensus.Consensus", bounds.Params{
+		N:    int64(procs),
+		LogN: int64(impl.TrackerDepth()),
+		R:    int64(impl.MaxRounds()),
+		RF:   int64(impl.TrackerRefreshes()),
+	}
+}
+
+var consensusBoundSpecs = []opBoundSpec{
+	{op: "propose", methods: []string{"Propose"}},
+}

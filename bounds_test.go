@@ -1,0 +1,365 @@
+package tradeoffs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/restricteduse/tradeoffs/internal/obs/bounds"
+)
+
+// scrape fetches path from the full debug mux and returns the body.
+func scrape(t *testing.T, o *Observability, path string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET %s: status %d", path, rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// TestBoundConformanceAllFamilies drives every family (and every counter
+// backend with certified bounds) under its intended regime and checks the
+// live conformance verdict: bound series present for each armed object,
+// zero unexplained exceedances, zero worst-case violations.
+func TestBoundConformanceAllFamilies(t *testing.T) {
+	o := NewObservability()
+	const procs = 4
+
+	drive := func(name string, f func(p int)) {
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				f(p)
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	// Max registers: Algorithm A and the CAS baseline.
+	mrA, err := NewMaxRegister(WithProcesses(procs), WithObservability(o), WithName("mr-alga"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrCAS, err := NewMaxRegister(WithProcesses(procs), WithObservability(o),
+		WithMaxRegisterImpl(MaxRegisterCAS), WithName("mr-cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mr := range []*MaxRegister{mrA, mrCAS} {
+		drive("maxreg", func(p int) {
+			h := mr.Handle(p)
+			for i := 0; i < 100; i++ {
+				if err := h.Write(int64(p*100 + i + 1)); err != nil {
+					t.Error(err)
+					return
+				}
+				h.Read()
+			}
+		})
+	}
+
+	// Counters: f-array, CAS, sharded, batched f-array. (AAC and the
+	// snapshot-backed counter carry no certified step bounds; the
+	// snapshot-backed one below checks that absence is harmless.)
+	ctrF, err := NewCounter(WithProcesses(procs), WithObservability(o), WithName("ctr-farray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrCAS, err := NewCounter(WithProcesses(procs), WithObservability(o),
+		WithCounterImpl(CounterCAS), WithName("ctr-cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrSh, err := NewCounter(WithProcesses(procs), WithObservability(o),
+		WithCounterImpl(CounterSharded), WithName("ctr-sharded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrBatch, err := NewCounter(WithProcesses(procs), WithObservability(o),
+		WithBatching(8), WithName("ctr-batched"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrSnap, err := NewCounter(WithProcesses(procs), WithObservability(o),
+		WithCounterImpl(CounterSnapshot), WithLimit(10_000), WithName("ctr-snapbacked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrAdaptive, err := NewCounter(WithProcesses(procs), WithObservability(o),
+		WithAdaptiveBackend(func(BackendObservation) BackendChoice {
+			return BackendChoice{Impl: CounterSharded}
+		}), WithName("ctr-adaptive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctr := range []*Counter{ctrF, ctrCAS, ctrSh, ctrBatch, ctrSnap, ctrAdaptive} {
+		drive("counter", func(p int) {
+			h := ctr.Handle(p)
+			for i := 0; i < 100; i++ {
+				if err := h.Increment(); err != nil {
+					t.Error(err)
+					return
+				}
+				h.Read()
+			}
+		})
+	}
+
+	// Snapshots: the constant-scan f-array under contention; double
+	// collect in its uncontended regime (its Scan bound is an
+	// uncontended clause — contended retries are read-only, so driving
+	// it concurrently would count legitimate retries as unexplained).
+	snF, err := NewSnapshot(WithProcesses(procs), WithObservability(o),
+		WithLimit(10_000), WithName("snap-farray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive("snapshot", func(p int) {
+		h := snF.Handle(p)
+		for i := 0; i < 100; i++ {
+			if err := h.Update(int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			h.Scan()
+		}
+	})
+	snDC, err := NewSnapshot(WithProcesses(procs), WithObservability(o),
+		WithSnapshotImpl(SnapshotDoubleCollect), WithName("snap-dc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < procs; p++ {
+		h := snDC.Handle(p)
+		for i := 0; i < 20; i++ {
+			if err := h.Update(int64(i)); err != nil {
+				t.Fatal(err)
+			}
+			h.Scan()
+		}
+	}
+
+	// Consensus: one object, all processes proposing.
+	cons, err := NewConsensus(WithProcesses(procs), WithObservability(o), WithName("cons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive("consensus", func(p int) {
+		h := cons.Handle(p)
+		if _, err := h.Propose(int64(p) + 1); err != nil {
+			t.Error(err)
+		}
+	})
+
+	text := scrape(t, o, "/metrics")
+
+	// Every object with certified bounds must expose an instantiated
+	// budget; the snapshot-backed counter has none and must expose none.
+	for _, obj := range []string{
+		"mr-alga", "mr-cas", "ctr-farray", "ctr-cas", "ctr-sharded",
+		"ctr-batched", "ctr-adaptive", "snap-farray", "snap-dc", "cons",
+	} {
+		if !strings.Contains(text, `tradeoffs_bound_steps{object="`+obj+`"`) {
+			t.Errorf("metrics lack an instantiated bound for %q", obj)
+		}
+	}
+	if strings.Contains(text, `tradeoffs_bound_steps{object="ctr-snapbacked"`) {
+		t.Error("snapshot-backed counter has no certified bounds yet exposes a budget")
+	}
+
+	// The conformance verdict: no unexplained exceedances, no worst-case
+	// violations, anywhere.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "tradeoffs_bound_exceedances_total") &&
+			strings.Contains(line, `cause="unexplained"`) && !strings.HasSuffix(line, " 0") {
+			t.Errorf("unexplained exceedance: %s", line)
+		}
+		if strings.HasPrefix(line, "tradeoffs_bound_violations_total{") && !strings.HasSuffix(line, " 0") {
+			t.Errorf("worst-case bound violation: %s", line)
+		}
+	}
+
+	// And the human view agrees.
+	table := scrape(t, o, "/debug/bounds")
+	if !strings.Contains(table, "ctr-farray") || !strings.Contains(table, "violation exemplars: 0") {
+		t.Errorf("/debug/bounds table incomplete:\n%s", table)
+	}
+}
+
+// plantedTable returns a bounds/v1 table mis-declaring counter.FArray's
+// Increment as a 1-step operation — impossible (the real bound is
+// 8logn+2), so the very first increment must violate it.
+func plantedTable() []byte {
+	return []byte(`{
+  "schema": "tradeoffs/bounds/v1",
+  "rows": [
+    {"file": "planted.go", "line": 1, "func": "counter.FArray.Increment",
+     "family": "counter.FArray", "op": "Increment", "mode": "worst-case",
+     "class": "steps", "declared": "1", "derived": "1", "ok": true}
+  ]
+}`)
+}
+
+// TestBoundPlantedViolationLatchesExemplar plants a mis-declared bound
+// and checks the full violation path: the worst-case counter trips, one
+// exemplar latches with the flight-recorder window attached, the
+// artifact on disk re-checks as a genuine exceedance, and both debug
+// surfaces report it.
+func TestBoundPlantedViolationLatchesExemplar(t *testing.T) {
+	dir := t.TempDir()
+	o := NewObservability()
+	f := NewFlightRecorder(FlightConfig{SampleEvery: 1, ArtifactDir: dir})
+
+	ctr, err := NewCounter(WithProcesses(2), WithObservability(o), WithFlightRecorder(f),
+		WithBoundTableJSON(plantedTable()), WithName("planted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	h := ctr.Handle(0)
+	for i := 0; i < 10; i++ {
+		if err := h.Increment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Stop()
+
+	exs := o.BoundExemplars()
+	if len(exs) != 1 {
+		t.Fatalf("latched %d exemplars, want exactly 1 (latch must fire once)", len(exs))
+	}
+	e := exs[0]
+	if e.Object != "planted" || e.Op != "increment" || e.Bound != 1 {
+		t.Fatalf("exemplar = %+v, want object planted, op increment, bound 1", e)
+	}
+	if err := e.Recheck(); err != nil {
+		t.Fatalf("latched exemplar does not re-check: %v", err)
+	}
+	if e.Dump == nil || e.Dump.Name != "planted" {
+		t.Fatalf("exemplar lacks the object's flight window: %+v", e.Dump)
+	}
+
+	// The on-disk artifact must be independently re-checkable.
+	path := filepath.Join(dir, "planted-bound-violation.json")
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("violation artifact not written: %v", err)
+	}
+	defer fh.Close()
+	loaded, err := bounds.ReadExemplar(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Recheck(); err != nil {
+		t.Fatalf("artifact does not re-check as a genuine exceedance: %v", err)
+	}
+	if loaded.Observed <= loaded.Bound {
+		t.Fatalf("artifact observed %d within bound %d", loaded.Observed, loaded.Bound)
+	}
+
+	// Both debug surfaces report the violation.
+	if text := scrape(t, o, "/metrics"); !strings.Contains(text,
+		`tradeoffs_bound_violations_total{object="planted",op="increment"} 1`) {
+		t.Errorf("metrics lack the violation counter:\n%s", text)
+	}
+	if table := scrape(t, o, "/debug/bounds"); !strings.Contains(table, "violation exemplars: 1") {
+		t.Errorf("/debug/bounds lacks the exemplar:\n%s", table)
+	}
+	var fromJSON []*bounds.Exemplar
+	if err := json.Unmarshal([]byte(scrape(t, o, "/debug/bounds?exemplars=1")), &fromJSON); err != nil {
+		t.Fatalf("?exemplars=1 is not valid JSON: %v", err)
+	}
+	if len(fromJSON) != 1 || fromJSON[0].Recheck() != nil {
+		t.Fatalf("served exemplars do not re-check: %+v", fromJSON)
+	}
+}
+
+// TestBoundTableJSONRejectsGarbage pins WithBoundTableJSON's error path:
+// a bad table must fail construction, not silently disarm.
+func TestBoundTableJSONRejectsGarbage(t *testing.T) {
+	if _, err := NewCounter(WithBoundTableJSON([]byte(`{"schema":"nope"}`))); err == nil {
+		t.Fatal("counter construction accepted a bad bound table")
+	}
+}
+
+// TestBoundDebugIndexListsEndpoints checks the /debug index page links
+// every mounted endpoint.
+func TestBoundDebugIndexListsEndpoints(t *testing.T) {
+	o := NewObservability()
+	if _, err := NewCounter(WithObservability(o)); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug", "/debug/"} {
+		page := scrape(t, o, path)
+		for _, ep := range []string{"/metrics", "/debug/bounds", "/debug/history", "/debug/violations", "/debug/vars", "/debug/pprof/"} {
+			if !strings.Contains(page, `href="`+ep+`"`) {
+				t.Errorf("GET %s: index lacks a link to %s:\n%s", path, ep, page)
+			}
+		}
+	}
+}
+
+// TestBoundScrapeRace hammers /metrics and /debug/bounds while four
+// processes record bounded operations, under the race detector's eye:
+// the margin histograms and exceedance counters must tolerate
+// concurrent scrape-vs-record access.
+func TestBoundScrapeRace(t *testing.T) {
+	o := NewObservability()
+	ctr, err := NewCounter(WithProcesses(4), WithObservability(o), WithName("raced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var writers, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		writers.Add(1)
+		go func(p int) {
+			defer writers.Done()
+			h := ctr.Handle(p)
+			for i := 0; i < 300; i++ {
+				if err := h.Increment(); err != nil {
+					t.Error(err)
+					return
+				}
+				h.Read()
+			}
+		}(p)
+	}
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := scrape(t, o, "/metrics")
+				if !strings.Contains(body, "tradeoffs_bound_margin") {
+					t.Error("mid-workload scrape lost the margin histogram")
+					return
+				}
+				scrape(t, o, "/debug/bounds")
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	// Post-race sanity: the recorded totals survived the concurrent scrapes.
+	text := scrape(t, o, "/metrics")
+	if !strings.Contains(text, `tradeoffs_op_steps_count{object="raced",op="increment"} 1200`) {
+		t.Errorf("increment count wrong after concurrent scraping:\n%s", text)
+	}
+}

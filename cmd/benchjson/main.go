@@ -73,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gateSlack  = fs.Float64("gate-allocs-slack", defaults.AllocsSlack, "absolute allocs/op slack on top of -gate-allocs")
 		gateExecs  = fs.Float64("gate-execs", defaults.MinExecsRatio, "execs/sec floor as a fraction of baseline (<=0 disables)")
 		gateFlight = fs.Float64("gate-flight", defaults.MaxFlightOverhead, "allowed flight-recorder sampled-mode overhead over the off row (negative disables)")
+		gateBounds = fs.Float64("gate-bounds", defaults.MaxBoundsOverhead, "allowed bound-conformance scoring overhead over the bounds-off row (negative disables)")
 
 		appendTo  = fs.String("append", "", "bench time-series file to append the fresh report to (e.g. dev/bench/data.json)")
 		commit    = fs.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA recorded on the report and series entry (default $GITHUB_SHA)")
@@ -133,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			AllocsSlack:       *gateSlack,
 			MinExecsRatio:     *gateExecs,
 			MaxFlightOverhead: *gateFlight,
+			MaxBoundsOverhead: *gateBounds,
 		}
 		delta := bench.Gate(base, rep, th)
 		delta.Summary(stderr)

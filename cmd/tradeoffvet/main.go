@@ -20,6 +20,9 @@
 //	-write-baseline FILE      record current findings as the baseline and exit 0
 //	-unused-suppressions      also fail on tradeoffvet: annotations nothing consulted
 //	-bounds                   print declared-vs-derived step bounds and exit
+//	                          (honors -format text|json and -out; the JSON
+//	                          form is schema tradeoffs/bounds/v1, consumed
+//	                          by the runtime loader in internal/obs/bounds)
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported (or a
 // declared bound fails), 2 on a load or typecheck failure. Intentional
@@ -84,7 +87,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	prog := analysis.NewProgram(all)
 
 	if *bounds {
-		return printBounds(stdout, stderr, pkgs, prog)
+		w := io.Writer(stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		return printBounds(w, stderr, pkgs, prog, *format, root)
 	}
 
 	diags, err := analysis.RunAllIn(pkgs, prog)
@@ -149,19 +162,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// printBounds derives every declared //tradeoffvet:bound and prints the
-// comparison table. Exit 1 if any bound fails.
-func printBounds(stdout, stderr io.Writer, pkgs []*analysis.Package, prog *analysis.Program) int {
+// printBounds derives every declared //tradeoffvet:bound and writes the
+// comparison table as text or tradeoffs/bounds/v1 JSON. Exit 1 if any
+// bound fails.
+func printBounds(w, stderr io.Writer, pkgs []*analysis.Package, prog *analysis.Program, format, root string) int {
 	rows := analysis.BoundTable(pkgs, prog)
 	failed := 0
-	fmt.Fprintf(stdout, "%-40s %-12s %-8s %-12s %-28s %s\n", "OPERATION", "MODE", "CLASS", "DECLARED", "DERIVED", "STATUS")
 	for _, r := range rows {
-		status := "ok"
 		if !r.OK {
-			status = "FAIL"
 			failed++
 		}
-		fmt.Fprintf(stdout, "%-40s %-12s %-8s %-12s %-28s %s\n", r.Func, r.Mode, r.Class, r.Declared, r.Derived, status)
+	}
+	switch format {
+	case "json":
+		if err := analysis.WriteBoundsJSON(w, rows, root); err != nil {
+			fmt.Fprintf(stderr, "tradeoffvet: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		fmt.Fprintf(stderr, "tradeoffvet: -bounds supports -format text or json, not sarif\n")
+		return 2
+	default:
+		fmt.Fprintf(w, "%-40s %-12s %-8s %-12s %-28s %s\n", "OPERATION", "MODE", "CLASS", "DECLARED", "DERIVED", "STATUS")
+		for _, r := range rows {
+			status := "ok"
+			if !r.OK {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "%-40s %-12s %-8s %-12s %-28s %s\n", r.Func, r.Mode, r.Class, r.Declared, r.Derived, status)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "tradeoffvet: %d bound(s) failed\n", failed)

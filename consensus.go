@@ -48,8 +48,12 @@ func NewConsensus(opts ...Option) (*Consensus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, tap, err := registerObsAndFlight(c, "consensus", pool)
+	col, name, tap, err := registerObsAndFlight(c, "consensus", pool)
 	if err != nil {
+		return nil, err
+	}
+	implKey, params := consensusBoundKey(impl, c.processes)
+	if err := applyOpBounds(c, col, "consensus", name, implKey, consensusBoundSpecs, params); err != nil {
 		return nil, err
 	}
 	return &Consensus{impl: impl, processes: c.processes, counting: c.counting, col: col, ftap: tap}, nil

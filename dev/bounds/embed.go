@@ -1,0 +1,18 @@
+// Package boundsdata embeds the committed certified-bound table
+// (tradeoffs/bounds/v1), the machine-readable output of
+//
+//	go run ./cmd/tradeoffvet -bounds -format json -out dev/bounds/bounds.json ./...
+//
+// Regenerate with `make bounds-json`; the lint job fails when the file
+// is stale relative to the //tradeoffvet:bound annotations in source.
+// The runtime conformance layer (internal/obs/bounds) parses this blob
+// as its default table, so `WithObservability` picks up certified bounds
+// with no configuration.
+package boundsdata
+
+import _ "embed"
+
+// JSON is the raw tradeoffs/bounds/v1 document.
+//
+//go:embed bounds.json
+var JSON []byte

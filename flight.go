@@ -239,6 +239,7 @@ func (f *FlightRecorder) Handler() http.Handler {
 	return expo.DebugMuxWith(
 		func() []obs.NamedStats { return nil },
 		func() *flight.Recorder { return f.rec },
+		nil,
 	)
 }
 
@@ -252,24 +253,26 @@ func WithFlightRecorder(f *FlightRecorder) Option {
 }
 
 // registerObsAndFlight wires a freshly built object into its
-// Observability registry and flight recorder in one step. If the flight
-// tap fails after the obs registration succeeded (duplicate tap name,
-// recorder already started), the obs entry is rolled back so a retried
-// construction can reuse the name and the metrics never expose an
-// object that was never built.
-func registerObsAndFlight(c config, family string, pool *primitive.Pool) (*obs.Collector, *flight.Tap, error) {
+// Observability registry and flight recorder in one step, returning the
+// resolved object name (empty without an Observability) so the caller
+// can label bound-violation exemplars. If the flight tap fails after
+// the obs registration succeeded (duplicate tap name, recorder already
+// started), the obs entry is rolled back so a retried construction can
+// reuse the name and the metrics never expose an object that was never
+// built.
+func registerObsAndFlight(c config, family string, pool *primitive.Pool) (*obs.Collector, string, *flight.Tap, error) {
 	col, name, err := registerObs(c, family, pool)
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	tap, err := registerFlight(c, family, name)
 	if err != nil {
 		if col != nil {
 			c.obs.unregister(family, name)
 		}
-		return nil, nil, err
+		return nil, "", nil, err
 	}
-	return col, tap, nil
+	return col, name, tap, nil
 }
 
 // registerFlight taps a newly built object into its flight recorder (if

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BoundsSchema identifies the machine-readable certified-bound table
+// emitted by tradeoffvet -bounds -format json. The runtime conformance
+// layer (internal/obs/bounds) consumes exactly this shape, so the schema
+// string is versioned independently of the diagnostic formats.
+const BoundsSchema = "tradeoffs/bounds/v1"
+
+// BoundsFile is the top-level JSON document: one row per declared bound
+// clause, in source order.
+type BoundsFile struct {
+	Schema string      `json:"schema"`
+	Rows   []BoundsRow `json:"rows"`
+}
+
+// BoundsRow is one clause of the certified-bound table. Family is the
+// implementing type in "pkg.Recv" display form (e.g. "counter.FArray")
+// and Op the method name; together they reproduce Func. Symbols lists
+// the free size parameters of the declared expression — the values a
+// runtime loader must supply to instantiate the bound.
+type BoundsRow struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Func     string   `json:"func"`
+	Family   string   `json:"family"`
+	Op       string   `json:"op"`
+	Mode     string   `json:"mode"`
+	Class    string   `json:"class"`
+	Declared string   `json:"declared"`
+	Derived  string   `json:"derived"`
+	Symbols  []string `json:"symbols,omitempty"`
+	OK       bool     `json:"ok"`
+
+	// Amortized marks bounds that hold per operation only on average
+	// (the function defers maintenance via an amortized cost override),
+	// so a single execution may legitimately exceed them.
+	Amortized bool `json:"amortized,omitempty"`
+}
+
+// WriteBoundsJSON renders the bound table as tradeoffs/bounds/v1 JSON.
+// Positions are relativized against root (module root) so the committed
+// file is stable across checkouts.
+func WriteBoundsJSON(w io.Writer, rows []BoundRow, root string) error {
+	out := BoundsFile{Schema: BoundsSchema, Rows: make([]BoundsRow, 0, len(rows))}
+	for _, r := range rows {
+		family, op := splitFunc(r.Func)
+		out.Rows = append(out.Rows, BoundsRow{
+			File:      relPath(root, r.Pos.Filename),
+			Line:      r.Pos.Line,
+			Func:      r.Func,
+			Family:    family,
+			Op:        op,
+			Mode:      r.Mode,
+			Class:     r.Class,
+			Declared:  r.Declared,
+			Derived:   r.Derived,
+			Symbols:   exprSymbols(r.Declared),
+			OK:        r.OK,
+			Amortized: r.Amortized,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// splitFunc breaks a "pkg.Recv.Method" display name into the family
+// ("pkg.Recv") and the method. Package-level functions ("pkg.Func")
+// yield family "pkg".
+func splitFunc(fn string) (family, op string) {
+	i := strings.LastIndex(fn, ".")
+	if i < 0 {
+		return "", fn
+	}
+	return fn[:i], fn[i+1:]
+}
+
+// exprSymbols returns the sorted free symbols of a declared bound
+// expression, nil when it does not parse (rows recording a parse error
+// carry the raw annotation text in Declared).
+func exprSymbols(expr string) []string {
+	c, err := parseCostExpr(expr)
+	if err != nil || c.unbounded {
+		return nil
+	}
+	set := map[string]bool{}
+	for k := range c.terms {
+		if k == "" {
+			continue
+		}
+		for _, s := range strings.Split(k, "*") {
+			set[s] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	syms := make([]string, 0, len(set))
+	for s := range set {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	return syms
+}

@@ -402,23 +402,35 @@ type boundClause struct {
 type boundDecl struct {
 	clauses     []boundClause
 	uncontended bool
+	// amortized declares the bounds hold per operation only on average —
+	// for wrappers delegating to a function whose deferred-maintenance
+	// cost is certified via a //tradeoffvet:cost ... amortized override.
+	amortized bool
 }
 
 // parseBoundDecl parses the argument list of a bound annotation, e.g.
-// "reads<=2n+2 updates<=2 uncontended".
+// "reads<=2n+2 updates<=2 uncontended". The qualifiers ("uncontended",
+// "amortized") must follow every class<=expr clause.
 func parseBoundDecl(args string) (boundDecl, error) {
 	var d boundDecl
 	fields := strings.Fields(args)
 	if len(fields) == 0 {
 		return d, fmt.Errorf("empty bound annotation: want class<=expr clauses")
 	}
-	for i, f := range fields {
-		if f == "uncontended" {
-			if i != len(fields)-1 {
-				return d, fmt.Errorf("bound qualifier %q must come last", f)
-			}
+	quals := 0
+	for _, f := range fields {
+		switch f {
+		case "uncontended":
 			d.uncontended = true
+			quals++
 			continue
+		case "amortized":
+			d.amortized = true
+			quals++
+			continue
+		}
+		if quals > 0 {
+			return d, fmt.Errorf("bound clause %q after a qualifier; qualifiers must come last", f)
 		}
 		class, expr, ok := strings.Cut(f, "<=")
 		if !ok {

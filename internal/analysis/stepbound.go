@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // Stepbound certifies declared step-complexity bounds: a function carrying
@@ -84,6 +85,13 @@ type BoundRow struct {
 	Declared string
 	Derived  string
 	OK       bool
+
+	// Amortized marks bounds that hold per operation only on average:
+	// the function body carries a //tradeoffvet:cost ... amortized
+	// override, so an individual execution may exceed the bound by the
+	// deferred maintenance cost. Runtime conformance checking uses this
+	// to classify such exceedances separately.
+	Amortized bool
 }
 
 // BoundTable derives every declared bound in the given packages and
@@ -124,18 +132,41 @@ func boundRows(pkg *Package, prog *Program, fn *ast.FuncDecl, args string) []Bou
 		mode = modeUncontended
 	}
 	derived := prog.Summary(pf, mode)
+	amort := decl.amortized || hasAmortizedCost(pkg, fn)
 	var rows []BoundRow
 	for _, cl := range decl.clauses {
 		got, _ := derived.Class(cl.class)
 		rows = append(rows, BoundRow{
-			Pos:      pos,
-			Func:     name,
-			Mode:     mode.String(),
-			Class:    cl.class,
-			Declared: cl.expr,
-			Derived:  got.String(),
-			OK:       leqCost(got, cl.bound),
+			Pos:       pos,
+			Func:      name,
+			Mode:      mode.String(),
+			Class:     cl.class,
+			Declared:  cl.expr,
+			Derived:   got.String(),
+			OK:        leqCost(got, cl.bound),
+			Amortized: amort,
 		})
 	}
 	return rows
+}
+
+// hasAmortizedCost reports whether fn's body contains a
+// //tradeoffvet:cost override declaring an amortized cost — the marker
+// that fn's bounds hold on average, not per execution. Wrappers that
+// merely delegate to such a function declare it explicitly with the
+// "amortized" bound qualifier instead.
+func hasAmortizedCost(pkg *Package, fn *ast.FuncDecl) bool {
+	if pkg.ann == nil || fn.Body == nil {
+		return false
+	}
+	from := pkg.Fset.Position(fn.Body.Pos())
+	to := pkg.Fset.Position(fn.Body.End())
+	for _, a := range pkg.ann.all {
+		if a.Name == "cost" && a.Pos.Filename == from.Filename &&
+			a.Pos.Line >= from.Line && a.Pos.Line <= to.Line &&
+			strings.Contains(a.Args, "amortized") {
+			return true
+		}
+	}
+	return false
 }

@@ -45,6 +45,10 @@ type Thresholds struct {
 	// machine, so this check is meaningful even when the baseline came
 	// from different hardware.
 	MaxFlightOverhead float64 `json:"max_flight_overhead"`
+	// MaxBoundsOverhead bounds the bound-conformance scoring tax the same
+	// way: bounds-margin ns/op over bounds-off ns/op, minus 1, within the
+	// fresh report.
+	MaxBoundsOverhead float64 `json:"max_bounds_overhead"`
 }
 
 // DefaultThresholds is sized for like-for-like comparisons: same machine,
@@ -57,6 +61,7 @@ func DefaultThresholds() Thresholds {
 		AllocsSlack:       0.5,
 		MinExecsRatio:     0.50,
 		MaxFlightOverhead: 0.25,
+		MaxBoundsOverhead: 0.25,
 	}
 }
 
@@ -93,6 +98,9 @@ type Delta struct {
 	// FlightOverhead is the fresh report's sampled-recorder tax check,
 	// present when the report carries the flight-off/flight-sampled pair.
 	FlightOverhead *MetricDelta `json:"flight_overhead,omitempty"`
+	// BoundsOverhead is the bound-conformance scoring tax check, present
+	// when the report carries the bounds-off/bounds-margin pair.
+	BoundsOverhead *MetricDelta `json:"bounds_overhead,omitempty"`
 	// ConfigMismatch is set (with ConfigNote explaining) when the two
 	// reports measured different workload dimensions — such a comparison
 	// is apples to oranges and fails the gate outright.
@@ -110,6 +118,12 @@ type Delta struct {
 const (
 	flightOffRow     = "counter/farray/increment/flight-off"
 	flightSampledRow = "counter/farray/increment/flight-sampled"
+)
+
+// Bound-conformance row pair gated by MaxBoundsOverhead.
+const (
+	boundsOffRow    = "counter/farray/increment/bounds-off"
+	boundsMarginRow = "counter/farray/increment/bounds-margin"
 )
 
 // Gate compares cur against base under th and returns the full verdict.
@@ -166,9 +180,15 @@ func Gate(base, cur *Report, th Thresholds) *Delta {
 	sort.Strings(d.Removed)
 	d.Regressions += len(d.Removed)
 
-	if fo := flightOverheadDelta(base, cur, th.MaxFlightOverhead); fo != nil {
+	if fo := overheadDelta(base, cur, "flight_sampled_overhead", flightOffRow, flightSampledRow, th.MaxFlightOverhead); fo != nil {
 		d.FlightOverhead = fo
 		if fo.Regressed {
+			d.Regressions++
+		}
+	}
+	if bo := overheadDelta(base, cur, "bounds_margin_overhead", boundsOffRow, boundsMarginRow, th.MaxBoundsOverhead); bo != nil {
+		d.BoundsOverhead = bo
+		if bo.Regressed {
 			d.Regressions++
 		}
 	}
@@ -255,30 +275,32 @@ func hostParallelismWarning(cur *Report) string {
 	return ""
 }
 
-// flightOverheadDelta computes the sampled-recorder tax inside cur (and
-// the baseline's own tax for reference). Nil when cur lacks the row pair
-// (the explore suite, trimmed runs). rel < 0 disables the verdict.
-func flightOverheadDelta(base, cur *Report, rel float64) *MetricDelta {
+// overheadDelta computes an on-over-off tax inside cur (and the
+// baseline's own tax for reference): the ratio of onRow's ns/op over
+// offRow's, the two rows sharing one run and one machine. Nil when cur
+// lacks the row pair (the explore suite, trimmed runs). rel < 0 disables
+// the verdict.
+func overheadDelta(base, cur *Report, metric, offRow, onRow string, rel float64) *MetricDelta {
 	ratio := func(rep *Report) float64 {
-		var off, sampled float64
+		var off, on float64
 		for _, r := range rep.Results {
 			switch r.Name {
-			case flightOffRow:
+			case offRow:
 				off = r.NsPerOp
-			case flightSampledRow:
-				sampled = r.NsPerOp
+			case onRow:
+				on = r.NsPerOp
 			}
 		}
-		if off <= 0 || sampled <= 0 {
+		if off <= 0 || on <= 0 {
 			return 0
 		}
-		return sampled / off
+		return on / off
 	}
 	cr := ratio(cur)
 	if cr == 0 {
 		return nil
 	}
-	m := &MetricDelta{Metric: "flight_sampled_overhead", Base: ratio(base), Cur: cr}
+	m := &MetricDelta{Metric: metric, Base: ratio(base), Cur: cr}
 	if rel >= 0 {
 		m.Limit = 1 + rel
 		m.Regressed = cr > m.Limit
@@ -321,5 +343,13 @@ func (d *Delta) Summary(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%sflight sampled overhead: %.3fx off (baseline %.3fx, limit %.3fx)\n",
 			mark, fo.Cur, fo.Base, fo.Limit)
+	}
+	if bo := d.BoundsOverhead; bo != nil {
+		mark := "  "
+		if bo.Regressed {
+			mark = "  ! "
+		}
+		fmt.Fprintf(w, "%sbounds margin overhead: %.3fx off (baseline %.3fx, limit %.3fx)\n",
+			mark, bo.Cur, bo.Base, bo.Limit)
 	}
 }

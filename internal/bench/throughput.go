@@ -14,6 +14,7 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
 	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/bounds"
 	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
@@ -214,8 +215,14 @@ func measure(run func()) measurement {
 // to the row that tripped the regression gate.
 func runParallel(name string, procs int, ops int64, seed int64, pool *primitive.Pool,
 	op func(ctx primitive.Context, id int, rng *rand.Rand, i int64) error) (measurement, error) {
+	return runParallelCol(obs.NewCollector(procs, pool), name, procs, ops, seed, op)
+}
 
-	col := obs.NewCollector(procs, pool)
+// runParallelCol is runParallel with a caller-supplied collector, for
+// rows that pre-arm it (bound conformance) or inspect it afterwards.
+func runParallelCol(col *obs.Collector, name string, procs int, ops int64, seed int64,
+	op func(ctx primitive.Context, id int, rng *rand.Rand, i int64) error) (measurement, error) {
+
 	ctxs := make([]*obs.Instrumented, procs)
 	for id := range ctxs {
 		ctxs[id] = col.Context(id, primitive.NewDirect(id))
@@ -429,6 +436,92 @@ func RunThroughput(cfg ThroughputConfig) (*Report, error) {
 			rec.Stop()
 			if vs := rec.Violations(); len(vs) > 0 {
 				return nil, fmt.Errorf("bench: flight monitor flagged a correct counter: %v", vs[0].Err)
+			}
+		}
+		if err = add(result(variant.name, procs, ops*int64(procs), m), err); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bound-conformance overhead: the padded f-array increment schedule a
+	// third time, with obs spans on every operation. bounds-off is the
+	// baseline (spans but no armed budget), bounds-margin adds the scoring
+	// against the certified 8logn+2 bound, bounds-full stacks a sampled
+	// flight tap on top — the "everything on" production configuration.
+	// Each armed run doubles as a live certification: it must finish with
+	// zero unexplained exceedances and zero worst-case violations.
+	for _, variant := range []struct {
+		name   string
+		arm    bool
+		attach bool
+	}{
+		{"counter/farray/increment/bounds-off", false, false},
+		{"counter/farray/increment/bounds-margin", true, false},
+		{"counter/farray/increment/bounds-full", true, true},
+	} {
+		pool := primitive.NewPadded()
+		c, err := counter.NewFArray(pool, procs)
+		if err != nil {
+			return nil, err
+		}
+		col := obs.NewCollector(procs, pool)
+		inc := col.Op("increment")
+		if variant.arm {
+			b, err := bounds.Default().StepBound("counter.FArray", "Increment",
+				bounds.Params{N: int64(procs), LogN: int64(c.Depth())})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %w", err)
+			}
+			if !b.Declared() {
+				return nil, fmt.Errorf("bench: no certified bound for counter.FArray.Increment")
+			}
+			col.SetOpBound("increment", obs.OpBoundConfig{
+				Worst:           b.Worst,
+				Uncontended:     b.Uncontended,
+				WorstExpr:       b.WorstExpr,
+				UncontendedExpr: b.UncontendedExpr,
+			})
+		}
+		var (
+			rec *flight.Recorder
+			tap *flight.Tap
+		)
+		if variant.attach {
+			rec = flight.New(flight.Config{SampleEvery: 64, WindowPerProc: 1 << 12})
+			tap = rec.Tap("counter", "bench-bounds", procs)
+			rec.Start()
+		}
+		m, err := runParallelCol(col, variant.name, procs, ops, cfg.Seed,
+			func(ctx primitive.Context, id int, _ *rand.Rand, _ int64) error {
+				inst := ctx.(*obs.Instrumented)
+				if tap == nil {
+					sp := inc.Begin(inst)
+					err := c.Increment(ctx)
+					sp.End()
+					return err
+				}
+				tok := tap.Begin(id)
+				sp := inc.Begin(inst)
+				err := c.Increment(ctx)
+				sp.End()
+				tap.End(id, tok, history.KindIncrement, 0, 0)
+				return err
+			})
+		if rec != nil {
+			rec.Stop()
+			if vs := rec.Violations(); len(vs) > 0 {
+				return nil, fmt.Errorf("bench: flight monitor flagged a correct counter: %v", vs[0].Err)
+			}
+		}
+		if variant.arm && err == nil {
+			for _, op := range m.stats.Ops {
+				if op.Name != "increment" {
+					continue
+				}
+				if op.Bound.ExceedUnexplained > 0 || op.Bound.Violations > 0 {
+					return nil, fmt.Errorf("bench: %s: bound conformance failed: %d unexplained exceedances, %d violations of steps<=%d",
+						variant.name, op.Bound.ExceedUnexplained, op.Bound.Violations, op.Bound.Worst)
+				}
 			}
 		}
 		if err = add(result(variant.name, procs, ops*int64(procs), m), err); err != nil {

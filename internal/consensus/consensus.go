@@ -244,5 +244,17 @@ func (c *Consensus) HighRound(ctx primitive.Context) int64 {
 	return c.highRound.ReadMax(ctx)
 }
 
+// MaxRounds returns the construction-time round budget — the "r" symbol
+// of Propose's certified bound (steps <= r*(2n+4rf*logn+4)+1).
+func (c *Consensus) MaxRounds() int { return c.maxRounds }
+
+// TrackerDepth returns the round tracker's deepest leaf depth — the
+// "logn" symbol of Propose's certified bound.
+func (c *Consensus) TrackerDepth() int { return c.highRound.MaxDepth() }
+
+// TrackerRefreshes returns the round tracker's refresh rounds — the
+// "rf" symbol of Propose's certified bound.
+func (c *Consensus) TrackerRefreshes() int { return c.highRound.Refreshes() }
+
 // compile-time interface sanity: the round tracker is a max register.
 var _ maxreg.MaxRegister = (*core.MaxRegister)(nil)

@@ -219,6 +219,23 @@ func (m *MaxRegister) WriteDepth(id int, v int64) int {
 	return m.tree.Leaves[m.trStart+id].Depth
 }
 
+// MaxDepth returns the deepest leaf's depth — the worst case over all
+// values and processes, i.e. the instantiation of the "logn" symbol in
+// WriteMax's certified bound (steps <= 4rf*logn+2).
+func (m *MaxRegister) MaxDepth() int {
+	max := 0
+	for _, l := range m.tree.Leaves {
+		if l.Depth > max {
+			max = l.Depth
+		}
+	}
+	return max
+}
+
+// Refreshes returns the read-compute-CAS rounds per level — the "rf"
+// symbol of the certified bounds (2 for Algorithm A).
+func (m *MaxRegister) Refreshes() int { return m.refreshes }
+
 // NodeCount returns the number of base registers the structure uses.
 func (m *MaxRegister) NodeCount() int { return len(m.values) }
 

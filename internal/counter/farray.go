@@ -32,6 +32,10 @@ func NewFArray(pool *primitive.Pool, n int) (*FArray, error) {
 	return &FArray{fa: fa}, nil
 }
 
+// Depth returns the f-array's leaf depth — the "logn" symbol of the
+// certified Increment/Add bound (steps <= 8logn+2).
+func (c *FArray) Depth() int { return c.fa.Depth() }
+
 // Limit implements Counter (unbounded).
 func (c *FArray) Limit() int64 { return 0 }
 

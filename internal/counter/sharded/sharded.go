@@ -329,6 +329,11 @@ func New(pool *primitive.Pool, procs int, cfg Config) (*Counter, error) {
 	return &Counter{e: e}, nil
 }
 
+// MaxStripes returns the configured stripe cap — the "k" symbol of the
+// certified uncontended Read bound (steps <= 2k+2): a reader collects
+// at most the high watermark, which never exceeds MaxStripes.
+func (c *Counter) MaxStripes() int { return c.e.cfg.MaxStripes }
+
 // Limit implements counter.Counter (always unbounded).
 func (c *Counter) Limit() int64 { return 0 }
 
@@ -345,9 +350,11 @@ func (c *Counter) Read(ctx primitive.Context) int64 {
 	return sum
 }
 
-// Increment implements counter.Counter.
+// Increment implements counter.Counter. Amortized like Add: the
+// elasticity window it delegates to pays its maintenance once per
+// Window operations.
 //
-//tradeoffvet:bound steps<=2 uncontended
+//tradeoffvet:bound steps<=2 uncontended amortized
 func (c *Counter) Increment(ctx primitive.Context) error {
 	return c.Add(ctx, 1)
 }

@@ -1,0 +1,213 @@
+package bounds
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEval(t *testing.T) {
+	env := map[string]int64{"n": 4, "logn": 3, "k": 8, "r": 8, "rf": 2}
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1", 1},
+		{"2", 2},
+		{"8logn+2", 26},
+		{"2n+2", 10},
+		{"2k+2", 18},
+		{"4rf*logn+2", 26},
+		{"r*(2n+4rf*logn+4)+1", 8*(8+24+4) + 1},
+		{"2logn+1", 7},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.expr, err)
+		}
+		got, err := e.Eval(env)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", c.expr, err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%q) = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestParseUnbounded(t *testing.T) {
+	e, err := Parse("inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Unbounded() {
+		t.Fatal("inf should be unbounded")
+	}
+	if _, err := e.Eval(map[string]int64{}); err == nil {
+		t.Fatal("Eval(inf) should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "2+", "2n+", "(2n", "2N", "foo bar", "n^2"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+	e, err := Parse("3m+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(Params{N: 4}.Env()); err == nil || !strings.Contains(err.Error(), `"m"`) {
+		t.Fatalf("Eval with unknown symbol: err = %v", err)
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	e, err := Parse("r*(2n+4rf*logn+4)+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(e.Symbols(), ",")
+	if got != "logn,n,r,rf" {
+		t.Fatalf("Symbols = %q", got)
+	}
+}
+
+const testTable = `{
+  "schema": "tradeoffs/bounds/v1",
+  "rows": [
+    {"func": "counter.FArray.Increment", "family": "counter.FArray", "op": "Increment",
+     "mode": "worst-case", "class": "steps", "declared": "8logn+2", "derived": "8logn + 2",
+     "symbols": ["logn"], "ok": true},
+    {"func": "counter.FArray.Increment", "family": "counter.FArray", "op": "Increment",
+     "mode": "worst-case", "class": "updates", "declared": "2logn+1", "derived": "2logn + 1",
+     "symbols": ["logn"], "ok": true},
+    {"func": "counter.CAS.Increment", "family": "counter.CAS", "op": "Increment",
+     "mode": "uncontended", "class": "steps", "declared": "2", "derived": "2", "ok": true}
+  ]
+}`
+
+func TestParseTableStepBound(t *testing.T) {
+	tab, err := ParseTable([]byte(testTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	b, err := tab.StepBound("counter.FArray", "Increment", Params{N: 8, LogN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Worst != 34 || b.WorstExpr != "8logn+2" || b.Uncontended != 0 {
+		t.Fatalf("FArray Increment bound = %+v", b)
+	}
+	b, err = tab.StepBound("counter.CAS", "Increment", Params{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Worst != 0 || b.Uncontended != 2 {
+		t.Fatalf("CAS Increment bound = %+v", b)
+	}
+	b, err = tab.StepBound("counter.AAC", "Increment", Params{N: 8})
+	if err != nil || b.Declared() {
+		t.Fatalf("unknown op: %+v, %v", b, err)
+	}
+}
+
+func TestParseTableRejectsSchema(t *testing.T) {
+	if _, err := ParseTable([]byte(`{"schema": "tradeoffs/bounds/v0", "rows": []}`)); err == nil {
+		t.Fatal("wrong schema should fail")
+	}
+}
+
+func TestOpBoundMax(t *testing.T) {
+	a := OpBound{Worst: 10, WorstExpr: "10"}
+	b := OpBound{Worst: 2, WorstExpr: "2", Uncontended: 5, UncontendedExpr: "5"}
+	m := a.Max(b)
+	if m.Worst != 10 || m.WorstExpr != "10" || m.Uncontended != 5 || m.UncontendedExpr != "5" {
+		t.Fatalf("Max = %+v", m)
+	}
+}
+
+func TestDefaultTable(t *testing.T) {
+	if err := DefaultErr(); err != nil {
+		t.Fatalf("embedded table: %v", err)
+	}
+	tab := Default()
+	if tab.Len() == 0 {
+		t.Fatal("embedded table is empty")
+	}
+	// Every family the facade wires must resolve from the committed table.
+	for _, probe := range []struct {
+		family, method string
+	}{
+		{"counter.FArray", "Increment"},
+		{"counter.CAS", "Increment"},
+		{"sharded.Counter", "Increment"},
+		{"core.MaxRegister", "WriteMax"},
+		{"maxreg.CASRegister", "WriteMax"},
+		{"sharded.MaxRegister", "WriteMax"},
+		{"snapshot.FArray", "Update"},
+		{"snapshot.DoubleCollect", "Scan"},
+		{"consensus.Consensus", "Propose"},
+	} {
+		b, err := tab.StepBound(probe.family, probe.method, Params{N: 8, LogN: 4, K: 8, R: 16, RF: 2})
+		if err != nil {
+			t.Fatalf("%s.%s: %v", probe.family, probe.method, err)
+		}
+		if !b.Declared() {
+			t.Errorf("%s.%s: no steps bound in the committed table", probe.family, probe.method)
+		}
+	}
+}
+
+func TestExemplarRecheck(t *testing.T) {
+	e := &Exemplar{
+		Schema:   ExemplarSchema,
+		Object:   "counter#0",
+		Family:   "counter",
+		Op:       "increment",
+		Observed: 40,
+		Expr:     "8logn+2",
+		Params:   map[string]int64{"n": 8, "logn": 4, "k": 0, "r": 0, "rf": 0},
+		Bound:    34,
+	}
+	if err := e.Recheck(); err != nil {
+		t.Fatalf("genuine exemplar rejected: %v", err)
+	}
+	bad := *e
+	bad.Observed = 30
+	if err := bad.Recheck(); err == nil {
+		t.Fatal("within-bound exemplar should fail Recheck")
+	}
+	tampered := *e
+	tampered.Bound = 50
+	if err := tampered.Recheck(); err == nil {
+		t.Fatal("tampered bound should fail Recheck")
+	}
+	noschema := *e
+	noschema.Schema = ""
+	if err := noschema.Recheck(); err == nil {
+		t.Fatal("missing schema should fail Recheck")
+	}
+}
+
+func TestExemplarRoundTrip(t *testing.T) {
+	e := &Exemplar{
+		Schema: ExemplarSchema, Object: "c", Op: "increment",
+		Observed: 3, Expr: "1", Params: map[string]int64{}, Bound: 1,
+	}
+	var b strings.Builder
+	if err := WriteExemplar(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExemplar(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Recheck(); err != nil {
+		t.Fatalf("round-tripped exemplar: %v", err)
+	}
+}

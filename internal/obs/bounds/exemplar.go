@@ -1,0 +1,100 @@
+package bounds
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/restricteduse/tradeoffs/internal/history"
+)
+
+// ExemplarSchema versions the violation-exemplar dump format.
+const ExemplarSchema = "tradeoffs/bound-exemplar/v1"
+
+// An Exemplar is the latched repro artifact of a worst-case bound
+// violation: the operation that exceeded its certified budget, the
+// symbolic bound and the exact parameters it was instantiated with, and
+// (when a flight recorder was attached) the recorder window around the
+// violation. The record is self-contained: Recheck re-parses the
+// expression and re-derives the budget, so a dump can be verified long
+// after the process that produced it is gone.
+type Exemplar struct {
+	Schema  string `json:"schema"`
+	Object  string `json:"object"` // Observability registry name
+	Family  string `json:"family"`
+	Op      string `json:"op"`
+	Process int    `json:"process"`
+	// Observed is the exact step count of the violating operation;
+	// Bound the instantiated worst-case budget it exceeded.
+	Observed int64            `json:"observed_steps"`
+	Expr     string           `json:"bound_expr"`
+	Params   map[string]int64 `json:"params"`
+	Bound    int64            `json:"bound"`
+	Time     time.Time        `json:"time"`
+	// Dump is the flight-recorder window at violation time, nil when no
+	// recorder was attached to the object.
+	Dump          *history.Dump `json:"dump,omitempty"`
+	ArtifactPaths []string      `json:"artifact_paths,omitempty"`
+}
+
+// Recheck verifies the exemplar from first principles: the symbolic
+// expression must parse, its instantiation at the recorded parameters
+// must reproduce the recorded budget, and the observed step count must
+// genuinely exceed it. A nil error means the dump certifies a real
+// bound exceedance.
+func (e *Exemplar) Recheck() error {
+	if e.Schema != ExemplarSchema {
+		return fmt.Errorf("exemplar schema %q, want %q", e.Schema, ExemplarSchema)
+	}
+	expr, err := Parse(e.Expr)
+	if err != nil {
+		return fmt.Errorf("exemplar bound expression: %w", err)
+	}
+	bound, err := expr.Eval(e.Params)
+	if err != nil {
+		return fmt.Errorf("exemplar bound instantiation: %w", err)
+	}
+	if bound != e.Bound {
+		return fmt.Errorf("exemplar bound %d does not reproduce: %s at %v = %d", e.Bound, e.Expr, e.Params, bound)
+	}
+	if e.Observed <= bound {
+		return fmt.Errorf("observed %d steps within bound %d: not an exceedance", e.Observed, bound)
+	}
+	return nil
+}
+
+// WriteExemplar writes the exemplar as indented JSON.
+func WriteExemplar(w io.Writer, e *Exemplar) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadExemplar parses an exemplar dump.
+func ReadExemplar(r io.Reader) (*Exemplar, error) {
+	var e Exemplar
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("bound exemplar: %w", err)
+	}
+	return &e, nil
+}
+
+// WriteFile persists the exemplar at path and records it in
+// ArtifactPaths on success.
+func (e *Exemplar) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = WriteExemplar(f, e)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		e.ArtifactPaths = append(e.ArtifactPaths, path)
+	}
+	return err
+}

@@ -1,0 +1,294 @@
+// Package bounds evaluates the certified step-bound algebra at runtime.
+//
+// tradeoffvet -bounds certifies, statically, that every annotated
+// operation's derived step cost stays inside its declared polynomial
+// bound ("8logn+2", "r*(2n+4rf*logn+4)+1", ...). This package closes the
+// loop at runtime: it loads the machine-readable bound table
+// (tradeoffs/bounds/v1, committed as dev/bounds/bounds.json),
+// instantiates each expression with an object's concrete parameters
+// (n, logn, k, r, rf), and hands the resulting integer budgets to the
+// obs layer, which compares them against the exact observed step count
+// of every completed operation. A worst-case exceedance is latched as a
+// re-checkable Exemplar.
+//
+// The expression grammar is the same whitespace-free algebra parsed by
+// internal/analysis/cost.go; the two parsers are deliberately kept in
+// sync (obs must not depend on go/ast, so the grammar is mirrored here
+// rather than imported):
+//
+//	expr   := term { "+" term }
+//	term   := factor { "*" factor }
+//	factor := INT [ SYMBOL ] | SYMBOL | "(" expr ")" | "inf"
+package bounds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// An Expr is a parsed bound expression: a polynomial with non-negative
+// integer coefficients over named size parameters, or the distinguished
+// unbounded value. Monomials are keyed by their sorted symbol product
+// ("" for the constant term, "logn*rf" for a product).
+type Expr struct {
+	terms     map[string]int64
+	unbounded bool
+}
+
+// Parse parses a whitespace-free bound expression such as "8logn+2".
+func Parse(s string) (Expr, error) {
+	p := &exprParser{src: s}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Expr{}, err
+	}
+	if p.pos != len(p.src) {
+		return Expr{}, fmt.Errorf("unexpected %q in bound expression %q", p.src[p.pos:], s)
+	}
+	return e, nil
+}
+
+// Unbounded reports the distinguished "inf" value.
+func (e Expr) Unbounded() bool { return e.unbounded }
+
+// Symbols returns the sorted free symbols of the expression.
+func (e Expr) Symbols() []string {
+	set := map[string]bool{}
+	for k := range e.terms {
+		if k == "" {
+			continue
+		}
+		for _, s := range strings.Split(k, "*") {
+			set[s] = true
+		}
+	}
+	syms := make([]string, 0, len(set))
+	for s := range set {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	return syms
+}
+
+// Eval instantiates the expression with concrete symbol values. It
+// errors on a free symbol missing from env and on the unbounded value —
+// an unbounded declaration has no finite budget to enforce.
+func (e Expr) Eval(env map[string]int64) (int64, error) {
+	if e.unbounded {
+		return 0, fmt.Errorf("cannot instantiate an unbounded expression")
+	}
+	var total int64
+	for k, coeff := range e.terms {
+		v := coeff
+		if k != "" {
+			for _, sym := range strings.Split(k, "*") {
+				sv, ok := env[sym]
+				if !ok {
+					return 0, fmt.Errorf("no value for symbol %q", sym)
+				}
+				v *= sv
+			}
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// String renders the polynomial in the same normal form as the static
+// analyzer: monomials by descending degree then lexicographically.
+func (e Expr) String() string {
+	if e.unbounded {
+		return "inf"
+	}
+	if len(e.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(e.terms))
+	for k, v := range e.terms {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return "0"
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di := strings.Count(keys[i], "*")
+		dj := strings.Count(keys[j], "*")
+		if keys[i] == "" {
+			di = -1
+		}
+		if keys[j] == "" {
+			dj = -1
+		}
+		if di != dj {
+			return di > dj
+		}
+		return keys[i] < keys[j]
+	})
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		v := e.terms[k]
+		switch {
+		case k == "":
+			fmt.Fprintf(&b, "%d", v)
+		case v == 1:
+			b.WriteString(k)
+		default:
+			fmt.Fprintf(&b, "%d%s", v, k)
+		}
+	}
+	return b.String()
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) parseExpr() (Expr, error) {
+	e, err := p.parseTerm()
+	if err != nil {
+		return Expr{}, err
+	}
+	for p.peek() == '+' {
+		p.pos++
+		t, err := p.parseTerm()
+		if err != nil {
+			return Expr{}, err
+		}
+		e = addExpr(e, t)
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseTerm() (Expr, error) {
+	e, err := p.parseFactor()
+	if err != nil {
+		return Expr{}, err
+	}
+	for p.peek() == '*' {
+		p.pos++
+		f, err := p.parseFactor()
+		if err != nil {
+			return Expr{}, err
+		}
+		e = mulExpr(e, f)
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseFactor() (Expr, error) {
+	switch ch := p.peek(); {
+	case ch == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return Expr{}, err
+		}
+		if p.peek() != ')' {
+			return Expr{}, fmt.Errorf("missing ) in bound expression %q", p.src)
+		}
+		p.pos++
+		return e, nil
+	case ch >= '0' && ch <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		var n int64
+		if _, err := fmt.Sscanf(p.src[start:p.pos], "%d", &n); err != nil {
+			return Expr{}, fmt.Errorf("bad integer in bound expression %q", p.src)
+		}
+		e := constExpr(n)
+		if sym := p.trySymbol(); sym != "" {
+			e = mulExpr(e, symbolExpr(sym))
+		}
+		return e, nil
+	case ch >= 'a' && ch <= 'z':
+		sym := p.trySymbol()
+		if sym == "inf" {
+			return Expr{unbounded: true}, nil
+		}
+		return symbolExpr(sym), nil
+	default:
+		return Expr{}, fmt.Errorf("unexpected character %q in bound expression %q", string(ch), p.src)
+	}
+}
+
+func (p *exprParser) trySymbol() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if (ch >= 'a' && ch <= 'z') || (p.pos > start && ch >= '0' && ch <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func constExpr(c int64) Expr {
+	if c == 0 {
+		return Expr{}
+	}
+	return Expr{terms: map[string]int64{"": c}}
+}
+
+func symbolExpr(sym string) Expr {
+	return Expr{terms: map[string]int64{sym: 1}}
+}
+
+func addExpr(a, b Expr) Expr {
+	if a.unbounded || b.unbounded {
+		return Expr{unbounded: true}
+	}
+	out := Expr{terms: map[string]int64{}}
+	for k, v := range a.terms {
+		out.terms[k] = v
+	}
+	for k, v := range b.terms {
+		out.terms[k] += v
+	}
+	return out
+}
+
+func mulExpr(a, b Expr) Expr {
+	if len(a.terms) == 0 && !a.unbounded || len(b.terms) == 0 && !b.unbounded {
+		return Expr{}
+	}
+	if a.unbounded || b.unbounded {
+		return Expr{unbounded: true}
+	}
+	out := Expr{terms: map[string]int64{}}
+	for ka, va := range a.terms {
+		for kb, vb := range b.terms {
+			out.terms[mulMonomial(ka, kb)] += va * vb
+		}
+	}
+	return out
+}
+
+func mulMonomial(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	syms := append(strings.Split(a, "*"), strings.Split(b, "*")...)
+	sort.Strings(syms)
+	return strings.Join(syms, "*")
+}

@@ -1,0 +1,200 @@
+package bounds
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	boundsdata "github.com/restricteduse/tradeoffs/dev/bounds"
+)
+
+// Schema is the certified-bound table format this loader accepts — the
+// JSON emitted by `tradeoffvet -bounds -format json`.
+const Schema = "tradeoffs/bounds/v1"
+
+// A Row is one certified bound clause: family is the implementing type
+// in "pkg.Recv" form ("counter.FArray"), Op the method, Mode
+// "worst-case" or "uncontended", Class the step class, and Declared the
+// symbolic budget over the free Symbols.
+type Row struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Func     string   `json:"func"`
+	Family   string   `json:"family"`
+	Op       string   `json:"op"`
+	Mode     string   `json:"mode"`
+	Class    string   `json:"class"`
+	Declared string   `json:"declared"`
+	Derived  string   `json:"derived"`
+	Symbols  []string `json:"symbols,omitempty"`
+	OK       bool     `json:"ok"`
+
+	// Amortized marks a bound that holds per operation only on average:
+	// the certified function defers maintenance work (an amortized cost
+	// override), so an individual execution may exceed the budget by the
+	// deferred cost without falsifying the certification.
+	Amortized bool `json:"amortized,omitempty"`
+}
+
+// A Table is a loaded certified-bound table, indexed for the runtime
+// conformance layer: family+method -> the "steps"-class rows.
+type Table struct {
+	rows []Row
+	// steps[family+"."+method] -> worst-case and uncontended clauses.
+	steps map[string]stepRows
+}
+
+type stepRows struct {
+	worst, uncontended *Row
+}
+
+// ParseTable loads a tradeoffs/bounds/v1 document.
+func ParseTable(data []byte) (*Table, error) {
+	var f struct {
+		Schema string `json:"schema"`
+		Rows   []Row  `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bounds table: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("bounds table: schema %q, want %q", f.Schema, Schema)
+	}
+	t := &Table{rows: f.Rows, steps: map[string]stepRows{}}
+	for i := range f.Rows {
+		r := &f.Rows[i]
+		if r.Class != "steps" {
+			continue
+		}
+		k := r.Family + "." + r.Op
+		sr := t.steps[k]
+		switch r.Mode {
+		case "worst-case":
+			sr.worst = r
+		case "uncontended":
+			sr.uncontended = r
+		}
+		t.steps[k] = sr
+	}
+	return t, nil
+}
+
+// Rows returns every loaded clause, in table order.
+func (t *Table) Rows() []Row { return t.rows }
+
+// Len reports the number of loaded clauses.
+func (t *Table) Len() int { return len(t.rows) }
+
+var (
+	defaultOnce  sync.Once
+	defaultTable *Table
+	defaultErr   error
+)
+
+// Default returns the table embedded from dev/bounds/bounds.json. A
+// parse failure (impossible while the lint freshness check holds)
+// yields an empty table, so callers degrade to no bound checking rather
+// than failing construction.
+func Default() *Table {
+	defaultOnce.Do(func() {
+		defaultTable, defaultErr = ParseTable(boundsdata.JSON)
+		if defaultErr != nil {
+			defaultTable = &Table{steps: map[string]stepRows{}}
+		}
+	})
+	return defaultTable
+}
+
+// DefaultErr reports whether the embedded table failed to parse.
+func DefaultErr() error {
+	Default()
+	return defaultErr
+}
+
+// Params are the concrete values of the conventional size symbols used
+// by the repo's bound annotations: n (processes or components), logn
+// (instantiated tree depth), k (stripe budget), r (round budget), rf
+// (refresh rounds). All five are always in scope — a zero value is a
+// legitimate instantiation (a depth-0 tree), not an absence.
+type Params struct {
+	N, LogN, K, R, RF int64
+}
+
+// Env is the symbol environment Eval consumes.
+func (p Params) Env() map[string]int64 {
+	return map[string]int64{"n": p.N, "logn": p.LogN, "k": p.K, "r": p.R, "rf": p.RF}
+}
+
+// An OpBound is the instantiated step budget of one operation: the
+// worst-case and/or uncontended bound evaluated at concrete Params. A
+// zero value means that mode was not declared for the operation.
+type OpBound struct {
+	Op              string // facade operation name ("increment", "scan", ...)
+	WorstExpr       string // symbolic form, "" when not declared
+	UncontendedExpr string
+	Worst           int64 // instantiated budget, 0 when not declared
+	Uncontended     int64
+	// WorstAmortized / UncontendedAmortized carry the clauses' Amortized
+	// flags: an amortized budget may be exceeded by an individual
+	// execution paying deferred maintenance.
+	WorstAmortized       bool
+	UncontendedAmortized bool
+	Params               Params
+}
+
+// Declared reports whether any steps-class bound exists for the op.
+func (b OpBound) Declared() bool { return b.Worst > 0 || b.Uncontended > 0 }
+
+// StepBound instantiates the steps-class bounds declared on
+// family.method (e.g. "counter.FArray", "Increment") at the given
+// parameters. Methods certifying the same facade operation (Scan /
+// ScanView / ScanInto) can be folded by calling it per method and
+// merging with Max. The zero OpBound is returned when the table has no
+// steps clause for the method.
+func (t *Table) StepBound(family, method string, p Params) (OpBound, error) {
+	sr, ok := t.steps[family+"."+method]
+	if !ok {
+		return OpBound{}, nil
+	}
+	out := OpBound{Params: p}
+	env := p.Env()
+	if sr.worst != nil {
+		e, err := Parse(sr.worst.Declared)
+		if err != nil {
+			return OpBound{}, fmt.Errorf("%s.%s worst-case bound %q: %w", family, method, sr.worst.Declared, err)
+		}
+		v, err := e.Eval(env)
+		if err != nil {
+			return OpBound{}, fmt.Errorf("%s.%s worst-case bound %q: %w", family, method, sr.worst.Declared, err)
+		}
+		out.WorstExpr, out.Worst = sr.worst.Declared, v
+		out.WorstAmortized = sr.worst.Amortized
+	}
+	if sr.uncontended != nil {
+		e, err := Parse(sr.uncontended.Declared)
+		if err != nil {
+			return OpBound{}, fmt.Errorf("%s.%s uncontended bound %q: %w", family, method, sr.uncontended.Declared, err)
+		}
+		v, err := e.Eval(env)
+		if err != nil {
+			return OpBound{}, fmt.Errorf("%s.%s uncontended bound %q: %w", family, method, sr.uncontended.Declared, err)
+		}
+		out.UncontendedExpr, out.Uncontended = sr.uncontended.Declared, v
+		out.UncontendedAmortized = sr.uncontended.Amortized
+	}
+	return out, nil
+}
+
+// Max folds two instantiated bounds of the same operation, keeping the
+// looser budget per mode — the sound choice when several certified
+// methods back one facade op.
+func (b OpBound) Max(o OpBound) OpBound {
+	out := b
+	if o.Worst > out.Worst {
+		out.Worst, out.WorstExpr, out.WorstAmortized = o.Worst, o.WorstExpr, o.WorstAmortized
+	}
+	if o.Uncontended > out.Uncontended {
+		out.Uncontended, out.UncontendedExpr, out.UncontendedAmortized = o.Uncontended, o.UncontendedExpr, o.UncontendedAmortized
+	}
+	return out
+}

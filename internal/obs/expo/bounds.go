@@ -1,0 +1,224 @@
+package expo
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/bounds"
+)
+
+// ExemplarSource returns the latched bound-violation exemplars at
+// request time, or nil when bound conformance is not wired. Evaluated
+// per request, like FlightSource.
+type ExemplarSource func() []*bounds.Exemplar
+
+// Bound-conformance metric names, shared with the golden test.
+const (
+	metricBoundSteps      = "tradeoffs_bound_steps"
+	metricBoundMargin     = "tradeoffs_bound_margin"
+	metricBoundExceed     = "tradeoffs_bound_exceedances_total"
+	metricBoundViolations = "tradeoffs_bound_violations_total"
+)
+
+// anyBounds reports whether any operation carries an armed step budget;
+// the bound series are omitted entirely otherwise.
+func anyBounds(all []obs.NamedStats) bool {
+	for _, ns := range all {
+		for _, op := range ns.Stats.Ops {
+			if op.Bound.Declared {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeBoundMetrics renders the bound-conformance series: the
+// instantiated budgets as gauges, the margin histogram
+// (observed/bound, le rendered as a ratio), the uncontended-exceedance
+// split, and the worst-case violation counter.
+func writeBoundMetrics(w io.Writer, all []obs.NamedStats) {
+	if !anyBounds(all) {
+		return
+	}
+
+	fmt.Fprintf(w, "# HELP %s Instantiated certified step budget per operation.\n", metricBoundSteps)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", metricBoundSteps)
+	for _, ns := range all {
+		obj := escapeLabel(ns.Object)
+		for _, op := range ns.Stats.Ops {
+			if !op.Bound.Declared {
+				continue
+			}
+			if op.Bound.Worst > 0 {
+				fmt.Fprintf(w, "%s{object=\"%s\",op=\"%s\",mode=\"worst-case\"} %d\n",
+					metricBoundSteps, obj, escapeLabel(op.Name), op.Bound.Worst)
+			}
+			if op.Bound.Uncontended > 0 {
+				fmt.Fprintf(w, "%s{object=\"%s\",op=\"%s\",mode=\"uncontended\"} %d\n",
+					metricBoundSteps, obj, escapeLabel(op.Name), op.Bound.Uncontended)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s Observed steps as a fraction of the certified budget (1 = at the bound).\n", metricBoundMargin)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", metricBoundMargin)
+	for _, ns := range all {
+		for _, op := range ns.Stats.Ops {
+			if op.Bound.Declared {
+				writeHistogram(w, metricBoundMargin, ns.Object, op.Name, &op.Bound.Margin, marginBound)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s Operations exceeding their uncontended budget, by cause.\n", metricBoundExceed)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricBoundExceed)
+	for _, ns := range all {
+		obj := escapeLabel(ns.Object)
+		for _, op := range ns.Stats.Ops {
+			if !op.Bound.Declared {
+				continue
+			}
+			fmt.Fprintf(w, "%s{object=\"%s\",op=\"%s\",cause=\"cas-retries\"} %d\n",
+				metricBoundExceed, obj, escapeLabel(op.Name), op.Bound.ExceedExplained)
+			fmt.Fprintf(w, "%s{object=\"%s\",op=\"%s\",cause=\"amortized\"} %d\n",
+				metricBoundExceed, obj, escapeLabel(op.Name), op.Bound.ExceedAmortized)
+			fmt.Fprintf(w, "%s{object=\"%s\",op=\"%s\",cause=\"unexplained\"} %d\n",
+				metricBoundExceed, obj, escapeLabel(op.Name), op.Bound.ExceedUnexplained)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s Operations exceeding their worst-case certified bound (each one falsifies the certification).\n", metricBoundViolations)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricBoundViolations)
+	for _, ns := range all {
+		obj := escapeLabel(ns.Object)
+		for _, op := range ns.Stats.Ops {
+			if !op.Bound.Declared {
+				continue
+			}
+			fmt.Fprintf(w, "%s{object=\"%s\",op=\"%s\"} %d\n",
+				metricBoundViolations, obj, escapeLabel(op.Name), op.Bound.Violations)
+		}
+	}
+}
+
+// marginBound renders a margin histogram's le bound: the log2 bucket
+// bound rescaled from MarginScale fixed-point to a ratio.
+func marginBound(i int) string {
+	return fmt.Sprintf("%g", float64(obs.BucketBound(i))/obs.MarginScale)
+}
+
+// WriteBoundsTable renders the /debug/bounds text view: one row per
+// bounded operation with its instantiated budgets, live p99 step count,
+// p99 margin, exceedance split and violation count, followed by the
+// latched violation exemplars.
+func WriteBoundsTable(w io.Writer, all []obs.NamedStats, exemplars []*bounds.Exemplar) {
+	fmt.Fprintf(w, "%-24s %-12s %8s %8s %10s %8s %12s %6s %12s %6s\n",
+		"OBJECT", "OP", "WORST", "UNCONT", "P99STEPS", "P99MARG", "EXCEED(CAS)", "AMORT", "UNEXPLAINED", "VIOL")
+	rows := 0
+	for _, ns := range all {
+		for _, op := range ns.Stats.Ops {
+			b := op.Bound
+			if !b.Declared {
+				continue
+			}
+			rows++
+			fmt.Fprintf(w, "%-24s %-12s %8s %8s %10d %8.3f %12d %6d %12d %6d\n",
+				ns.Object, op.Name, orDash(b.Worst), orDash(b.Uncontended),
+				op.Steps.Quantile(0.99),
+				float64(b.Margin.Quantile(0.99))/obs.MarginScale,
+				b.ExceedExplained, b.ExceedAmortized, b.ExceedUnexplained, b.Violations)
+		}
+	}
+	if rows == 0 {
+		fmt.Fprintf(w, "(no operations with certified bounds)\n")
+	}
+	fmt.Fprintf(w, "\nbound expressions:\n")
+	for _, ns := range all {
+		for _, op := range ns.Stats.Ops {
+			b := op.Bound
+			if !b.Declared {
+				continue
+			}
+			if b.WorstExpr != "" {
+				fmt.Fprintf(w, "  %s %s worst-case: steps <= %s = %d\n", ns.Object, op.Name, b.WorstExpr, b.Worst)
+			}
+			if b.UncontendedExpr != "" {
+				fmt.Fprintf(w, "  %s %s uncontended: steps <= %s = %d\n", ns.Object, op.Name, b.UncontendedExpr, b.Uncontended)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nviolation exemplars: %d\n", len(exemplars))
+	for _, e := range exemplars {
+		fmt.Fprintf(w, "  %s %s: observed %d steps > bound %d (%s); dump: GET /debug/bounds?exemplars=1\n",
+			e.Object, e.Op, e.Observed, e.Bound, e.Expr)
+	}
+}
+
+func orDash(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// boundsHandler serves /debug/bounds: the text table by default, or the
+// latched exemplars as re-checkable JSON with ?exemplars=1.
+func boundsHandler(gather Gatherer, ex ExemplarSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var exs []*bounds.Exemplar
+		if ex != nil {
+			exs = ex()
+		}
+		if r.URL.Query().Get("exemplars") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			if exs == nil {
+				io.WriteString(w, "[]\n")
+				return
+			}
+			writeExemplarsJSON(w, exs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteBoundsTable(w, gather(), exs)
+	}
+}
+
+func writeExemplarsJSON(w http.ResponseWriter, exs []*bounds.Exemplar) {
+	io.WriteString(w, "[")
+	for i, e := range exs {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "\n")
+		if err := bounds.WriteExemplar(w, e); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	io.WriteString(w, "]\n")
+}
+
+// debugEndpoints is the /debug index: every endpoint DebugMuxWith
+// mounts, with a one-line description.
+var debugEndpoints = []struct{ Path, Doc string }{
+	{"/metrics", "Prometheus text exposition (objects, ops, bounds, flight recorder)"},
+	{"/debug/bounds", "certified step-bound conformance: budgets, margins, exceedances, exemplars"},
+	{"/debug/history", "flight-recorder windows as re-checkable history dumps (JSON)"},
+	{"/debug/violations", "latched linearizability violations (JSON)"},
+	{"/debug/vars", "expvar JSON"},
+	{"/debug/pprof/", "runtime profiling index"},
+}
+
+// debugIndex serves a minimal HTML index of the mounted endpoints so
+// operators can discover them from the mux root.
+func debugIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, "<!doctype html>\n<title>tradeoffs debug</title>\n<h1>tradeoffs debug endpoints</h1>\n<ul>\n")
+	for _, ep := range debugEndpoints {
+		fmt.Fprintf(w, "<li><a href=\"%s\">%s</a> — %s</li>\n", ep.Path, ep.Path, ep.Doc)
+	}
+	io.WriteString(w, "</ul>\n")
+}

@@ -30,11 +30,12 @@ func Handler(gather Gatherer) http.Handler {
 	return HandlerWith(gather, nil)
 }
 
-// DebugMux returns a mux serving /metrics (Prometheus text), /debug/vars
-// (expvar JSON), and the /debug/pprof profiling endpoints. See
-// DebugMuxWith to add a flight recorder's endpoints.
+// DebugMux returns a mux serving a /debug index, /metrics (Prometheus
+// text), /debug/bounds (step-bound conformance), /debug/vars (expvar
+// JSON), and the /debug/pprof profiling endpoints. See DebugMuxWith to
+// add a flight recorder's endpoints and a bound-exemplar source.
 func DebugMux(gather Gatherer) *http.ServeMux {
-	return DebugMuxWith(gather, nil)
+	return DebugMuxWith(gather, nil, nil)
 }
 
 // metric name constants, shared with the golden test.
@@ -81,6 +82,8 @@ func WriteMetrics(w io.Writer, all []obs.NamedStats) {
 			writeHistogram(w, metricOpLatency, ns.Object, op.Name, &op.LatencyNS, secondsBound)
 		}
 	}
+
+	writeBoundMetrics(w, all)
 
 	fmt.Fprintf(w, "# HELP %s Accesses per base register (heatmap).\n", metricRegisterAccesses)
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricRegisterAccesses)

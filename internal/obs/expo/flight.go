@@ -92,12 +92,16 @@ func HandlerWith(gather Gatherer, fstats FlightStatsSource) http.Handler {
 	})
 }
 
-// DebugMuxWith is DebugMux plus the flight recorder endpoints:
-// /debug/history serves the recorder's current per-object windows as a
-// JSON array of history dumps (each re-checkable offline and renderable
-// with cmd/simtrace -from-history), and /debug/violations the detected
-// violations. Without a recorder both endpoints serve an empty array.
-func DebugMuxWith(gather Gatherer, src FlightSource) *http.ServeMux {
+// DebugMuxWith is DebugMux plus the flight recorder and bound-
+// conformance endpoints: /debug/history serves the recorder's current
+// per-object windows as a JSON array of history dumps (each
+// re-checkable offline and renderable with cmd/simtrace
+// -from-history), /debug/violations the detected linearizability
+// violations, and /debug/bounds the certified step-bound conformance
+// table (with the latched violation exemplars as re-checkable JSON
+// under ?exemplars=1). Without a recorder the flight endpoints serve an
+// empty array; ex may be nil. A root /debug index links everything.
+func DebugMuxWith(gather Gatherer, src FlightSource, ex ExemplarSource) *http.ServeMux {
 	mux := http.NewServeMux()
 	var fstats FlightStatsSource
 	if src != nil {
@@ -111,6 +115,9 @@ func DebugMuxWith(gather Gatherer, src FlightSource) *http.ServeMux {
 		}
 	}
 	mux.Handle("/metrics", HandlerWith(gather, fstats))
+	mux.HandleFunc("/debug", debugIndex)
+	mux.HandleFunc("/debug/{$}", debugIndex)
+	mux.Handle("/debug/bounds", boundsHandler(gather, ex))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -296,6 +296,14 @@ func sanitize(name string) string {
 	return string(out)
 }
 
+// ArtifactDir returns the configured violation-artifact directory, ""
+// when artifact writing is disabled.
+func (r *Recorder) ArtifactDir() string { return r.cfg.ArtifactDir }
+
+// SanitizeName maps an object name to the filesystem-safe form used in
+// artifact file names.
+func SanitizeName(name string) string { return sanitize(name) }
+
 // Violations returns the detected violations so far.
 func (r *Recorder) Violations() []*Violation {
 	r.violMu.Lock()

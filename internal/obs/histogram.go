@@ -72,6 +72,30 @@ type HistogramSnapshot struct {
 	Sum     int64
 }
 
+// Quantile returns the inclusive upper bound of the bucket holding the
+// q-quantile (0 < q <= 1) observation, or 0 for an empty histogram. With
+// log2 buckets this is an upper estimate, tight to within 2x.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(numBuckets - 1)
+}
+
 // MaxBucket returns the index of the highest non-empty bucket, or -1 if the
 // histogram is empty.
 func (s *HistogramSnapshot) MaxBucket() int {

@@ -126,6 +126,8 @@ func (c *Collector) Op(name string) *Op {
 			name:    name,
 			steps:   make([]Histogram, c.processes),
 			latency: make([]Histogram, c.processes),
+			margin:  make([]Histogram, c.processes),
+			exceed:  make([]exceedShard, c.processes),
 		}
 		c.ops[name] = op
 	}
@@ -183,17 +185,25 @@ func (c *Collector) Snapshot() Stats {
 			op.steps[i].snapshotInto(&os.Steps)
 			op.latency[i].snapshotInto(&os.LatencyNS)
 		}
+		op.boundStatsInto(&os)
 		st.Ops = append(st.Ops, os)
 	}
 	return st
 }
 
 // Op records one named operation's steps-per-op and latency histograms,
-// sharded per process like the counters.
+// sharded per process like the counters, plus — when a certified step
+// budget is armed via Collector.SetOpBound — the bound-conformance
+// margin histograms and exceedance counters (see bound.go).
 type Op struct {
 	name    string
 	steps   []Histogram
 	latency []Histogram
+
+	bound     atomic.Pointer[OpBoundConfig]
+	margin    []Histogram
+	exceed    []exceedShard
+	violLatch atomic.Bool
 }
 
 // Name returns the operation name.
@@ -202,22 +212,32 @@ func (o *Op) Name() string { return o.name }
 // Begin opens a span for one operation issued through ctx. The returned
 // Span must be Ended by the same goroutine.
 func (o *Op) Begin(ctx *Instrumented) Span {
-	return Span{op: o, ctx: ctx, startSteps: ctx.sh.steps(), start: ctx.col.now()}
+	sp := Span{op: o, ctx: ctx, startSteps: ctx.sh.steps(), start: ctx.col.now()}
+	if o.bound.Load() != nil {
+		sp.startCASFails = ctx.sh.casFailures.Load()
+	}
+	return sp
 }
 
 // Span is an in-flight operation measurement.
 type Span struct {
-	op         *Op
-	ctx        *Instrumented
-	startSteps int64
-	start      time.Time
+	op            *Op
+	ctx           *Instrumented
+	startSteps    int64
+	startCASFails int64
+	start         time.Time
 }
 
-// End closes the span, recording the operation's step count and latency.
+// End closes the span, recording the operation's step count and latency,
+// and scoring the step count against the armed bound, if any.
 func (s Span) End() {
 	idx := s.ctx.idx
-	s.op.steps[idx].Observe(s.ctx.sh.steps() - s.startSteps)
+	steps := s.ctx.sh.steps() - s.startSteps
+	s.op.steps[idx].Observe(steps)
 	s.op.latency[idx].Observe(s.ctx.col.now().Sub(s.start).Nanoseconds())
+	if cfg := s.op.bound.Load(); cfg != nil {
+		s.op.observeBound(cfg, idx, steps, s.ctx.sh.casFailures.Load()-s.startCASFails)
+	}
 }
 
 // Instrumented is a primitive.Context that records every shared-memory
@@ -289,6 +309,10 @@ type OpStats struct {
 	Name      string
 	Steps     HistogramSnapshot
 	LatencyNS HistogramSnapshot
+
+	// Bound is the bound-conformance view; Bound.Declared is false for
+	// operations with no armed step budget.
+	Bound OpBoundStats
 }
 
 // RegisterStats is one heatmap cell.

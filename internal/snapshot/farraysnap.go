@@ -75,6 +75,10 @@ func NewFArray(pool *primitive.Pool, n int, maxUpdates int64) (*FArray, error) {
 // Components implements Snapshot.
 func (s *FArray) Components() int { return s.n }
 
+// Depth returns the complete tree's leaf depth — the "logn" symbol of
+// the certified Update bound (steps <= 8logn+1).
+func (s *FArray) Depth() int { return s.tree.LeafDepth(0) }
+
 // Scan implements Snapshot in exactly one shared-memory step. The returned
 // slice is a fresh copy (caller-owned, per the Snapshot contract); ScanView
 // reads the same cut without copying.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/bounds"
 	"github.com/restricteduse/tradeoffs/internal/obs/expo"
 	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
@@ -40,6 +41,11 @@ type Observability struct {
 	// WithObservability and WithFlightRecorder: the registry's handlers
 	// then also serve the recorder's metrics and debug endpoints.
 	flight *FlightRecorder
+
+	// exemplars holds the latched worst-case bound-violation exemplars,
+	// at most one per (object, op) — the obs layer latches before the
+	// capture callback runs — and capped like flight violations.
+	exemplars []*bounds.Exemplar
 }
 
 // NewObservability returns an empty registry.
@@ -163,6 +169,25 @@ func (o *Observability) flightStats() *flight.Stats {
 	return &st
 }
 
+// addBoundExemplar records a latched bound-violation exemplar, capped at
+// 64 like the flight recorder's violation list.
+func (o *Observability) addBoundExemplar(e *bounds.Exemplar) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.exemplars) < 64 {
+		o.exemplars = append(o.exemplars, e)
+	}
+}
+
+// BoundExemplars returns the latched worst-case bound-violation
+// exemplars, in capture order. Each is self-contained: Recheck on the
+// dump re-derives the instantiated bound and confirms the exceedance.
+func (o *Observability) BoundExemplars() []*bounds.Exemplar {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*bounds.Exemplar(nil), o.exemplars...)
+}
+
 // gather snapshots every registered object, in registration order.
 func (o *Observability) gather() []obs.NamedStats {
 	o.mu.Lock()
@@ -188,12 +213,13 @@ func (o *Observability) MetricsHandler() http.Handler {
 	return expo.HandlerWith(o.gather, o.flightStats)
 }
 
-// Handler returns a mux serving /metrics plus the standard Go debug
+// Handler returns a mux serving a /debug index, /metrics, the
+// step-bound conformance view /debug/bounds, plus the standard Go debug
 // endpoints /debug/vars (expvar) and /debug/pprof. With a linked flight
 // recorder it also serves /debug/history (the recorder's current
 // per-object windows as history-dump JSON) and /debug/violations.
 func (o *Observability) Handler() http.Handler {
-	return expo.DebugMuxWith(o.gather, o.flightRec)
+	return expo.DebugMuxWith(o.gather, o.flightRec, o.BoundExemplars)
 }
 
 // WithObservability instruments the constructed object into o: its handles

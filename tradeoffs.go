@@ -33,6 +33,7 @@ import (
 	"github.com/restricteduse/tradeoffs/internal/history"
 	"github.com/restricteduse/tradeoffs/internal/maxreg"
 	"github.com/restricteduse/tradeoffs/internal/obs"
+	"github.com/restricteduse/tradeoffs/internal/obs/bounds"
 	"github.com/restricteduse/tradeoffs/internal/obs/flight"
 	"github.com/restricteduse/tradeoffs/internal/primitive"
 	"github.com/restricteduse/tradeoffs/internal/snapshot"
@@ -129,6 +130,12 @@ type config struct {
 	// optionally the batching window) from a BackendObservation at
 	// construction time — see WithAdaptiveBackend.
 	adaptive AdaptivePolicy
+
+	// boundTable overrides the embedded certified-bound table (see
+	// WithBoundTableJSON); boundTableErr defers its parse error to
+	// validate so option application stays infallible.
+	boundTable    *bounds.Table
+	boundTableErr error
 }
 
 // validate checks the option values every constructor shares. Negative
@@ -146,6 +153,9 @@ func (c config) validate() error {
 	}
 	if c.batch < 0 {
 		return fmt.Errorf("tradeoffs: negative batching window %d", c.batch)
+	}
+	if c.boundTableErr != nil {
+		return fmt.Errorf("tradeoffs: %w", c.boundTableErr)
 	}
 	return nil
 }
@@ -349,8 +359,12 @@ func NewMaxRegister(opts ...Option) (*MaxRegister, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, tap, err := registerObsAndFlight(c, "maxreg", pool)
+	col, name, tap, err := registerObsAndFlight(c, "maxreg", pool)
 	if err != nil {
+		return nil, err
+	}
+	implKey, params := maxRegBoundKey(impl, c.processes)
+	if err := applyOpBounds(c, col, "maxreg", name, implKey, maxRegBoundSpecs, params); err != nil {
 		return nil, err
 	}
 	return &MaxRegister{impl: impl, processes: c.processes, counting: c.counting, col: col, ftap: tap}, nil
@@ -484,8 +498,12 @@ func NewCounter(opts ...Option) (*Counter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, tap, err := registerObsAndFlight(c, "counter", pool)
+	col, name, tap, err := registerObsAndFlight(c, "counter", pool)
 	if err != nil {
+		return nil, err
+	}
+	implKey, params := counterBoundKey(impl, c.processes)
+	if err := applyOpBounds(c, col, "counter", name, implKey, counterBoundSpecs, params); err != nil {
 		return nil, err
 	}
 	return &Counter{impl: impl, which: c.counterImpl, processes: c.processes, counting: c.counting, batch: c.batch, col: col, ftap: tap}, nil
@@ -733,8 +751,12 @@ func NewSnapshot(opts ...Option) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tradeoffs: %w", err)
 	}
-	col, tap, err := registerObsAndFlight(c, "snapshot", pool)
+	col, name, tap, err := registerObsAndFlight(c, "snapshot", pool)
 	if err != nil {
+		return nil, err
+	}
+	implKey, params := snapshotBoundKey(impl, c.processes)
+	if err := applyOpBounds(c, col, "snapshot", name, implKey, snapshotBoundSpecs, params); err != nil {
 		return nil, err
 	}
 	return &Snapshot{
